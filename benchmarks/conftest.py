@@ -1,0 +1,34 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's figures through the
+discrete-event performance model.  The figure tables are printed at the
+end of the session so ``pytest benchmarks/ --benchmark-only`` doubles as
+the experiment report generator (EXPERIMENTS.md quotes this output).
+"""
+
+import pytest
+
+_REPORTS: list[str] = []
+
+
+def record_report(title: str, body: str) -> None:
+    _REPORTS.append(f"\n{'#' * 70}\n# {title}\n{'#' * 70}\n{body}")
+
+
+@pytest.fixture
+def report():
+    return record_report
+
+
+def pytest_terminal_summary(terminalreporter):
+    if _REPORTS:
+        terminalreporter.write("\n".join(_REPORTS) + "\n")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations; repeating them only
+    burns wall-clock, so every bench uses a single round.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

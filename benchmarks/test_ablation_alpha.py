@@ -1,0 +1,63 @@
+"""Ablation: the LAF moving-average weight factor alpha.
+
+The paper sweeps alpha in Fig. 7 and fixes 0.001.  alpha = 1 rebalances
+perfectly to the current window (best balance, worse cache affinity);
+alpha -> 0 freezes the ranges (delay-scheduling-like).  The bench sweeps
+alpha on the skewed grep workload and reports time / hit ratio / balance.
+"""
+
+from benchmarks.conftest import record_report, run_once
+from repro.common.config import SchedulerConfig
+from repro.common.units import GB
+from repro.experiments.common import ExperimentResult, format_rows, paper_cluster
+from repro.perfmodel.engine import PerfEngine, SimJobSpec
+from repro.perfmodel.framework import eclipse_framework
+from repro.perfmodel.placement import dht_layout, skewed_task_keys
+from repro.perfmodel.profiles import APP_PROFILES
+
+ALPHAS = (0.0, 0.001, 0.01, 0.1, 1.0)
+
+
+def _run_alpha(alpha: float):
+    config = paper_cluster(cache_per_server=1 * GB, icache_fraction=1.0)
+    fw = eclipse_framework("laf", SchedulerConfig(alpha=alpha))
+    engine = PerfEngine(config, fw)
+    layout = dht_layout(engine.space, engine.ring, "grepdata", 96, config.dfs.block_size)
+    specs = [
+        SimJobSpec(app=APP_PROFILES["grep"], tasks=skewed_task_keys(layout, 150, seed=21 + j), label=f"g{j}")
+        for j in range(4)
+    ]
+    timings = engine.run_jobs(specs)
+    total = max(t.end for t in timings) - min(t.start for t in timings)
+    hit = engine.dcache.stats().hit_ratio
+    import numpy as np
+
+    per_server = np.zeros(config.num_nodes)
+    for t in timings:
+        for s, c in t.tasks_per_server.items():
+            per_server[s] += c
+    return total, 100 * hit, float(np.std(per_server / config.map_slots_per_node))
+
+
+def sweep():
+    rows = [_run_alpha(a) for a in ALPHAS]
+    result = ExperimentResult(
+        title="Ablation: LAF weight factor alpha (skewed grep)",
+        x_label="alpha",
+        x_values=[str(a) for a in ALPHAS],
+    )
+    result.add("time (s)", [r[0] for r in rows])
+    result.add("hit %", [r[1] for r in rows])
+    result.add("stddev tasks/slot", [r[2] for r in rows])
+    return result
+
+
+def test_ablation_alpha(benchmark):
+    result = run_once(benchmark, sweep)
+    record_report("Ablation: alpha sweep", format_rows(result, unit=""))
+    times = dict(zip(result.x_values, result.series["time (s)"]))
+    stddevs = dict(zip(result.x_values, result.series["stddev tasks/slot"]))
+    # alpha = 0 (frozen ranges) balances worst on a skewed stream.
+    assert stddevs["0.0"] > stddevs["1.0"]
+    # Any adaptive alpha beats frozen ranges on time.
+    assert min(times["0.001"], times["0.01"], times["1.0"]) < times["0.0"]

@@ -1,0 +1,68 @@
+"""Ablations on the distributed cache: replication and misplaced-entry
+migration (the §II-E option the paper implements but disables).
+"""
+
+from benchmarks.conftest import record_report, run_once
+from repro.cache.distributed import DistributedCache
+from repro.common.config import CacheConfig
+from repro.common.hashing import HashSpace
+from repro.common.rng import derive_rng
+from repro.experiments.common import ExperimentResult, format_rows
+from repro.scheduler.partition import SpacePartition
+
+
+def _misplacement_experiment(migrate: bool, shifts: int = 6, entries: int = 400):
+    """Cache entries under drifting partitions: how many land misplaced,
+    and how many lookups their home server can still serve."""
+    space = HashSpace(1 << 20)
+    servers = [f"s{i}" for i in range(8)]
+    cfg = CacheConfig(capacity_per_server=1 << 22, migrate_misplaced=migrate)
+    dc = DistributedCache(servers, cfg, space)
+    rng = derive_rng(17, "migration", migrate)
+    keys = [int(k) for k in rng.integers(0, space.size, size=entries)]
+    for k in keys:
+        home = dc.home_of(k)
+        dc.worker(home).put_input(("blk", k), None, size=1024, hash_key=k)
+    # Drift the boundaries: rotate each cut by a few percent per shift.
+    hits = 0
+    lookups = 0
+    for step in range(1, shifts + 1):
+        offset = (space.size // 50) * step
+        bounds = [0] + [
+            min(space.size, max(0, space.size * i // 8 + offset)) for i in range(1, 8)
+        ] + [space.size]
+        bounds = sorted(bounds)
+        dc.set_partition(SpacePartition(space, servers, bounds))
+        for k in keys[:100]:
+            home = dc.home_of(k)
+            hit, _ = dc.worker(home).get_input(("blk", k))
+            hits += hit
+            lookups += 1
+    misplaced = sum(dc.misplaced_entries().values())
+    return hits / lookups, misplaced, dc.migrated_entries
+
+
+def sweep():
+    result = ExperimentResult(
+        title="Ablation: misplaced-cache migration on/off under range drift",
+        x_label="migration",
+        x_values=["off (paper default)", "on"],
+    )
+    off = _misplacement_experiment(False)
+    on = _misplacement_experiment(True)
+    result.add("home-server hit ratio", [off[0], on[0]])
+    result.add("misplaced entries", [off[1], on[1]])
+    result.add("entries migrated", [off[2], on[2]])
+    return result
+
+
+def test_ablation_cache_migration(benchmark):
+    result = run_once(benchmark, sweep)
+    record_report("Ablation: cache migration", format_rows(result, unit=""))
+    off_hit, on_hit = result.series["home-server hit ratio"]
+    off_misplaced, on_misplaced = result.series["misplaced entries"]
+    migrated = result.series["entries migrated"][1]
+    # Migration keeps entries reachable from their current home server.
+    assert on_hit > off_hit
+    assert on_misplaced < off_misplaced
+    assert migrated > 0

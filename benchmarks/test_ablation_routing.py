@@ -1,0 +1,60 @@
+"""Ablation: one-hop DHT routing vs classic Chord log-N routing.
+
+The paper sets the finger table size so every server knows every peer
+("one hop DHT routing" [13]) because query-processing clusters are small
+and stable.  This bench quantifies what that buys: average lookup hops
+and the implied lookup latency at a 0.2 ms per-hop network latency.
+"""
+
+from benchmarks.conftest import record_report, run_once
+from repro.common.hashing import HashSpace
+from repro.dht.finger import RoutingTable
+from repro.dht.ring import ConsistentHashRing
+from repro.experiments.common import ExperimentResult, format_rows
+
+HOP_LATENCY = 0.0002  # the testbed's per-message latency
+
+
+def sweep(cluster_sizes=(8, 16, 32, 64, 128), probes: int = 64):
+    result = ExperimentResult(
+        title="Ablation: one-hop vs Chord routing",
+        x_label="# of servers",
+        x_values=list(cluster_sizes),
+    )
+    onehop_hops, chord_hops, chord_us = [], [], []
+    table_entries = []
+    for n in cluster_sizes:
+        space = HashSpace(1 << 32)
+        ring = ConsistentHashRing(space)
+        for i in range(n):
+            ring.add_node(f"n{i}")
+        keys = [space.key_of(f"probe-{k}") for k in range(probes)]
+        onehop = RoutingTable(ring, one_hop=True)
+        chord = RoutingTable(ring, one_hop=False)
+        starts = ring.nodes[: min(8, n)]
+        onehop_hops.append(onehop.average_hops(keys, starts))
+        avg = chord.average_hops(keys, starts)
+        chord_hops.append(avg)
+        chord_us.append(avg * HOP_LATENCY * 1e6)
+        table_entries.append(len(chord.table(ring.nodes[0]).entries))
+    result.add("one-hop avg hops", onehop_hops)
+    result.add("chord avg hops", chord_hops)
+    result.add("chord lookup (us)", chord_us)
+    result.add("chord finger entries", table_entries)
+    return result
+
+
+def test_ablation_routing(benchmark):
+    result = run_once(benchmark, sweep)
+    record_report("Ablation: routing", format_rows(result, unit=""))
+    onehop = result.series["one-hop avg hops"]
+    chord = result.series["chord avg hops"]
+    entries = result.series["chord finger entries"]
+    # One-hop lookups never exceed a single forward.
+    assert all(h <= 1.0 for h in onehop)
+    # Chord hop count grows with the cluster; one-hop stays flat.
+    assert chord[-1] > chord[0]
+    assert chord[-1] > 2.0
+    # Chord's table stays logarithmic -- the price one-hop pays is O(n)
+    # entries, which the paper argues is fine below a few thousand nodes.
+    assert entries[-1] <= 2 * len(bin(128))  # ~O(log n)

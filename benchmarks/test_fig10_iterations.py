@@ -1,0 +1,38 @@
+"""Fig. 10 bench: per-iteration times, EclipseMR vs Spark, 10 iterations."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig10_iterative import format_table, run
+
+
+def test_fig10_per_iteration(benchmark, report):
+    results = run_once(benchmark, run, iterations=10, blocks=96, pagerank_blocks=120)
+    report("Fig. 10: per-iteration times", format_table(results))
+
+    for app in ("kmeans", "logreg"):
+        ecl = results[app].series["EclipseMR"]
+        spk = results[app].series["Spark"]
+        # Spark's first iteration is much slower than its steady state
+        # (RDD construction + cold reads).
+        assert spk[0] > 1.5 * spk[1]
+        # EclipseMR's steady-state iterations are much faster than Spark's
+        # (paper: ~3x; assert > 1.5x).
+        ecl_steady = sum(ecl[1:]) / (len(ecl) - 1)
+        spk_steady = sum(spk[1:]) / (len(spk) - 1)
+        assert spk_steady > 1.5 * ecl_steady, app
+        # Warm iterations beat the cold first one (inputs cached).  A LAF
+        # re-cut can blip a single iteration with a few cache misplacements,
+        # so compare the best warm iteration.
+        assert min(ecl[1:]) < ecl[0]
+
+    pr_ecl = results["pagerank"].series["EclipseMR"]
+    pr_spk = results["pagerank"].series["Spark"]
+    # Steady-state page rank: Spark is faster (EclipseMR persists the
+    # rank vector every iteration) but EclipseMR stays within ~80%
+    # (paper: at most 30% slower; our band is wider).
+    ecl_steady = sum(pr_ecl[1:-1]) / (len(pr_ecl) - 2)
+    spk_steady = sum(pr_spk[1:-1]) / (len(pr_spk) - 2)
+    assert spk_steady < ecl_steady
+    assert ecl_steady < 1.8 * spk_steady
+    # Spark's final iteration pays the output write: slower than its own
+    # steady state.
+    assert pr_spk[-1] > spk_steady

@@ -1,0 +1,25 @@
+"""Fig. 3 bench: equally probable CDF partitioning of the key space."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig3_cdf import format_table, run
+
+
+def test_fig3_cdf_partition(benchmark, report):
+    result = run_once(benchmark, run)
+    report("Fig. 3: CDF partitioning", format_table(result))
+
+    widths = result.series["range width"]
+    masses = result.series["probability"]
+    # Every range carries ~equal probability...
+    assert all(abs(m - 1 / 5) < 0.05 for m in masses)
+    # ...and the ranges covering the popular keys (40 and 90) are narrower
+    # than the widest (cold) range.
+    starts = result.series["range start"]
+    ends = result.series["range end"]
+    owner_40 = next(i for i in range(5) if starts[i] <= 40 < ends[i])
+    owner_90 = next(i for i in range(5) if starts[i] <= 90 < ends[i])
+    assert widths[owner_40] < max(widths)
+    assert widths[owner_90] < max(widths)
+    # The partition tiles [0, 140) exactly.
+    assert starts[0] == 0 and ends[-1] == 140
+    assert all(ends[i] == starts[i + 1] for i in range(4))

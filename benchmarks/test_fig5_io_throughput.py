@@ -1,0 +1,28 @@
+"""Fig. 5 bench: DHT file system vs HDFS IO throughput, 6..38 nodes."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5_io import format_table, run
+
+
+def test_fig5_io_throughput(benchmark, report):
+    result = run_once(benchmark, run, node_counts=(6, 14, 22, 30, 38), blocks_per_node=8)
+    report("Fig. 5: IO throughput", format_table(result))
+
+    dht_task = result.series["DHT/task (MB/s)"]
+    hdfs_task = result.series["HDFS/task (MB/s)"]
+    dht_job = result.series["DHT/job (MB/s)"]
+    hdfs_job = result.series["HDFS/job (MB/s)"]
+
+    # 5(a): per-map-task throughput is essentially the same disks -- the
+    # two file systems tie within 20%.
+    for d, h in zip(dht_task, hdfs_task):
+        assert abs(d - h) / max(d, h) < 0.2
+
+    # 5(b): per-job throughput: the DHT file system wins at every size
+    # because Hadoop pays NameNode, container and scheduling overheads.
+    # (The paper's gap is ~2x; ours narrows toward ~1.4x at 38 nodes.)
+    for d, h in zip(dht_job, hdfs_job):
+        assert d > 1.3 * h
+
+    # Aggregate job throughput grows with the cluster (more spindles).
+    assert dht_job[-1] > dht_job[0]

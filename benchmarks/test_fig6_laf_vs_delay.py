@@ -1,0 +1,31 @@
+"""Fig. 6 bench: LAF vs delay scheduling, non-iterative and iterative."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6_schedulers import NON_ITERATIVE_APPS, format_table, run, run_iterative
+
+
+def test_fig6a_non_iterative(benchmark, report):
+    result = run_once(benchmark, run, blocks=128)
+    report("Fig. 6(a): LAF vs Delay, non-iterative", format_table(result))
+    laf = result.series["LAF"]
+    delay = result.series["Delay"]
+    # LAF is at least as fast as delay scheduling on every application
+    # (cold caches: the win comes from waits and balance, not cache hits).
+    for app, l, d in zip(NON_ITERATIVE_APPS, laf, delay):
+        assert l <= d * 1.05, f"{app}: LAF {l:.0f}s vs Delay {d:.0f}s"
+    # And strictly faster somewhere.
+    assert any(l < d * 0.98 for l, d in zip(laf, delay))
+
+
+def test_fig6b_iterative(benchmark, report):
+    result = run_once(benchmark, run_iterative, kmeans_blocks=128, pagerank_blocks=8, iterations=5)
+    report("Fig. 6(b): LAF vs Delay, iterative", format_table(result))
+    km = {name: vals[0] for name, vals in result.series.items()}
+    pr = {name: vals[1] for name, vals in result.series.items()}
+    # LAF beats delay on kmeans (many waves of tasks).
+    assert km["LAF"] < km["Delay"]
+    # pagerank fits in one wave: the schedulers are close (within 25%).
+    assert abs(pr["LAF"] - pr["Delay"]) / pr["Delay"] < 0.25
+    # oCache changes little: outputs are in the OS page cache either way.
+    assert abs(km["LAF"] - km["LAF (with oCache)"]) / km["LAF"] < 0.15
+    assert abs(pr["Delay"] - pr["Delay (with oCache)"]) / pr["Delay"] < 0.15

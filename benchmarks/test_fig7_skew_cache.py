@@ -1,0 +1,41 @@
+"""Fig. 7 bench: load balance vs locality under skew, cache-size sweep."""
+
+from repro.common.units import GB
+from benchmarks.conftest import run_once
+from repro.experiments.fig7_load_balance import format_table, run
+
+
+def test_fig7_skew_and_cache_sweep(benchmark, report):
+    times, hits, points = run_once(
+        benchmark,
+        run,
+        cache_sizes=(0, int(0.5 * GB), 1 * GB, int(1.5 * GB)),
+        num_jobs=6,
+        tasks_per_job=150,
+        blocks=96,
+    )
+    report("Fig. 7: skewed grep, cache sweep", format_table((times, hits, points)))
+
+    laf = times.series["LAF a=0.001"]
+    laf1 = times.series["LAF a=1"]
+    delay = times.series["Delay"]
+
+    # 7(a): delay scheduling is substantially slower than LAF at every
+    # cache size (paper: up to 2.86x).
+    for l, d in zip(laf, delay):
+        assert d > 1.2 * l
+    # Execution time falls (or at worst stays flat) as the cache grows:
+    # LAF's balance already hides most of the miss latency, so its curve
+    # is shallow; delay's is steep.
+    assert laf[-1] <= laf[0] * 1.02
+    assert delay[-1] < delay[0]
+
+    # 7(b): with caches enabled, hit ratio grows with cache size.
+    laf_hits = hits.series["LAF a=0.001"]
+    assert laf_hits[-1] > laf_hits[1] >= laf_hits[0]
+
+    # Balance: LAF's tasks-per-slot stddev is far below delay's
+    # (paper: 4.07 vs 13.07).
+    laf_pts = [p for p in points if p.policy == "LAF a=0.001"]
+    delay_pts = [p for p in points if p.policy == "Delay"]
+    assert laf_pts[-1].stddev_tasks_per_slot < 0.6 * delay_pts[-1].stddev_tasks_per_slot

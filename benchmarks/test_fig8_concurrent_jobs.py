@@ -1,0 +1,39 @@
+"""Fig. 8 bench: a batch of 7 concurrent jobs, cache-size sweep."""
+
+from repro.common.units import GB, MB
+from benchmarks.conftest import run_once
+from repro.experiments.fig8_concurrent import format_table, run
+
+
+def test_fig8_concurrent_batch(benchmark, report):
+    # Cache sizes scaled with the dataset (see the experiment docstring).
+    per_cache, summary = run_once(
+        benchmark, run, cache_sizes=(256 * MB, 1 * GB, 4 * GB), blocks_per_file=32
+    )
+    report("Fig. 8: concurrent jobs", format_table((per_cache, summary)))
+
+    # LAF is at least as fast as delay for (almost) every app at 1 GB; we
+    # assert on the batch aggregate to avoid flakiness of tiny jobs.
+    for result in per_cache:
+        laf_total = sum(result.series["LAF"])
+        delay_total = sum(result.series["Delay"])
+        assert laf_total <= delay_total * 1.02, result.title
+
+    # Larger caches never hurt.  The time curves are shallow: delay's
+    # static ranges bottleneck on hot servers regardless of hits, and
+    # LAF's balance hides most of the miss latency -- the cache's real
+    # effect shows in the hit-ratio series asserted below (the paper's
+    # Fig. 8 bars similarly move far less than its hit ratios).
+    laf_totals = [sum(r.series["LAF"]) for r in per_cache]
+    delay_totals = [sum(r.series["Delay"]) for r in per_cache]
+    assert laf_totals[-1] <= laf_totals[0] * 1.05
+    assert delay_totals[-1] <= delay_totals[0] * 1.05
+
+    # Hit ratios climb with cache size and converge at the top end
+    # (paper: LAF 14% vs Delay 8% at 1 GB; both ~69% at 8 GB).
+    laf_hits = summary.series["LAF"]
+    delay_hits = summary.series["Delay"]
+    assert laf_hits[-1] > laf_hits[0]
+    assert delay_hits[-1] > delay_hits[0]
+    assert laf_hits[0] >= delay_hits[0] * 0.95
+    assert abs(laf_hits[-1] - delay_hits[-1]) < 12.0

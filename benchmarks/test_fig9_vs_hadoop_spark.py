@@ -1,0 +1,52 @@
+"""Fig. 9 bench: EclipseMR vs Hadoop vs Spark across the six applications."""
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig9_frameworks import format_table, normalized, run
+
+
+def test_fig9_framework_comparison(benchmark, report):
+    result = run_once(benchmark, run, base_blocks=128)
+    report("Fig. 9: vs Hadoop and Spark", format_table(result))
+
+    apps = result.x_values
+    ecl = dict(zip(apps, result.series["EclipseMR"]))
+    spk = dict(zip(apps, result.series["Spark"]))
+    had = dict(zip(apps, result.series["Hadoop"]))
+
+    # EclipseMR is fastest on every app except page rank.
+    for app in ("invertedindex", "wordcount", "sort", "kmeans", "logreg"):
+        assert ecl[app] < spk[app], f"{app}: EclipseMR vs Spark"
+        if not math.isnan(had[app]):
+            assert ecl[app] < had[app], f"{app}: EclipseMR vs Hadoop"
+
+    # The iterative gaps: kmeans ~3.5x, logreg ~2.5x vs Spark (allow a
+    # generous band: we assert "well over 1.5x").
+    assert spk["kmeans"] > 1.5 * ecl["kmeans"]
+    assert spk["logreg"] > 1.5 * ecl["logreg"]
+
+    # Page rank is the one app where EclipseMR does NOT dominate: the
+    # paper has Spark ~15% ahead over 2 iterations.  Our model reproduces
+    # the *steady-state* crossover (see Fig. 10) but at 2 iterations the
+    # total is dominated by Spark's RDD build and final save, so here we
+    # assert page rank is merely "close" -- the two frameworks within 2x
+    # -- in contrast to the 3-6x EclipseMR wins elsewhere.  Deviation
+    # documented in EXPERIMENTS.md.
+    assert ecl["pagerank"] < 2.0 * spk["pagerank"]
+    assert spk["pagerank"] < 2.0 * ecl["pagerank"]
+    km_gap = spk["kmeans"] / ecl["kmeans"]
+    pr_gap = spk["pagerank"] / ecl["pagerank"]
+    assert pr_gap < km_gap  # page rank is Spark's best showing among the iterative apps
+
+    # Hadoop is far behind on the compute-iterative apps (the paper calls
+    # it an order of magnitude and omits the bars; our model, which does
+    # not charge JVM startup per iteration beyond the containers, puts it
+    # at ~2.5-4x -- documented in EXPERIMENTS.md).
+    assert had["kmeans"] > 2.2 * ecl["kmeans"]
+
+    # Normalization sanity: the slowest framework per app maps to 1.0.
+    norm = normalized(result)
+    for i in range(len(apps)):
+        col = [norm[k][i] for k in norm if not math.isnan(norm[k][i])]
+        assert max(col) == 1.0

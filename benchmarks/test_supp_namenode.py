@@ -1,0 +1,29 @@
+"""Supplementary bench: NameNode scalability under concurrent DFSIO."""
+
+from benchmarks.conftest import record_report, run_once
+from repro.experiments.supp_namenode import format_table, run
+
+
+def test_namenode_scalability(benchmark):
+    result = run_once(benchmark, run, job_counts=(1, 2, 4, 8), blocks_per_job=80, num_nodes=20)
+    record_report("Supplementary: NameNode scalability", format_table(result))
+
+    dht = result.series["DHT agg (MB/s)"]
+    hdfs = result.series["HDFS agg (MB/s)"]
+    waits = result.series["NameNode mean wait (ms)"]
+
+    # The DHT file system beats HDFS at every concurrency level.
+    for d, h in zip(dht, hdfs):
+        assert d > h
+    # Under concurrency HDFS stays pinned far below the DHT file system's
+    # (disk-bound) aggregate: the metadata path caps its scaling.  (The
+    # paper reports outright degradation; an open queueing model shows a
+    # hard ceiling instead -- same conclusion, see EXPERIMENTS.md.)
+    assert hdfs[-1] < 0.65 * dht[-1]
+    # The central queue is the mechanism: at any concurrency >= 2 the mean
+    # NameNode wait dwarfs the uncontended 30 ms service time.
+    assert max(waits[1:]) > 300.0
+    # The decentralized side never regresses with added jobs (it is
+    # already near its disk-bound aggregate at one job thanks to aligned
+    # local reads).
+    assert dht[-1] >= dht[0]

@@ -1,0 +1,19 @@
+"""Supplementary bench: failure recovery cost vs cluster size."""
+
+from benchmarks.conftest import record_report, run_once
+from repro.experiments.supp_recovery import format_table, run
+
+
+def test_recovery_cost(benchmark):
+    result = run_once(benchmark, run, node_counts=(10, 20, 40), data_blocks=160)
+    record_report("Supplementary: recovery cost", format_table(result))
+
+    times = result.series["recovery time (s)"]
+    volumes = result.series["bytes recopied (MB)"]
+
+    # Something real moved: a failed node's primaries plus lost replicas.
+    assert all(v > 0 for v in volumes)
+    # A node's share shrinks as the cluster grows, and the repair spreads
+    # over more disks, so recovery gets *cheaper* with more nodes.
+    assert times[-1] < times[0]
+    assert volumes[-1] < volumes[0] * 1.2

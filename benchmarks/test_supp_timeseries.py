@@ -1,0 +1,27 @@
+"""Supplementary bench: Poisson job stream over shared datasets."""
+
+from benchmarks.conftest import record_report, run_once
+from repro.experiments.supp_timeseries import format_table, run
+
+
+def test_timeseries_stream(benchmark):
+    result = run_once(benchmark, run, num_jobs=16, interarrivals=(20.0, 1.0))
+    record_report("Supplementary: Poisson job stream", format_table(result))
+
+    def col(series):
+        return dict(zip(result.x_values, result.series[series]))
+
+    # Re-read streams are EclipseMR's home turf: most input reads hit the
+    # distributed cache under either consistent-hashing policy.
+    for sched in ("LAF", "Delay"):
+        for v in result.series[f"{sched} hit ratio %"]:
+            assert v > 40.0
+    # Uncontended regime: LAF's ring-seeded ranges preserve the same cache
+    # affinity as static ranges (within 10%).
+    idle = result.x_values[0]
+    assert col("LAF mean latency (s)")[idle] <= col("Delay mean latency (s)")[idle] * 1.10
+    # Loaded regime: LAF is at least as good on the mean and no worse on
+    # the tail (no 5 s stalls).
+    loaded = result.x_values[1]
+    assert col("LAF mean latency (s)")[loaded] <= col("Delay mean latency (s)")[loaded] * 1.05
+    assert col("LAF p95 latency (s)")[loaded] <= col("Delay p95 latency (s)")[loaded] * 1.05

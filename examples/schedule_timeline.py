@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Visualize a schedule: LAF vs delay task timelines under skew.
+
+Runs the same skewed task stream through both schedulers on the simulated
+cluster with task tracing enabled, then prints per-server Gantt charts.
+The delay scheduler's static ranges pile tasks onto the hot servers
+(long busy rows, idle neighbors, 5 s stalls); LAF's adaptive ranges fill
+the cluster evenly.
+
+Run:  python examples/schedule_timeline.py
+"""
+
+from repro.common.config import CacheConfig, ClusterConfig, DFSConfig, SchedulerConfig
+from repro.common.units import GB, MB
+from repro.perfmodel.engine import PerfEngine, SimJobSpec
+from repro.perfmodel.framework import eclipse_framework
+from repro.perfmodel.placement import dht_layout, skewed_task_keys
+from repro.perfmodel.profiles import APP_PROFILES
+from repro.perfmodel.trace import TaskTrace, gantt
+
+
+def run_traced(scheduler: str):
+    config = ClusterConfig(
+        num_nodes=8,
+        rack_size=4,
+        map_slots_per_node=4,
+        reduce_slots_per_node=4,
+        dfs=DFSConfig(block_size=128 * MB),
+        cache=CacheConfig(capacity_per_server=2 * GB, icache_fraction=1.0),
+        scheduler=SchedulerConfig(window_tasks=32),
+        page_cache_per_node=2 * GB,
+    )
+    engine = PerfEngine(config, eclipse_framework(scheduler))
+    engine.trace = TaskTrace()
+    blocks = dht_layout(engine.space, engine.ring, "input", 48, config.dfs.block_size)
+    tasks = skewed_task_keys(blocks, 200, seed=9)
+    timing = engine.run_job(SimJobSpec(app=APP_PROFILES["grep"], tasks=tasks, label=scheduler))
+    return engine, timing
+
+
+def main() -> None:
+    for scheduler in ("delay", "laf"):
+        engine, timing = run_traced(scheduler)
+        trace = engine.trace
+        print(f"\n===== {scheduler.upper()} scheduler =====")
+        print(
+            f"makespan {timing.makespan:.1f}s | reassignments {timing.reassignments} | "
+            f"total queue wait {trace.total_wait():.0f}s | "
+            f"tasks/slot stddev {timing.tasks_per_slot_stddev(4):.2f}"
+        )
+        print(gantt(trace, width=70))
+    print(
+        "\nThe delay rows show the hot servers saturated while others idle;"
+        "\nLAF's adapted hash ranges spread the same tasks across all rows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""LAF vs delay scheduling under a skewed workload (the Fig. 7 story).
+
+Runs the same stream of grep-like tasks -- whose input popularity follows
+two merged normal distributions over the hash key space -- through the LAF
+scheduler and the delay scheduler, then compares task balance and how the
+LAF hash key ranges adapted.
+
+Run:  python examples/skewed_grep_scheduling.py
+"""
+
+import numpy as np
+
+from repro.common.config import SchedulerConfig
+from repro.common.hashing import HashSpace
+from repro.common.rng import derive_rng
+from repro.scheduler.delay import DelayScheduler
+from repro.scheduler.laf import LAFScheduler
+
+
+def bimodal_stream(space: HashSpace, count: int, seed: int = 3) -> list[int]:
+    rng = derive_rng(seed, "example-skew")
+    half = count // 2
+    keys = np.concatenate([
+        rng.normal(0.30 * space.size, 0.05 * space.size, size=half),
+        rng.normal(0.70 * space.size, 0.05 * space.size, size=count - half),
+    ]).astype(np.int64) % space.size
+    rng.shuffle(keys)
+    return [int(k) for k in keys]
+
+
+def drive(scheduler, keys):
+    """Feed the task stream; tasks 'complete' immediately after assignment
+    so the comparison isolates the placement decisions."""
+    for key in keys:
+        a = scheduler.assign(hash_key=key)
+        scheduler.notify_start(a.server)
+        scheduler.notify_finish(a.server)
+    return scheduler
+
+
+def main() -> None:
+    space = HashSpace(1 << 20)
+    servers = [f"worker-{i}" for i in range(8)]
+    keys = bimodal_stream(space, count=4000)
+
+    laf = drive(LAFScheduler(space, servers, SchedulerConfig(alpha=0.01, window_tasks=64)), keys)
+    delay = drive(DelayScheduler(space, servers), keys)
+
+    print("tasks per server (4000 bimodal-key tasks, 8 workers):")
+    print(f"{'server':>12} | {'LAF':>6} | {'Delay':>6}")
+    for s in servers:
+        print(f"{s:>12} | {laf.assigned_counts[s]:>6} | {delay.assigned_counts[s]:>6}")
+    print(f"{'stddev':>12} | {laf.assignment_stddev():>6.1f} | {delay.assignment_stddev():>6.1f}")
+    print("\n(the paper reports tasks-per-slot stddev 4.07 for LAF vs 13.07 for delay)")
+
+    print(f"\nLAF re-partitioned the hash key space {laf.repartition_count} times; final table:")
+    for server, start, end in laf.range_table():
+        width_pct = 100 * (end - start) / space.size
+        print(f"  {server}: [{start:>8} ~ {end:>8})  {width_pct:5.1f}% of key space")
+    print("\nnarrow ranges sit on the two popular key regions -- Fig. 3's mechanism")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""The paper's benchmark applications and their workload generators.
+
+The evaluation (§III) uses HiBench-style workloads: ``word count``,
+``inverted index``, ``grep`` and ``sort`` over text; ``page rank`` over a
+graph; ``k-means`` and ``logistic regression`` over numeric points.  Every
+application here is a real map/reduce implementation runnable on the
+functional engine, plus cost descriptors consumed by the performance
+model.
+
+* :mod:`repro.apps.workloads` -- deterministic synthetic data generators
+  (our stand-in for the HiBench inputs and the Wikipedia corpus).
+* one module per application.
+"""
+
+from repro.apps.workloads import (
+    pack_records,
+    text_corpus,
+    documents,
+    graph_edges,
+    points,
+    labeled_points,
+    bimodal_keys,
+)
+from repro.apps.wordcount import wordcount_job
+from repro.apps.grep import grep_job
+from repro.apps.invertedindex import inverted_index_job
+from repro.apps.sort_app import sort_job
+from repro.apps.pagerank import pagerank_driver, pagerank_job
+from repro.apps.kmeans import kmeans_driver, kmeans_job
+from repro.apps.logreg import logreg_driver, logreg_job
+
+__all__ = [
+    "pack_records",
+    "text_corpus",
+    "documents",
+    "graph_edges",
+    "points",
+    "labeled_points",
+    "bimodal_keys",
+    "wordcount_job",
+    "grep_job",
+    "inverted_index_job",
+    "sort_job",
+    "pagerank_job",
+    "pagerank_driver",
+    "kmeans_job",
+    "kmeans_driver",
+    "logreg_job",
+    "logreg_driver",
+]

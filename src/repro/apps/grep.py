@@ -1,0 +1,40 @@
+"""Grep -- pattern search over text blocks (Fig. 6a, 7, 8, 9).
+
+The map side filters lines against a pattern and the reduce side counts
+matches per pattern occurrence line, which is how HiBench's grep reports.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+from repro.mapreduce.job import MapReduceJob
+
+__all__ = ["grep_map_fn", "grep_reduce", "grep_job"]
+
+
+def grep_map_fn(pattern: str):
+    """A map function matching ``pattern`` (regular expression) per line."""
+    compiled = re.compile(pattern)
+
+    def grep_map(block: bytes) -> Iterable[tuple[str, int]]:
+        for line in block.decode("utf-8", errors="replace").splitlines():
+            if line and compiled.search(line):
+                yield line, 1
+
+    return grep_map
+
+
+def grep_reduce(line: str, counts: list[int]) -> int:
+    return sum(counts)
+
+
+def grep_job(input_file: str, pattern: str, app_id: str = "grep", **kwargs: Any) -> MapReduceJob:
+    return MapReduceJob(
+        app_id=app_id,
+        input_file=input_file,
+        map_fn=grep_map_fn(pattern),
+        reduce_fn=grep_reduce,
+        **kwargs,
+    )

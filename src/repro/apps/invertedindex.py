@@ -1,0 +1,38 @@
+"""Inverted index -- word -> posting list over tagged documents (Fig. 6a, 9).
+
+Input records are ``doc_id<TAB>text`` lines (see
+:func:`repro.apps.workloads.documents`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.mapreduce.job import MapReduceJob
+
+__all__ = ["inverted_index_map", "inverted_index_reduce", "inverted_index_job"]
+
+
+def inverted_index_map(block: bytes) -> Iterable[tuple[str, str]]:
+    """Emit ``(word, doc_id)`` for every word of every document."""
+    for line in block.decode("utf-8", errors="replace").splitlines():
+        if not line.strip():
+            continue
+        doc_id, _, text = line.partition("\t")
+        for word in text.split():
+            yield word, doc_id
+
+
+def inverted_index_reduce(word: str, doc_ids: list[str]) -> list[str]:
+    """The posting list: sorted unique documents containing the word."""
+    return sorted(set(doc_ids))
+
+
+def inverted_index_job(input_file: str, app_id: str = "invertedindex", **kwargs: Any) -> MapReduceJob:
+    return MapReduceJob(
+        app_id=app_id,
+        input_file=input_file,
+        map_fn=inverted_index_map,
+        reduce_fn=inverted_index_reduce,
+        **kwargs,
+    )

@@ -1,0 +1,123 @@
+"""k-means clustering -- the paper's flagship iterative application.
+
+Each iteration maps every point to its nearest centroid, emitting partial
+``(cluster, (sum, count))`` pairs that a combiner collapses per spill; the
+reduce side averages them into the new centroids.  The iteration output
+(the centroid set, ~1.7 KB in the paper) is tiny next to the input, which
+is why k-means shows EclipseMR's input-caching benefit so strongly
+(Fig. 6b, 9, 10a).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.mapreduce.api import EclipseMR
+from repro.mapreduce.iterative import IterativeDriver
+from repro.mapreduce.job import JobResult, MapReduceJob
+
+__all__ = ["parse_points", "kmeans_map_fn", "kmeans_reduce", "kmeans_combine", "kmeans_job", "kmeans_driver", "extract_centroids"]
+
+
+def parse_points(block: bytes) -> np.ndarray:
+    """Comma-separated float lines -> (n, dim) array (blank lines skipped)."""
+    rows = [
+        [float(tok) for tok in line.split(",")]
+        for line in block.decode("utf-8", errors="replace").splitlines()
+        if line.strip()
+    ]
+    return np.asarray(rows, dtype=float) if rows else np.empty((0, 0))
+
+
+def kmeans_map_fn(centroids: np.ndarray):
+    """Map closure over the current centroids (the iteration state)."""
+    centroids = np.asarray(centroids, dtype=float)
+
+    def kmeans_map(block: bytes) -> Iterable[tuple[int, tuple[tuple[float, ...], int]]]:
+        pts = parse_points(block)
+        if pts.size == 0:
+            return
+        # Vectorized nearest-centroid assignment for the whole block.
+        d2 = ((pts[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        nearest = d2.argmin(axis=1)
+        for c in np.unique(nearest):
+            members = pts[nearest == c]
+            yield int(c), (tuple(members.sum(axis=0)), int(members.shape[0]))
+
+    return kmeans_map
+
+
+def kmeans_combine(cluster: int, partials: list[tuple[tuple[float, ...], int]]) -> list[tuple[tuple[float, ...], int]]:
+    total = np.sum([np.asarray(s) for s, _ in partials], axis=0)
+    count = sum(c for _, c in partials)
+    return [(tuple(total), count)]
+
+
+def kmeans_reduce(cluster: int, partials: list[tuple[tuple[float, ...], int]]) -> tuple[float, ...]:
+    total = np.sum([np.asarray(s) for s, _ in partials], axis=0)
+    count = sum(c for _, c in partials)
+    return tuple(total / max(count, 1))
+
+
+def kmeans_job(
+    input_file: str,
+    centroids: np.ndarray,
+    iteration: int,
+    app_id: str = "kmeans",
+    **kwargs: Any,
+) -> MapReduceJob:
+    return MapReduceJob(
+        app_id=f"{app_id}-it{iteration}",
+        input_file=input_file,
+        map_fn=kmeans_map_fn(centroids),
+        reduce_fn=kmeans_reduce,
+        combiner=kmeans_combine,
+        **kwargs,
+    )
+
+
+def extract_centroids(prev: np.ndarray):
+    """State extractor keeping centroid count stable across iterations
+    (empty clusters keep their previous position)."""
+
+    def extract(result: JobResult) -> np.ndarray:
+        new = np.array(prev, dtype=float, copy=True)
+        for cluster, centroid in result.output.items():
+            new[int(cluster)] = np.asarray(centroid)
+        return new
+
+    return extract
+
+
+def kmeans_driver(
+    mr: EclipseMR,
+    input_file: str,
+    initial_centroids: np.ndarray,
+    iterations: int,
+    app_id: str = "kmeans",
+    tolerance: float | None = None,
+) -> IterativeDriver:
+    """An iterative driver running k-means for ``iterations`` rounds.
+
+    ``tolerance`` enables early convergence on max centroid movement.
+    """
+
+    def make_job(i: int, state: np.ndarray) -> MapReduceJob:
+        return kmeans_job(input_file, state, i, app_id=app_id)
+
+    def extract_state(result: JobResult, prev: np.ndarray) -> np.ndarray:
+        return extract_centroids(prev)(result)
+
+    driver = mr.iterative(
+        app_id=app_id,
+        make_job=make_job,
+        extract_state=extract_state,
+        max_iterations=iterations,
+    )
+    if tolerance is not None:
+        driver.converged = lambda i, prev, new: bool(
+            np.max(np.abs(np.asarray(new) - np.asarray(prev))) < tolerance
+        )
+    return driver

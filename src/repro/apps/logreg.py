@@ -1,0 +1,100 @@
+"""Logistic regression by batch gradient descent (Fig. 9, 10b).
+
+Every iteration computes the full gradient over the input: maps emit one
+partial gradient per block (a ``dim``-vector), the reduce side sums them,
+and the driver takes a gradient step.  Like k-means, the iteration output
+(the weight vector) is tiny, so EclipseMR's input caching dominates.
+
+Input records: ``label,x1,...,xd`` lines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.mapreduce.api import EclipseMR
+from repro.mapreduce.iterative import IterativeDriver
+from repro.mapreduce.job import JobResult, MapReduceJob
+
+__all__ = ["parse_labeled", "logreg_map_fn", "logreg_reduce", "logreg_job", "logreg_driver"]
+
+
+def parse_labeled(block: bytes) -> tuple[np.ndarray, np.ndarray]:
+    """Records -> (labels, features)."""
+    ys: list[float] = []
+    xs: list[list[float]] = []
+    for line in block.decode("utf-8", errors="replace").splitlines():
+        if not line.strip():
+            continue
+        parts = line.split(",")
+        ys.append(float(parts[0]))
+        xs.append([float(p) for p in parts[1:]])
+    if not xs:
+        return np.empty(0), np.empty((0, 0))
+    return np.asarray(ys), np.asarray(xs)
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+
+
+def logreg_map_fn(weights: np.ndarray):
+    weights = np.asarray(weights, dtype=float)
+
+    def logreg_map(block: bytes) -> Iterable[tuple[str, tuple[tuple[float, ...], int]]]:
+        y, x = parse_labeled(block)
+        if x.size == 0:
+            return
+        pred = _sigmoid(x @ weights)
+        grad = x.T @ (pred - y)
+        yield "grad", (tuple(grad), int(len(y)))
+
+    return logreg_map
+
+
+def logreg_reduce(key: str, partials: list[tuple[tuple[float, ...], int]]) -> tuple[tuple[float, ...], int]:
+    total = np.sum([np.asarray(g) for g, _ in partials], axis=0)
+    count = sum(n for _, n in partials)
+    return tuple(total), count
+
+
+def logreg_job(
+    input_file: str,
+    weights: np.ndarray,
+    iteration: int,
+    app_id: str = "logreg",
+    **kwargs: Any,
+) -> MapReduceJob:
+    return MapReduceJob(
+        app_id=f"{app_id}-it{iteration}",
+        input_file=input_file,
+        map_fn=logreg_map_fn(weights),
+        reduce_fn=logreg_reduce,
+        **kwargs,
+    )
+
+
+def logreg_driver(
+    mr: EclipseMR,
+    input_file: str,
+    dim: int,
+    iterations: int,
+    learning_rate: float = 0.5,
+    app_id: str = "logreg",
+) -> IterativeDriver:
+    def make_job(i: int, state: np.ndarray) -> MapReduceJob:
+        return logreg_job(input_file, state, i, app_id=app_id)
+
+    def extract_state(result: JobResult, prev: np.ndarray) -> np.ndarray:
+        grad, count = result.output["grad"]
+        return np.asarray(prev) - learning_rate * np.asarray(grad) / max(count, 1)
+
+    driver = mr.iterative(
+        app_id=app_id,
+        make_job=make_job,
+        extract_state=extract_state,
+        max_iterations=iterations,
+    )
+    return driver

@@ -1,0 +1,45 @@
+"""Sort -- the shuffle-dominated benchmark (Fig. 6a, 8, 9).
+
+Every record is shuffled to the reducer owning its key's hash; the global
+order is reassembled by sorting the reduce output keys, exactly how
+terasort-style jobs report.  This application moves the whole input across
+the network, which is why the paper uses it to compare shuffle
+implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.mapreduce.job import MapReduceJob
+
+__all__ = ["sort_map", "sort_reduce", "sort_job", "sorted_output"]
+
+
+def sort_map(block: bytes) -> Iterable[tuple[str, int]]:
+    """Emit ``(record, 1)`` per line (duplicates carry their multiplicity)."""
+    for line in block.decode("utf-8", errors="replace").splitlines():
+        if line:
+            yield line, 1
+
+
+def sort_reduce(record: str, ones: list[int]) -> int:
+    return sum(ones)
+
+
+def sort_job(input_file: str, app_id: str = "sort", **kwargs: Any) -> MapReduceJob:
+    return MapReduceJob(
+        app_id=app_id,
+        input_file=input_file,
+        map_fn=sort_map,
+        reduce_fn=sort_reduce,
+        **kwargs,
+    )
+
+
+def sorted_output(result_output: dict[str, int]) -> list[str]:
+    """Flatten the (record, multiplicity) output into the sorted record list."""
+    out: list[str] = []
+    for record in sorted(result_output):
+        out.extend([record] * result_output[record])
+    return out

@@ -1,0 +1,35 @@
+"""Word count -- the canonical MapReduce application (Fig. 6a, 8, 9)."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.mapreduce.job import MapReduceJob
+
+__all__ = ["wordcount_map", "wordcount_reduce", "wordcount_combine", "wordcount_job"]
+
+
+def wordcount_map(block: bytes) -> Iterable[tuple[str, int]]:
+    """Emit ``(word, 1)`` for every whitespace-separated word."""
+    for word in block.decode("utf-8", errors="replace").split():
+        yield word, 1
+
+
+def wordcount_reduce(word: str, counts: list[int]) -> int:
+    return sum(counts)
+
+
+def wordcount_combine(word: str, counts: list[int]) -> list[int]:
+    """Map-side pre-aggregation: collapse a spill's counts to one partial."""
+    return [sum(counts)]
+
+
+def wordcount_job(input_file: str, app_id: str = "wordcount", **kwargs: Any) -> MapReduceJob:
+    return MapReduceJob(
+        app_id=app_id,
+        input_file=input_file,
+        map_fn=wordcount_map,
+        reduce_fn=wordcount_reduce,
+        combiner=wordcount_combine,
+        **kwargs,
+    )

@@ -1,0 +1,189 @@
+"""Deterministic synthetic workload generators.
+
+Stand-ins for the paper's inputs (HiBench text, Wikipedia dumps, synthetic
+k-means points): every generator is seeded through
+:func:`repro.common.rng.derive_rng`, so workloads replay exactly.
+
+Because the DHT file system splits files at fixed byte offsets,
+:func:`pack_records` packs whole records into block-sized chunks padded
+with newlines -- the functional-engine equivalent of HDFS's record-aligned
+input splits -- so no record ever straddles a block boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import derive_rng
+
+__all__ = [
+    "pack_records",
+    "text_corpus",
+    "documents",
+    "graph_edges",
+    "points",
+    "labeled_points",
+    "bimodal_keys",
+]
+
+_VOCAB_PREFIXES = (
+    "data", "map", "reduce", "cluster", "cache", "hash", "ring", "node",
+    "block", "shuffle", "task", "key", "range", "store", "disk", "memory",
+)
+
+
+def _vocabulary(size: int) -> list[str]:
+    return [f"{_VOCAB_PREFIXES[i % len(_VOCAB_PREFIXES)]}{i}" for i in range(size)]
+
+
+def pack_records(records: list[bytes], block_size: int) -> bytes:
+    """Pack records into ``block_size`` chunks, newline-padded.
+
+    Raises ``ValueError`` when a single record (plus its newline) cannot
+    fit in one block.
+    """
+    if block_size < 2:
+        raise ValueError("block_size must be at least 2")
+    blocks: list[bytearray] = [bytearray()]
+    for rec in records:
+        if b"\n" in rec:
+            raise ValueError("records must not contain newlines")
+        if len(rec) + 1 > block_size:
+            raise ValueError(f"record of {len(rec)} bytes exceeds block size {block_size}")
+        if len(blocks[-1]) + len(rec) + 1 > block_size:
+            blocks[-1].extend(b"\n" * (block_size - len(blocks[-1])))
+            blocks.append(bytearray())
+        blocks[-1].extend(rec)
+        blocks[-1].extend(b"\n")
+    # Pad the final block too so every block is exactly block_size: the
+    # uploaded file then splits exactly at record boundaries.
+    blocks[-1].extend(b"\n" * (block_size - len(blocks[-1])))
+    return b"".join(bytes(b) for b in blocks)
+
+
+def text_corpus(
+    seed: int,
+    *,
+    num_words: int,
+    vocab_size: int = 1000,
+    words_per_line: int = 10,
+    zipf_a: float | None = None,
+) -> list[bytes]:
+    """Lines of random words; ``zipf_a`` skews word frequency (HiBench-like)."""
+    rng = derive_rng(seed, "text_corpus")
+    vocab = _vocabulary(vocab_size)
+    if zipf_a is not None:
+        idx = (rng.zipf(zipf_a, size=num_words) - 1) % vocab_size
+    else:
+        idx = rng.integers(0, vocab_size, size=num_words)
+    words = [vocab[i] for i in idx]
+    return [
+        " ".join(words[i : i + words_per_line]).encode()
+        for i in range(0, num_words, words_per_line)
+    ]
+
+
+def documents(
+    seed: int,
+    *,
+    num_docs: int,
+    words_per_doc: int = 30,
+    vocab_size: int = 500,
+) -> list[bytes]:
+    """``doc_id<TAB>text`` records for the inverted index application."""
+    rng = derive_rng(seed, "documents")
+    vocab = _vocabulary(vocab_size)
+    out = []
+    for d in range(num_docs):
+        words = [vocab[i] for i in rng.integers(0, vocab_size, size=words_per_doc)]
+        out.append(f"doc{d}\t{' '.join(words)}".encode())
+    return out
+
+
+def graph_edges(
+    seed: int,
+    *,
+    num_nodes: int,
+    avg_out_degree: int = 4,
+) -> list[bytes]:
+    """Adjacency records ``src<TAB>dst1,dst2,...`` with power-law-ish fan-in.
+
+    Page rank's uneven computation per block (paper §I) comes from exactly
+    this kind of degree skew.
+    """
+    rng = derive_rng(seed, "graph")
+    # Preferential-attachment flavour: earlier nodes attract more edges.
+    weights = 1.0 / np.arange(1, num_nodes + 1)
+    weights /= weights.sum()
+    out = []
+    for src in range(num_nodes):
+        degree = max(1, int(rng.poisson(avg_out_degree)))
+        dsts = np.unique(rng.choice(num_nodes, size=degree, p=weights))
+        dsts = dsts[dsts != src]
+        if dsts.size == 0:
+            dsts = np.array([(src + 1) % num_nodes])
+        out.append(f"{src}\t{','.join(map(str, dsts))}".encode())
+    return out
+
+
+def points(
+    seed: int,
+    *,
+    num_points: int,
+    dim: int = 2,
+    num_clusters: int = 3,
+    spread: float = 0.05,
+) -> tuple[list[bytes], np.ndarray]:
+    """k-means points around ``num_clusters`` true centers.
+
+    Returns (records, true_centers); records are comma-separated floats.
+    """
+    rng = derive_rng(seed, "points")
+    centers = rng.random((num_clusters, dim))
+    labels = rng.integers(0, num_clusters, size=num_points)
+    data = centers[labels] + rng.normal(0.0, spread, size=(num_points, dim))
+    recs = [",".join(f"{x:.6f}" for x in row).encode() for row in data]
+    return recs, centers
+
+
+def labeled_points(
+    seed: int,
+    *,
+    num_points: int,
+    dim: int = 4,
+) -> tuple[list[bytes], np.ndarray]:
+    """Linearly separable ``label,x1,...,xd`` records for logistic regression.
+
+    Returns (records, true_weights).
+    """
+    rng = derive_rng(seed, "labeled_points")
+    w = rng.normal(0.0, 1.0, size=dim)
+    x = rng.normal(0.0, 1.0, size=(num_points, dim))
+    y = (x @ w > 0).astype(int)
+    recs = [
+        (str(int(label)) + "," + ",".join(f"{v:.6f}" for v in row)).encode()
+        for label, row in zip(y, x)
+    ]
+    return recs, w
+
+
+def bimodal_keys(
+    seed: int,
+    *,
+    count: int,
+    space_size: int,
+    centers: tuple[float, float] = (0.28, 0.64),
+    stddev: float = 0.04,
+) -> list[int]:
+    """Hash keys drawn from two merged normal distributions.
+
+    This is the Fig. 7 workload: "we synthetically merge two normal
+    distributions that have different average hash keys".
+    """
+    rng = derive_rng(seed, "bimodal")
+    half = count // 2
+    a = rng.normal(centers[0] * space_size, stddev * space_size, size=half)
+    b = rng.normal(centers[1] * space_size, stddev * space_size, size=count - half)
+    keys = np.concatenate([a, b]).astype(np.int64) % space_size
+    rng.shuffle(keys)
+    return [int(k) for k in keys]

@@ -1,0 +1,26 @@
+"""The Hadoop 2.5 baseline.
+
+Behavioural summary (what Fig. 5b/9 hinge on, per the paper §III-E):
+
+* every map/reduce task runs in a fresh YARN container costing ~7 s of
+  initialization and authentication -- "Hadoop spends 7 seconds for every
+  128 MB block" [16, 17];
+* all metadata passes through the NameNode
+  (:class:`repro.baselines.hdfs.NameNodeModel`);
+* scheduling is fair with node/rack locality preference
+  (:class:`repro.scheduler.fair.FairScheduler`);
+* map output is spilled to the mapper's local disk and *pulled* by
+  reducers after the map phase;
+* input blocks are not cached in memory (the HDFS in-memory cache the
+  paper discusses caches only local inputs and is not enabled in the
+  evaluation configuration);
+* outputs are written with the HDFS pipeline (3 replicas).
+
+The framework descriptor is defined in
+:mod:`repro.perfmodel.framework.hadoop_framework`; this module re-exports
+it as the baselines-package home.
+"""
+
+from repro.perfmodel.framework import hadoop_framework
+
+__all__ = ["hadoop_framework"]

@@ -1,0 +1,59 @@
+"""The HDFS model: a central NameNode plus rack-aware placement.
+
+The paper's §II-A motivation for the DHT file system is precisely what
+this module models: every open/locate operation passes through one
+NameNode, so metadata service throughput is bounded by a single server,
+and "the IO throughput of HDFS degrades at a much faster rate than the
+DHT file system" under concurrent jobs (§III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.common.errors import SimulationError
+from repro.perfmodel.placement import hdfs_layout as hdfs_block_layout
+from repro.sim.engine import Event, Simulation
+from repro.sim.resources import Resource
+
+__all__ = ["NameNodeModel", "hdfs_block_layout"]
+
+
+class NameNodeModel:
+    """A serialized metadata service.
+
+    Each operation (file open, block locate, lease renew) holds the
+    NameNode for ``lookup_time`` seconds; concurrent clients queue.  The
+    model exposes queue statistics so experiments can show the bottleneck
+    forming.
+    """
+
+    def __init__(self, sim: Simulation, lookup_time: float = 0.02) -> None:
+        if lookup_time <= 0:
+            raise SimulationError("NameNode lookup time must be positive")
+        self.sim = sim
+        self.lookup_time = float(lookup_time)
+        self._service = Resource(sim, capacity=1)
+        self.operations = 0
+        self.total_wait = 0.0
+
+    @property
+    def queue_length(self) -> int:
+        return self._service.queue_length
+
+    def lookup(self) -> Generator[Event, None, None]:
+        """Process body: one metadata operation (queue + service)."""
+        arrived = self.sim.now
+        req = self._service.request()
+        yield req
+        try:
+            self.total_wait += self.sim.now - arrived
+            self.operations += 1
+            yield self.sim.timeout(self.lookup_time)
+        finally:
+            self._service.release(req)
+
+    @property
+    def mean_wait(self) -> float:
+        """Average queueing delay per operation so far."""
+        return self.total_wait / self.operations if self.operations else 0.0

@@ -1,0 +1,25 @@
+"""The Spark 1.2 baseline.
+
+Behavioural summary (per the paper §II-F, §III-E, §III-F):
+
+* tasks launch cheaply (no per-task container) but the first iteration
+  *constructs RDDs*, which is why "Spark runs the first iteration of the
+  iterative applications much slower than subsequent iterations";
+* input partitions are cached in executor memory (the RDD cache) and
+  tasks are placed by **delay scheduling**: wait up to 5 s for the
+  preferred server before running elsewhere [33, 34];
+* shuffle output is fetched over the network into executor memory;
+* iteration outputs stay memory-resident -- no fault-tolerance writes --
+  until the final iteration's output is saved to storage ("Spark writes
+  its final outputs to disk storage"), which is the durability trade-off
+  the paper contrasts with EclipseMR's persist-every-iteration DHT FS
+  writes.
+
+The framework descriptor is defined in
+:mod:`repro.perfmodel.framework.spark_framework`; this module re-exports
+it as the baselines-package home.
+"""
+
+from repro.perfmodel.framework import spark_framework
+
+__all__ = ["spark_framework"]

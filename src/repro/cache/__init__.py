@@ -1,0 +1,28 @@
+"""The distributed in-memory cache (paper §II-B).
+
+EclipseMR's outer ring: every worker contributes memory, and objects are
+cached by *hash key*, not by which server computed them, so globally
+popular data spreads over the whole cluster and any server can locate a
+cached object with one hash.
+
+* :mod:`repro.cache.lru` -- byte-capacity LRU with TTL (the replacement
+  policy the paper assumes for worker caches).
+* :mod:`repro.cache.worker` -- one worker's cache, split into **iCache**
+  (input blocks, implicit) and **oCache** (intermediate results and
+  iteration outputs, explicit, tagged, TTL-invalidated).
+* :mod:`repro.cache.distributed` -- the cluster-wide view: per-server hash
+  key ranges (dynamic, set by the scheduler), lookup, and the misplaced-
+  entry migration option.
+"""
+
+from repro.cache.lru import LRUCache, CacheEntry
+from repro.cache.worker import WorkerCache, CacheStats
+from repro.cache.distributed import DistributedCache
+
+__all__ = [
+    "LRUCache",
+    "CacheEntry",
+    "WorkerCache",
+    "CacheStats",
+    "DistributedCache",
+]

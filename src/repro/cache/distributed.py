@@ -1,0 +1,137 @@
+"""The cluster-wide cache view: dynamic ranges + migration.
+
+The scheduler owns the hash key ranges; this class applies them to the
+per-worker caches, answers "which server should have key k cached", and
+implements the optional misplaced-entry migration the paper describes in
+§II-E: when LAF shifts a boundary, objects cached under the old ranges can
+be handed to the left/right neighbor whose new range covers them (the
+paper implements the option but leaves it off in the evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional, Sequence
+
+from repro.common.config import CacheConfig
+from repro.common.errors import SchedulingError
+from repro.common.hashing import HashSpace
+from repro.cache.worker import CacheStats, WorkerCache
+from repro.scheduler.partition import SpacePartition
+
+__all__ = ["DistributedCache"]
+
+
+class DistributedCache:
+    """All workers' caches plus the current range assignment."""
+
+    def __init__(
+        self,
+        servers: Sequence[Hashable],
+        config: CacheConfig | None = None,
+        space: HashSpace | None = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        servers = list(servers)
+        if not servers:
+            raise SchedulingError("distributed cache needs at least one server")
+        self.space = space or HashSpace()
+        self.config = config or CacheConfig()
+        self.servers = servers
+        self.workers: dict[Hashable, WorkerCache] = {
+            s: WorkerCache(s, self.config, clock) for s in servers
+        }
+        self.partition = SpacePartition.uniform(self.space, servers)
+        self.migrated_entries = 0
+
+    def worker(self, server: Hashable) -> WorkerCache:
+        try:
+            return self.workers[server]
+        except KeyError:
+            raise SchedulingError(f"unknown server {server!r}") from None
+
+    def remove_server(self, server: Hashable) -> None:
+        """Drop a failed worker: its cached objects are gone; the remaining
+        workers re-cover the key space uniformly until the scheduler pushes
+        a fresh partition."""
+        if server not in self.workers:
+            raise SchedulingError(f"unknown server {server!r}")
+        if len(self.workers) == 1:
+            raise SchedulingError("cannot remove the last cache server")
+        del self.workers[server]
+        self.servers.remove(server)
+        self.partition = SpacePartition.uniform(self.space, self.servers)
+
+    def home_of(self, hash_key: int) -> Hashable:
+        """The server whose current range covers ``hash_key``."""
+        return self.partition.owner_of(hash_key)
+
+    def set_partition(self, partition: SpacePartition) -> None:
+        """Adopt the scheduler's new ranges, optionally migrating entries."""
+        if set(partition.servers) != set(self.servers):
+            raise SchedulingError("partition servers do not match the cache servers")
+        self.partition = partition
+        if self.config.migrate_misplaced:
+            self.migrated_entries += self._migrate_misplaced()
+
+    def misplaced_entries(self) -> dict[Hashable, int]:
+        """How many cached objects sit outside their server's current range."""
+        out: dict[Hashable, int] = {}
+        for server, cache in self.workers.items():
+            count = 0
+            for lru in (cache.icache, cache.ocache):
+                for entry in lru.entries():
+                    if entry.hash_key is not None and self.home_of(entry.hash_key) != server:
+                        count += 1
+            out[server] = count
+        return out
+
+    def _migrate_misplaced(self) -> int:
+        """Hand misplaced entries to an *adjacent* server whose new range
+        covers them (the paper only checks the left and right neighbors)."""
+        moved = 0
+        order = list(self.partition.servers)
+        for i, server in enumerate(order):
+            cache = self.workers[server]
+            neighbors = {order[i - 1], order[(i + 1) % len(order)]}
+            for lru_name in ("icache", "ocache"):
+                lru = getattr(cache, lru_name)
+                for entry in list(lru.entries()):
+                    if entry.hash_key is None:
+                        continue
+                    home = self.home_of(entry.hash_key)
+                    if home != server and home in neighbors:
+                        lru.pop(entry.key)
+                        target = getattr(self.workers[home], lru_name)
+                        target.put(
+                            entry.key,
+                            entry.value,
+                            entry.size,
+                            hash_key=entry.hash_key,
+                        )
+                        moved += 1
+        return moved
+
+    # -- aggregate statistics ------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """Summed hit/miss totals across all workers."""
+        ih = im = oh = om = 0
+        for cache in self.workers.values():
+            s = cache.stats()
+            ih += s.icache_hits
+            im += s.icache_misses
+            oh += s.ocache_hits
+            om += s.ocache_misses
+        return CacheStats(ih, im, oh, om)
+
+    @property
+    def used(self) -> int:
+        return sum(c.used for c in self.workers.values())
+
+    @property
+    def capacity(self) -> int:
+        return sum(c.capacity for c in self.workers.values())
+
+    def clear(self) -> None:
+        for cache in self.workers.values():
+            cache.clear()

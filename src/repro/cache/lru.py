@@ -1,0 +1,160 @@
+"""Byte-capacity LRU cache with optional per-entry TTL.
+
+The paper's worker caches evict by LRU ("each worker server caches only a
+certain number of recently accessed data objects using the LRU cache
+replacement policy", §II-E) and oCache entries carry an application-set
+time-to-live (§II-C).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator, Optional
+
+from repro.common.errors import CacheMiss
+
+__all__ = ["CacheEntry", "LRUCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached object."""
+
+    key: Hashable
+    value: Any
+    size: int
+    expires_at: Optional[float] = None
+    hash_key: Optional[int] = None
+    """Position on the hash ring, for misplaced-entry migration."""
+
+    def expired(self, now: float) -> bool:
+        return self.expires_at is not None and now >= self.expires_at
+
+
+class LRUCache:
+    """LRU over entries whose sizes sum to at most ``capacity`` bytes."""
+
+    def __init__(
+        self,
+        capacity: int,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity = int(capacity)
+        self._clock = clock or (lambda: 0.0)
+        self._entries: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Presence check that honors TTL but does not count as an access."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        if entry.expired(self._clock()):
+            self._drop(key, expired=True)
+            return False
+        return True
+
+    def get(self, key: Hashable) -> Any:
+        """Strict lookup: returns the value or raises :class:`CacheMiss`."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            raise CacheMiss(f"{key!r} not cached")
+        if entry.expired(self._clock()):
+            self._drop(key, expired=True)
+            self.misses += 1
+            raise CacheMiss(f"{key!r} expired")
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.value
+
+    def lookup(self, key: Hashable) -> tuple[bool, Any]:
+        """Tolerant lookup: ``(hit, value_or_None)``."""
+        try:
+            return True, self.get(key)
+        except CacheMiss:
+            return False, None
+
+    def put(
+        self,
+        key: Hashable,
+        value: Any,
+        size: int,
+        ttl: Optional[float] = None,
+        hash_key: Optional[int] = None,
+    ) -> bool:
+        """Insert/replace an entry; returns False when it cannot fit at all."""
+        if size < 0:
+            raise ValueError("entry size must be non-negative")
+        if size > self.capacity:
+            self._entries.pop(key, None)
+            self._recount()
+            return False
+        if key in self._entries:
+            self._used -= self._entries.pop(key).size
+        while self._used + size > self.capacity and self._entries:
+            self._evict_lru()
+        expires_at = self._clock() + ttl if ttl is not None else None
+        self._entries[key] = CacheEntry(key, value, size, expires_at, hash_key)
+        self._used += size
+        return True
+
+    def pop(self, key: Hashable) -> Optional[CacheEntry]:
+        """Remove and return an entry (None when absent)."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._used -= entry.size
+        return entry
+
+    def entries(self) -> Iterator[CacheEntry]:
+        """Iterate live entries, LRU first (do not mutate while iterating)."""
+        now = self._clock()
+        for entry in list(self._entries.values()):
+            if not entry.expired(now):
+                yield entry
+
+    def purge_expired(self) -> int:
+        """Drop every expired entry; returns how many went."""
+        now = self._clock()
+        stale = [k for k, e in self._entries.items() if e.expired(now)]
+        for key in stale:
+            self._drop(key, expired=True)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _evict_lru(self) -> None:
+        _, entry = self._entries.popitem(last=False)
+        self._used -= entry.size
+        self.evictions += 1
+
+    def _drop(self, key: Hashable, *, expired: bool) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._used -= entry.size
+            if expired:
+                self.expirations += 1
+
+    def _recount(self) -> None:
+        self._used = sum(e.size for e in self._entries.values())

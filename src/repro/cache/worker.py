@@ -1,0 +1,124 @@
+"""One worker's slice of the distributed in-memory cache.
+
+Two partitions per server (paper §II-B):
+
+* **iCache** -- input file blocks, cached *implicitly* when a map task
+  reads them; keyed by :class:`~repro.dfs.blocks.BlockId`.
+* **oCache** -- intermediate results and iteration outputs, cached
+  *explicitly* by the application; keyed by an application-chosen tag and
+  stamped with the application id and an optional TTL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional
+
+from repro.common.config import CacheConfig
+from repro.cache.lru import LRUCache
+
+__all__ = ["WorkerCache", "CacheStats"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss totals across both partitions."""
+
+    icache_hits: int
+    icache_misses: int
+    ocache_hits: int
+    ocache_misses: int
+
+    @property
+    def hits(self) -> int:
+        return self.icache_hits + self.ocache_hits
+
+    @property
+    def misses(self) -> int:
+        return self.icache_misses + self.ocache_misses
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class WorkerCache:
+    """iCache + oCache for one server, splitting one memory budget."""
+
+    def __init__(
+        self,
+        server_id: Hashable,
+        config: CacheConfig | None = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.server_id = server_id
+        self.config = config or CacheConfig()
+        capacity = self.config.capacity_per_server
+        icache_bytes = int(capacity * self.config.icache_fraction)
+        self.icache = LRUCache(icache_bytes, clock)
+        self.ocache = LRUCache(capacity - icache_bytes, clock)
+
+    # -- iCache -----------------------------------------------------------------
+
+    def get_input(self, block_id: Hashable) -> tuple[bool, Any]:
+        """Look up an input block; a miss is how blocks *enter* the cache
+        (the caller inserts after reading from the DHT FS)."""
+        return self.icache.lookup(block_id)
+
+    def put_input(self, block_id: Hashable, value: Any, size: int, hash_key: int | None = None) -> bool:
+        return self.icache.put(block_id, value, size, hash_key=hash_key)
+
+    # -- oCache -----------------------------------------------------------------
+
+    def get_output(self, app_id: str, tag: str) -> tuple[bool, Any]:
+        """Look up an explicitly cached object by its application tag."""
+        return self.ocache.lookup((app_id, tag))
+
+    def put_output(
+        self,
+        app_id: str,
+        tag: str,
+        value: Any,
+        size: int,
+        ttl: Optional[float] = None,
+        hash_key: int | None = None,
+    ) -> bool:
+        """Explicitly cache an intermediate result / iteration output.
+
+        ``ttl`` defaults to the configured application TTL; the entry is
+        tagged ``(app_id, tag)`` as in the paper ("EclipseMR tags the cached
+        data with their metadata (application ID, user-assigned ID)").
+        """
+        if ttl is None:
+            ttl = self.config.default_ttl
+        return self.ocache.put((app_id, tag), value, size, ttl=ttl, hash_key=hash_key)
+
+    def invalidate_app(self, app_id: str) -> int:
+        """Drop every oCache entry belonging to one application."""
+        victims = [e.key for e in self.ocache.entries() if e.key[0] == app_id]
+        for key in victims:
+            self.ocache.pop(key)
+        return len(victims)
+
+    # -- shared ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        self.icache.clear()
+        self.ocache.clear()
+
+    @property
+    def used(self) -> int:
+        return self.icache.used + self.ocache.used
+
+    @property
+    def capacity(self) -> int:
+        return self.icache.capacity + self.ocache.capacity
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            icache_hits=self.icache.hits,
+            icache_misses=self.icache.misses,
+            ocache_hits=self.ocache.hits,
+            ocache_misses=self.ocache.misses,
+        )

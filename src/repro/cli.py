@@ -1,0 +1,177 @@
+"""Command-line interface: regenerate any figure from a shell.
+
+::
+
+    python -m repro.cli list
+    python -m repro.cli fig3
+    python -m repro.cli fig9 --style bars --blocks 64
+    python -m repro.cli all --fast
+
+Each subcommand runs the corresponding experiment module and prints the
+table (or bar chart) the paper's figure reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import common
+from repro.experiments.report import render
+
+__all__ = ["main"]
+
+
+def _fig3(args):
+    from repro.experiments.fig3_cdf import run
+
+    return [(run(), "")]
+
+
+def _fig5(args):
+    from repro.experiments.fig5_io import run
+
+    blocks = 4 if args.fast else 8
+    return [(run(blocks_per_node=blocks), " MB/s")]
+
+
+def _fig6(args):
+    from repro.experiments.fig6_schedulers import run, run_iterative
+
+    blocks = 64 if args.fast else args.blocks
+    out = [(run(blocks=blocks), "s")]
+    out.append((run_iterative(kmeans_blocks=blocks, pagerank_blocks=8, iterations=3 if args.fast else 5), "s"))
+    return out
+
+
+def _fig7(args):
+    from repro.experiments.fig7_load_balance import run
+
+    jobs = 3 if args.fast else 6
+    times, hits, _ = run(num_jobs=jobs, tasks_per_job=100 if args.fast else 150, blocks=64 if args.fast else 96)
+    return [(times, "s"), (hits, "%")]
+
+
+def _fig8(args):
+    from repro.experiments.fig8_concurrent import run
+
+    per_cache, summary = run(blocks_per_file=16 if args.fast else 32)
+    return [(r, "s") for r in per_cache] + [(summary, "%")]
+
+
+def _fig9(args):
+    from repro.experiments.fig9_frameworks import run
+
+    return [(run(base_blocks=64 if args.fast else args.blocks), "s")]
+
+
+def _fig10(args):
+    from repro.experiments.fig10_iterative import run
+
+    results = run(
+        iterations=5 if args.fast else 10,
+        blocks=48 if args.fast else 96,
+        pagerank_blocks=60 if args.fast else 120,
+    )
+    return [(r, "s") for r in results.values()]
+
+
+def _namenode(args):
+    from repro.experiments.supp_namenode import run
+
+    return [(run(blocks_per_job=40 if args.fast else 80), "")]
+
+
+def _recovery(args):
+    from repro.experiments.supp_recovery import run
+
+    return [(run(data_blocks=80 if args.fast else 160), "")]
+
+
+def _drift(args):
+    from repro.experiments.supp_drift import run
+
+    return [(run(num_tasks=2000 if args.fast else 4000), "")]
+
+
+def _timeseries(args):
+    from repro.experiments.supp_timeseries import run
+
+    return [(run(num_jobs=8 if args.fast else 16), "")]
+
+
+def _validate(args):
+    from repro.experiments.common import ExperimentResult
+    from repro.perfmodel.validation import compare_planes
+
+    cmp = compare_planes(
+        num_workers=6 if args.fast else 8,
+        blocks=12 if args.fast else 24,
+        repeats=2 if args.fast else 3,
+    )
+    result = ExperimentResult(
+        title="Cross-plane validation: functional engine vs discrete-event model",
+        x_label="metric",
+        x_values=["icache hit ratio", "assignment CV", "LAF re-cuts"],
+    )
+    result.add("functional", [cmp.functional_hit_ratio, cmp.functional_assignment_cv,
+                              float(cmp.functional_repartitions)])
+    result.add("simulated", [cmp.simulated_hit_ratio, cmp.simulated_assignment_cv,
+                             float(cmp.simulated_repartitions)])
+    result.note("with aligned ring positions the planes agree exactly on "
+                "timing-independent quantities")
+    return [(result, "")]
+
+
+FIGURES: dict[str, tuple[Callable, str]] = {
+    "fig3": (_fig3, "equally probable CDF partitioning (mechanism)"),
+    "fig5": (_fig5, "IO throughput: DHT file system vs HDFS"),
+    "fig6": (_fig6, "LAF vs delay scheduling"),
+    "fig7": (_fig7, "load balance vs locality under skew"),
+    "fig8": (_fig8, "seven concurrent jobs, cache sweep"),
+    "fig9": (_fig9, "EclipseMR vs Hadoop vs Spark"),
+    "fig10": (_fig10, "per-iteration times vs Spark"),
+    "namenode": (_namenode, "supplementary: NameNode scalability"),
+    "recovery": (_recovery, "supplementary: single-failure recovery cost"),
+    "drift": (_drift, "supplementary: LAF alpha under popularity drift"),
+    "timeseries": (_timeseries, "supplementary: Poisson job stream"),
+    "validate": (_validate, "cross-plane validation (functional vs simulated)"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Regenerate the EclipseMR paper's evaluation figures."
+    )
+    parser.add_argument("target", choices=sorted(FIGURES) + ["all", "list"],
+                        help="figure to regenerate, 'all', or 'list'")
+    parser.add_argument("--style", choices=("table", "bars"), default="table",
+                        help="output rendering (default: table)")
+    parser.add_argument("--fast", action="store_true", help="smaller datasets")
+    parser.add_argument("--blocks", type=int, default=common.DEFAULT_BLOCKS,
+                        help="base input size in 128 MB blocks where applicable")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.target == "list":
+        for name, (_, desc) in sorted(FIGURES.items()):
+            print(f"  {name:10} {desc}")
+        return 0
+    targets = sorted(FIGURES) if args.target == "all" else [args.target]
+    for name in targets:
+        fn, desc = FIGURES[name]
+        print(f"\n=== {name}: {desc} ===")
+        t0 = time.time()
+        for result, unit in fn(args):
+            print(render(result, style=args.style, unit=unit))
+            print()
+        print(f"({name} regenerated in {time.time() - t0:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""Configuration dataclasses with the paper's testbed defaults.
+
+The defaults encode the CLUSTER'17 evaluation platform (Section III): a
+40-node cluster, 8 map + 8 reduce slots per node, 128 MB blocks, 32 MB spill
+buffers, a 5-second delay-scheduling wait, and the LAF weight factor
+alpha = 0.001 the authors fix after Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.units import GB, MB
+
+
+@dataclass(frozen=True)
+class DFSConfig:
+    """DHT file system parameters."""
+
+    block_size: int = 128 * MB
+    """Fixed block size files are partitioned into (HDFS default, paper §II-A)."""
+
+    replication: int = 2
+    """Extra replicas kept on the predecessor and successor (paper §II-A).
+
+    ``replication = 2`` means primary + predecessor copy + successor copy.
+    """
+
+    one_hop_routing: bool = True
+    """Store the complete finger table per node ("one hop DHT routing" [13])."""
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ConfigError(f"block_size must be positive, got {self.block_size}")
+        if not 0 <= self.replication <= 2:
+            raise ConfigError(
+                "replication counts neighbor copies; only the predecessor and "
+                f"successor hold replicas, so it must be 0..2, got {self.replication}"
+            )
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Distributed in-memory cache (iCache + oCache) parameters."""
+
+    capacity_per_server: int = 1 * GB
+    """Bytes of cache per worker (paper uses 0..8 GB depending on the figure)."""
+
+    icache_fraction: float = 0.5
+    """Fraction of capacity reserved for iCache; the rest backs oCache."""
+
+    default_ttl: float | None = None
+    """TTL in seconds for oCache entries; ``None`` disables expiry (paper: app-set)."""
+
+    migrate_misplaced: bool = False
+    """Migrate cached objects when LAF moves their range to a neighbor.
+
+    The paper implements this option but disables it for the evaluation
+    (§II-E), so the default is off.
+    """
+
+    def __post_init__(self) -> None:
+        if self.capacity_per_server < 0:
+            raise ConfigError("cache capacity must be non-negative")
+        if not 0.0 <= self.icache_fraction <= 1.0:
+            raise ConfigError(
+                f"icache_fraction must be in [0, 1], got {self.icache_fraction}"
+            )
+        if self.default_ttl is not None and self.default_ttl <= 0:
+            raise ConfigError("default_ttl must be positive or None")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """LAF / delay scheduler parameters (paper §II-E, §II-F, Algorithm 1)."""
+
+    alpha: float = 0.001
+    """Moving-average weight factor; the paper fixes 0.001 after Fig. 7."""
+
+    window_tasks: int = 64
+    """N in Algorithm 1: tasks accumulated before re-partitioning ranges."""
+
+    num_bins: int = 1024
+    """Fine-grained histogram bins the hash key space is quantized into."""
+
+    kde_bandwidth: int = 8
+    """k in the box kernel density estimate: adjacent bins credited 1/k each."""
+
+    delay_wait: float = 5.0
+    """Seconds a delay-scheduled task waits for its preferred server (Spark's 5 s)."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ConfigError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.window_tasks < 1:
+            raise ConfigError("window_tasks must be >= 1")
+        if self.num_bins < 1:
+            raise ConfigError("num_bins must be >= 1")
+        if self.kde_bandwidth < 1:
+            raise ConfigError("kde_bandwidth must be >= 1")
+        if self.delay_wait < 0:
+            raise ConfigError("delay_wait must be non-negative")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """The simulated hardware platform (paper §III testbed)."""
+
+    num_nodes: int = 40
+    map_slots_per_node: int = 8
+    reduce_slots_per_node: int = 8
+    memory_per_node: int = 20 * GB
+
+    disk_bandwidth: float = 140 * MB
+    """Sequential HDD throughput in bytes/s (7200 rpm 2 TB data disk)."""
+
+    disk_seek_time: float = 0.008
+    """Average seek+rotational latency per random access, seconds."""
+
+    network_bandwidth: float = 117 * MB
+    """1 GbE payload throughput in bytes/s per link."""
+
+    network_latency: float = 0.0002
+    """Per-message one-way latency in seconds."""
+
+    rack_size: int = 20
+    """Nodes per top-of-rack switch (the paper wires 20+20 through 2 switches)."""
+
+    uplink_bandwidth: float = 117 * MB
+    """Switch-to-switch (core) link bandwidth in bytes/s."""
+
+    page_cache_per_node: int = 12 * GB
+    """Memory the OS page cache can use (20 GB minus heap/working memory)."""
+
+    dfs: DFSConfig = field(default_factory=DFSConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ConfigError("num_nodes must be >= 1")
+        if self.map_slots_per_node < 1 or self.reduce_slots_per_node < 0:
+            raise ConfigError("slot counts invalid")
+        if self.rack_size < 1:
+            raise ConfigError("rack_size must be >= 1")
+        for name in ("disk_bandwidth", "network_bandwidth", "uplink_bandwidth"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.disk_seek_time < 0 or self.network_latency < 0:
+            raise ConfigError("latencies must be non-negative")
+
+    @property
+    def total_map_slots(self) -> int:
+        return self.num_nodes * self.map_slots_per_node
+
+    @property
+    def total_reduce_slots(self) -> int:
+        return self.num_nodes * self.reduce_slots_per_node
+
+    def rack_of(self, node_index: int) -> int:
+        """Which rack (top-of-rack switch) a node hangs off."""
+        if not 0 <= node_index < self.num_nodes:
+            raise ConfigError(f"node index {node_index} out of range")
+        return node_index // self.rack_size

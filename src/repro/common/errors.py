@@ -1,0 +1,47 @@
+"""Exception hierarchy for the EclipseMR reproduction.
+
+Every exception raised by this library derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value."""
+
+
+class RingError(ReproError):
+    """A consistent-hash-ring operation failed (empty ring, unknown node...)."""
+
+
+class FileSystemError(ReproError):
+    """Base class for DHT file system failures."""
+
+
+class FileNotFound(FileSystemError):
+    """The requested file has no metadata record on the ring."""
+
+
+class BlockNotFound(FileSystemError):
+    """A block id resolved to a server that does not hold the block."""
+
+
+class PermissionDenied(FileSystemError):
+    """The file metadata owner rejected the access."""
+
+
+class CacheMiss(ReproError):
+    """Raised by strict cache lookups when the key is absent."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not produce a valid assignment."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel detected an inconsistency."""

@@ -1,0 +1,75 @@
+"""Config serialization: experiment manifests as plain dicts / JSON.
+
+Experiments are reproducible from a root seed plus a configuration; this
+module round-trips the configuration dataclasses so a run can be pinned
+in a manifest file and replayed exactly::
+
+    manifest = config_to_dict(cluster_config)
+    json.dump(manifest, open("run.json", "w"))
+    ...
+    config = config_from_dict(json.load(open("run.json")))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.common.config import CacheConfig, ClusterConfig, DFSConfig, SchedulerConfig
+from repro.common.errors import ConfigError
+
+__all__ = ["config_to_dict", "config_from_dict", "diff_configs"]
+
+_NESTED = {"dfs": DFSConfig, "cache": CacheConfig, "scheduler": SchedulerConfig}
+
+
+def config_to_dict(config: ClusterConfig) -> dict[str, Any]:
+    """A plain-JSON-compatible dict capturing the full configuration."""
+    if not isinstance(config, ClusterConfig):
+        raise ConfigError(f"expected ClusterConfig, got {type(config).__name__}")
+    out = dataclasses.asdict(config)
+    out["__schema__"] = "repro.ClusterConfig/1"
+    return out
+
+
+def config_from_dict(data: dict[str, Any]) -> ClusterConfig:
+    """Rebuild a :class:`ClusterConfig` from :func:`config_to_dict` output.
+
+    Unknown keys are rejected (a manifest from a different version should
+    fail loudly, not half-apply), and all dataclass validation re-runs.
+    """
+    payload = dict(data)
+    schema = payload.pop("__schema__", "repro.ClusterConfig/1")
+    if schema != "repro.ClusterConfig/1":
+        raise ConfigError(f"unsupported manifest schema {schema!r}")
+    kwargs: dict[str, Any] = {}
+    known = {f.name for f in dataclasses.fields(ClusterConfig)}
+    for key, value in payload.items():
+        if key not in known:
+            raise ConfigError(f"unknown configuration key {key!r}")
+        if key in _NESTED:
+            if not isinstance(value, dict):
+                raise ConfigError(f"{key!r} must be a mapping")
+            sub_known = {f.name for f in dataclasses.fields(_NESTED[key])}
+            unknown = set(value) - sub_known
+            if unknown:
+                raise ConfigError(f"unknown {key} keys: {sorted(unknown)}")
+            kwargs[key] = _NESTED[key](**value)
+        else:
+            kwargs[key] = value
+    return ClusterConfig(**kwargs)
+
+
+def diff_configs(a: ClusterConfig, b: ClusterConfig) -> dict[str, tuple[Any, Any]]:
+    """Flat ``{dotted.key: (a_value, b_value)}`` of every differing field."""
+    out: dict[str, tuple[Any, Any]] = {}
+
+    def walk(prefix: str, left: Any, right: Any) -> None:
+        if dataclasses.is_dataclass(left):
+            for f in dataclasses.fields(left):
+                walk(f"{prefix}{f.name}.", getattr(left, f.name), getattr(right, f.name))
+        elif left != right:
+            out[prefix[:-1]] = (left, right)
+
+    walk("", a, b)
+    return out

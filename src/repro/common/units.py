@@ -1,0 +1,41 @@
+"""Byte and time unit helpers.
+
+The paper quotes sizes as ``128 MB`` blocks, ``250 GB`` datasets and
+``32 MB`` spill buffers; expressing them the same way in code keeps the
+experiment definitions readable and greppable against the paper text.
+"""
+
+from __future__ import annotations
+
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+TB: int = 1024 * GB
+
+_BYTE_STEPS = ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB"))
+
+
+def fmt_bytes(n: int | float) -> str:
+    """Render a byte count with a binary-unit suffix (``"1.5 GB"``)."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for step, suffix in _BYTE_STEPS:
+        if n >= step:
+            return f"{sign}{n / step:.4g} {suffix}"
+    return f"{sign}{n:.4g} B"
+
+
+def fmt_seconds(t: float) -> str:
+    """Render a duration in the most natural unit (``"3.2 s"``, ``"2.1 min"``)."""
+    if t < 0:
+        return "-" + fmt_seconds(-t)
+    if t < 1e-3:
+        return f"{t * 1e6:.3g} us"
+    if t < 1.0:
+        return f"{t * 1e3:.3g} ms"
+    if t < 120.0:
+        return f"{t:.3g} s"
+    if t < 7200.0:
+        return f"{t / 60.0:.3g} min"
+    return f"{t / 3600.0:.3g} h"

@@ -1,0 +1,37 @@
+"""The decentralized DHT file system (paper §II-A).
+
+Replaces HDFS: files are partitioned into fixed-size blocks spread over the
+ring by hash key; per-file metadata lives on the server owning the hash of
+the file name; metadata and blocks are replicated on the owner's predecessor
+and successor; any server can locate any block from its own finger table
+with no NameNode in the path.
+
+* :mod:`repro.dfs.blocks` -- block descriptors and per-server block stores.
+* :mod:`repro.dfs.metadata` -- file metadata records and permissions.
+* :mod:`repro.dfs.filesystem` -- the :class:`DHTFileSystem` facade.
+* :mod:`repro.dfs.fault` -- failure recovery (takeover + re-replication).
+* :mod:`repro.dfs.fsck` -- invariant checking (placement, replication,
+  referential integrity).
+"""
+
+from repro.dfs.blocks import Block, BlockId, BlockStore
+from repro.dfs.metadata import BlockDescriptor, FileMetadata
+from repro.dfs.filesystem import DHTFileSystem, StorageServer
+from repro.dfs.fault import RecoveryReport, rebalance, recover_from_failure
+from repro.dfs.fsck import FsckReport, FsckViolation, check as fsck
+
+__all__ = [
+    "Block",
+    "BlockId",
+    "BlockStore",
+    "BlockDescriptor",
+    "FileMetadata",
+    "DHTFileSystem",
+    "StorageServer",
+    "RecoveryReport",
+    "rebalance",
+    "recover_from_failure",
+    "FsckReport",
+    "FsckViolation",
+    "fsck",
+]

@@ -1,0 +1,113 @@
+"""Block descriptors and per-server block storage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator, NamedTuple, Optional
+
+from repro.common.errors import BlockNotFound
+
+__all__ = ["BlockId", "Block", "BlockStore"]
+
+
+class BlockId(NamedTuple):
+    """Globally unique block identity: which file, which piece."""
+
+    file_name: str
+    index: int
+
+
+@dataclass
+class Block:
+    """One fixed-size piece of a file.
+
+    ``data`` is the real payload in functional runs and ``None`` in
+    size-only runs (the performance model moves simulated bytes).
+    """
+
+    block_id: BlockId
+    key: int
+    size: int
+    data: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("block size must be non-negative")
+        if self.data is not None and len(self.data) != self.size:
+            raise ValueError(
+                f"block {self.block_id}: payload is {len(self.data)} bytes "
+                f"but size says {self.size}"
+            )
+
+
+class BlockStore:
+    """Blocks held by one server, primaries and replicas separately.
+
+    Keeping the two classes distinct matters for recovery: a takeover server
+    *promotes* its replicas instead of re-fetching them.
+    """
+
+    def __init__(self, server_id: Hashable) -> None:
+        self.server_id = server_id
+        self._primary: dict[BlockId, Block] = {}
+        self._replica: dict[BlockId, Block] = {}
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(self, block: Block, *, replica: bool = False) -> None:
+        """Store a block; a primary put supersedes any replica copy."""
+        if replica:
+            if block.block_id not in self._primary:
+                self._replica[block.block_id] = block
+        else:
+            self._replica.pop(block.block_id, None)
+            self._primary[block.block_id] = block
+
+    def promote(self, block_id: BlockId) -> Block:
+        """Turn a replica into a primary (failure takeover)."""
+        try:
+            block = self._replica.pop(block_id)
+        except KeyError:
+            raise BlockNotFound(f"{self.server_id!r} has no replica of {block_id}") from None
+        self._primary[block_id] = block
+        return block
+
+    def drop(self, block_id: BlockId) -> None:
+        """Remove both copies if present."""
+        self._primary.pop(block_id, None)
+        self._replica.pop(block_id, None)
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, block_id: BlockId) -> Block:
+        """Fetch a block from either class; raises :class:`BlockNotFound`."""
+        block = self._primary.get(block_id) or self._replica.get(block_id)
+        if block is None:
+            raise BlockNotFound(f"{self.server_id!r} does not hold {block_id}")
+        return block
+
+    def has(self, block_id: BlockId) -> bool:
+        return block_id in self._primary or block_id in self._replica
+
+    def has_primary(self, block_id: BlockId) -> bool:
+        return block_id in self._primary
+
+    def has_replica(self, block_id: BlockId) -> bool:
+        return block_id in self._replica
+
+    def primaries(self) -> Iterator[Block]:
+        yield from self._primary.values()
+
+    def replicas(self) -> Iterator[Block]:
+        yield from self._replica.values()
+
+    @property
+    def primary_bytes(self) -> int:
+        return sum(b.size for b in self._primary.values())
+
+    @property
+    def replica_bytes(self) -> int:
+        return sum(b.size for b in self._replica.values())
+
+    def __len__(self) -> int:
+        return len(self._primary) + len(self._replica)

@@ -1,0 +1,153 @@
+"""Failure recovery for the DHT file system.
+
+When a server crashes, its arc merges into its successor's, and the
+replicas kept on the ring neighbors make every lost primary recoverable
+(paper §II-A: "unless a server fails along with its predecessor and
+successor at the same time, the DHT file system can tolerate system
+failures").  The resource manager then *re-replicates* so the replication
+factor is restored for the next failure.
+
+This module implements that repair as a pure function over the functional
+file system; the amount of data it moves is what the performance model
+charges for recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.dfs.blocks import Block, BlockId
+from repro.dfs.filesystem import DHTFileSystem
+
+__all__ = ["RecoveryReport", "recover_from_failure", "rebalance"]
+
+
+@dataclass
+class RecoveryReport:
+    """What the repair did, for assertions and for the performance model."""
+
+    failed_server: Hashable
+    blocks_promoted: int = 0
+    blocks_recopied: int = 0
+    bytes_recopied: int = 0
+    metadata_promoted: int = 0
+    metadata_recopied: int = 0
+    lost_blocks: list[BlockId] = field(default_factory=list)
+    lost_files: list[str] = field(default_factory=list)
+
+    @property
+    def fully_recovered(self) -> bool:
+        return not self.lost_blocks and not self.lost_files
+
+
+def rebalance(fs: DHTFileSystem) -> RecoveryReport:
+    """Restore placement invariants after membership changed (e.g. a join).
+
+    When a server joins, it takes over part of its successor's arc; until
+    data moves, reads are served by the old holders through the replica
+    fallback.  The resource manager then migrates primaries and replicas so
+    every block again sits on its ring owner and neighbors.  Returns the
+    same report shape as failure recovery (nothing should ever be lost on
+    a join).
+    """
+    report = RecoveryReport(failed_server=None)
+    _repair_blocks(fs, report)
+    _repair_metadata(fs, report)
+    return report
+
+
+def recover_from_failure(fs: DHTFileSystem, failed_id: Hashable) -> RecoveryReport:
+    """Crash ``failed_id`` and restore placement invariants from survivors.
+
+    After this returns, every surviving block and metadata record again has
+    its primary on the ring owner and replicas on the owner's neighbors.
+    Blocks whose every copy lived on the failed server (replication 0, or a
+    correlated neighbor failure) are reported lost.
+    """
+    fs.remove_server(failed_id)
+    report = RecoveryReport(failed_server=failed_id)
+    _repair_blocks(fs, report)
+    _repair_metadata(fs, report)
+    return report
+
+
+def _repair_blocks(fs: DHTFileSystem, report: RecoveryReport) -> None:
+    # Collect the survivors' view: every copy of every block.
+    copies: dict[BlockId, Block] = {}
+    seen_ids: set[BlockId] = set()
+    for server in fs.servers.values():
+        for block in list(server.blocks.primaries()) + list(server.blocks.replicas()):
+            copies.setdefault(block.block_id, block)
+            seen_ids.add(block.block_id)
+
+    # Every block any surviving metadata record references must exist.
+    for name in fs.list_files():
+        meta = fs.stat(name, user=_any_reader(fs, name))
+        for desc in meta.blocks:
+            bid = BlockId(name, desc.index)
+            if bid not in seen_ids:
+                report.lost_blocks.append(bid)
+
+    for bid, block in copies.items():
+        targets = fs.ring.replica_set(block.key, extra=fs.config.replication)
+        primary, rest = targets[0], targets[1:]
+        pserver = fs.servers[primary]
+        if not pserver.blocks.has_primary(bid):
+            if pserver.blocks.has_replica(bid):
+                pserver.blocks.promote(bid)
+                report.blocks_promoted += 1
+            else:
+                pserver.blocks.put(block)
+                report.blocks_recopied += 1
+                report.bytes_recopied += block.size
+        for sid in rest:
+            rserver = fs.servers[sid]
+            if not rserver.blocks.has(bid):
+                rserver.blocks.put(block, replica=True)
+                report.blocks_recopied += 1
+                report.bytes_recopied += block.size
+        # Tidy stale copies left on servers no longer in the replica set
+        # (e.g. the old predecessor after arcs shifted).
+        for sid, server in fs.servers.items():
+            if sid not in targets:
+                server.blocks.drop(bid)
+
+
+def _repair_metadata(fs: DHTFileSystem, report: RecoveryReport) -> None:
+    records: dict[str, object] = {}
+    for server in fs.servers.values():
+        for name, meta in server.metadata.items():
+            records.setdefault(name, meta)
+        for name, meta in server.metadata_replicas.items():
+            records.setdefault(name, meta)
+
+    for name, meta in records.items():
+        targets = fs.ring.replica_set(fs.metadata_key(name), extra=fs.config.replication)
+        primary, rest = targets[0], targets[1:]
+        pserver = fs.servers[primary]
+        if name not in pserver.metadata:
+            if name in pserver.metadata_replicas:
+                pserver.metadata[name] = pserver.metadata_replicas.pop(name)
+                report.metadata_promoted += 1
+            else:
+                pserver.metadata[name] = meta  # type: ignore[assignment]
+                report.metadata_recopied += 1
+        for sid in rest:
+            rserver = fs.servers[sid]
+            if name not in rserver.metadata and name not in rserver.metadata_replicas:
+                rserver.metadata_replicas[name] = meta  # type: ignore[assignment]
+                report.metadata_recopied += 1
+        for sid, server in fs.servers.items():
+            if sid not in targets:
+                server.metadata.pop(name, None)
+                server.metadata_replicas.pop(name, None)
+
+
+def _any_reader(fs: DHTFileSystem, name: str) -> str:
+    """The file's owner (recovery runs as the system, not a client)."""
+    owner_server = fs.metadata_owner(name)
+    meta = fs.servers[owner_server].metadata.get(name) or fs.servers[
+        owner_server
+    ].metadata_replicas.get(name)
+    return meta.owner if meta is not None else "user"

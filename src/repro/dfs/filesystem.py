@@ -1,0 +1,300 @@
+"""The DHT file system facade.
+
+One :class:`DHTFileSystem` object coordinates a set of
+:class:`StorageServer` peers placed on a consistent hash ring.  There is no
+central directory: every lookup is two ring operations (metadata owner by
+file-name hash, block owner by block hash), which is exactly what each
+EclipseMR server computes locally from its finger table.
+
+The implementation is *functional*: it stores real (or size-only) blocks
+and is used both by the in-process MapReduce engine and as the placement
+oracle for the discrete-event performance model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Optional
+
+from repro.common.config import DFSConfig
+from repro.common.errors import BlockNotFound, FileNotFound, FileSystemError, RingError
+from repro.common.hashing import DEFAULT_SPACE, HashSpace
+from repro.dfs.blocks import Block, BlockId, BlockStore
+from repro.dfs.metadata import BlockDescriptor, FileMetadata
+from repro.dht.finger import RoutingTable
+from repro.dht.ring import ConsistentHashRing
+
+__all__ = ["StorageServer", "DHTFileSystem"]
+
+
+class StorageServer:
+    """One peer: its blocks plus the metadata records it owns."""
+
+    def __init__(self, server_id: Hashable) -> None:
+        self.server_id = server_id
+        self.blocks = BlockStore(server_id)
+        self.metadata: dict[str, FileMetadata] = {}
+        self.metadata_replicas: dict[str, FileMetadata] = {}
+
+    @property
+    def stored_bytes(self) -> int:
+        """Primary bytes only (the skew statistics in the experiments)."""
+        return self.blocks.primary_bytes
+
+    def __repr__(self) -> str:
+        return f"<StorageServer {self.server_id!r} files={len(self.metadata)} blocks={len(self.blocks)}>"
+
+
+class DHTFileSystem:
+    """Decentralized block storage over consistent hashing."""
+
+    def __init__(
+        self,
+        server_ids: Iterable[Hashable],
+        config: DFSConfig | None = None,
+        space: HashSpace = DEFAULT_SPACE,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.config = config or DFSConfig()
+        self.space = space
+        self.ring = ConsistentHashRing(space)
+        self.servers: dict[Hashable, StorageServer] = {}
+        self._clock = clock or (lambda: 0.0)
+        for sid in server_ids:
+            self.add_server(sid)
+        if not self.servers:
+            raise RingError("DHT file system needs at least one server")
+        self.routing = RoutingTable(self.ring, one_hop=self.config.one_hop_routing)
+
+    # -- membership -----------------------------------------------------------
+
+    def add_server(self, server_id: Hashable, position: int | None = None) -> StorageServer:
+        """Join a new storage peer (ring position from its id by default)."""
+        self.ring.add_node(server_id, position)
+        server = StorageServer(server_id)
+        self.servers[server_id] = server
+        if getattr(self, "routing", None) is not None:
+            self.routing.rebuild()
+        return server
+
+    def remove_server(self, server_id: Hashable) -> StorageServer:
+        """Drop a peer from the ring (crash semantics: its data is *gone*).
+
+        Call :func:`repro.dfs.fault.recover_from_failure` afterwards to
+        restore replication from the surviving copies.
+        """
+        self.ring.remove_node(server_id)
+        server = self.servers.pop(server_id)
+        self.routing.rebuild()
+        return server
+
+    def server(self, server_id: Hashable) -> StorageServer:
+        try:
+            return self.servers[server_id]
+        except KeyError:
+            raise RingError(f"unknown server {server_id!r}") from None
+
+    # -- key derivation ---------------------------------------------------------
+
+    def metadata_key(self, name: str) -> int:
+        return self.space.key_of(name)
+
+    def metadata_owner(self, name: str) -> Hashable:
+        """The server that answers ``open(name)`` (Fig. 2, step 1)."""
+        return self.ring.owner_of(self.metadata_key(name))
+
+    def block_owner(self, name: str, index: int) -> Hashable:
+        return self.ring.owner_of(self.space.block_key(name, index))
+
+    # -- writes -----------------------------------------------------------------
+
+    def upload(
+        self,
+        name: str,
+        data: bytes | None = None,
+        *,
+        size: int | None = None,
+        owner: str = "user",
+        permissions: int = 0o644,
+        tags: dict[str, str] | None = None,
+    ) -> FileMetadata:
+        """Partition a file into blocks and spread it over the ring.
+
+        Pass real ``data`` for functional runs, or ``size=`` alone for
+        placement-only runs.  Replicas land on the block owner's predecessor
+        and successor per the configured replication.
+        """
+        if (data is None) == (size is None):
+            raise FileSystemError("pass exactly one of data= or size=")
+        if name in self._all_metadata_names():
+            raise FileSystemError(f"file {name!r} already exists")
+        total = len(data) if data is not None else int(size)
+        block_size = self.config.block_size
+        descriptors: list[BlockDescriptor] = []
+        index = 0
+        offset = 0
+        while True:
+            this_size = min(block_size, total - offset)
+            if this_size <= 0 and index > 0:
+                break
+            key = self.space.block_key(name, index)
+            payload = data[offset : offset + this_size] if data is not None else None
+            block = Block(BlockId(name, index), key, this_size, payload)
+            self._place_block(block)
+            descriptors.append(BlockDescriptor(index, key, this_size))
+            offset += this_size
+            index += 1
+            if offset >= total:
+                break
+        meta = FileMetadata(
+            name=name,
+            owner=owner,
+            size=total,
+            permissions=permissions,
+            created_at=self._clock(),
+            blocks=descriptors,
+            tags=dict(tags or {}),
+        )
+        self._place_metadata(meta)
+        return meta
+
+    def _place_block(self, block: Block) -> None:
+        replicas = self.ring.replica_set(block.key, extra=self.config.replication)
+        primary, rest = replicas[0], replicas[1:]
+        self.servers[primary].blocks.put(block)
+        for sid in rest:
+            self.servers[sid].blocks.put(block, replica=True)
+
+    def _place_metadata(self, meta: FileMetadata) -> None:
+        replicas = self.ring.replica_set(self.metadata_key(meta.name), extra=self.config.replication)
+        primary, rest = replicas[0], replicas[1:]
+        self.servers[primary].metadata[meta.name] = meta
+        for sid in rest:
+            self.servers[sid].metadata_replicas[meta.name] = meta
+
+    # -- hash-key-addressed objects ----------------------------------------------
+    #
+    # Map tasks persist intermediate results in the DHT file system *by the
+    # hash key of the intermediate data* (paper §II-C step 5), so reducers
+    # find them with the same consistent hashing used for blocks.  Objects
+    # are single-block files placed at an explicit key.
+
+    def put_object(
+        self,
+        name: str,
+        data: bytes | None,
+        key: int,
+        *,
+        size: int | None = None,
+        owner: str = "user",
+        tags: dict[str, str] | None = None,
+    ) -> FileMetadata:
+        """Store a one-block object at the server owning ``key``."""
+        if (data is None) == (size is None):
+            raise FileSystemError("pass exactly one of data= or size=")
+        total = len(data) if data is not None else int(size)
+        self.space.validate(key)
+        if name in self._all_metadata_names():
+            raise FileSystemError(f"object {name!r} already exists")
+        block = Block(BlockId(name, 0), key, total, data)
+        self._place_block(block)
+        meta = FileMetadata(
+            name=name,
+            owner=owner,
+            size=total,
+            permissions=0o644,
+            created_at=self._clock(),
+            blocks=[BlockDescriptor(0, key, total)],
+            tags=dict(tags or {}),
+        )
+        self._place_metadata(meta)
+        return meta
+
+    def get_object(self, name: str, user: str = "user") -> bytes:
+        """Read back an object stored with :meth:`put_object`."""
+        return self.read(name, user=user)
+
+    def delete(self, name: str, user: str = "user") -> None:
+        """Remove a file's metadata and every block copy."""
+        meta = self.stat(name, user=user, write=True)
+        for desc in meta.blocks:
+            bid = BlockId(name, desc.index)
+            for server in self.servers.values():
+                server.blocks.drop(bid)
+        for server in self.servers.values():
+            server.metadata.pop(name, None)
+            server.metadata_replicas.pop(name, None)
+
+    # -- reads ------------------------------------------------------------------
+
+    def stat(self, name: str, user: str = "user", *, write: bool = False) -> FileMetadata:
+        """Fetch metadata from its owner (permission check included)."""
+        meta = None
+        # Check the owner first, then its neighbors: after a join or a
+        # failure the record may still sit on the previous owner, which by
+        # construction is inside the replica set.
+        for sid in self.ring.replica_set(self.metadata_key(name), extra=max(1, self.config.replication)):
+            server = self.servers[sid]
+            meta = server.metadata.get(name) or server.metadata_replicas.get(name)
+            if meta is not None:
+                break
+        if meta is None:
+            raise FileNotFound(f"no such file: {name!r}")
+        meta.check_access(user, write=write)
+        return meta
+
+    def exists(self, name: str) -> bool:
+        try:
+            self.stat(name)
+            return True
+        except (FileNotFound, FileSystemError):
+            return False
+
+    def read_block(self, name: str, index: int, user: str = "user") -> Block:
+        """Read one block, falling back to replicas if the primary lost it."""
+        meta = self.stat(name, user=user)
+        if not 0 <= index < meta.num_blocks:
+            raise BlockNotFound(f"{name!r} has no block {index}")
+        desc = meta.blocks[index]
+        bid = BlockId(name, index)
+        for sid in self.ring.replica_set(desc.key, extra=self.config.replication):
+            server = self.servers[sid]
+            if server.blocks.has(bid):
+                return server.blocks.get(bid)
+        raise BlockNotFound(f"all copies of {bid} are lost")
+
+    def read(self, name: str, user: str = "user") -> bytes:
+        """Reassemble a whole file (functional runs only)."""
+        meta = self.stat(name, user=user)
+        parts: list[bytes] = []
+        for desc in meta.blocks:
+            block = self.read_block(name, desc.index, user=user)
+            if block.data is None:
+                raise FileSystemError(f"{name!r} was uploaded size-only; no payload to read")
+            parts.append(block.data)
+        return b"".join(parts)
+
+    def block_locations(self, name: str, user: str = "user") -> list[tuple[BlockDescriptor, list[Hashable]]]:
+        """Every block's descriptor plus the servers currently holding it."""
+        meta = self.stat(name, user=user)
+        out = []
+        for desc in meta.blocks:
+            bid = BlockId(name, desc.index)
+            holders = [sid for sid, srv in self.servers.items() if srv.blocks.has(bid)]
+            out.append((desc, holders))
+        return out
+
+    def list_files(self) -> list[str]:
+        """All file names, gathered from every metadata owner."""
+        return sorted(self._all_metadata_names())
+
+    def _all_metadata_names(self) -> set[str]:
+        names: set[str] = set()
+        for server in self.servers.values():
+            names.update(server.metadata.keys())
+        return names
+
+    # -- statistics ---------------------------------------------------------------
+
+    def stored_bytes_per_server(self) -> dict[Hashable, int]:
+        """Primary bytes per server (block-distribution skew metric)."""
+        return {sid: srv.stored_bytes for sid, srv in self.servers.items()}

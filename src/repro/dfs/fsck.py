@@ -1,0 +1,116 @@
+"""Consistency checking for the DHT file system (``fsck``).
+
+After joins, failures and repairs, the file system should satisfy three
+invariants:
+
+1. **placement** -- every block's primary copy lives on the ring owner of
+   its hash key, replicas on the owner's neighbors;
+2. **replication** -- every block and metadata record has the configured
+   number of copies (when the ring is large enough to host them);
+3. **referential integrity** -- metadata references only blocks that
+   exist, and no server stores blocks no metadata references (orphans).
+
+:func:`check` returns a :class:`FsckReport` listing violations instead of
+raising, so tests and operators can assert exactly what is wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.dfs.blocks import BlockId
+from repro.dfs.filesystem import DHTFileSystem
+
+__all__ = ["FsckViolation", "FsckReport", "check"]
+
+
+@dataclass(frozen=True)
+class FsckViolation:
+    """One invariant violation."""
+
+    kind: str
+    """``misplaced-primary``, ``missing-replica``, ``under-replicated``,
+    ``missing-block``, ``orphan-block``, ``misplaced-metadata`` or
+    ``under-replicated-metadata``."""
+
+    subject: str
+    detail: str = ""
+
+
+@dataclass
+class FsckReport:
+    """All violations found, grouped for assertions."""
+
+    violations: list[FsckViolation] = field(default_factory=list)
+    files_checked: int = 0
+    blocks_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def by_kind(self, kind: str) -> list[FsckViolation]:
+        return [v for v in self.violations if v.kind == kind]
+
+    def add(self, kind: str, subject: object, detail: str = "") -> None:
+        self.violations.append(FsckViolation(kind, str(subject), detail))
+
+
+def check(fs: DHTFileSystem) -> FsckReport:
+    """Verify all three invariant families; never mutates the file system."""
+    report = FsckReport()
+    referenced: set[BlockId] = set()
+
+    for name in fs.list_files():
+        report.files_checked += 1
+        meta = fs.servers[fs.metadata_owner(name)].metadata.get(name)
+        if meta is None:
+            report.add("misplaced-metadata", name, "metadata not on its ring owner")
+            # Find it anywhere for the block checks.
+            for server in fs.servers.values():
+                meta = server.metadata.get(name) or server.metadata_replicas.get(name)
+                if meta is not None:
+                    break
+        if meta is None:
+            continue
+
+        # Metadata replication: owner + up to `replication` distinct neighbors.
+        targets = fs.ring.replica_set(fs.metadata_key(name), extra=fs.config.replication)
+        holders = [
+            sid
+            for sid, srv in fs.servers.items()
+            if name in srv.metadata or name in srv.metadata_replicas
+        ]
+        if len(holders) < len(targets):
+            report.add(
+                "under-replicated-metadata",
+                name,
+                f"{len(holders)} copies, expected {len(targets)}",
+            )
+
+        for desc in meta.blocks:
+            report.blocks_checked += 1
+            bid = BlockId(name, desc.index)
+            referenced.add(bid)
+            owner = fs.ring.owner_of(desc.key)
+            expected = fs.ring.replica_set(desc.key, extra=fs.config.replication)
+            copies = [sid for sid, srv in fs.servers.items() if srv.blocks.has(bid)]
+            if not copies:
+                report.add("missing-block", bid, "no copy on any server")
+                continue
+            if not fs.servers[owner].blocks.has_primary(bid):
+                report.add("misplaced-primary", bid, f"ring owner {owner!r} lacks the primary")
+            for sid in expected:
+                if sid != owner and not fs.servers[sid].blocks.has(bid):
+                    report.add("missing-replica", bid, f"neighbor {sid!r} lacks a copy")
+            if len(copies) < len(expected):
+                report.add(
+                    "under-replicated", bid, f"{len(copies)} copies, expected {len(expected)}"
+                )
+
+    # Orphans: stored blocks no surviving metadata references.
+    for sid, srv in fs.servers.items():
+        for block in list(srv.blocks.primaries()) + list(srv.blocks.replicas()):
+            if block.block_id not in referenced:
+                report.add("orphan-block", block.block_id, f"stored on {sid!r}")
+
+    return report

@@ -1,0 +1,67 @@
+"""Decentralized file metadata.
+
+A file's metadata record -- name, owner, size, permissions, and how it was
+partitioned -- lives on the server whose arc covers ``hash(file name)``
+("file metadata owner", paper §II-A), replicated on that server's ring
+neighbors like any block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import PermissionDenied
+
+__all__ = ["BlockDescriptor", "FileMetadata"]
+
+READ = 0o4
+WRITE = 0o2
+
+
+@dataclass(frozen=True)
+class BlockDescriptor:
+    """Where one block of the file lives on the key space."""
+
+    index: int
+    key: int
+    size: int
+
+
+@dataclass
+class FileMetadata:
+    """Everything a client needs before touching block data."""
+
+    name: str
+    owner: str
+    size: int
+    permissions: int = 0o644
+    created_at: float = 0.0
+    blocks: list[BlockDescriptor] = field(default_factory=list)
+    tags: dict[str, str] = field(default_factory=dict)
+    """Free-form application tags (EclipseMR tags cached intermediates)."""
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("file size must be non-negative")
+        if not self.name:
+            raise ValueError("file name must be non-empty")
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def check_access(self, user: str, *, write: bool = False) -> None:
+        """Unix-style owner/other permission check.
+
+        Raises :class:`PermissionDenied` when ``user`` lacks the requested
+        access.  (The DHT file system has no group database; the group bits
+        are treated as "other".)
+        """
+        needed = WRITE if write else READ
+        shift = 6 if user == self.owner else 0
+        if not (self.permissions >> shift) & needed:
+            mode = "write" if write else "read"
+            raise PermissionDenied(
+                f"user {user!r} may not {mode} {self.name!r} "
+                f"(mode {oct(self.permissions)}, owner {self.owner!r})"
+            )

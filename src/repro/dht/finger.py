@@ -1,0 +1,163 @@
+"""Chord finger tables and key routing.
+
+The paper stores a routing table of ``m`` peers per server and chooses
+``m`` so that ``2**m - 1 > S``; for clusters under a couple thousand
+servers it simply sets ``m`` to the server count, giving every node the
+complete ring -- "one hop DHT routing" [Gupta et al., HotOS'03].  When the
+table is partial, requests are forwarded greedily through the classic Chord
+``closest_preceding_node`` rule, taking ``O(log S)`` hops.
+
+Both modes are implemented so the routing ablation bench can quantify what
+one-hop routing buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.common.errors import RingError
+from repro.dht.ring import ConsistentHashRing
+
+__all__ = ["FingerTable", "RoutingTable", "Route"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """The outcome of routing a key: the owner and the path taken."""
+
+    owner: Hashable
+    hops: tuple[Hashable, ...]
+
+    @property
+    def hop_count(self) -> int:
+        """Forwarding steps taken (0 when the start node owns the key)."""
+        return len(self.hops) - 1
+
+
+@dataclass
+class FingerTable:
+    """One server's view of the ring.
+
+    ``entries[i]`` is the server succeeding ``position + 2**i``; with
+    ``complete=True`` the node also knows every peer directly.
+    """
+
+    node_id: Hashable
+    position: int
+    entries: list[tuple[int, Hashable]] = field(default_factory=list)
+    complete: bool = False
+    successor: Hashable | None = None
+    predecessor: Hashable | None = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class RoutingTable:
+    """Builds and queries finger tables for every node on a ring."""
+
+    def __init__(self, ring: ConsistentHashRing, one_hop: bool = True) -> None:
+        if len(ring) == 0:
+            raise RingError("cannot build routing tables for an empty ring")
+        self.ring = ring
+        self.one_hop = one_hop
+        self._tables: dict[Hashable, FingerTable] = {}
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        """Recompute every table (after membership changes)."""
+        self._tables.clear()
+        space = self.ring.space
+        # Classic Chord: finger[i] targets position + 2**i for every power of
+        # two inside the key space.  Duplicate owners collapse, so each table
+        # stores O(log S) entries even though i spans the space's bit width.
+        m = (space.size - 1).bit_length() if not self.one_hop else 0
+        for node_id in self.ring.nodes:
+            position = self.ring.position_of(node_id)
+            table = FingerTable(
+                node_id=node_id,
+                position=position,
+                complete=self.one_hop,
+                successor=self.ring.successor(node_id),
+                predecessor=self.ring.predecessor(node_id),
+            )
+            if not self.one_hop:
+                seen: set[Hashable] = set()
+                for i in range(m):
+                    step = 1 << i
+                    if step >= space.size:
+                        break
+                    target = space.add(position, step)
+                    owner = self.ring.owner_of(target)
+                    if owner not in seen:
+                        table.entries.append((target, owner))
+                        seen.add(owner)
+            self._tables[node_id] = table
+
+    def table(self, node_id: Hashable) -> FingerTable:
+        try:
+            return self._tables[node_id]
+        except KeyError:
+            raise RingError(f"no finger table for {node_id!r}") from None
+
+    def route(self, start: Hashable, key: int, max_hops: int | None = None) -> Route:
+        """Route ``key`` from ``start`` to its owner; returns the hop path.
+
+        One-hop mode answers directly from the complete table.  Partial
+        tables forward through the closest preceding finger, falling back
+        to the successor pointer, as in Chord.
+        """
+        self.ring.space.validate(key)
+        owner = self.ring.owner_of(key)
+        if self.one_hop:
+            hops = (start,) if start == owner else (start, owner)
+            return Route(owner=owner, hops=hops)
+        limit = max_hops if max_hops is not None else 2 * len(self.ring) + 2
+        path = [start]
+        current = start
+        while current != owner:
+            if len(path) > limit:
+                raise RingError(f"routing for key {key} exceeded {limit} hops")
+            current = self._next_hop(current, key)
+            path.append(current)
+        return Route(owner=owner, hops=tuple(path))
+
+    def _next_hop(self, current: Hashable, key: int) -> Hashable:
+        """Chord forwarding: the finger that gets closest without passing key."""
+        space = self.ring.space
+        table = self._tables[current]
+        position = table.position
+        succ = table.successor
+        assert succ is not None
+        # A node at position s owns [predecessor, s): our successor owns every
+        # key in [position, succ_pos).
+        succ_pos = self.ring.position_of(succ)
+        if space.in_range(key, position, succ_pos):
+            return succ
+        # Otherwise jump to the closest preceding finger.
+        best = succ
+        best_dist = space.distance(self.ring.position_of(succ), key)
+        for _, node in table.entries:
+            if node == current:
+                continue
+            pos = self.ring.position_of(node)
+            # The finger must not overshoot the key: safe iff its position is
+            # in (position, key] (a node exactly at the key still does not
+            # own it under [pred, pos) arcs).
+            if space.distance(space.add(position, 1), pos) <= space.distance(space.add(position, 1), key):
+                dist = space.distance(pos, key)
+                if dist < best_dist:
+                    best, best_dist = node, dist
+        return best
+
+    def average_hops(self, sample_keys: list[int], starts: list[Hashable] | None = None) -> float:
+        """Mean hop count over a key sample (the routing ablation metric)."""
+        starts = starts or self.ring.nodes
+        total = 0
+        count = 0
+        for start in starts:
+            for key in sample_keys:
+                total += self.route(start, key).hop_count
+                count += 1
+        return total / count if count else 0.0

@@ -1,0 +1,152 @@
+"""Cluster membership: joins, leaves, failures, heartbeats, election.
+
+EclipseMR has no fixed master: the job scheduler and resource manager are
+*roles* any worker can take, chosen by a distributed election, and every
+server exchanges heartbeats with its direct ring neighbors to detect
+failures (paper §II, §II-A).  This module keeps the authoritative node
+state, drives failure detection from heartbeat timestamps, and notifies
+listeners (the DHT file system re-replicates, the scheduler re-partitions).
+
+The service is clock-agnostic: callers feed it the current time, so it
+works identically under the discrete-event simulator and in the functional
+engine's wall-clock-free tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.common.errors import RingError
+from repro.dht.ring import ConsistentHashRing
+
+__all__ = ["MembershipService", "NodeState", "MembershipEvent"]
+
+
+class NodeState(enum.Enum):
+    ALIVE = "alive"
+    DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """What changed: ``kind`` in {join, leave, failure, election}."""
+
+    kind: str
+    node_id: Hashable
+    time: float
+    details: str = ""
+
+
+Listener = Callable[[MembershipEvent], None]
+
+
+class MembershipService:
+    """Tracks which servers are alive and who holds the coordinator roles."""
+
+    def __init__(self, ring: ConsistentHashRing, heartbeat_timeout: float = 3.0) -> None:
+        if heartbeat_timeout <= 0:
+            raise RingError("heartbeat timeout must be positive")
+        self.ring = ring
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self._state: dict[Hashable, NodeState] = {}
+        self._last_heartbeat: dict[Hashable, float] = {}
+        self._listeners: list[Listener] = []
+        self.events: list[MembershipEvent] = []
+
+    # -- listeners -------------------------------------------------------------
+
+    def subscribe(self, listener: Listener) -> None:
+        """Register a callback invoked on every membership event."""
+        self._listeners.append(listener)
+
+    def _emit(self, event: MembershipEvent) -> None:
+        self.events.append(event)
+        for fn in self._listeners:
+            fn(event)
+
+    # -- membership ------------------------------------------------------------
+
+    def join(self, node_id: Hashable, now: float = 0.0, position: int | None = None) -> None:
+        """A server joins: placed on the ring, marked alive, listeners told."""
+        self.ring.add_node(node_id, position)
+        self._state[node_id] = NodeState.ALIVE
+        self._last_heartbeat[node_id] = now
+        self._emit(MembershipEvent("join", node_id, now))
+
+    def leave(self, node_id: Hashable, now: float = 0.0) -> None:
+        """A graceful departure (data handed off before the node goes)."""
+        self._require_member(node_id)
+        self.ring.remove_node(node_id)
+        del self._state[node_id]
+        del self._last_heartbeat[node_id]
+        self._emit(MembershipEvent("leave", node_id, now))
+
+    def fail(self, node_id: Hashable, now: float = 0.0) -> None:
+        """A crash: the node stays *off* the ring; successors take over."""
+        self._require_member(node_id)
+        if self._state[node_id] is NodeState.DEAD:
+            return
+        self._state[node_id] = NodeState.DEAD
+        self.ring.remove_node(node_id)
+        self._emit(MembershipEvent("failure", node_id, now))
+
+    # -- heartbeats -------------------------------------------------------------
+
+    def heartbeat(self, node_id: Hashable, now: float) -> None:
+        """Record a heartbeat from ``node_id`` at time ``now``."""
+        self._require_member(node_id)
+        if self._state[node_id] is NodeState.ALIVE:
+            self._last_heartbeat[node_id] = now
+
+    def detect_failures(self, now: float) -> list[Hashable]:
+        """Mark every node silent for longer than the timeout as failed.
+
+        In the real system each server only watches its direct neighbors;
+        the set of detected failures is identical, so the service checks all
+        nodes at once.
+        """
+        failed = [
+            node_id
+            for node_id, state in self._state.items()
+            if state is NodeState.ALIVE
+            and now - self._last_heartbeat[node_id] > self.heartbeat_timeout
+        ]
+        for node_id in failed:
+            self.fail(node_id, now)
+        return failed
+
+    # -- queries ---------------------------------------------------------------
+
+    def state_of(self, node_id: Hashable) -> NodeState:
+        self._require_member(node_id)
+        return self._state[node_id]
+
+    @property
+    def alive_nodes(self) -> list[Hashable]:
+        """Alive servers in ring order."""
+        return [n for n in self.ring.nodes if self._state.get(n) is NodeState.ALIVE]
+
+    def is_alive(self, node_id: Hashable) -> bool:
+        return self._state.get(node_id) is NodeState.ALIVE
+
+    # -- election ----------------------------------------------------------------
+
+    def elect_coordinator(self, now: float = 0.0) -> Hashable:
+        """Deterministic election: the alive server with the lowest position.
+
+        Every node can compute the winner locally from its (complete) finger
+        table, so the election needs no extra rounds -- the distributed
+        analogue of a bully election keyed on ring position.
+        """
+        alive = self.alive_nodes
+        if not alive:
+            raise RingError("no alive nodes to elect a coordinator from")
+        winner = min(alive, key=self.ring.position_of)
+        self._emit(MembershipEvent("election", winner, now))
+        return winner
+
+    def _require_member(self, node_id: Hashable) -> None:
+        if node_id not in self._state:
+            raise RingError(f"node {node_id!r} is not a cluster member")

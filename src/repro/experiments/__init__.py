@@ -1,0 +1,33 @@
+"""Experiment harness: one module per evaluation figure.
+
+Each module exposes a ``run(...)`` function returning a structured result
+plus a ``format_table(result)`` helper that prints the same rows/series
+the paper reports.  The ``benchmarks/`` tree wraps these in
+pytest-benchmark targets; ``examples/framework_comparison.py`` drives the
+headline comparison from the command line.
+
+Scale note: the simulations run the paper's 40-node cluster but scale the
+datasets down (e.g. 32 GB instead of 250 GB) so each figure regenerates in
+seconds.  Block counts stay large enough that queueing, skew and cache
+behaviour keep their shape; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from repro.experiments import common
+from repro.experiments.fig3_cdf import run as run_fig3
+from repro.experiments.fig5_io import run as run_fig5
+from repro.experiments.fig6_schedulers import run as run_fig6
+from repro.experiments.fig7_load_balance import run as run_fig7
+from repro.experiments.fig8_concurrent import run as run_fig8
+from repro.experiments.fig9_frameworks import run as run_fig9
+from repro.experiments.fig10_iterative import run as run_fig10
+
+__all__ = [
+    "common",
+    "run_fig3",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+]

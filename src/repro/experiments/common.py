@@ -1,0 +1,97 @@
+"""Shared experiment plumbing: configurations, layouts, and table printing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.common.config import CacheConfig, ClusterConfig, DFSConfig, SchedulerConfig
+from repro.common.units import GB, MB, fmt_seconds
+from repro.perfmodel.engine import PerfEngine, SimJobSpec
+from repro.perfmodel.framework import FrameworkModel
+from repro.perfmodel.placement import BlockSpec, dht_layout
+from repro.perfmodel.profiles import APP_PROFILES
+
+__all__ = [
+    "paper_cluster",
+    "build_engine",
+    "input_layout",
+    "ExperimentResult",
+    "format_rows",
+]
+
+#: Scale factor: the paper's 250 GB inputs shrink to this many blocks so a
+#: figure regenerates in seconds.  Queueing shape is preserved because the
+#: task count still far exceeds the slot count.
+DEFAULT_BLOCKS = 256
+
+
+def paper_cluster(
+    num_nodes: int = 40,
+    cache_per_server: int = 1 * GB,
+    icache_fraction: float = 1.0,
+    window_tasks: int = 64,
+    alpha: float = 0.001,
+) -> ClusterConfig:
+    """The §III testbed: 40 nodes, 8+8 slots, 1 GbE in two racks."""
+    return ClusterConfig(
+        num_nodes=num_nodes,
+        rack_size=max(1, num_nodes // 2),
+        map_slots_per_node=8,
+        reduce_slots_per_node=8,
+        dfs=DFSConfig(block_size=128 * MB),
+        cache=CacheConfig(capacity_per_server=cache_per_server, icache_fraction=icache_fraction),
+        scheduler=SchedulerConfig(alpha=alpha, window_tasks=window_tasks),
+    )
+
+
+def build_engine(framework: FrameworkModel, config: ClusterConfig | None = None) -> PerfEngine:
+    return PerfEngine(config or paper_cluster(), framework)
+
+
+def input_layout(engine: PerfEngine, name: str = "input", blocks: int = DEFAULT_BLOCKS) -> list[BlockSpec]:
+    return dht_layout(engine.space, engine.ring, name, blocks, engine.config.dfs.block_size)
+
+
+def job(engine: PerfEngine, app: str, blocks: int = DEFAULT_BLOCKS, iterations: int = 1,
+        name: str = "input", label: str | None = None) -> SimJobSpec:
+    return SimJobSpec(
+        app=APP_PROFILES[app],
+        tasks=input_layout(engine, name, blocks),
+        iterations=iterations,
+        label=label or app,
+    )
+
+
+@dataclass
+class ExperimentResult:
+    """A figure's regenerated data: named series over shared x labels."""
+
+    title: str
+    x_label: str
+    x_values: list[Any]
+    series: dict[str, list[float]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, name: str, values: Sequence[float]) -> None:
+        self.series[name] = list(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+
+def format_rows(result: ExperimentResult, unit: str = "s") -> str:
+    """Render a result the way the paper's figures tabulate."""
+    lines = [result.title, "=" * len(result.title)]
+    header = [result.x_label] + list(result.series.keys())
+    lines.append(" | ".join(f"{h:>18}" for h in header))
+    lines.append("-" * (21 * len(header)))
+    for i, x in enumerate(result.x_values):
+        row = [str(x)]
+        for name in result.series:
+            v = result.series[name][i]
+            row.append(fmt_seconds(v) if unit == "s" else f"{v:.4g}{unit}")
+        lines.append(" | ".join(f"{c:>18}" for c in row))
+    for note in result.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Fig. 7 -- load balancing vs data locality under a skewed grep workload.
+
+The paper's §III-C setup: 24 grep jobs (6410 map tasks, 90 GB) whose
+block accesses follow two merged normal distributions over the hash key
+space.  Swept over per-server cache sizes {0, 0.5, 1, 1.5} GB for three
+policies: LAF with alpha=0.001, LAF with alpha=1, and delay scheduling.
+
+Expected shape (paper):
+* 7(a) execution time: delay is up to 2.86x slower than LAF; time falls
+  roughly linearly as the cache grows.
+* 7(b) hit ratio: delay has the *highest* hit ratio (static ranges, waits
+  for cached servers) yet loses on time; alpha=0.001 out-hits alpha=1.
+* stddev of tasks per slot: ~4 for LAF vs ~13 for delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import SchedulerConfig
+from repro.common.units import GB
+from repro.experiments.common import ExperimentResult, paper_cluster
+from repro.perfmodel.engine import PerfEngine, SimJobSpec
+from repro.perfmodel.framework import eclipse_framework
+from repro.perfmodel.placement import dht_layout, skewed_task_keys
+from repro.perfmodel.profiles import APP_PROFILES
+
+__all__ = ["run", "format_table", "Fig7Point"]
+
+
+@dataclass
+class Fig7Point:
+    policy: str
+    cache_bytes: int
+    total_time: float = 0.0
+    hit_ratio: float = 0.0
+    stddev_tasks_per_slot: float = 0.0
+
+
+def _policy_framework(policy: str):
+    if policy == "LAF a=0.001":
+        return eclipse_framework("laf", SchedulerConfig(alpha=0.001))
+    if policy == "LAF a=1":
+        return eclipse_framework("laf", SchedulerConfig(alpha=1.0))
+    if policy == "Delay":
+        return eclipse_framework("delay")
+    raise ValueError(policy)
+
+
+def _run_point(policy: str, cache_bytes: int, num_jobs: int, tasks_per_job: int,
+               blocks: int, seed: int) -> Fig7Point:
+    config = paper_cluster(cache_per_server=max(cache_bytes, 1), icache_fraction=1.0)
+    if cache_bytes == 0:
+        from repro.common.config import CacheConfig
+        from dataclasses import replace
+
+        config = replace(config, cache=CacheConfig(capacity_per_server=0))
+    engine = PerfEngine(config, _policy_framework(policy))
+    layout = dht_layout(engine.space, engine.ring, "grepdata", blocks, config.dfs.block_size)
+    specs = []
+    for j in range(num_jobs):
+        tasks = skewed_task_keys(layout, tasks_per_job, seed=seed + j)
+        specs.append(SimJobSpec(app=APP_PROFILES["grep"], tasks=tasks, label=f"grep{j}"))
+    timings = engine.run_jobs(specs)
+    end = max(t.end for t in timings)
+    start = min(t.start for t in timings)
+    stats = engine.dcache.stats()
+    # aggregate task balance over the whole batch
+    per_server = {s: 0 for s in range(config.num_nodes)}
+    for t in timings:
+        for s, c in t.tasks_per_server.items():
+            per_server[s] += c
+    import numpy as np
+
+    per_slot = [c / config.map_slots_per_node for c in per_server.values()]
+    return Fig7Point(
+        policy=policy,
+        cache_bytes=cache_bytes,
+        total_time=end - start,
+        hit_ratio=stats.hit_ratio,
+        stddev_tasks_per_slot=float(np.std(per_slot)),
+    )
+
+
+def run(
+    cache_sizes=(0, int(0.5 * GB), 1 * GB, int(1.5 * GB)),
+    num_jobs: int = 8,
+    tasks_per_job: int = 200,
+    blocks: int = 128,
+    seed: int = 11,
+) -> tuple[ExperimentResult, ExperimentResult, list[Fig7Point]]:
+    """Returns (execution-time result, hit-ratio result, raw points)."""
+    policies = ("LAF a=0.001", "LAF a=1", "Delay")
+    points: list[Fig7Point] = []
+    for policy in policies:
+        for cache in cache_sizes:
+            points.append(_run_point(policy, cache, num_jobs, tasks_per_job, blocks, seed))
+
+    times = ExperimentResult(
+        title="Fig. 7(a): skewed grep batch execution time vs cache size",
+        x_label="cache/server",
+        x_values=[f"{c / GB:.1f}GB" for c in cache_sizes],
+    )
+    hits = ExperimentResult(
+        title="Fig. 7(b): cache hit ratio vs cache size",
+        x_label="cache/server",
+        x_values=[f"{c / GB:.1f}GB" for c in cache_sizes],
+    )
+    for policy in policies:
+        ps = [p for p in points if p.policy == policy]
+        times.add(policy, [p.total_time for p in ps])
+        hits.add(policy, [100 * p.hit_ratio for p in ps])
+    laf = [p for p in points if p.policy == "LAF a=0.001"]
+    delay = [p for p in points if p.policy == "Delay"]
+    times.note(
+        f"stddev tasks/slot: LAF {laf[-1].stddev_tasks_per_slot:.2f} "
+        f"vs Delay {delay[-1].stddev_tasks_per_slot:.2f} (paper: 4.07 vs 13.07)"
+    )
+    return times, hits, points
+
+
+def format_table(results) -> str:
+    from repro.experiments.common import format_rows
+
+    times, hits, _ = results
+    return format_rows(times) + "\n\n" + format_rows(hits, unit="%")

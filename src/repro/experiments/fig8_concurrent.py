@@ -1,0 +1,100 @@
+"""Fig. 8 -- multiple concurrent jobs competing for resources.
+
+The paper submits a batch of 7 jobs at once (2 grep, 2 word count, 1 page
+rank, 1 sort, 1 k-means; 15 GB inputs, word count and grep sharing one
+input file) and sweeps the per-server cache over {1, 4, 8} GB for LAF and
+delay scheduling.
+
+Expected shape: larger caches speed everything up; LAF beats delay per
+application; with small caches LAF's hit ratio is *higher* (the delay
+policy overloads a few servers whose caches thrash), converging as the
+cache grows.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import GB, MB
+from repro.experiments.common import ExperimentResult, paper_cluster
+from repro.perfmodel.engine import PerfEngine, SimJobSpec
+from repro.perfmodel.framework import eclipse_framework
+from repro.perfmodel.placement import dht_layout
+from repro.perfmodel.profiles import APP_PROFILES
+
+__all__ = ["run", "format_table", "BATCH"]
+
+#: The paper's batch: (label, app, input file, iterations).
+BATCH = (
+    ("grep-1", "grep", "shared-text", 1),
+    ("grep-2", "grep", "shared-text", 1),
+    ("wordcount-1", "wordcount", "shared-text", 1),
+    ("wordcount-2", "wordcount", "shared-text", 1),
+    ("pagerank", "pagerank", "graph", 2),
+    ("sort", "sort", "sort-input", 1),
+    ("kmeans", "kmeans", "points", 2),
+)
+
+
+def _run_batch(scheduler: str, cache_bytes: int, blocks_per_file: int):
+    config = paper_cluster(cache_per_server=cache_bytes, icache_fraction=1.0)
+    engine = PerfEngine(config, eclipse_framework(scheduler))
+    layouts = {}
+    specs = []
+    for label, app, input_file, iterations in BATCH:
+        if input_file not in layouts:
+            layouts[input_file] = dht_layout(
+                engine.space, engine.ring, input_file, blocks_per_file, config.dfs.block_size
+            )
+        specs.append(
+            SimJobSpec(
+                app=APP_PROFILES[app],
+                tasks=layouts[input_file],
+                iterations=iterations,
+                label=label,
+            )
+        )
+    timings = engine.run_jobs(specs)
+    hit_ratio = engine.dcache.stats().hit_ratio
+    return timings, hit_ratio
+
+
+def run(cache_sizes=(256 * MB, 1 * GB, 4 * GB), blocks_per_file: int = 32):
+    """Returns one ExperimentResult per cache size plus a hit-ratio summary.
+
+    Scale note: the paper sweeps {1, 4, 8} GB per server against 15 GB
+    inputs (working set ~1.9 GB/server at the low end).  Our inputs are
+    scaled down ~4x, so the sweep is scaled the same way -- the low end
+    still over-commits the cache and the high end holds everything, which
+    is what drives the figure's shape.
+    """
+    per_cache: list[ExperimentResult] = []
+    hit_rows: dict[str, list[float]] = {"LAF": [], "Delay": []}
+    labels = [label for label, *_ in BATCH]
+    for cache in cache_sizes:
+        result = ExperimentResult(
+            title=f"Fig. 8: concurrent batch, {cache / GB:.2f} GB cache/server",
+            x_label="application",
+            x_values=labels,
+        )
+        for sched_label, sched in (("LAF", "laf"), ("Delay", "delay")):
+            timings, hit_ratio = _run_batch(sched, cache, blocks_per_file)
+            result.add(sched_label, [t.makespan for t in timings])
+            hit_rows[sched_label].append(100 * hit_ratio)
+        per_cache.append(result)
+    summary = ExperimentResult(
+        title="Fig. 8 summary: batch cache hit ratio vs cache size",
+        x_label="cache/server",
+        x_values=[f"{c / GB:.2f}GB" for c in cache_sizes],
+    )
+    for k, v in hit_rows.items():
+        summary.add(k, v)
+    summary.note("paper: 1 GB -> LAF 14% vs Delay 8%; 8 GB -> both ~69%")
+    return per_cache, summary
+
+
+def format_table(results) -> str:
+    from repro.experiments.common import format_rows
+
+    per_cache, summary = results
+    parts = [format_rows(r) for r in per_cache]
+    parts.append(format_rows(summary, unit="%"))
+    return "\n\n".join(parts)

@@ -1,0 +1,46 @@
+"""Plain-text rendering of experiment results: tables and bar charts.
+
+The terminal is the paper's figure canvas here: every
+:class:`~repro.experiments.common.ExperimentResult` can be shown as the
+row table the benchmarks print (``format_rows``) or as a horizontal bar
+chart that makes the orderings visible at a glance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, format_rows
+
+__all__ = ["bar_chart", "render"]
+
+_BAR = "#"
+
+
+def bar_chart(result: ExperimentResult, width: int = 48, unit: str = "s") -> str:
+    """Horizontal grouped bars, one group per x value, one bar per series."""
+    lines = [result.title, "=" * len(result.title)]
+    flat = [v for vals in result.series.values() for v in vals if v == v]  # drop NaN
+    if not flat:
+        return "\n".join(lines + ["(no data)"])
+    peak = max(flat) or 1.0
+    name_w = max(len(str(n)) for n in result.series)
+    for i, x in enumerate(result.x_values):
+        lines.append(f"{x}:")
+        for name, vals in result.series.items():
+            v = vals[i]
+            if v != v:  # NaN
+                lines.append(f"  {name:>{name_w}} | (not measured)")
+                continue
+            bar = _BAR * max(1, int(round(width * v / peak)))
+            lines.append(f"  {name:>{name_w}} | {bar} {v:.4g}{'' if unit == '' else ' ' + unit}")
+    for note in result.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def render(result: ExperimentResult, style: str = "table", unit: str = "s") -> str:
+    """Render with the chosen style: ``table`` or ``bars``."""
+    if style == "bars":
+        return bar_chart(result, unit=unit)
+    if style == "table":
+        return format_rows(result, unit=unit)
+    raise ValueError(f"unknown style {style!r}")

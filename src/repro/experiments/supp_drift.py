@@ -1,0 +1,113 @@
+"""Supplementary: LAF under a *drifting* access distribution.
+
+The paper motivates the moving average by treating access patterns as
+time-series data (§II-E) and reports that "a small alpha such as 0.001
+exhibits good performance for various applications especially when a
+large number of subsequent jobs are submitted as in time series"
+(§III-C).  This experiment makes that concrete: the popular key region
+slides across the hash space over a long job sequence, and the alpha
+sweep shows the trade-off --
+
+* alpha too small: ranges lag the drift, hot servers overload;
+* alpha = 1: ranges snap to each window, discarding all history and
+  thrashing the caches on noisy windows;
+* intermediate alphas track the drift smoothly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import SchedulerConfig
+from repro.common.hashing import HashSpace
+from repro.common.rng import derive_rng
+from repro.experiments.common import ExperimentResult
+from repro.scheduler.laf import LAFScheduler
+
+__all__ = ["run", "format_table", "drifting_keys"]
+
+
+def drifting_keys(
+    space: HashSpace,
+    num_tasks: int,
+    *,
+    drift_cycles: float = 1.0,
+    stddev: float = 0.04,
+    seed: int = 0,
+) -> list[int]:
+    """A task stream whose popular region slides around the key space.
+
+    Task ``i``'s key is drawn around a center that completes
+    ``drift_cycles`` full laps of the space over the stream.
+    """
+    rng = derive_rng(seed, "drift")
+    t = np.arange(num_tasks) / num_tasks
+    centers = (t * drift_cycles) % 1.0
+    keys = rng.normal(centers * space.size, stddev * space.size) % space.size
+    return [int(k) for k in keys]
+
+
+def _drive(alpha: float, keys: list[int], num_servers: int = 10, slots: int = 4) -> tuple[float, float]:
+    """Feed the stream; tasks complete after the next ``slots`` assignments.
+
+    Returns ``(assignment CV, overload fraction)`` where overload counts
+    assignments that landed on a server already holding >= ``slots``
+    running tasks (they would queue on the real cluster).
+    """
+    space = HashSpace(1 << 20)
+    servers = [f"s{i}" for i in range(num_servers)]
+    sched = LAFScheduler(
+        space, servers, SchedulerConfig(alpha=alpha, window_tasks=64, num_bins=512)
+    )
+    running: list[str] = []
+    overloaded = 0
+    for key in keys:
+        a = sched.assign(hash_key=key)
+        if sched.load_of(a.server) >= slots:
+            overloaded += 1
+        sched.notify_start(a.server)
+        running.append(a.server)
+        if len(running) > num_servers * slots // 2:
+            sched.notify_finish(running.pop(0))
+    counts = np.array(list(sched.assigned_counts.values()), dtype=float)
+    cv = float(counts.std() / counts.mean())
+    return cv, overloaded / len(keys)
+
+
+def run(
+    alphas=(0.0, 0.001, 0.01, 0.1, 1.0),
+    drift_cycles=(0.0, 0.25, 2.0),
+    num_tasks: int = 6000,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Overloaded-assignment percentage for each (alpha, drift rate).
+
+    The interesting structure: the right alpha depends on how fast the
+    popularity distribution moves relative to the histogram window.  The
+    paper's production-style workloads drift slowly (alpha = 0.001
+    suffices); a hot region lapping the key space needs a large alpha to
+    keep up.
+    """
+    space = HashSpace(1 << 20)
+    result = ExperimentResult(
+        title="Supplementary: LAF alpha x popularity drift (overloaded assignments %)",
+        x_label="alpha",
+        x_values=[str(a) for a in alphas],
+    )
+    for cycles in drift_cycles:
+        column = []
+        keys = drifting_keys(space, num_tasks, drift_cycles=cycles, seed=seed)
+        for alpha in alphas:
+            _, ov = _drive(alpha, keys)
+            column.append(100 * ov)
+        label = "static hot spot" if cycles == 0 else f"drift x{cycles:g}"
+        result.add(label, column)
+    result.note("paper §III-C: small alpha suits slowly-varying time-series workloads")
+    result.note("fast drift needs a larger alpha to keep ranges on the hot region")
+    return result
+
+
+def format_table(result: ExperimentResult) -> str:
+    from repro.experiments.common import format_rows
+
+    return format_rows(result, unit="")

@@ -1,0 +1,90 @@
+"""Supplementary: a time-series job stream (Poisson arrivals).
+
+§III-C: "a small alpha such as 0.001 exhibits good performance for
+various applications especially when a large number of subsequent jobs
+are submitted as in time series."  This experiment submits a stream of
+grep jobs with Poisson inter-arrival times -- each job re-reading one of
+a few shared datasets -- and compares schedulers on mean job latency and
+cluster-wide cache hit ratio.  Repeated submissions are exactly the
+regime EclipseMR was designed for: consistent hashing sends every re-read
+to the server already caching the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import derive_rng
+from repro.common.units import GB
+from repro.experiments.common import ExperimentResult, paper_cluster
+from repro.perfmodel.engine import PerfEngine, SimJobSpec
+from repro.perfmodel.framework import eclipse_framework
+from repro.perfmodel.placement import dht_layout
+from repro.perfmodel.profiles import APP_PROFILES
+
+__all__ = ["run", "format_table"]
+
+
+def _stream(engine: PerfEngine, num_jobs: int, blocks_per_file: int, num_files: int,
+             mean_interarrival: float, seed: int) -> list[SimJobSpec]:
+    rng = derive_rng(seed, "timeseries")
+    layouts = [
+        dht_layout(engine.space, engine.ring, f"data-{f}", blocks_per_file,
+                   engine.config.dfs.block_size)
+        for f in range(num_files)
+    ]
+    arrivals = np.cumsum(rng.exponential(mean_interarrival, size=num_jobs))
+    # Popular datasets get re-read more: Zipf-ish choice over the files.
+    weights = 1.0 / np.arange(1, num_files + 1)
+    weights /= weights.sum()
+    specs = []
+    for j in range(num_jobs):
+        f = int(rng.choice(num_files, p=weights))
+        specs.append(
+            SimJobSpec(
+                app=APP_PROFILES["grep"],
+                tasks=layouts[f],
+                label=f"grep-{j}-d{f}",
+                submit_at=float(arrivals[j]),
+            )
+        )
+    return specs
+
+
+def _run_stream(scheduler: str, num_jobs: int, mean_interarrival: float, seed: int = 5):
+    config = paper_cluster(cache_per_server=1 * GB, icache_fraction=1.0)
+    engine = PerfEngine(config, eclipse_framework(scheduler))
+    specs = _stream(engine, num_jobs, blocks_per_file=40, num_files=4,
+                    mean_interarrival=mean_interarrival, seed=seed)
+    timings = engine.run_jobs(specs)
+    latencies = [t.makespan for t in timings]
+    return float(np.mean(latencies)), float(np.percentile(latencies, 95)), engine.dcache.stats().hit_ratio
+
+
+def run(num_jobs: int = 16, interarrivals=(20.0, 1.0)) -> ExperimentResult:
+    """Two regimes: an idle stream (affinity-bound) and a loaded one."""
+    result = ExperimentResult(
+        title="Supplementary: Poisson job stream over shared datasets",
+        x_label="regime",
+        x_values=[f"interarrival {ia:g}s" for ia in interarrivals],
+    )
+    rows: dict[str, list[float]] = {}
+    for sched_label, sched in (("LAF", "laf"), ("Delay", "delay")):
+        for metric in ("mean latency (s)", "p95 latency (s)", "hit ratio %"):
+            rows.setdefault(f"{sched_label} {metric}", [])
+        for ia in interarrivals:
+            mean, p95, hit = _run_stream(sched, num_jobs, ia)
+            rows[f"{sched_label} mean latency (s)"].append(mean)
+            rows[f"{sched_label} p95 latency (s)"].append(p95)
+            rows[f"{sched_label} hit ratio %"].append(100 * hit)
+    for k, v in rows.items():
+        result.add(k, v)
+    result.note("repeated jobs re-read shared inputs: consistent hashing turns the stream into cache hits")
+    result.note("the ring-seeded moving average keeps LAF's ranges cache-aligned until real skew appears")
+    return result
+
+
+def format_table(result: ExperimentResult) -> str:
+    from repro.experiments.common import format_rows
+
+    return format_rows(result, unit="")

@@ -1,0 +1,40 @@
+"""The EclipseMR MapReduce engine (functional plane).
+
+An in-process reproduction of the paper's C++ prototype: real map and
+reduce functions run against the DHT file system, the distributed
+in-memory caches, and a pluggable scheduler.  The engine demonstrates the
+*algorithmic* behaviour end-to-end -- block placement, LAF range shifts,
+iCache/oCache reuse, proactive shuffle, task retry from persisted
+intermediates -- while the discrete-event plane (:mod:`repro.perfmodel`)
+reproduces the timing results.
+
+* :mod:`repro.mapreduce.job` -- job and task descriptions.
+* :mod:`repro.mapreduce.shuffle` -- proactive shuffle: per-range spill
+  buffers pushed to reducer-side servers while maps run.
+* :mod:`repro.mapreduce.runtime` -- the cluster runtime executing jobs.
+* :mod:`repro.mapreduce.iterative` -- the iterative-job driver with
+  oCache-backed iteration outputs.
+* :mod:`repro.mapreduce.api` -- the user-facing :class:`EclipseMR` facade.
+"""
+
+from repro.mapreduce.job import JobResult, JobStats, MapReduceJob
+from repro.mapreduce.shuffle import IntermediateStore, SpillBuffer
+from repro.mapreduce.runtime import EclipseMRRuntime, FailureInjector, Worker
+from repro.mapreduce.parallel import ParallelEclipseMRRuntime
+from repro.mapreduce.iterative import IterativeDriver, IterationResult
+from repro.mapreduce.api import EclipseMR
+
+__all__ = [
+    "MapReduceJob",
+    "JobResult",
+    "JobStats",
+    "SpillBuffer",
+    "IntermediateStore",
+    "EclipseMRRuntime",
+    "ParallelEclipseMRRuntime",
+    "FailureInjector",
+    "Worker",
+    "IterativeDriver",
+    "IterationResult",
+    "EclipseMR",
+]

@@ -1,0 +1,111 @@
+"""The user-facing EclipseMR facade.
+
+A thin convenience layer over :class:`~repro.mapreduce.runtime.EclipseMRRuntime`
+for the common flows::
+
+    mr = EclipseMR(workers=8, scheduler="laf")
+    mr.upload("corpus.txt", text.encode())
+    result = mr.map_reduce(
+        "wordcount", "corpus.txt",
+        map_fn=lambda block: ((w, 1) for w in block.decode().split()),
+        reduce_fn=lambda word, counts: sum(counts),
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Optional, Sequence
+
+from repro.common.config import ClusterConfig
+from repro.common.hashing import DEFAULT_SPACE, HashSpace
+from repro.mapreduce.iterative import IterativeDriver
+from repro.mapreduce.job import JobResult, MapReduceJob
+from repro.mapreduce.runtime import EclipseMRRuntime, FailureInjector
+from repro.scheduler.base import Scheduler
+
+__all__ = ["EclipseMR"]
+
+
+class EclipseMR:
+    """An in-process EclipseMR cluster with a compact API."""
+
+    def __init__(
+        self,
+        workers: int | Sequence[Hashable] = 8,
+        scheduler: str | Scheduler = "laf",
+        config: ClusterConfig | None = None,
+        space: HashSpace = DEFAULT_SPACE,
+        failure_injector: Optional[FailureInjector] = None,
+    ) -> None:
+        self.runtime = EclipseMRRuntime(
+            workers, config=config, scheduler=scheduler, space=space,
+            failure_injector=failure_injector,
+        )
+
+    # -- data ---------------------------------------------------------------
+
+    def upload(self, name: str, data: bytes, **kwargs: Any) -> None:
+        self.runtime.upload(name, data, **kwargs)
+
+    def read(self, name: str) -> bytes:
+        return self.runtime.dfs.read(name)
+
+    def list_files(self) -> list[str]:
+        return self.runtime.dfs.list_files()
+
+    # -- jobs ---------------------------------------------------------------
+
+    def map_reduce(
+        self,
+        app_id: str,
+        input_file: str,
+        map_fn: Callable[[bytes], Iterable[tuple[Any, Any]]],
+        reduce_fn: Callable[[Any, list[Any]], Any],
+        **job_kwargs: Any,
+    ) -> JobResult:
+        """Build and run a job in one call."""
+        job = MapReduceJob(
+            app_id=app_id,
+            input_file=input_file,
+            map_fn=map_fn,
+            reduce_fn=reduce_fn,
+            **job_kwargs,
+        )
+        return self.runtime.run(job)
+
+    def run(self, job: MapReduceJob) -> JobResult:
+        return self.runtime.run(job)
+
+    def iterative(
+        self,
+        app_id: str,
+        make_job: Callable[[int, Any], MapReduceJob],
+        extract_state: Callable[[JobResult, Any], Any],
+        max_iterations: int,
+        **driver_kwargs: Any,
+    ) -> IterativeDriver:
+        """Create an iterative driver bound to this cluster."""
+        return IterativeDriver(
+            runtime=self.runtime,
+            app_id=app_id,
+            make_job=make_job,
+            extract_state=extract_state,
+            max_iterations=max_iterations,
+            **driver_kwargs,
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def scheduler(self) -> Scheduler:
+        return self.runtime.scheduler
+
+    def cache_stats(self):
+        return self.runtime.dcache.stats()
+
+    def cache_hit_ratio(self) -> float:
+        return self.runtime.cache_hit_ratio()
+
+    def clear_caches(self) -> None:
+        """Drop the distributed in-memory caches (between experiments)."""
+        self.runtime.dcache.clear()

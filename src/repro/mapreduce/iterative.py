@@ -1,0 +1,120 @@
+"""Iterative MapReduce jobs (paper §II-C, §III-F).
+
+k-means, logistic regression and page rank re-run the same MapReduce
+shape, each iteration consuming the previous iteration's output.
+EclipseMR lets applications store those iteration outputs in oCache and --
+for fault tolerance -- in the DHT file system, so iteration *i+1* reads
+them from memory and a restarted job resumes from the last completed
+iteration rather than from scratch.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.mapreduce.job import JobResult, MapReduceJob
+from repro.mapreduce.runtime import EclipseMRRuntime
+
+__all__ = ["IterationResult", "IterativeDriver"]
+
+MakeJob = Callable[[int, Any], MapReduceJob]
+Extract = Callable[[JobResult, Any], Any]
+Converged = Callable[[int, Any, Any], bool]
+
+
+@dataclass
+class IterationResult:
+    """Per-iteration bookkeeping."""
+
+    iteration: int
+    state: Any
+    job_result: JobResult
+    resumed_from_cache: bool = False
+
+
+@dataclass
+class IterativeDriver:
+    """Runs ``make_job(i, state)`` until convergence or ``max_iterations``.
+
+    ``extract_state(result, prev_state)`` turns a :class:`JobResult` into
+    the state the next iteration consumes (e.g. the new k-means centroids);
+    it receives the previous state so sparse outputs can be merged onto it.  Each iteration's
+    state is cached in oCache (tag ``iter{i}``) and persisted to the DHT
+    file system; :meth:`run` transparently *resumes* past iterations whose
+    persisted state already exists, which is the paper's restart-from-the-
+    point-of-failure story.
+    """
+
+    runtime: EclipseMRRuntime
+    app_id: str
+    make_job: MakeJob
+    extract_state: Extract
+    max_iterations: int
+    converged: Optional[Converged] = None
+    persist_outputs: bool = True
+    history: list[IterationResult] = field(default_factory=list)
+
+    def _state_object_name(self, iteration: int) -> str:
+        return f"_iter/{self.app_id}/{iteration}"
+
+    def _home_of(self, iteration: int):
+        key = self.runtime.space.key_of(self._state_object_name(iteration))
+        return self.runtime.dcache.home_of(key)
+
+    def _load_cached_state(self, iteration: int) -> tuple[bool, Any]:
+        """oCache first, then the persistent DHT file system copy."""
+        tag = f"iter{iteration}"
+        home = self._home_of(iteration)
+        hit, state = self.runtime.dcache.worker(home).get_output(self.app_id, tag)
+        if hit:
+            return True, state
+        name = self._state_object_name(iteration)
+        if self.persist_outputs and self.runtime.dfs.exists(name):
+            return True, pickle.loads(self.runtime.dfs.get_object(name))
+        return False, None
+
+    def _store_state(self, iteration: int, state: Any) -> None:
+        tag = f"iter{iteration}"
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        name = self._state_object_name(iteration)
+        key = self.runtime.space.key_of(name)
+        home = self.runtime.dcache.home_of(key)
+        self.runtime.dcache.worker(home).put_output(
+            self.app_id, tag, state, size=len(payload), hash_key=key
+        )
+        if self.persist_outputs and not self.runtime.dfs.exists(name):
+            self.runtime.dfs.put_object(name, payload, key)
+
+    def run(self, initial_state: Any) -> Any:
+        """Iterate to completion; returns the final state."""
+        state = initial_state
+        for i in range(self.max_iterations):
+            cached, persisted = self._load_cached_state(i)
+            if cached:
+                # A previous (possibly crashed) run already finished this
+                # iteration; restart from its stored output.
+                prev = state
+                state = persisted
+                self.history.append(
+                    IterationResult(i, state, JobResult(self.app_id, {}, None), True)  # type: ignore[arg-type]
+                )
+            else:
+                prev = state
+                job = self.make_job(i, state)
+                result = self.runtime.run(job)
+                state = self.extract_state(result, prev)
+                self._store_state(i, state)
+                self.history.append(IterationResult(i, state, result))
+            if self.converged is not None and self.converged(i, prev, state):
+                break
+        return state
+
+    @property
+    def iterations_run(self) -> int:
+        return sum(1 for h in self.history if not h.resumed_from_cache)
+
+    @property
+    def iterations_resumed(self) -> int:
+        return sum(1 for h in self.history if h.resumed_from_cache)

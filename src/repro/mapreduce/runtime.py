@@ -1,0 +1,360 @@
+"""The EclipseMR cluster runtime (functional plane).
+
+Wires together the DHT file system, the distributed in-memory cache, a
+scheduler, and per-worker intermediate stores, then executes MapReduce
+jobs the way Fig. 2 describes:
+
+1. hash the input file name to find the metadata owner and the block keys;
+2. assign each map task by the hash key of its block (LAF or delay);
+3. the map task reuses iCache, else reads the block from the DHT file
+   system (remote if needed) and caches it;
+4. intermediate pairs are proactively pushed to the reduce-side server
+   owning their hash key, in spill-buffer chunks, optionally persisted to
+   the DHT file system and tagged in oCache;
+5. reduce tasks run exactly where their data already sits.
+
+Tasks execute sequentially and deterministically -- this plane verifies
+*what* the system computes and *where* data moves; the discrete-event
+plane measures how long it takes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import defaultdict
+from typing import Any, Hashable, Optional, Sequence
+
+from repro.cache.distributed import DistributedCache
+from repro.common.config import ClusterConfig
+from repro.common.errors import FileSystemError, SchedulingError
+from repro.common.hashing import DEFAULT_SPACE, HashSpace
+from repro.dfs.filesystem import DHTFileSystem
+from repro.dfs.metadata import BlockDescriptor
+from repro.mapreduce.job import JobResult, JobStats, MapReduceJob
+from repro.mapreduce.shuffle import IntermediateStore, SpillBuffer
+from repro.scheduler.base import Scheduler
+from repro.scheduler.delay import DelayScheduler
+from repro.scheduler.laf import LAFScheduler
+
+__all__ = ["Worker", "FailureInjector", "EclipseMRRuntime"]
+
+
+class Worker:
+    """One worker server's execution-side state."""
+
+    def __init__(self, worker_id: Hashable) -> None:
+        self.worker_id = worker_id
+        self.intermediates = IntermediateStore(worker_id)
+        self.map_tasks_run = 0
+        self.reduce_tasks_run = 0
+
+
+class FailureInjector:
+    """Deterministic task-failure injection for fault-tolerance tests.
+
+    ``plan`` maps ``(app_id, block_index)`` to how many attempts of that
+    map task should fail before one succeeds.
+    """
+
+    def __init__(self, plan: Optional[dict[tuple[str, int], int]] = None) -> None:
+        self.plan = dict(plan or {})
+        self._failed: dict[tuple[str, int], int] = defaultdict(int)
+        self.injected = 0
+
+    def should_fail(self, app_id: str, block_index: int) -> bool:
+        key = (app_id, block_index)
+        if self._failed[key] < self.plan.get(key, 0):
+            self._failed[key] += 1
+            self.injected += 1
+            return True
+        return False
+
+
+class EclipseMRRuntime:
+    """An in-process EclipseMR cluster."""
+
+    MAX_TASK_ATTEMPTS = 4
+
+    def __init__(
+        self,
+        worker_ids: Sequence[Hashable] | int,
+        config: ClusterConfig | None = None,
+        scheduler: str | Scheduler = "laf",
+        space: HashSpace = DEFAULT_SPACE,
+        failure_injector: Optional[FailureInjector] = None,
+    ) -> None:
+        if isinstance(worker_ids, int):
+            worker_ids = [f"worker-{i}" for i in range(worker_ids)]
+        self.worker_ids = list(worker_ids)
+        if not self.worker_ids:
+            raise SchedulingError("runtime needs at least one worker")
+        self.config = config or ClusterConfig()
+        self.space = space
+        self.dfs = DHTFileSystem(self.worker_ids, self.config.dfs, space)
+        self.dcache = DistributedCache(self.worker_ids, self.config.cache, space)
+        self.workers = {wid: Worker(wid) for wid in self.worker_ids}
+        self.failure_injector = failure_injector or FailureInjector()
+        if isinstance(scheduler, Scheduler):
+            self.scheduler = scheduler
+        elif scheduler == "laf":
+            # Ring-aligned initial ranges (and a ring-seeded moving average):
+            # the paper's starting state, keeping first reads node-local.
+            self.scheduler = LAFScheduler(
+                space, self.worker_ids, self.config.scheduler, ring=self.dfs.ring
+            )
+        elif scheduler == "delay":
+            self.scheduler = DelayScheduler(
+                space, self.worker_ids, self.config.scheduler, ring=self.dfs.ring
+            )
+        else:
+            raise SchedulingError(f"unknown scheduler {scheduler!r}")
+
+    # -- membership --------------------------------------------------------------
+
+    def fail_worker(self, worker_id: Hashable):
+        """Crash a worker between jobs: its disk, caches and queues are gone.
+
+        The DHT file system recovers from neighbor replicas (paper §II-A),
+        the schedulers re-cut their hash key tables over the survivors, and
+        subsequent jobs run normally.  Returns the DFS recovery report.
+        """
+        from repro.dfs.fault import recover_from_failure
+
+        if worker_id not in self.workers:
+            raise SchedulingError(f"unknown worker {worker_id!r}")
+        if len(self.worker_ids) == 1:
+            raise SchedulingError("cannot fail the last worker")
+        report = recover_from_failure(self.dfs, worker_id)
+        self.worker_ids.remove(worker_id)
+        del self.workers[worker_id]
+        self.dcache.remove_server(worker_id)
+        self.scheduler.remove_server(worker_id)
+        return report
+
+    # -- data -----------------------------------------------------------------
+
+    def upload(self, name: str, data: bytes, **kwargs: Any) -> None:
+        """Put an input file into the DHT file system."""
+        self.dfs.upload(name, data, **kwargs)
+
+    # -- job execution -----------------------------------------------------------
+
+    def run(self, job: MapReduceJob) -> JobResult:
+        """Execute one MapReduce job and return its outputs and statistics."""
+        stats = JobStats(tasks_per_server={wid: 0 for wid in self.worker_ids})
+        cache_before = self.dcache.stats()
+        meta = self.dfs.stat(job.input_file, user=job.user)
+
+        for desc in meta.blocks:
+            self._run_map_task(job, desc, stats)
+
+        output = self._run_reduce_phase(job, stats)
+
+        cache_after = self.dcache.stats()
+        stats.icache_hits = cache_after.icache_hits - cache_before.icache_hits
+        stats.icache_misses = cache_after.icache_misses - cache_before.icache_misses
+        stats.ocache_hits = cache_after.ocache_hits - cache_before.ocache_hits
+        stats.ocache_misses = cache_after.ocache_misses - cache_before.ocache_misses
+        # The job is done; its in-flight intermediate pairs are consumed.
+        for worker in self.workers.values():
+            worker.intermediates.discard_job(job.app_id)
+        return JobResult(app_id=job.app_id, output=output, stats=stats)
+
+    # -- map phase ------------------------------------------------------------------
+
+    def _run_map_task(self, job: MapReduceJob, desc: BlockDescriptor, stats: JobStats) -> None:
+        assignment = self.scheduler.assign(hash_key=desc.key)
+        self._sync_cache_ranges()
+        server = assignment.server
+        worker = self.workers[server]
+        stats.tasks_per_server[server] += 1
+        self.scheduler.notify_start(server)
+        try:
+            if job.reuse_intermediates and self._replay_intermediates(job, desc, stats):
+                stats.maps_skipped_by_reuse += 1
+                return
+            for attempt in range(self.MAX_TASK_ATTEMPTS):
+                try:
+                    self._execute_map(job, desc, server, stats)
+                    break
+                except _InjectedTaskFailure:
+                    stats.task_retries += 1
+            else:
+                raise SchedulingError(
+                    f"map task {desc.index} of {job.app_id!r} failed "
+                    f"{self.MAX_TASK_ATTEMPTS} times"
+                )
+            worker.map_tasks_run += 1
+            stats.map_tasks += 1
+        finally:
+            self.scheduler.notify_finish(server)
+
+    def _execute_map(self, job: MapReduceJob, desc: BlockDescriptor, server: Hashable, stats: JobStats) -> None:
+        data = self._read_block_with_cache(job, desc, server, stats)
+        spill = SpillBuffer(
+            space=self.space,
+            route=self.dfs.ring.owner_of,
+            deliver=lambda dest, sid, pairs, nbytes: self._deliver_spill(
+                job, dest, sid, pairs, nbytes, stats
+            ),
+            threshold_bytes=job.spill_buffer_bytes,
+            task_id=f"{job.app_id}/map{desc.index}",
+        )
+        fail_pending = self.failure_injector.should_fail(job.app_id, desc.index)
+        produced = 0
+        for key, value in job.map_fn(data):
+            spill.emit(key, value)
+            produced += 1
+            # Fail mid-stream: some spills may already be pushed; the retry
+            # must overwrite them, not duplicate them.
+            if fail_pending and produced >= 1:
+                raise _InjectedTaskFailure()
+        if fail_pending:
+            raise _InjectedTaskFailure()
+        spill.flush()
+        stats.spills += spill.spills
+        if job.cache_intermediates:
+            self._write_completion_marker(job, desc, spill)
+
+    def _read_block_with_cache(
+        self, job: MapReduceJob, desc: BlockDescriptor, server: Hashable, stats: JobStats
+    ) -> bytes:
+        from repro.dfs.blocks import BlockId
+
+        bid = BlockId(job.input_file, desc.index)
+        cache = self.dcache.worker(server)
+        hit, data = cache.get_input(bid)
+        if hit:
+            return data
+        block = self.dfs.read_block(job.input_file, desc.index, user=job.user)
+        if block.data is None:
+            raise FileSystemError(
+                f"{job.input_file!r} is size-only; the functional engine needs payloads"
+            )
+        holders = [
+            sid for sid, srv in self.dfs.servers.items() if srv.blocks.has(bid)
+        ]
+        if server in holders:
+            stats.local_block_reads += 1
+        else:
+            stats.remote_block_reads += 1
+        cache.put_input(bid, block.data, size=block.size, hash_key=desc.key)
+        return block.data
+
+    # -- shuffle ------------------------------------------------------------------
+
+    def _deliver_spill(
+        self,
+        job: MapReduceJob,
+        dest: Hashable,
+        spill_id: str,
+        pairs: list[tuple[Any, Any]],
+        nbytes: int,
+        stats: JobStats,
+    ) -> None:
+        if job.combiner is not None:
+            grouped: dict[Any, list[Any]] = defaultdict(list)
+            for k, v in pairs:
+                grouped[k].append(v)
+            pairs = [(k, v) for k, vs in grouped.items() for v in job.combiner(k, vs)]
+        self.workers[dest].intermediates.receive(job.app_id, spill_id, pairs, nbytes)
+        stats.bytes_shuffled += nbytes
+        if job.cache_intermediates:
+            payload = pickle.dumps(pairs, protocol=pickle.HIGHEST_PROTOCOL)
+            self.dcache.worker(dest).put_output(
+                job.app_id, spill_id, pairs, size=len(payload),
+                ttl=job.intermediate_ttl,
+                hash_key=self.space.key_of(repr(pairs[0][0])) if pairs else None,
+            )
+            obj_name = self._spill_object_name(job, spill_id)
+            if not self.dfs.exists(obj_name):
+                key = self.space.key_of(repr(pairs[0][0])) if pairs else 0
+                self.dfs.put_object(obj_name, payload, key, owner=job.user)
+
+    @staticmethod
+    def _spill_object_name(job: MapReduceJob, spill_id: str) -> str:
+        return f"_imr/{spill_id}"
+
+    @staticmethod
+    def _marker_name(job: MapReduceJob, block_index: int) -> str:
+        return f"_imr-done/{job.app_id}/{job.intermediate_tag(block_index)}"
+
+    def _write_completion_marker(self, job: MapReduceJob, desc: BlockDescriptor, spill: SpillBuffer) -> None:
+        """Record which spills a finished map task produced, so a later job
+        (or a restarted one) can reuse them without re-running the map."""
+        manifest = spill.manifest()
+        name = self._marker_name(job, desc.index)
+        if self.dfs.exists(name):
+            self.dfs.delete(name, user=job.user)
+        self.dfs.put_object(
+            name,
+            pickle.dumps(manifest, protocol=pickle.HIGHEST_PROTOCOL),
+            self.space.key_of(name),
+            owner=job.user,
+        )
+
+    def _replay_intermediates(self, job: MapReduceJob, desc: BlockDescriptor, stats: JobStats) -> bool:
+        """Reuse a previous run's intermediates for this map task if present.
+
+        Looks for the completion marker; for each recorded spill, takes the
+        pairs from the destination's oCache (hit) or re-reads them from the
+        DHT file system (miss), then feeds the reduce side as if the map had
+        run.  Returns True when the map computation was skipped.
+        """
+        name = self._marker_name(job, desc.index)
+        if not self.dfs.exists(name):
+            return False
+        manifest = pickle.loads(self.dfs.get_object(name, user=job.user))
+        for dest, spill_id in manifest:
+            cache = self.dcache.worker(dest)
+            hit, pairs = cache.get_output(job.app_id, spill_id)
+            if not hit:
+                payload = self.dfs.get_object(self._spill_object_name(job, spill_id), user=job.user)
+                pairs = pickle.loads(payload)
+                cache.put_output(job.app_id, spill_id, pairs, size=len(payload), ttl=job.intermediate_ttl)
+            nbytes = len(pickle.dumps(pairs, protocol=pickle.HIGHEST_PROTOCOL))
+            self.workers[dest].intermediates.receive(job.app_id, spill_id, pairs, nbytes)
+        return True
+
+    # -- reduce phase ------------------------------------------------------------------
+
+    def _run_reduce_phase(self, job: MapReduceJob, stats: JobStats) -> dict[Any, Any]:
+        """One reduce task per worker holding intermediates, run in place."""
+        output: dict[Any, Any] = {}
+        for wid in self.worker_ids:
+            worker = self.workers[wid]
+            pairs = worker.intermediates.pairs_for(job.app_id)
+            if not pairs:
+                continue
+            self.scheduler.notify_start(wid)
+            try:
+                grouped: dict[Any, list[Any]] = defaultdict(list)
+                for k, v in pairs:
+                    grouped[k].append(v)
+                for k, values in grouped.items():
+                    if k in output:
+                        raise SchedulingError(
+                            f"intermediate key {k!r} reduced on two servers"
+                        )
+                    output[k] = job.reduce_fn(k, values)
+                worker.reduce_tasks_run += 1
+                stats.reduce_tasks += 1
+                stats.tasks_per_server[wid] += 1
+            finally:
+                self.scheduler.notify_finish(wid)
+        return output
+
+    # -- plumbing -----------------------------------------------------------------------
+
+    def _sync_cache_ranges(self) -> None:
+        """Keep the distributed cache's ranges aligned with the scheduler's."""
+        if isinstance(self.scheduler, LAFScheduler):
+            if self.dcache.partition is not self.scheduler.partition:
+                self.dcache.set_partition(self.scheduler.partition)
+
+    def cache_hit_ratio(self) -> float:
+        return self.dcache.stats().hit_ratio
+
+
+class _InjectedTaskFailure(Exception):
+    """Raised inside a map task by the failure injector."""

@@ -1,0 +1,139 @@
+"""Proactive shuffle (paper §II-D).
+
+Hadoop buffers map output on the mapper's local disk and ships it to
+reducers in a separate shuffle phase.  EclipseMR instead decides the
+reduce-side *location* of every intermediate pair up front -- the server
+whose DHT range covers the hash key of the intermediate key -- and pushes
+pairs there *while the map task is still producing them*: each mapper
+keeps one memory buffer per destination range and spills a buffer to the
+DHT file system whenever it crosses the application-set threshold (32 MB
+in the paper's runs).
+
+Because placement is determined by consistent hashing, reducers are then
+scheduled exactly where their data already sits and the shuffle phase
+disappears into the map phase.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import defaultdict
+from typing import Any, Callable, Hashable
+
+from repro.common.hashing import HashSpace
+
+__all__ = ["SpillBuffer", "IntermediateStore"]
+
+
+class IntermediateStore:
+    """Reduce-side storage of pushed intermediate pairs, per job.
+
+    Lives on each worker; what lands here is what that worker's reduce
+    task will consume.  ``pairs`` keeps arrival order so re-pushed (retried)
+    map output can be deduplicated by task id.
+    """
+
+    def __init__(self, server_id: Hashable) -> None:
+        self.server_id = server_id
+        self._pairs: dict[str, dict[str, list[tuple[Any, Any]]]] = defaultdict(dict)
+        self.bytes_received = 0
+
+    def receive(self, job_id: str, spill_id: str, pairs: list[tuple[Any, Any]], nbytes: int) -> None:
+        """Accept one spill.  Re-delivery of the same spill id (a retried
+        map task) overwrites rather than duplicates."""
+        self._pairs[job_id][spill_id] = pairs
+        self.bytes_received += nbytes
+
+    def pairs_for(self, job_id: str) -> list[tuple[Any, Any]]:
+        """All pairs pushed for a job, grouped later by the reduce task."""
+        out: list[tuple[Any, Any]] = []
+        for spill in self._pairs.get(job_id, {}).values():
+            out.extend(spill)
+        return out
+
+    def discard_job(self, job_id: str) -> None:
+        self._pairs.pop(job_id, None)
+
+    def spill_count(self, job_id: str) -> int:
+        return len(self._pairs.get(job_id, {}))
+
+
+class SpillBuffer:
+    """A mapper's per-destination buffers with threshold-triggered pushes.
+
+    ``deliver(dest_server, spill_id, pairs, nbytes)`` is called for every
+    spill; the runtime wires it to the destination's
+    :class:`IntermediateStore`, its oCache, and the DHT file system.
+    """
+
+    def __init__(
+        self,
+        space: HashSpace,
+        route: Callable[[int], Hashable],
+        deliver: Callable[[Hashable, str, list[tuple[Any, Any]], int], None],
+        threshold_bytes: int,
+        task_id: str,
+    ) -> None:
+        """``route`` maps an intermediate hash key to its reduce-side server
+        (the DHT file system owner in EclipseMR)."""
+        if threshold_bytes <= 0:
+            raise ValueError("spill threshold must be positive")
+        self.space = space
+        self.route = route
+        self.deliver = deliver
+        self.threshold = threshold_bytes
+        self.task_id = task_id
+        self._buffers: dict[Hashable, list[tuple[Any, Any]]] = defaultdict(list)
+        self._sizes: dict[Hashable, int] = defaultdict(int)
+        self._spill_seq: dict[Hashable, int] = defaultdict(int)
+        self.spills = 0
+        self.bytes_pushed = 0
+
+    @staticmethod
+    def pair_size(key: Any, value: Any) -> int:
+        """Serialized size of one pair -- what fills a 32 MB payload buffer."""
+        return len(pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL))
+
+    def key_of(self, key: Any) -> int:
+        """Hash key of an intermediate key (its place on the ring)."""
+        return self.space.key_of(repr(key))
+
+    def emit(self, key: Any, value: Any) -> None:
+        """Buffer one pair; spill its destination buffer when full."""
+        dest = self.route(self.key_of(key))
+        self._buffers[dest].append((key, value))
+        self._sizes[dest] += self.pair_size(key, value)
+        if self._sizes[dest] >= self.threshold:
+            self._spill(dest)
+    def _spill(self, dest: Hashable) -> None:
+        pairs = self._buffers.pop(dest, [])
+        nbytes = self._sizes.pop(dest, 0)
+        if not pairs:
+            return
+        seq = self._spill_seq[dest]
+        self._spill_seq[dest] = seq + 1
+        spill_id = f"{self.task_id}/{dest}/{seq}"
+        self.deliver(dest, spill_id, pairs, nbytes)
+        self.spills += 1
+        self.bytes_pushed += nbytes
+
+    def flush(self) -> None:
+        """Push every remaining buffer (map task finished)."""
+        for dest in list(self._buffers):
+            self._spill(dest)
+
+    @property
+    def buffered_bytes(self) -> int:
+        return sum(self._sizes.values())
+
+    def manifest(self) -> list[tuple[Hashable, str]]:
+        """Every ``(destination, spill_id)`` this buffer has pushed.
+
+        Valid after :meth:`flush`; persisted as the map task's completion
+        marker so later jobs can replay the spills without re-mapping.
+        """
+        return [
+            (dest, f"{self.task_id}/{dest}/{seq}")
+            for dest, count in self._spill_seq.items()
+            for seq in range(count)
+        ]

@@ -1,0 +1,49 @@
+"""The performance plane: MapReduce jobs on the discrete-event cluster.
+
+The functional plane proves what EclipseMR computes; this package
+reproduces how long the paper's systems take.  Jobs become discrete-event
+processes that contend for map/reduce slots, a single HDD per node, the
+OS page cache, and a two-level network -- with per-framework overheads
+(YARN containers, NameNode lookups, RDD construction) layered on top.
+
+* :mod:`repro.perfmodel.profiles` -- per-application cost profiles
+  (CPU per byte, shuffle ratio, iteration output size).
+* :mod:`repro.perfmodel.framework` -- framework behaviour descriptors for
+  EclipseMR (LAF / delay), Hadoop and Spark.
+* :mod:`repro.perfmodel.placement` -- input block layouts (DHT hashing vs
+  HDFS-style placement, including skewed layouts).
+* :mod:`repro.perfmodel.engine` -- the job execution engine.
+"""
+
+from repro.perfmodel.profiles import AppProfile, APP_PROFILES
+from repro.perfmodel.framework import (
+    FrameworkModel,
+    eclipse_framework,
+    hadoop_framework,
+    spark_framework,
+)
+from repro.perfmodel.placement import BlockSpec, dht_layout, hdfs_layout, skewed_task_keys
+from repro.perfmodel.engine import JobTiming, PerfEngine, SimJobSpec
+from repro.perfmodel.trace import TaskRecord, TaskTrace, gantt
+from repro.perfmodel.validation import PlaneComparison, compare_planes
+
+__all__ = [
+    "AppProfile",
+    "APP_PROFILES",
+    "FrameworkModel",
+    "eclipse_framework",
+    "hadoop_framework",
+    "spark_framework",
+    "BlockSpec",
+    "dht_layout",
+    "hdfs_layout",
+    "skewed_task_keys",
+    "JobTiming",
+    "PerfEngine",
+    "SimJobSpec",
+    "TaskRecord",
+    "TaskTrace",
+    "gantt",
+    "PlaneComparison",
+    "compare_planes",
+]

@@ -1,0 +1,161 @@
+"""Input block layouts for the performance model.
+
+Where blocks physically live drives locality and skew.  Two placements:
+
+* :func:`dht_layout` -- EclipseMR's DHT file system: every block lands on
+  the ring owner of its hash key (replicas on the neighbors), so block
+  counts per server concentrate like a multinomial -- naturally even.
+* :func:`hdfs_layout` -- HDFS-style placement with a configurable skew
+  knob: by default blocks go to uniformly random servers (3 replicas,
+  second and third rack-aware); a ``skew`` > 0 concentrates primaries on
+  few servers, reproducing the input-block-skew problem of §I.
+
+:func:`skewed_task_keys` builds the Fig. 7 access pattern: a task stream
+whose *hash keys* follow two merged normal distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.hashing import HashSpace
+from repro.common.rng import derive_rng
+from repro.dht.ring import ConsistentHashRing
+
+__all__ = ["BlockSpec", "dht_layout", "hdfs_layout", "skewed_task_keys"]
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One input block in the performance model."""
+
+    block_id: str
+    key: int
+    size: int
+    primary: int
+    """Index of the server holding the primary copy."""
+
+    holders: tuple[int, ...]
+    """All servers holding a copy (primary first)."""
+
+
+def dht_layout(
+    space: HashSpace,
+    ring: ConsistentHashRing,
+    file_name: str,
+    num_blocks: int,
+    block_size: int,
+    replication: int = 2,
+) -> list[BlockSpec]:
+    """Blocks placed by the DHT file system's consistent hashing."""
+    blocks = []
+    for i in range(num_blocks):
+        key = space.block_key(file_name, i)
+        holders = tuple(ring.replica_set(key, extra=replication))
+        blocks.append(
+            BlockSpec(
+                block_id=f"{file_name}#{i}",
+                key=key,
+                size=block_size,
+                primary=holders[0],
+                holders=holders,
+            )
+        )
+    return blocks
+
+
+def hdfs_layout(
+    space: HashSpace,
+    servers: Sequence[int],
+    file_name: str,
+    num_blocks: int,
+    block_size: int,
+    seed: int = 0,
+    replication: int = 3,
+    skew: float = 0.0,
+    rack_of=None,
+) -> list[BlockSpec]:
+    """HDFS-style placement: random primary, replicas on other servers.
+
+    ``skew`` in [0, 1) biases primaries toward low-index servers with a
+    geometric-like weighting; 0 is uniform.  Hash keys are still derived
+    from the block id so consistent-hashing schedulers can be pointed at
+    an HDFS layout in ablations.
+    """
+    rng = derive_rng(seed, "hdfs_layout", file_name)
+    servers = list(servers)
+    n = len(servers)
+    if skew > 0:
+        weights = np.power(1.0 - skew, np.arange(n))
+        weights /= weights.sum()
+    else:
+        weights = np.full(n, 1.0 / n)
+    blocks = []
+    for i in range(num_blocks):
+        primary = int(rng.choice(n, p=weights))
+        others = [s for s in range(n) if s != primary]
+        if rack_of is not None and replication >= 2:
+            # HDFS default: second replica off-rack, third on that rack.
+            off_rack = [s for s in others if rack_of(s) != rack_of(primary)] or others
+            second = int(rng.choice(off_rack))
+            rest = [s for s in others if s != second]
+            same_as_second = [s for s in rest if rack_of(s) == rack_of(second)] or rest
+            third = int(rng.choice(same_as_second)) if replication >= 3 and rest else None
+            holders = [primary, second] + ([third] if third is not None else [])
+        else:
+            extra = rng.choice(others, size=min(replication - 1, len(others)), replace=False)
+            holders = [primary] + [int(s) for s in extra]
+        blocks.append(
+            BlockSpec(
+                block_id=f"{file_name}#{i}",
+                key=space.block_key(file_name, i),
+                size=block_size,
+                primary=primary,
+                holders=tuple(dict.fromkeys(holders)),
+            )
+        )
+    return blocks
+
+
+def skewed_task_keys(
+    blocks: list[BlockSpec],
+    num_tasks: int,
+    seed: int = 0,
+    centers: tuple[float, float] = (0.3, 0.7),
+    stddev: float = 0.06,
+) -> list[BlockSpec]:
+    """A task stream accessing blocks with bimodal hash-key popularity.
+
+    Reproduces the Fig. 7 workload: block access frequencies follow two
+    merged normal distributions over the hash key space, so some blocks
+    are hammered while others are rarely touched.
+    """
+    if not blocks:
+        raise ValueError("need at least one block")
+    rng = derive_rng(seed, "skewed_tasks")
+    space_size = max(b.key for b in blocks) + 1
+    keys = np.array([b.key for b in blocks], dtype=float)
+    half = num_tasks // 2
+    samples = np.concatenate(
+        [
+            rng.normal(centers[0] * space_size, stddev * space_size, size=half),
+            rng.normal(centers[1] * space_size, stddev * space_size, size=num_tasks - half),
+        ]
+    ) % space_size
+    rng.shuffle(samples)
+    # Each sampled key is served by the block nearest in key space.
+    order = np.argsort(keys)
+    sorted_keys = keys[order]
+    idx = np.searchsorted(sorted_keys, samples)
+    idx = np.clip(idx, 0, len(blocks) - 1)
+    # Snap to the closer of the two neighbors.
+    left = np.clip(idx - 1, 0, len(blocks) - 1)
+    pick = np.where(
+        np.abs(sorted_keys[idx] - samples) <= np.abs(sorted_keys[left] - samples),
+        idx,
+        left,
+    )
+    return [blocks[order[i]] for i in pick]

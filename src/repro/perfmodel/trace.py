@@ -1,0 +1,118 @@
+"""Task-level tracing for the performance engine.
+
+A :class:`TaskTrace` collects per-task lifecycle events (scheduled,
+slot-granted, input-read, compute, shuffle, done) so experiments can
+explain *why* a schedule is slow: wave structure, stragglers, delay-wait
+stalls.  :func:`gantt` renders the timeline as an ASCII chart per server.
+
+Tracing is opt-in (``PerfEngine.trace = TaskTrace()``) and adds no cost
+when off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["TaskRecord", "TaskTrace", "gantt"]
+
+
+@dataclass
+class TaskRecord:
+    """One task's lifecycle timestamps (simulation seconds)."""
+
+    task_id: str
+    kind: str                       # "map" | "reduce"
+    server: int
+    scheduled_at: float
+    started_at: Optional[float] = None
+    done_at: Optional[float] = None
+    reassigned: bool = False
+    cache_hit: Optional[bool] = None
+
+    @property
+    def wait(self) -> float:
+        """Time from scheduling to slot grant (queueing + delay waits)."""
+        if self.started_at is None:
+            return 0.0
+        return self.started_at - self.scheduled_at
+
+    @property
+    def service(self) -> float:
+        """Slot-occupancy time."""
+        if self.started_at is None or self.done_at is None:
+            return 0.0
+        return self.done_at - self.started_at
+
+
+class TaskTrace:
+    """Collects task records during a run."""
+
+    def __init__(self) -> None:
+        self.records: list[TaskRecord] = []
+
+    def open(self, task_id: str, kind: str, server: int, now: float) -> TaskRecord:
+        rec = TaskRecord(task_id=task_id, kind=kind, server=server, scheduled_at=now)
+        self.records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- analysis -----------------------------------------------------------------
+
+    def by_server(self) -> dict[int, list[TaskRecord]]:
+        out: dict[int, list[TaskRecord]] = {}
+        for rec in self.records:
+            out.setdefault(rec.server, []).append(rec)
+        return out
+
+    def total_wait(self) -> float:
+        return sum(r.wait for r in self.records)
+
+    def stragglers(self, factor: float = 2.0) -> list[TaskRecord]:
+        """Tasks whose service time exceeds ``factor`` x the median."""
+        services = sorted(r.service for r in self.records if r.done_at is not None)
+        if not services:
+            return []
+        median = services[len(services) // 2]
+        if median == 0:
+            return []
+        return [r for r in self.records if r.service > factor * median]
+
+    def makespan(self) -> float:
+        done = [r.done_at for r in self.records if r.done_at is not None]
+        started = [r.scheduled_at for r in self.records]
+        if not done or not started:
+            return 0.0
+        return max(done) - min(started)
+
+
+def gantt(trace: TaskTrace, width: int = 80, max_servers: int = 20) -> str:
+    """ASCII timeline: one row per server, ``#`` for busy, ``.`` for idle.
+
+    Rows are down-sampled to ``width`` columns over the trace's makespan;
+    a column is busy if any task on that server overlaps it.
+    """
+    records = [r for r in trace.records if r.started_at is not None and r.done_at is not None]
+    if not records:
+        return "(no completed tasks)"
+    t0 = min(r.scheduled_at for r in records)
+    t1 = max(r.done_at for r in records)
+    span = max(t1 - t0, 1e-9)
+    lines = [f"task timeline: {len(records)} tasks over {span:.1f}s"]
+    for server, recs in sorted(trace.by_server().items())[:max_servers]:
+        row = []
+        for col in range(width):
+            lo = t0 + span * col / width
+            hi = t0 + span * (col + 1) / width
+            busy = any(
+                r.started_at is not None and r.done_at is not None
+                and r.started_at < hi and r.done_at > lo
+                for r in recs
+            )
+            row.append("#" if busy else ".")
+        lines.append(f"  node {server:>3} |{''.join(row)}|")
+    if len(trace.by_server()) > max_servers:
+        lines.append(f"  ... ({len(trace.by_server()) - max_servers} more servers)")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Job schedulers (paper §II-E, §II-F).
+
+* :mod:`repro.scheduler.partition` -- equally-probable hash-key-range
+  partitions of the key space (the scheduler's hash key table).
+* :mod:`repro.scheduler.histogram` -- the box-kernel-density access
+  histogram and exponential moving average behind Algorithm 1.
+* :mod:`repro.scheduler.base` -- the scheduling interface shared by the
+  functional engine and the performance model.
+* :mod:`repro.scheduler.laf` -- the locality-aware fair scheduler
+  (Algorithm 1).
+* :mod:`repro.scheduler.delay` -- the EclipseMR variant of Spark's delay
+  scheduling used as the paper's baseline.
+* :mod:`repro.scheduler.fair` -- a Hadoop-style locality-preference fair
+  scheduler for the Hadoop baseline model.
+"""
+
+from repro.scheduler.partition import SpacePartition
+from repro.scheduler.histogram import AccessHistogram, MovingAverageDistribution
+from repro.scheduler.base import Assignment, Scheduler
+from repro.scheduler.laf import LAFScheduler
+from repro.scheduler.delay import DelayScheduler
+from repro.scheduler.fair import FairScheduler
+
+__all__ = [
+    "SpacePartition",
+    "AccessHistogram",
+    "MovingAverageDistribution",
+    "Assignment",
+    "Scheduler",
+    "LAFScheduler",
+    "DelayScheduler",
+    "FairScheduler",
+]

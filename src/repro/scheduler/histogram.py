@@ -1,0 +1,162 @@
+"""The access-pattern statistics behind LAF scheduling (Algorithm 1).
+
+The job scheduler quantizes the hash key space into a large number of
+fine-grained bins and, for every input block access, credits ``1/k`` to
+``k`` adjacent bins -- a *box kernel density estimate* whose bandwidth
+``k`` smooths the probability distribution function.  Every ``N`` tasks
+the fresh histogram is folded into a running estimate with an exponential
+moving average (weight ``alpha``), the CDF is built, and the key space is
+cut into equally probable ranges.
+
+All hot paths are vectorized NumPy: recording an access touches one slice,
+and re-partitioning is a ``cumsum`` plus one ``interp``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.common.errors import SchedulingError
+from repro.common.hashing import HashSpace
+from repro.scheduler.partition import SpacePartition
+
+__all__ = ["AccessHistogram", "MovingAverageDistribution"]
+
+
+class AccessHistogram:
+    """Box-KDE histogram of the hash keys accessed by recent tasks."""
+
+    def __init__(self, space: HashSpace, num_bins: int = 1024, bandwidth: int = 8) -> None:
+        if num_bins < 1:
+            raise SchedulingError("histogram needs at least one bin")
+        if not 1 <= bandwidth <= num_bins:
+            raise SchedulingError("bandwidth must be in [1, num_bins]")
+        self.space = space
+        self.num_bins = num_bins
+        self.bandwidth = bandwidth
+        self.counts = np.zeros(num_bins, dtype=np.float64)
+        self.size = 0
+        """Accesses recorded since the last reset (``distr.size`` in Alg. 1)."""
+
+    def bin_of(self, key: int) -> int:
+        self.space.validate(key)
+        return int(key * self.num_bins // self.space.size)
+
+    def record(self, key: int) -> None:
+        """Credit ``1/k`` to the ``k`` bins centered on the key's bin.
+
+        The key space is circular, so the kernel wraps at the ends.
+        """
+        center = self.bin_of(key)
+        k = self.bandwidth
+        start = center - (k - 1) // 2
+        idx = np.arange(start, start + k) % self.num_bins
+        self.counts[idx] += 1.0 / k
+        self.size += 1
+
+    def record_many(self, keys: Sequence[int]) -> None:
+        for key in keys:
+            self.record(key)
+
+    def reset(self) -> None:
+        """``initializeDistribution`` in Algorithm 1."""
+        self.counts[:] = 0.0
+        self.size = 0
+
+    def pdf(self) -> np.ndarray:
+        """Normalized copy of the counts (uniform when nothing recorded)."""
+        total = self.counts.sum()
+        if total <= 0:
+            return np.full(self.num_bins, 1.0 / self.num_bins)
+        return self.counts / total
+
+
+class MovingAverageDistribution:
+    """``maDistr`` in Algorithm 1: the exponentially smoothed access PDF.
+
+    ``alpha = 1`` tracks only the current window (perfect load balance for
+    the present workload); ``alpha = 0`` never moves, pinning the ranges to
+    their initial (static) state -- the two extremes Fig. 7 sweeps.
+    """
+
+    def __init__(self, space: HashSpace, num_bins: int = 1024, alpha: float = 0.001) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise SchedulingError(f"alpha must be in [0, 1], got {alpha}")
+        self.space = space
+        self.num_bins = num_bins
+        self.alpha = alpha
+        # Start uniform: with no history every range is equally likely.
+        self.ma = np.full(num_bins, 1.0 / num_bins, dtype=np.float64)
+
+    def seed_from_boundaries(self, boundaries: Sequence[int]) -> None:
+        """Initialize the PDF so equal-probability re-cuts reproduce the
+        given boundaries.
+
+        Used to align LAF's starting state with the DHT file system ring:
+        each segment ``[b_i, b_{i+1})`` receives ``1/n`` of the mass spread
+        uniformly over its bins, so until real access data accumulates,
+        every re-partition returns (approximately) the same boundaries and
+        cache affinity with block placement is preserved.
+        """
+        bounds = [int(b) for b in boundaries]
+        n = len(bounds) - 1
+        if n < 1 or bounds[0] != 0 or bounds[-1] != self.space.size:
+            raise SchedulingError("seed boundaries must span [0, space.size]")
+        edges = np.asarray(bounds, dtype=float) / self.space.size * self.num_bins
+        pdf = np.zeros(self.num_bins, dtype=np.float64)
+        share = 1.0 / n
+        for i in range(n):
+            lo, hi = edges[i], edges[i + 1]
+            if hi <= lo:
+                continue
+            first, last = int(np.floor(lo)), int(np.ceil(hi)) - 1
+            density = share / (hi - lo)
+            for b in range(max(0, first), min(self.num_bins - 1, last) + 1):
+                overlap = min(hi, b + 1) - max(lo, b)
+                if overlap > 0:
+                    pdf[b] += density * overlap
+        total = pdf.sum()
+        if total > 0:
+            self.ma = pdf / total
+
+    def merge(self, histogram: AccessHistogram) -> None:
+        """Line 15 of Algorithm 1: ``ma = alpha*distr + (1-alpha)*ma``."""
+        if histogram.num_bins != self.num_bins:
+            raise SchedulingError("histogram and moving average bin counts differ")
+        self.ma = self.alpha * histogram.pdf() + (1.0 - self.alpha) * self.ma
+
+    def cdf(self) -> np.ndarray:
+        """``constructCDF``: cumulative distribution at the bin edges.
+
+        Returns ``num_bins + 1`` values from 0 to 1.
+        """
+        total = self.ma.sum()
+        pdf = self.ma / total if total > 0 else np.full(self.num_bins, 1.0 / self.num_bins)
+        out = np.empty(self.num_bins + 1)
+        out[0] = 0.0
+        np.cumsum(pdf, out=out[1:])
+        out[-1] = 1.0
+        return out
+
+    def partition(self, servers: Sequence[Hashable]) -> SpacePartition:
+        """``partitionCDF``: equally probable hash key ranges, one per server.
+
+        Boundaries are found by inverse-CDF lookup with linear interpolation
+        inside bins, so a popular narrow region yields narrow ranges exactly
+        as in the paper's Fig. 3 example.
+        """
+        servers = list(servers)
+        n = len(servers)
+        if n == 0:
+            raise SchedulingError("partition needs at least one server")
+        cdf = self.cdf()
+        edges = np.linspace(0.0, float(self.space.size), self.num_bins + 1)
+        quantiles = np.arange(1, n) / n
+        cuts = np.interp(quantiles, cdf, edges)
+        bounds = [0] + [int(round(c)) for c in cuts] + [self.space.size]
+        # Guard against rounding inversions on nearly-flat CDFs.
+        for i in range(1, len(bounds)):
+            bounds[i] = min(self.space.size, max(bounds[i], bounds[i - 1]))
+        return SpacePartition(self.space, servers, bounds)

@@ -1,0 +1,106 @@
+"""The locality-aware fair (LAF) job scheduler -- Algorithm 1 of the paper.
+
+Every task carries the hash key of its input object.  The scheduler keeps
+the hash key table -- one equally probable range per worker -- and assigns
+each task to the worker whose range covers its key, so repeated accesses to
+the same object land on the same worker and hit its in-memory cache.
+
+Fairness comes from how the ranges are drawn: a box-KDE histogram of the
+last ``N`` accesses is folded into a moving-average PDF (weight ``alpha``),
+and the CDF is re-cut into equal-probability ranges.  Popular regions get
+narrow ranges (fewer keys, same expected task count), so load stays even
+under skew *without* giving up cache affinity.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence
+
+from repro.common.config import SchedulerConfig
+from repro.common.errors import SchedulingError
+from repro.common.hashing import HashSpace
+from repro.scheduler.base import Assignment, Scheduler
+from repro.scheduler.histogram import AccessHistogram, MovingAverageDistribution
+from repro.scheduler.partition import SpacePartition
+
+__all__ = ["LAFScheduler"]
+
+
+class LAFScheduler(Scheduler):
+    """Predictive consistent-hashing scheduler with dynamic ranges."""
+
+    def __init__(
+        self,
+        space: HashSpace,
+        servers: Sequence[Hashable],
+        config: SchedulerConfig | None = None,
+        ring=None,
+    ) -> None:
+        """With a ``ring`` (the DHT file system's), the initial hash key
+        table is aligned to the ring's arcs -- the paper's starting state,
+        which keeps first-touch reads node-local until the access histogram
+        has something to say.  Without one, ranges start uniform."""
+        super().__init__(servers)
+        self.space = space
+        self.config = config or SchedulerConfig()
+        cfg = self.config
+        self.histogram = AccessHistogram(space, cfg.num_bins, cfg.kde_bandwidth)
+        self.ma = MovingAverageDistribution(space, cfg.num_bins, cfg.alpha)
+        if ring is not None:
+            if set(ring.nodes) != set(self.servers):
+                raise SchedulingError("ring nodes do not match the scheduler's servers")
+            self.partition = SpacePartition.from_ring(ring)
+            # Keep re-cut ranges in ring order so boundary moves stay small
+            # and near-aligned with block placement...
+            self._partition_order = list(ring.nodes)
+            # ...and seed the moving average with the ring's arc structure:
+            # otherwise the first window merge (weight alpha against a
+            # *uniform* prior) would snap the ranges to near-uniform and
+            # throw away cache affinity with block placement.
+            self.ma.seed_from_boundaries([0] + ring.positions[:-1] + [space.size])
+        else:
+            self.partition = SpacePartition.uniform(space, self.servers)
+            self._partition_order = list(self.servers)
+        self.repartition_count = 0
+
+    def assign(
+        self,
+        hash_key: Optional[int] = None,
+        locations: Optional[Sequence[Hashable]] = None,
+    ) -> Assignment:
+        """Assign to the hash range owner; record the access (Algorithm 1).
+
+        A key pinned by degenerate ranges (a hot spot that swallowed the
+        whole CDF) has several candidate workers; the least loaded one wins,
+        which is what replicates the hot object across the cluster in the
+        paper's extreme example.
+        """
+        if hash_key is None:
+            raise SchedulingError("LAF scheduling needs the task's hash key")
+        candidates = self.partition.candidates(hash_key)
+        server = candidates[0] if len(candidates) == 1 else self.least_loaded(candidates)
+        self._note_assignment(server)
+        self._record(hash_key)
+        return Assignment(server, wait_limit=None, reason="LAF hash range owner")
+
+    def _record(self, hash_key: int) -> None:
+        """Lines 10-23 of Algorithm 1: histogram, then periodic re-cut."""
+        self.histogram.record(hash_key)
+        if self.histogram.size >= self.config.window_tasks:
+            self.ma.merge(self.histogram)
+            self.partition = self.ma.partition(self._partition_order)
+            self.histogram.reset()
+            self.repartition_count += 1
+
+    def _on_membership_change(self) -> None:
+        """Re-cut the ranges over the surviving servers.
+
+        The moving-average PDF is membership-independent, so the new table
+        keeps all learned popularity; only the number of quantiles changes.
+        """
+        self._partition_order = [s for s in self._partition_order if s in self._load]
+        self.partition = self.ma.partition(self._partition_order)
+
+    def range_table(self) -> list[tuple[Hashable, int, int]]:
+        """The current hash key table (server, start, end)."""
+        return self.partition.as_table()

@@ -1,0 +1,150 @@
+"""Hash-key-range partitions of the key space.
+
+The LAF scheduler's output is a *partition*: the key space ``[0, size)``
+cut into one contiguous segment per worker, anchored at key 0 exactly as
+in the paper's Fig. 3 example (five servers over ``[0, 140)`` become
+``[0,35) [35,47) [47,91) [91,102) [102,140)``).
+
+Segments may be *degenerate* (zero width): when a single hash key carries
+all the probability mass, ``partitionCDF()`` produces ranges like
+``[40,40)`` (paper §II-E).  A degenerate segment captures no key by
+interval arithmetic, but the paper's intent is that the servers pinned to
+the hot key *share* it ("all the worker servers will eventually read the
+same hot data 40 ... and replicate it in their distributed in-memory
+caches"), so :meth:`SpacePartition.candidates` returns every server whose
+segment contains the key **or** whose degenerate segment sits exactly on
+it; the scheduler load-balances among those candidates.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Hashable, Sequence
+
+from repro.common.errors import SchedulingError
+from repro.common.hashing import HashSpace
+
+__all__ = ["SpacePartition"]
+
+
+class SpacePartition:
+    """An ordered cut of ``[0, space.size)`` into one segment per server."""
+
+    def __init__(
+        self,
+        space: HashSpace,
+        servers: Sequence[Hashable],
+        boundaries: Sequence[int],
+        offset: int = 0,
+    ) -> None:
+        """``boundaries`` has ``len(servers) + 1`` non-decreasing entries,
+        starting at 0 and ending at ``space.size``; server ``i`` owns
+        ``[boundaries[i], boundaries[i+1])`` *after* keys are rotated by
+        ``offset`` (``key' = (key - offset) mod size``).  A rotation lets a
+        linear partition represent a circular ring cut exactly."""
+        servers = list(servers)
+        if len(servers) == 0:
+            raise SchedulingError("partition needs at least one server")
+        bounds = [int(b) for b in boundaries]
+        if len(bounds) != len(servers) + 1:
+            raise SchedulingError(
+                f"{len(servers)} servers need {len(servers) + 1} boundaries, got {len(bounds)}"
+            )
+        if bounds[0] != 0 or bounds[-1] != space.size:
+            raise SchedulingError("boundaries must start at 0 and end at space.size")
+        if any(lo > hi for lo, hi in zip(bounds, bounds[1:])):
+            raise SchedulingError("boundaries must be non-decreasing")
+        self.space = space
+        self.servers = servers
+        self.boundaries = bounds
+        self.offset = int(offset) % space.size
+
+    @classmethod
+    def uniform(cls, space: HashSpace, servers: Sequence[Hashable]) -> "SpacePartition":
+        """Equal-width segments (what LAF converges to on uniform access)."""
+        n = len(list(servers))
+        if n == 0:
+            raise SchedulingError("partition needs at least one server")
+        bounds = [space.size * i // n for i in range(n)] + [space.size]
+        return cls(space, servers, bounds)
+
+    @classmethod
+    def from_ring(cls, ring) -> "SpacePartition":
+        """A partition exactly matching a consistent hash ring's arcs.
+
+        The key space is rotated so the top ring position lands on 0,
+        turning the circular arcs into a plain linear cut.  This is the
+        paper's "fixed static hash key ranges ... perfectly aligned with
+        the hash keys of the DHT file system" starting state for LAF.
+        """
+        positions = ring.positions
+        nodes = ring.nodes  # ordered by position
+        if not nodes:
+            raise SchedulingError("cannot align a partition to an empty ring")
+        space = ring.space
+        # Rotate the key space so the top ring position maps to 0: the
+        # circular arcs then become a plain linear partition and ownership
+        # matches the ring exactly.  Node i (at position p_i) owns the
+        # rotated segment ending at (p_i - p_max) mod size.
+        p_max = positions[-1]
+        bounds = [0] + [(p - p_max) % space.size for p in positions[:-1]] + [space.size]
+        return cls(space, list(nodes), bounds, offset=p_max)
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def segment_of(self, server: Hashable) -> tuple[int, int]:
+        """The ``[start, end)`` segment a server owns."""
+        i = self.servers.index(server)
+        return self.boundaries[i], self.boundaries[i + 1]
+
+    def width_of(self, server: Hashable) -> int:
+        start, end = self.segment_of(server)
+        return end - start
+
+    def owner_of(self, key: int) -> Hashable:
+        """The unique server whose non-degenerate segment contains ``key``."""
+        self.space.validate(key)
+        key = self._rotate(key)
+        # The last boundary <= key opens the segment containing it; that
+        # segment can never be degenerate (a later equal boundary would
+        # have been found instead), so the owner is unique.
+        idx = bisect.bisect_right(self.boundaries, key) - 1
+        return self.servers[idx]
+
+    def _rotate(self, key: int) -> int:
+        return (key - self.offset) % self.space.size if self.offset else key
+
+    def candidates(self, key: int) -> list[Hashable]:
+        """The owner plus every server whose degenerate segment pins ``key``.
+
+        For ordinary keys this is a single server; for a hot key on which
+        the CDF jumps, the degenerate-segment servers are returned too so
+        the scheduler can spread the hot key across them (paper §II-E's
+        extreme example).
+        """
+        owner = self.owner_of(key)
+        rk = self._rotate(key)
+        out = [
+            server
+            for server, (start, end) in zip(self.servers, self._segments())
+            if (start <= rk < end) or (start == end == rk) or server == owner
+        ]
+        return out
+
+    def _segments(self):
+        return [
+            (self.boundaries[i], self.boundaries[i + 1])
+            for i in range(len(self.servers))
+        ]
+
+    def as_table(self) -> list[tuple[Hashable, int, int]]:
+        """(server, start, end) rows -- the scheduler's hash key table."""
+        return [
+            (server, start, end)
+            for server, (start, end) in zip(self.servers, self._segments())
+        ]
+
+    def __repr__(self) -> str:
+        rows = ", ".join(f"{s!r}:[{a}~{b})" for s, a, b in self.as_table())
+        return f"<SpacePartition {rows}>"

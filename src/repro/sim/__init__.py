@@ -1,0 +1,61 @@
+"""Discrete-event simulation substrate.
+
+The paper's evaluation ran on a 40-node cluster; this package replaces that
+testbed with a from-scratch discrete-event kernel plus calibrated hardware
+models:
+
+* :mod:`repro.sim.engine` -- event heap, generator-based processes,
+  timeouts, condition events and interrupts (a compact SimPy-style kernel).
+* :mod:`repro.sim.resources` -- FIFO/priority resources, stores and
+  containers built on the kernel.
+* :mod:`repro.sim.disk` -- a 7200 rpm HDD model (seek + streaming).
+* :mod:`repro.sim.network` -- a two-level switched Ethernet with max-min
+  fair bandwidth sharing (fluid-flow model).
+* :mod:`repro.sim.pagecache` -- the OS page cache that makes the paper's
+  "oCache does not help because iteration outputs sit in page cache"
+  observation reproducible.
+* :mod:`repro.sim.node` / :mod:`repro.sim.cluster` -- simulated servers and
+  the whole platform.
+* :mod:`repro.sim.metrics` -- counters and time series for experiments.
+"""
+
+from repro.sim.engine import (
+    Simulation,
+    Event,
+    Timeout,
+    Process,
+    Interrupt,
+    AllOf,
+    AnyOf,
+)
+from repro.sim.resources import Resource, PriorityResource, Store, Container
+from repro.sim.disk import Disk
+from repro.sim.network import Network, Flow
+from repro.sim.pagecache import PageCache
+from repro.sim.node import SimNode
+from repro.sim.cluster import SimCluster
+from repro.sim.metrics import Counter, Gauge, TimeSeries, MetricsRegistry
+
+__all__ = [
+    "Simulation",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "PriorityResource",
+    "Store",
+    "Container",
+    "Disk",
+    "Network",
+    "Flow",
+    "PageCache",
+    "SimNode",
+    "SimCluster",
+    "Counter",
+    "Gauge",
+    "TimeSeries",
+    "MetricsRegistry",
+]

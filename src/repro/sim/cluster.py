@@ -1,0 +1,68 @@
+"""The whole simulated platform: nodes + fabric + metrics."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.common.config import ClusterConfig
+from repro.sim.engine import Event, Simulation
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Network
+from repro.sim.node import SimNode
+
+__all__ = ["SimCluster"]
+
+
+class SimCluster:
+    """A configured cluster inside one simulation."""
+
+    def __init__(self, sim: Simulation, config: ClusterConfig | None = None) -> None:
+        self.sim = sim
+        self.config = config or ClusterConfig()
+        cfg = self.config
+        self.nodes = [
+            SimNode(
+                sim,
+                i,
+                map_slots=cfg.map_slots_per_node,
+                reduce_slots=cfg.reduce_slots_per_node,
+                disk_bandwidth=cfg.disk_bandwidth,
+                disk_seek_time=cfg.disk_seek_time,
+                page_cache_bytes=cfg.page_cache_per_node,
+            )
+            for i in range(cfg.num_nodes)
+        ]
+        self.network = Network(
+            sim,
+            num_nodes=cfg.num_nodes,
+            rack_size=cfg.rack_size,
+            node_bandwidth=cfg.network_bandwidth,
+            uplink_bandwidth=cfg.uplink_bandwidth,
+            latency=cfg.network_latency,
+        )
+        self.metrics = MetricsRegistry()
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, index: int) -> SimNode:
+        return self.nodes[index]
+
+    def drop_all_caches(self) -> None:
+        """Clear every node's page cache (paper: before each job submission)."""
+        for node in self.nodes:
+            node.drop_caches()
+
+    def remote_read(
+        self, reader: int, owner: int, key: object, nbytes: int
+    ) -> Generator[Event, None, bool]:
+        """Process body: read ``key`` stored on ``owner`` from node ``reader``.
+
+        Disk (or page-cache) access happens on the owner, then the bytes
+        cross the fabric if the nodes differ.  Returns True when the owner
+        served the bytes from its page cache.
+        """
+        cached = yield from self.nodes[owner].read_extent(key, nbytes)
+        if reader != owner:
+            yield self.network.transfer(owner, reader, nbytes)
+        return cached

@@ -1,0 +1,86 @@
+"""A single-spindle HDD model.
+
+The testbed stored HDFS / DHT-FS data on one 7200 rpm 2 TB drive per node.
+We model it as a FIFO device: each request pays an average seek (when it is
+not sequential with the previous request) plus ``bytes / bandwidth`` of
+streaming time.  Concurrent requests queue; the paper's straggler effects
+under skew come straight out of this queueing.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Event, Simulation
+from repro.sim.resources import Resource
+
+__all__ = ["Disk"]
+
+
+class Disk:
+    """FIFO block device with seek + streaming costs."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        bandwidth: float,
+        seek_time: float = 0.008,
+        name: str = "disk",
+    ) -> None:
+        if bandwidth <= 0:
+            raise SimulationError("disk bandwidth must be positive")
+        if seek_time < 0:
+            raise SimulationError("seek time must be non-negative")
+        self.sim = sim
+        self.bandwidth = float(bandwidth)
+        self.seek_time = float(seek_time)
+        self.name = name
+        self._queue = Resource(sim, capacity=1)
+        self._last_stream_key: object = None
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.busy_time = 0.0
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting behind the head."""
+        return self._queue.queue_length + self._queue.in_use
+
+    def service_time(self, nbytes: int, *, sequential: bool) -> float:
+        """Time to move ``nbytes`` once the head is ours."""
+        t = nbytes / self.bandwidth
+        if not sequential:
+            t += self.seek_time
+        return t
+
+    def read(self, nbytes: int, stream: object = None) -> Generator[Event, None, None]:
+        """Process body: read ``nbytes``.
+
+        ``stream`` identifies a sequential stream; consecutive requests with
+        the same stream key skip the seek (large block reads are issued in
+        chunks by the same task).
+        """
+        yield from self._io(nbytes, stream, write=False)
+
+    def write(self, nbytes: int, stream: object = None) -> Generator[Event, None, None]:
+        """Process body: write ``nbytes`` (same cost model as read)."""
+        yield from self._io(nbytes, stream, write=True)
+
+    def _io(self, nbytes: int, stream: object, *, write: bool) -> Generator[Event, None, None]:
+        if nbytes < 0:
+            raise SimulationError("negative I/O size")
+        req = self._queue.request()
+        yield req
+        try:
+            sequential = stream is not None and stream == self._last_stream_key
+            self._last_stream_key = stream
+            t = self.service_time(nbytes, sequential=sequential)
+            self.busy_time += t
+            if write:
+                self.bytes_written += nbytes
+            else:
+                self.bytes_read += nbytes
+            yield self.sim.timeout(t)
+        finally:
+            self._queue.release(req)

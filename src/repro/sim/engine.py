@@ -1,0 +1,367 @@
+"""A compact discrete-event simulation kernel.
+
+Generator-based processes yield :class:`Event` objects to suspend; the
+kernel resumes them when the event fires.  The design follows the classic
+SimPy architecture (event heap + callback lists) but is written from
+scratch and trimmed to what the cluster models need: timeouts, process
+join, ``AllOf``/``AnyOf`` conditions, and interrupts.
+
+Example::
+
+    sim = Simulation()
+
+    def worker(sim, name):
+        yield sim.timeout(1.0)
+        return name
+
+    def driver(sim):
+        results = yield AllOf([sim.process(worker(sim, i)) for i in range(3)])
+        return results
+
+    p = sim.process(driver(sim))
+    sim.run()
+    assert p.value == [0, 1, 2]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.common.errors import SimulationError
+
+__all__ = [
+    "Simulation",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+]
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    ``cause`` carries whatever the interrupter passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* with either a value (:meth:`succeed`) or an
+    exception (:meth:`fail`); its callbacks then run at the current
+    simulation time.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled")
+
+    def __init__(self, sim: "Simulation") -> None:
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event already has an outcome."""
+        return self._value is not _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """Whether the outcome is a success value (valid once triggered)."""
+        if self._ok is None:
+            raise SimulationError("event outcome read before trigger")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception."""
+        if self._value is _PENDING:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger successfully; callbacks run at the current sim time."""
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger with an exception that will be raised in waiters."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        self._trigger(False, exc)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self.triggered:
+            raise SimulationError(f"{self!r} triggered twice")
+        self._ok = ok
+        self._value = value
+        self.sim._schedule(self)
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event fires (immediately if it has)."""
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulation", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; as an event it fires when the generator returns."""
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"process body must be a generator, got {generator!r}")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        boot = Event(sim)
+        boot._ok = True
+        boot._value = None
+        sim._schedule(boot)
+        boot.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        wake = Event(self.sim)
+        wake._ok = False
+        wake._value = Interrupt(cause)
+        # Detach from whatever the process was waiting on: the old target
+        # must no longer resume it.
+        self.sim._schedule(wake)
+        wake.add_callback(self._resume_interrupt)
+
+    def _resume_interrupt(self, wake: Event) -> None:
+        if self.triggered:
+            return
+        self._target = None
+        self._step(wake.value, throw=True)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if self._target is not None and event is not self._target:
+            return  # stale wakeup from an event we stopped waiting on
+        self._target = None
+        if event.ok:
+            self._step(event.value, throw=False)
+        else:
+            self._step(event.value, throw=True)
+
+    def _step(self, value: Any, *, throw: bool) -> None:
+        sim = self.sim
+        sim._active_process = self
+        try:
+            if throw:
+                target = self.generator.throw(value)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        finally:
+            sim._active_process = None
+        if not isinstance(target, Event) or target.sim is not sim:
+            self.generator.close()
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}, which is not an "
+                    "event of this simulation"
+                )
+            )
+            return
+        self._target = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf; subclasses define the completion predicate."""
+
+    __slots__ = ("events", "_done")
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        events = list(events)
+        if not events:
+            raise SimulationError("condition needs at least one event")
+        sim = events[0].sim
+        for ev in events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from different simulations")
+        super().__init__(sim)
+        self.events = events
+        self._done = 0
+        for ev in events:
+            ev.add_callback(self._on_event)
+
+    def _on_event(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._done += 1
+        self._check()
+
+    def _check(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child fired; value is the list of child values."""
+
+    __slots__ = ()
+
+    def _check(self) -> None:
+        if self._done == len(self.events):
+            self.succeed([ev.value for ev in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first child fires; value is ``(index, value)``."""
+
+    __slots__ = ()
+
+    def _check(self) -> None:
+        for i, ev in enumerate(self.events):
+            if ev.triggered:
+                self.succeed((i, ev.value))
+                return
+
+
+class Simulation:
+    """The event loop: a time-ordered heap of triggered events."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str | None = None
+    ) -> Process:
+        """Start a process from a generator; returns its join event."""
+        return Process(self, generator, name)
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for fn in callbacks or ():
+            fn(event)
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        * ``until=None`` -- drain every event.
+        * ``until=<float>`` -- advance to that time.
+        * ``until=<Event>`` -- run until it triggers; returns (or raises) its
+          outcome.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.triggered:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran dry before the awaited event triggered "
+                        "(deadlock: a process is waiting on an event nobody fires)"
+                    )
+                self.step()
+            if stop.ok:
+                return stop.value
+            raise stop.value
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(f"run(until={deadline}) is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` when the queue is empty."""
+        return self._heap[0][0] if self._heap else float("inf")

@@ -1,0 +1,115 @@
+"""Lightweight metrics for simulation experiments.
+
+Experiments read these to produce the figure series: cache hit ratios,
+bytes moved, tasks per slot, per-phase times.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "TimeSeries", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that moves both ways, with its historical extremes."""
+
+    value: float = 0.0
+    max_seen: float = float("-inf")
+    min_seen: float = float("inf")
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.max_seen = max(self.max_seen, value)
+        self.min_seen = min(self.min_seen, value)
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+
+@dataclass
+class TimeSeries:
+    """(time, value) samples, e.g. queue lengths over time."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, t: float, v: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError("time series samples must be appended in time order")
+        self.times.append(t)
+        self.values.append(v)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times), np.asarray(self.values)
+
+    def time_average(self, until: float | None = None) -> float:
+        """Time-weighted mean of a piecewise-constant series."""
+        if not self.times:
+            raise ValueError("empty time series")
+        t, v = self.as_arrays()
+        end = until if until is not None else t[-1]
+        if end <= t[0]:
+            return float(v[0])
+        t = np.append(t, end)
+        widths = np.diff(t)
+        return float(np.sum(widths * v) / (end - self.times[0]))
+
+
+class MetricsRegistry:
+    """Name-addressed counters/gauges/series shared by a simulation run."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = defaultdict(Counter)
+        self.gauges: dict[str, Gauge] = defaultdict(Gauge)
+        self.series: dict[str, TimeSeries] = defaultdict(TimeSeries)
+
+    def counter(self, name: str) -> Counter:
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        return self.gauges[name]
+
+    def timeseries(self, name: str) -> TimeSeries:
+        return self.series[name]
+
+    def ratio(self, hits: str, total: str) -> float:
+        """``counters[hits] / counters[total]`` (0 when the denominator is 0)."""
+        denom = self.counters[total].value
+        return self.counters[hits].value / denom if denom else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat dict of all counter and gauge values (for reports)."""
+        out: dict[str, float] = {}
+        for name, c in self.counters.items():
+            out[name] = c.value
+        for name, g in self.gauges.items():
+            out[f"{name} (gauge)"] = g.value
+        return out
+
+    @staticmethod
+    def stddev(samples: Iterable[float]) -> float:
+        arr = np.asarray(list(samples), dtype=float)
+        if arr.size == 0:
+            return 0.0
+        return float(arr.std())

@@ -1,0 +1,238 @@
+"""Two-level switched Ethernet with max-min fair bandwidth sharing.
+
+The testbed wires 20 + 20 nodes through two top-of-rack switches joined by a
+third switch (paper §III).  We model every NIC and every inter-switch trunk
+as a full-duplex pair of directed links and treat active transfers as fluid
+flows: at any instant the rate vector is the *max-min fair* allocation over
+the links each flow crosses (the classical water-filling computation).  The
+allocation is recomputed whenever a flow starts or finishes, which is exact
+for fluid flows and keeps the event count proportional to the number of
+transfers rather than packets.
+
+This is the substrate that makes shuffle-heavy results (``sort`` in Fig. 9,
+proactive shuffle ablations) come out of contention rather than constants.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Event, Simulation
+
+__all__ = ["Network", "Flow"]
+
+_EPS_BYTES = 1e-6
+
+
+class _Link:
+    """A directed link with a capacity shared by the flows crossing it."""
+
+    __slots__ = ("name", "capacity", "flows")
+
+    def __init__(self, name: str, capacity: float) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"link {name}: capacity must be positive")
+        self.name = name
+        self.capacity = float(capacity)
+        self.flows: set["Flow"] = set()
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name} cap={self.capacity:.3g} flows={len(self.flows)}>"
+
+
+class Flow:
+    """An in-flight transfer; ``done`` fires when the last byte lands."""
+
+    __slots__ = ("src", "dst", "size", "remaining", "rate", "links", "done", "start_time")
+
+    def __init__(self, src: int, dst: int, size: float, links: list[_Link], done: Event, start_time: float) -> None:
+        self.src = src
+        self.dst = dst
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.links = links
+        self.done = done
+        self.start_time = start_time
+
+    def __repr__(self) -> str:
+        return (
+            f"<Flow {self.src}->{self.dst} {self.remaining:.0f}/{self.size:.0f}B "
+            f"@{self.rate:.3g}B/s>"
+        )
+
+
+class Network:
+    """The cluster fabric: per-node NICs, per-rack trunks, fair sharing."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        num_nodes: int,
+        rack_size: int,
+        node_bandwidth: float,
+        uplink_bandwidth: float,
+        latency: float = 0.0002,
+    ) -> None:
+        if num_nodes < 1:
+            raise SimulationError("network needs at least one node")
+        if rack_size < 1:
+            raise SimulationError("rack_size must be >= 1")
+        self.sim = sim
+        self.num_nodes = num_nodes
+        self.rack_size = rack_size
+        self.latency = float(latency)
+        self._node_up = [_Link(f"node{i}.up", node_bandwidth) for i in range(num_nodes)]
+        self._node_down = [_Link(f"node{i}.down", node_bandwidth) for i in range(num_nodes)]
+        num_racks = (num_nodes + rack_size - 1) // rack_size
+        self._rack_up = [_Link(f"rack{r}.up", uplink_bandwidth) for r in range(num_racks)]
+        self._rack_down = [_Link(f"rack{r}.down", uplink_bandwidth) for r in range(num_racks)]
+        self._flows: set[Flow] = set()
+        self._last_update = 0.0
+        self._timer_gen = 0
+        self.bytes_transferred = 0.0
+        self.flows_completed = 0
+
+    def rack_of(self, node: int) -> int:
+        return node // self.rack_size
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def transfer(self, src: int, dst: int, nbytes: float) -> Event:
+        """Start a transfer; returns the completion event.
+
+        Local transfers (``src == dst``) never touch the fabric and complete
+        after the message latency alone, matching a loop-back read.
+        """
+        for node in (src, dst):
+            if not 0 <= node < self.num_nodes:
+                raise SimulationError(f"node {node} outside the cluster")
+        if nbytes < 0:
+            raise SimulationError("negative transfer size")
+        done = self.sim.event()
+        if src == dst or nbytes == 0:
+            self.sim.timeout(self.latency).add_callback(lambda _ev: done.succeed(None))
+            return done
+        links: list[_Link] = [self._node_up[src]]
+        if self.rack_of(src) != self.rack_of(dst):
+            links.append(self._rack_up[self.rack_of(src)])
+            links.append(self._rack_down[self.rack_of(dst)])
+        links.append(self._node_down[dst])
+        flow = Flow(src, dst, nbytes, links, done, self.sim.now)
+        # The payload starts flowing after the request latency.
+        self.sim.timeout(self.latency).add_callback(lambda _ev, f=flow: self._start_flow(f))
+        return done
+
+    # -- fluid-flow machinery -------------------------------------------------
+
+    def _start_flow(self, flow: Flow) -> None:
+        self._advance()
+        self._flows.add(flow)
+        for link in flow.links:
+            link.flows.add(flow)
+        self._reallocate()
+        self._arm_timer()
+
+    def _finish_flow(self, flow: Flow) -> None:
+        self._flows.discard(flow)
+        for link in flow.links:
+            link.flows.discard(flow)
+        self.bytes_transferred += flow.size
+        self.flows_completed += 1
+        flow.done.succeed(None)
+
+    def _advance(self) -> None:
+        """Drain bytes for the time elapsed since the last recompute."""
+        dt = self.sim.now - self._last_update
+        self._last_update = self.sim.now
+        if dt <= 0:
+            return
+        for flow in self._flows:
+            flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+
+    def _reallocate(self) -> None:
+        """Water-filling max-min fair rates for all active flows."""
+        unfrozen = set(self._flows)
+        residual = {id(l): l.capacity for l in self._iter_links()}
+        for flow in unfrozen:
+            flow.rate = 0.0
+        while unfrozen:
+            # Tightest link determines the next rate increment plateau.
+            best_share: Optional[float] = None
+            for link in self._iter_links():
+                n = sum(1 for f in link.flows if f in unfrozen)
+                if n == 0:
+                    continue
+                share = residual[id(link)] / n
+                if best_share is None or share < best_share:
+                    best_share = share
+            if best_share is None:
+                break
+            # Freeze every flow whose bottleneck link hit the plateau.
+            frozen_now: set[Flow] = set()
+            for link in self._iter_links():
+                n = sum(1 for f in link.flows if f in unfrozen)
+                if n and residual[id(link)] / n <= best_share * (1 + 1e-12):
+                    frozen_now.update(f for f in link.flows if f in unfrozen)
+            if not frozen_now:  # numerical safety net
+                frozen_now = set(unfrozen)
+            for flow in frozen_now:
+                flow.rate = best_share
+                for link in flow.links:
+                    residual[id(link)] = max(0.0, residual[id(link)] - best_share)
+            unfrozen -= frozen_now
+
+    def _iter_links(self):
+        yield from self._node_up
+        yield from self._node_down
+        yield from self._rack_up
+        yield from self._rack_down
+
+    def _done_threshold(self, flow: Flow) -> float:
+        """Bytes below which a flow counts as complete.
+
+        Combines an absolute floor with a relative term: after many partial
+        advances the accumulated float error scales with the flow size, and
+        a residue whose drain time underflows the clock resolution must be
+        treated as done or the completion timer re-fires at the same
+        instant forever.
+        """
+        return max(_EPS_BYTES, 1e-9 * flow.size)
+
+    def _arm_timer(self) -> None:
+        """Schedule a wakeup at the earliest flow completion."""
+        self._timer_gen += 1
+        gen = self._timer_gen
+        next_dt: Optional[float] = None
+        for flow in self._flows:
+            if flow.rate > 0:
+                dt = flow.remaining / flow.rate
+                if next_dt is None or dt < next_dt:
+                    next_dt = dt
+        if next_dt is None:
+            return
+        self.sim.timeout(max(0.0, next_dt)).add_callback(
+            lambda _ev: self._on_timer(gen)
+        )
+
+    def _on_timer(self, gen: int) -> None:
+        if gen != self._timer_gen:
+            return  # superseded by a newer allocation
+        self._advance()
+        now = self.sim.now
+        finished = []
+        for f in self._flows:
+            if f.remaining <= self._done_threshold(f):
+                finished.append(f)
+            elif f.rate > 0 and now + f.remaining / f.rate == now:
+                # The residue would drain in less than one representable
+                # clock tick: finish it now rather than spin at this time.
+                finished.append(f)
+        for flow in finished:
+            self._finish_flow(flow)
+        if finished:
+            self._reallocate()
+        self._arm_timer()

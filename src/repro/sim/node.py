@@ -1,0 +1,69 @@
+"""A simulated worker server.
+
+Bundles the per-node hardware: map/reduce slots, the data HDD, the OS page
+cache, and helper processes that read and write named extents through the
+page-cache-then-disk path.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim.disk import Disk
+from repro.sim.engine import Event, Simulation
+from repro.sim.pagecache import PageCache
+from repro.sim.resources import Resource
+
+__all__ = ["SimNode"]
+
+#: Effective memory copy bandwidth for page-cache hits (bytes/s).  DDR3-era
+#: single-stream copy; fast enough that cached reads are effectively free
+#: next to disk, which is all that matters for the result shapes.
+MEMORY_BANDWIDTH = 2.5 * 1024**3
+
+
+class SimNode:
+    """One server: slots + disk + page cache."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        index: int,
+        *,
+        map_slots: int,
+        reduce_slots: int,
+        disk_bandwidth: float,
+        disk_seek_time: float,
+        page_cache_bytes: int,
+    ) -> None:
+        self.sim = sim
+        self.index = index
+        self.map_slots = Resource(sim, capacity=map_slots)
+        self.reduce_slots = Resource(sim, capacity=max(1, reduce_slots))
+        self.disk = Disk(sim, disk_bandwidth, disk_seek_time, name=f"disk{index}")
+        self.page_cache = PageCache(page_cache_bytes)
+        self.tasks_started = 0
+        self.tasks_finished = 0
+
+    def read_extent(self, key: object, nbytes: int) -> Generator[Event, None, bool]:
+        """Process body: read a named extent via page cache, else disk.
+
+        Returns True when the read was served from the page cache.
+        """
+        if self.page_cache.access(key, nbytes):
+            yield self.sim.timeout(nbytes / MEMORY_BANDWIDTH)
+            return True
+        yield from self.disk.read(nbytes, stream=key)
+        return False
+
+    def write_extent(self, key: object, nbytes: int) -> Generator[Event, None, None]:
+        """Process body: write a named extent (write-back: populates page cache)."""
+        self.page_cache.insert(key, nbytes)
+        yield from self.disk.write(nbytes, stream=key)
+
+    def drop_caches(self) -> None:
+        """Empty the OS page cache (done between jobs in the paper's runs)."""
+        self.page_cache.clear()
+
+    def __repr__(self) -> str:
+        return f"<SimNode {self.index}>"

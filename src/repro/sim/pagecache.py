@@ -1,0 +1,92 @@
+"""OS page cache model.
+
+The paper's most surprising result (Fig. 6b) is that explicitly caching
+iteration outputs in oCache barely helps -- because writing them to the DHT
+file system leaves them in the *OS page cache* anyway, so the next iteration
+reads them from memory either way.  Reproducing that observation requires a
+page cache model between tasks and the disk: an LRU over block-sized
+extents, fed by both reads and writes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.common.errors import SimulationError
+
+__all__ = ["PageCache"]
+
+
+class PageCache:
+    """LRU cache of named extents with a byte capacity."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise SimulationError("page cache capacity must be non-negative")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[object, int]" = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def access(self, key: object, size: int) -> bool:
+        """Record a read of extent ``key``; returns True on a hit.
+
+        On a miss the extent is inserted (read-allocate), evicting LRU
+        entries as needed.
+        """
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self.insert(key, size)
+        return False
+
+    def insert(self, key: object, size: int) -> None:
+        """Place an extent (write-allocate path); oversized extents are skipped."""
+        if size < 0:
+            raise SimulationError("negative extent size")
+        if size > self.capacity:
+            # An extent larger than the whole cache would evict everything
+            # and then not fit; real kernels stream such I/O past the cache.
+            self._entries.pop(key, None)
+            self._recompute()
+            return
+        if key in self._entries:
+            self._used -= self._entries[key]
+            del self._entries[key]
+        while self._used + size > self.capacity and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._used -= evicted
+        self._entries[key] = size
+        self._used += size
+
+    def invalidate(self, key: object) -> None:
+        """Drop an extent (file deleted / truncated)."""
+        size = self._entries.pop(key, None)
+        if size is not None:
+            self._used -= size
+
+    def clear(self) -> None:
+        """Drop everything (the paper's ``echo 3 > drop_caches`` between jobs)."""
+        self._entries.clear()
+        self._used = 0
+
+    def _recompute(self) -> None:
+        self._used = sum(self._entries.values())
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,219 @@
+"""Waitable resources built on the simulation kernel.
+
+* :class:`Resource` -- ``capacity`` identical slots, FIFO grant order.
+  Models map/reduce slots and disk queues.
+* :class:`PriorityResource` -- like :class:`Resource` but grants lower
+  priority values first (FIFO within a priority).
+* :class:`Store` -- an unbounded FIFO queue of items; ``get`` blocks until
+  an item is available.  Models mailboxes and task queues.
+* :class:`Container` -- a continuous quantity with blocking ``get``.
+  Models memory budgets.
+
+Usage inside a process::
+
+    req = resource.request()
+    yield req
+    try:
+        yield sim.timeout(service_time)
+    finally:
+        resource.release(req)
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Event, Simulation
+
+__all__ = ["Resource", "PriorityResource", "Store", "Container"]
+
+
+class _Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+
+
+class Resource:
+    """``capacity`` slots granted in FIFO order."""
+
+    def __init__(self, sim: Simulation, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._granted: set[_Request] = set()
+        self._waiting: Deque[_Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Currently granted slots."""
+        return len(self._granted)
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> _Request:
+        """Claim a slot; the returned event fires when granted."""
+        req = _Request(self)
+        if len(self._granted) < self.capacity:
+            self._granted.add(req)
+            req.succeed(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, req: _Request) -> None:
+        """Return a granted slot; wakes the next waiter."""
+        if req.resource is not self:
+            raise SimulationError("release() of a request from another resource")
+        try:
+            self._granted.remove(req)
+        except KeyError:
+            raise SimulationError("release() of a request that was never granted") from None
+        self._grant_next()
+
+    def cancel(self, req: _Request) -> None:
+        """Withdraw a request.
+
+        Safe to call whether the request is still queued, already granted
+        (it is released), or already cancelled (no-op).  Call this from an
+        ``Interrupt`` handler so abandoned requests do not leak slots.
+        """
+        if req in self._granted:
+            self.release(req)
+            return
+        try:
+            self._waiting.remove(req)
+        except ValueError:
+            pass
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._granted) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._granted.add(nxt)
+            nxt.succeed(nxt)
+
+
+class PriorityResource(Resource):
+    """Slots granted to the lowest ``priority`` value first."""
+
+    def __init__(self, sim: Simulation, capacity: int = 1) -> None:
+        super().__init__(sim, capacity)
+        self._pq: list[tuple[float, int, _Request]] = []
+        self._seq = 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pq)
+
+    def request(self, priority: float = 0.0) -> _Request:  # type: ignore[override]
+        req = _Request(self)
+        if len(self._granted) < self.capacity and not self._pq:
+            self._granted.add(req)
+            req.succeed(req)
+        else:
+            heapq.heappush(self._pq, (priority, self._seq, req))
+            self._seq += 1
+        return req
+
+    def cancel(self, req: _Request) -> None:
+        if req in self._granted:
+            self.release(req)
+            return
+        for i, (_, _, queued) in enumerate(self._pq):
+            if queued is req:
+                self._pq.pop(i)
+                heapq.heapify(self._pq)
+                return
+
+    def _grant_next(self) -> None:
+        while self._pq and len(self._granted) < self.capacity:
+            _, _, nxt = heapq.heappop(self._pq)
+            self._granted.add(nxt)
+            nxt.succeed(nxt)
+
+
+class Store:
+    """Unbounded FIFO item queue with blocking ``get``."""
+
+    def __init__(self, sim: Simulation) -> None:
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue an item, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item (immediately if available)."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking pop: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+
+class Container:
+    """A continuous quantity (bytes of memory, tokens) with blocking get."""
+
+    def __init__(self, sim: Simulation, capacity: float, init: float = 0.0) -> None:
+        if capacity <= 0:
+            raise SimulationError("container capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("initial level outside [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self._level = init
+        self._getters: Deque[tuple[float, Event]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> None:
+        """Add ``amount`` (clamped at capacity) and serve waiting getters."""
+        if amount < 0:
+            raise SimulationError("put() amount must be non-negative")
+        self._level = min(self.capacity, self._level + amount)
+        self._serve()
+
+    def get(self, amount: float) -> Event:
+        """Event that fires once ``amount`` has been withdrawn (FIFO)."""
+        if amount < 0:
+            raise SimulationError("get() amount must be non-negative")
+        if amount > self.capacity:
+            raise SimulationError("get() amount exceeds container capacity")
+        ev = Event(self.sim)
+        self._getters.append((amount, ev))
+        self._serve()
+        return ev
+
+    def _serve(self) -> None:
+        while self._getters and self._getters[0][0] <= self._level:
+            amount, ev = self._getters.popleft()
+            self._level -= amount
+            ev.succeed(amount)

@@ -1,0 +1,88 @@
+"""Property tests for the application record parsers.
+
+The parsers sit between the DHT file system's raw blocks and the map
+functions; they must tolerate padding, blank lines and any record content
+the generators can emit.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.kmeans import parse_points
+from repro.apps.logreg import parse_labeled
+from repro.apps.pagerank import parse_adjacency
+from repro.apps.workloads import pack_records
+
+
+@given(
+    rows=st.lists(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+            min_size=2, max_size=4,
+        ),
+        max_size=30,
+    ),
+    block_size=st.sampled_from([256, 1024]),
+)
+@settings(max_examples=60)
+def test_parse_points_roundtrip(rows, block_size):
+    dim = len(rows[0]) if rows else 2
+    rows = [r for r in rows if len(r) == dim]
+    recs = [",".join(f"{x:.6f}" for x in row).encode() for row in rows]
+    recs = [r for r in recs if len(r) + 1 <= block_size]
+    data = pack_records(recs, block_size)
+    parsed = parse_points(data)
+    assert parsed.shape[0] == len(recs)
+    expected = [[float(f"{x:.6f}") for x in row] for row, rec in zip(rows, recs)]
+    if len(recs):
+        assert np.allclose(parsed, np.asarray(expected)[: len(recs)])
+
+
+@given(
+    entries=st.lists(
+        st.tuples(
+            st.integers(0, 1),
+            st.lists(st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+                     min_size=3, max_size=3),
+        ),
+        max_size=25,
+    ),
+)
+@settings(max_examples=50)
+def test_parse_labeled_roundtrip(entries):
+    recs = [
+        (str(label) + "," + ",".join(f"{v:.6f}" for v in row)).encode()
+        for label, row in entries
+    ]
+    data = pack_records(recs, 1024) if recs else b"\n"
+    y, x = parse_labeled(data)
+    assert len(y) == len(recs)
+    for (label, _), got in zip(entries, y):
+        assert got == float(label)
+
+
+@given(
+    adj=st.dictionaries(
+        st.integers(0, 50),
+        st.sets(st.integers(0, 50), min_size=1, max_size=5),
+        max_size=20,
+    ),
+)
+@settings(max_examples=50)
+def test_parse_adjacency_roundtrip(adj):
+    recs = [
+        f"{src}\t{','.join(map(str, sorted(dsts)))}".encode()
+        for src, dsts in adj.items()
+    ]
+    data = pack_records(recs, 1024) if recs else b"\n"
+    parsed = dict(parse_adjacency(data))
+    assert set(parsed) == set(adj)
+    for src, dsts in adj.items():
+        assert parsed[src] == sorted(dsts)
+
+
+def test_parsers_tolerate_padding_and_blanks():
+    assert parse_points(b"\n\n\n").size == 0
+    y, x = parse_labeled(b"\n \n")
+    assert len(y) == 0
+    assert parse_adjacency(b"\n\n") == []

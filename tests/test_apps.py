@@ -1,0 +1,288 @@
+"""Tests for the benchmark applications on the functional engine."""
+
+import numpy as np
+import pytest
+
+from repro.apps.grep import grep_job
+from repro.apps.invertedindex import inverted_index_job
+from repro.apps.kmeans import kmeans_driver, parse_points
+from repro.apps.logreg import logreg_driver, parse_labeled, _sigmoid
+from repro.apps.pagerank import pagerank_driver, parse_adjacency
+from repro.apps.sort_app import sort_job, sorted_output
+from repro.apps.wordcount import wordcount_job
+from repro.apps.workloads import (
+    bimodal_keys,
+    documents,
+    graph_edges,
+    labeled_points,
+    pack_records,
+    points,
+    text_corpus,
+)
+from repro.common.config import CacheConfig, ClusterConfig, DFSConfig, SchedulerConfig
+from repro.mapreduce.api import EclipseMR
+
+CFG = ClusterConfig(
+    num_nodes=6,
+    rack_size=3,
+    dfs=DFSConfig(block_size=2048),
+    cache=CacheConfig(capacity_per_server=1024 * 1024),
+    scheduler=SchedulerConfig(window_tasks=8, num_bins=64),
+)
+
+
+def cluster():
+    return EclipseMR(workers=6, scheduler="laf", config=CFG)
+
+
+class TestWorkloads:
+    def test_pack_records_alignment(self):
+        recs = [b"record-%d" % i for i in range(50)]
+        data = pack_records(recs, 64)
+        assert len(data) % 64 == 0
+        # Every 64-byte block splits into whole records.
+        for off in range(0, len(data), 64):
+            block = data[off : off + 64]
+            for line in block.split(b"\n"):
+                assert line == b"" or line.startswith(b"record-")
+
+    def test_pack_records_roundtrip(self):
+        recs = [f"r{i}".encode() for i in range(100)]
+        data = pack_records(recs, 32)
+        recovered = [l for l in data.split(b"\n") if l]
+        assert recovered == recs
+
+    def test_pack_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            pack_records([b"x" * 100], 64)
+
+    def test_pack_rejects_newlines(self):
+        with pytest.raises(ValueError):
+            pack_records([b"a\nb"], 64)
+
+    def test_text_corpus_deterministic(self):
+        assert text_corpus(1, num_words=100) == text_corpus(1, num_words=100)
+        assert text_corpus(1, num_words=100) != text_corpus(2, num_words=100)
+
+    def test_zipf_skews_word_frequency(self):
+        from collections import Counter
+
+        lines = text_corpus(3, num_words=5000, vocab_size=100, zipf_a=1.5)
+        counts = Counter(w for l in lines for w in l.decode().split())
+        top = counts.most_common(1)[0][1]
+        assert top > 5000 / 100 * 5  # far above uniform share
+
+    def test_graph_edges_valid(self):
+        recs = graph_edges(4, num_nodes=50)
+        adj = parse_adjacency(pack_records(recs, 1024))
+        assert len(adj) == 50
+        for src, dsts in adj:
+            assert dsts, "every node has at least one out-edge"
+            assert all(0 <= d < 50 for d in dsts)
+            assert src not in dsts
+
+    def test_points_shape(self):
+        recs, centers = points(5, num_points=200, dim=3, num_clusters=4)
+        assert len(recs) == 200
+        assert centers.shape == (4, 3)
+        arr = parse_points(pack_records(recs, 2048))
+        assert arr.shape[1] == 3
+
+    def test_labeled_points_separable(self):
+        recs, w = labeled_points(6, num_points=300, dim=4)
+        y, x = parse_labeled(pack_records(recs, 2048))
+        assert set(np.unique(y)) <= {0.0, 1.0}
+        agreement = ((x @ w > 0).astype(float) == y).mean()
+        assert agreement > 0.99
+
+    def test_bimodal_keys_two_modes(self):
+        keys = np.array(bimodal_keys(7, count=4000, space_size=10_000))
+        hist, _ = np.histogram(keys, bins=20, range=(0, 10_000))
+        # Two populated regions, and the extremes nearly empty.
+        assert hist[:2].sum() < 200
+        assert hist.max() > 400
+
+
+class TestWordCount:
+    def test_against_python_counter(self):
+        from collections import Counter
+
+        lines = text_corpus(10, num_words=2000, vocab_size=50)
+        data = pack_records(lines, 2048)
+        expected = Counter(w for l in lines for w in l.decode().split())
+        mr = cluster()
+        mr.upload("corpus", data)
+        result = mr.run(wordcount_job("corpus"))
+        assert result.output == dict(expected)
+
+
+class TestGrep:
+    def test_matches_regex(self):
+        recs = [b"error: disk failed", b"ok: all good", b"error: net down"]
+        mr = cluster()
+        mr.upload("log", pack_records(recs, 2048))
+        result = mr.run(grep_job("log", r"^error:"))
+        assert set(result.output) == {"error: disk failed", "error: net down"}
+
+    def test_no_matches(self):
+        mr = cluster()
+        mr.upload("log", pack_records([b"nothing here"], 256))
+        result = mr.run(grep_job("log", "absent"))
+        assert result.output == {}
+
+
+class TestInvertedIndex:
+    def test_postings(self):
+        recs = documents(11, num_docs=40, words_per_doc=12, vocab_size=30)
+        mr = cluster()
+        mr.upload("docs", pack_records(recs, 2048))
+        result = mr.run(inverted_index_job("docs"))
+        # Validate one posting list against a direct scan.
+        word, postings = next(iter(result.output.items()))
+        expected = sorted(
+            {
+                line.decode().split("\t")[0]
+                for line in recs
+                if word in line.decode().split("\t")[1].split()
+            }
+        )
+        assert postings == expected
+
+    def test_posting_lists_sorted_unique(self):
+        recs = documents(12, num_docs=20)
+        mr = cluster()
+        mr.upload("docs", pack_records(recs, 2048))
+        result = mr.run(inverted_index_job("docs"))
+        for postings in result.output.values():
+            assert postings == sorted(set(postings))
+
+
+class TestSort:
+    def test_total_order(self):
+        rng = np.random.default_rng(13)
+        recs = [f"{rng.integers(0, 10**9):010d}".encode() for _ in range(500)]
+        mr = cluster()
+        mr.upload("keys", pack_records(recs, 2048))
+        result = mr.run(sort_job("keys"))
+        out = sorted_output(result.output)
+        assert out == sorted(r.decode() for r in recs)
+
+    def test_duplicates_preserved(self):
+        recs = [b"dup", b"dup", b"aaa"]
+        mr = cluster()
+        mr.upload("keys", pack_records(recs, 2048))
+        out = sorted_output(mr.run(sort_job("keys")).output)
+        assert out == ["aaa", "dup", "dup"]
+
+
+class TestKMeans:
+    def test_converges_to_true_centers(self):
+        recs, centers = points(20, num_points=600, dim=2, num_clusters=3, spread=0.02)
+        mr = cluster()
+        mr.upload("pts", pack_records(recs, 2048))
+        rng = np.random.default_rng(0)
+        init = rng.random((3, 2))
+        driver = kmeans_driver(mr, "pts", init, iterations=15, tolerance=1e-6)
+        final = np.asarray(driver.run(init))
+        # Each true center has a converged centroid nearby.
+        for c in centers:
+            assert np.min(np.linalg.norm(final - c, axis=1)) < 0.1
+
+    def test_matches_reference_single_iteration(self):
+        """One MapReduce iteration equals a NumPy Lloyd's step."""
+        recs, _ = points(21, num_points=300, dim=2, num_clusters=3)
+        data = pack_records(recs, 2048)
+        all_pts = parse_points(data)
+        init = np.array([[0.2, 0.2], [0.5, 0.5], [0.8, 0.8]])
+
+        d2 = ((all_pts[:, None, :] - init[None, :, :]) ** 2).sum(axis=2)
+        nearest = d2.argmin(axis=1)
+        expected = np.array(
+            [
+                all_pts[nearest == c].mean(axis=0) if (nearest == c).any() else init[c]
+                for c in range(3)
+            ]
+        )
+
+        mr = cluster()
+        mr.upload("pts", data)
+        driver = kmeans_driver(mr, "pts", init, iterations=1)
+        result = np.asarray(driver.run(init))
+        assert np.allclose(result, expected, atol=1e-9)
+
+    def test_iteration_outputs_cached(self):
+        recs, _ = points(22, num_points=200)
+        mr = cluster()
+        mr.upload("pts", pack_records(recs, 2048))
+        init = np.random.default_rng(1).random((3, 2))
+        driver = kmeans_driver(mr, "pts", init, iterations=3)
+        driver.run(init)
+        assert driver.iterations_run == 3
+        # A fresh driver on the same cluster resumes from the stored outputs.
+        driver2 = kmeans_driver(mr, "pts", init, iterations=3)
+        final2 = driver2.run(init)
+        assert driver2.iterations_resumed == 3
+        assert np.allclose(final2, driver.history[-1].state)
+
+
+class TestPageRank:
+    def _ranks_reference(self, adj, n, iters):
+        ranks = {i: 1.0 / n for i in range(n)}
+        for _ in range(iters):
+            contrib = {i: 0.0 for i in range(n)}
+            for src, dsts in adj:
+                share = ranks[src] / len(dsts)
+                for d in dsts:
+                    contrib[d] += share
+            new = dict(ranks)
+            touched = {s for s, _ in adj} | {d for _, ds in adj for d in ds}
+            for i in touched:
+                new[i] = 0.15 / n + 0.85 * contrib[i]
+            ranks = new
+        return ranks
+
+    def test_matches_reference(self):
+        recs = graph_edges(30, num_nodes=40, avg_out_degree=3)
+        data = pack_records(recs, 2048)
+        adj = parse_adjacency(data)
+        mr = cluster()
+        mr.upload("graph", data)
+        driver = pagerank_driver(mr, "graph", num_nodes=40, iterations=3)
+        final = driver.run({i: 1.0 / 40 for i in range(40)})
+        expected = self._ranks_reference(adj, 40, 3)
+        for node, rank in expected.items():
+            assert final[node] == pytest.approx(rank, rel=1e-9)
+
+    def test_ranks_sum_reasonable(self):
+        recs = graph_edges(31, num_nodes=30)
+        mr = cluster()
+        mr.upload("graph", pack_records(recs, 2048))
+        driver = pagerank_driver(mr, "graph", num_nodes=30, iterations=5)
+        final = driver.run({i: 1.0 / 30 for i in range(30)})
+        assert 0.5 < sum(final.values()) < 1.5
+
+
+class TestLogisticRegression:
+    def test_loss_decreases_and_classifies(self):
+        recs, true_w = labeled_points(40, num_points=500, dim=3)
+        data = pack_records(recs, 2048)
+        y, x = parse_labeled(data)
+        mr = cluster()
+        mr.upload("pts", data)
+        driver = logreg_driver(mr, "pts", dim=3, iterations=25, learning_rate=1.0)
+        w = np.asarray(driver.run(np.zeros(3)))
+        acc = ((_sigmoid(x @ w) > 0.5).astype(float) == y).mean()
+        assert acc > 0.9
+
+    def test_gradient_matches_numpy(self):
+        recs, _ = labeled_points(41, num_points=200, dim=2)
+        data = pack_records(recs, 2048)
+        y, x = parse_labeled(data)
+        w0 = np.array([0.3, -0.2])
+        expected_grad = x.T @ (_sigmoid(x @ w0) - y)
+
+        mr = cluster()
+        mr.upload("pts", data)
+        driver = logreg_driver(mr, "pts", dim=2, iterations=1, learning_rate=0.5)
+        w1 = np.asarray(driver.run(w0))
+        assert np.allclose(w1, w0 - 0.5 * expected_grad / 200, atol=1e-9)

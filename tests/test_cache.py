@@ -1,0 +1,242 @@
+"""Tests for LRU, worker caches (iCache/oCache) and the distributed view."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import CacheConfig
+from repro.common.errors import CacheMiss, SchedulingError
+from repro.common.hashing import HashSpace
+from repro.cache.distributed import DistributedCache
+from repro.cache.lru import LRUCache
+from repro.cache.worker import WorkerCache
+from repro.scheduler.partition import SpacePartition
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        c = LRUCache(100)
+        c.put("a", 1, size=10)
+        assert c.get("a") == 1
+        assert c.hits == 1
+
+    def test_miss_raises(self):
+        c = LRUCache(100)
+        with pytest.raises(CacheMiss):
+            c.get("ghost")
+        assert c.misses == 1
+
+    def test_lookup_tolerant(self):
+        c = LRUCache(100)
+        assert c.lookup("x") == (False, None)
+        c.put("x", 5, size=1)
+        assert c.lookup("x") == (True, 5)
+
+    def test_lru_eviction_order(self):
+        c = LRUCache(30)
+        c.put("a", 1, size=10)
+        c.put("b", 2, size=10)
+        c.put("c", 3, size=10)
+        c.get("a")  # refresh a
+        c.put("d", 4, size=10)  # evicts b
+        assert "a" in c and "c" in c and "d" in c and "b" not in c
+        assert c.evictions == 1
+
+    def test_oversized_entry_rejected(self):
+        c = LRUCache(10)
+        assert not c.put("big", 1, size=11)
+        assert "big" not in c
+
+    def test_replace_updates_size(self):
+        c = LRUCache(30)
+        c.put("a", 1, size=10)
+        c.put("a", 2, size=20)
+        assert c.used == 20
+        assert c.get("a") == 2
+
+    def test_zero_capacity(self):
+        c = LRUCache(0)
+        assert not c.put("a", 1, size=1)
+        assert c.put("b", None, size=0)
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        c = LRUCache(100, clock)
+        c.put("a", 1, size=1, ttl=5.0)
+        assert c.get("a") == 1
+        clock.t = 5.0
+        with pytest.raises(CacheMiss):
+            c.get("a")
+        assert c.expirations == 1
+
+    def test_purge_expired(self):
+        clock = FakeClock()
+        c = LRUCache(100, clock)
+        c.put("a", 1, size=1, ttl=1.0)
+        c.put("b", 2, size=1, ttl=10.0)
+        c.put("c", 3, size=1)
+        clock.t = 2.0
+        assert c.purge_expired() == 1
+        assert "b" in c and "c" in c
+
+    def test_pop(self):
+        c = LRUCache(100)
+        c.put("a", 7, size=4)
+        entry = c.pop("a")
+        assert entry.value == 7
+        assert c.used == 0
+        assert c.pop("a") is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_entries_lru_order(self):
+        c = LRUCache(100)
+        c.put("a", 1, size=1)
+        c.put("b", 2, size=1)
+        c.get("a")
+        assert [e.key for e in c.entries()] == ["b", "a"]
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from("pg"), st.integers(0, 9), st.integers(1, 20)),
+        max_size=60,
+    ),
+    capacity=st.integers(1, 50),
+)
+@settings(max_examples=60)
+def test_lru_invariants(ops, capacity):
+    """Used bytes never exceed capacity and always equal the entry sum."""
+    c = LRUCache(capacity)
+    for op, key, size in ops:
+        if op == "p":
+            c.put(key, key, size=size)
+        else:
+            c.lookup(key)
+        assert c.used <= c.capacity
+        assert c.used == sum(e.size for e in c.entries())
+
+
+class TestWorkerCache:
+    def test_partitions_split_budget(self):
+        cache = WorkerCache("s0", CacheConfig(capacity_per_server=100, icache_fraction=0.3))
+        assert cache.icache.capacity == 30
+        assert cache.ocache.capacity == 70
+        assert cache.capacity == 100
+
+    def test_input_caching(self):
+        cache = WorkerCache("s0", CacheConfig(capacity_per_server=100))
+        hit, _ = cache.get_input("blk1")
+        assert not hit
+        cache.put_input("blk1", b"data", size=4)
+        hit, value = cache.get_input("blk1")
+        assert hit and value == b"data"
+
+    def test_output_tagging(self):
+        cache = WorkerCache("s0", CacheConfig(capacity_per_server=100))
+        cache.put_output("app1", "iter0", [1, 2], size=8)
+        hit, value = cache.get_output("app1", "iter0")
+        assert hit and value == [1, 2]
+        hit, _ = cache.get_output("app2", "iter0")
+        assert not hit
+
+    def test_invalidate_app(self):
+        cache = WorkerCache("s0", CacheConfig(capacity_per_server=100))
+        cache.put_output("app1", "a", 1, size=1)
+        cache.put_output("app1", "b", 2, size=1)
+        cache.put_output("app2", "a", 3, size=1)
+        assert cache.invalidate_app("app1") == 2
+        assert cache.get_output("app2", "a")[0]
+
+    def test_default_ttl_applies(self):
+        clock = FakeClock()
+        cache = WorkerCache(
+            "s0", CacheConfig(capacity_per_server=100, default_ttl=5.0), clock
+        )
+        cache.put_output("app", "x", 1, size=1)
+        clock.t = 6.0
+        assert not cache.get_output("app", "x")[0]
+
+    def test_stats_aggregate(self):
+        cache = WorkerCache("s0", CacheConfig(capacity_per_server=100))
+        cache.get_input("a")       # i-miss
+        cache.put_input("a", 1, 1)
+        cache.get_input("a")       # i-hit
+        cache.get_output("ap", "t")  # o-miss
+        s = cache.stats()
+        assert (s.icache_hits, s.icache_misses, s.ocache_misses) == (1, 1, 1)
+        assert s.hit_ratio == pytest.approx(1 / 3)
+
+
+class TestDistributedCache:
+    def _dc(self, n=4, migrate=False, capacity=1000):
+        space = HashSpace(1000)
+        cfg = CacheConfig(capacity_per_server=capacity, migrate_misplaced=migrate)
+        return DistributedCache([f"s{i}" for i in range(n)], cfg, space)
+
+    def test_uniform_partition_by_default(self):
+        dc = self._dc(4)
+        assert dc.home_of(0) == "s0"
+        assert dc.home_of(499) == "s1"
+        assert dc.home_of(999) == "s3"
+
+    def test_set_partition_moves_home(self):
+        dc = self._dc(2)
+        dc.set_partition(SpacePartition(dc.space, ["s0", "s1"], [0, 900, 1000]))
+        assert dc.home_of(800) == "s0"
+
+    def test_partition_server_mismatch_rejected(self):
+        dc = self._dc(2)
+        with pytest.raises(SchedulingError):
+            dc.set_partition(SpacePartition(dc.space, ["s0", "sX"], [0, 500, 1000]))
+
+    def test_misplaced_entries_counted(self):
+        dc = self._dc(2)
+        dc.worker("s0").put_input("blk", b"x", size=1, hash_key=700)  # home is s1
+        assert dc.misplaced_entries() == {"s0": 1, "s1": 0}
+
+    def test_migration_to_neighbor(self):
+        dc = self._dc(2, migrate=True)
+        dc.worker("s0").put_input("blk", b"x", size=1, hash_key=400)
+        # Shift the boundary so key 400 now belongs to s1 (s0's neighbor).
+        dc.set_partition(SpacePartition(dc.space, ["s0", "s1"], [0, 300, 1000]))
+        assert dc.migrated_entries == 1
+        hit, _ = dc.worker("s1").get_input("blk")
+        assert hit
+        hit, _ = dc.worker("s0").get_input("blk")
+        assert not hit
+
+    def test_migration_disabled_by_default(self):
+        dc = self._dc(2, migrate=False)
+        dc.worker("s0").put_input("blk", b"x", size=1, hash_key=400)
+        dc.set_partition(SpacePartition(dc.space, ["s0", "s1"], [0, 300, 1000]))
+        assert dc.migrated_entries == 0
+        assert dc.misplaced_entries()["s0"] == 1
+
+    def test_aggregate_stats(self):
+        dc = self._dc(2)
+        dc.worker("s0").get_input("a")
+        dc.worker("s1").get_input("b")
+        dc.worker("s1").put_input("b", 1, 1)
+        dc.worker("s1").get_input("b")
+        stats = dc.stats()
+        assert stats.icache_hits == 1 and stats.icache_misses == 2
+
+    def test_clear(self):
+        dc = self._dc(2)
+        dc.worker("s0").put_input("a", 1, 10)
+        dc.clear()
+        assert dc.used == 0
+
+    def test_empty_server_list_rejected(self):
+        with pytest.raises(SchedulingError):
+            DistributedCache([], CacheConfig(), HashSpace(100))

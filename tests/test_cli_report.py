@@ -1,0 +1,69 @@
+"""Tests for the CLI and the text report renderers."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+from repro.experiments.common import ExperimentResult
+from repro.experiments.report import bar_chart, render
+
+
+class TestReport:
+    def _result(self):
+        r = ExperimentResult(title="T", x_label="x", x_values=["a", "b"])
+        r.add("s1", [10.0, 20.0])
+        r.add("s2", [5.0, float("nan")])
+        r.note("a note")
+        return r
+
+    def test_bar_chart_contains_values_and_notes(self):
+        text = bar_chart(self._result())
+        assert "T" in text
+        assert "20" in text
+        assert "a note" in text
+        assert "(not measured)" in text
+
+    def test_bar_lengths_proportional(self):
+        text = bar_chart(self._result(), width=40)
+        lines = {l.split("|")[0].strip(): l.count("#") for l in text.splitlines() if "|" in l}
+        # s1 at x=b (20, the peak) gets the full width; s2 at x=a (5) a quarter.
+        assert lines  # parsed something
+        bars = [l for l in text.splitlines() if "#" in l]
+        longest = max(l.count("#") for l in bars)
+        shortest = min(l.count("#") for l in bars)
+        assert longest == 40
+        assert shortest == pytest.approx(10, abs=1)
+
+    def test_render_styles(self):
+        r = self._result()
+        assert render(r, "table") != render(r, "bars")
+        with pytest.raises(ValueError):
+            render(r, "pie")
+
+    def test_empty_series_handled(self):
+        r = ExperimentResult(title="E", x_label="x", x_values=[1])
+        r.add("only-nan", [float("nan")])
+        assert "(no data)" in bar_chart(r)
+
+
+class TestCli:
+    def test_parser_accepts_figures(self):
+        parser = build_parser()
+        for name in FIGURES:
+            args = parser.parse_args([name])
+            assert args.target == name
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_fig3_runs_end_to_end(self, capsys):
+        assert main(["fig3", "--style", "bars"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert "regenerated in" in out
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])

@@ -1,0 +1,137 @@
+"""Tests for units, config validation, and seeded RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import CacheConfig, ClusterConfig, DFSConfig, SchedulerConfig
+from repro.common.errors import ConfigError
+from repro.common.rng import SeedSequenceFactory, derive_rng
+from repro.common.units import GB, KB, MB, TB, fmt_bytes, fmt_seconds
+
+
+class TestUnits:
+    def test_magnitudes(self):
+        assert KB == 1024
+        assert MB == 1024**2
+        assert GB == 1024**3
+        assert TB == 1024**4
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (1536, "1.5 KB"),
+            (128 * MB, "128 MB"),
+            (250 * GB, "250 GB"),
+            (2 * TB, "2 TB"),
+            (-MB, "-1 MB"),
+        ],
+    )
+    def test_fmt_bytes(self, n, expected):
+        assert fmt_bytes(n) == expected
+
+    @pytest.mark.parametrize(
+        "t,expected",
+        [
+            (5e-7, "0.5 us"),
+            (0.002, "2 ms"),
+            (3.5, "3.5 s"),
+            (600, "10 min"),
+            (7200, "2 h"),
+        ],
+    )
+    def test_fmt_seconds(self, t, expected):
+        assert fmt_seconds(t) == expected
+
+    def test_fmt_seconds_negative(self):
+        assert fmt_seconds(-3.0) == "-3 s"
+
+
+class TestConfigs:
+    def test_paper_defaults(self):
+        cfg = ClusterConfig()
+        assert cfg.num_nodes == 40
+        assert cfg.total_map_slots == 320
+        assert cfg.dfs.block_size == 128 * MB
+        assert cfg.scheduler.alpha == 0.001
+        assert cfg.scheduler.delay_wait == 5.0
+
+    def test_rack_of(self):
+        cfg = ClusterConfig()
+        assert cfg.rack_of(0) == 0
+        assert cfg.rack_of(19) == 0
+        assert cfg.rack_of(20) == 1
+        with pytest.raises(ConfigError):
+            cfg.rack_of(40)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 0},
+            {"map_slots_per_node": 0},
+            {"rack_size": 0},
+            {"disk_bandwidth": 0},
+            {"network_latency": -1},
+        ],
+    )
+    def test_cluster_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            ClusterConfig(**kwargs)
+
+    def test_dfs_validation(self):
+        with pytest.raises(ConfigError):
+            DFSConfig(block_size=0)
+        with pytest.raises(ConfigError):
+            DFSConfig(replication=3)
+        assert DFSConfig(replication=0).replication == 0
+
+    def test_cache_validation(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(capacity_per_server=-1)
+        with pytest.raises(ConfigError):
+            CacheConfig(icache_fraction=1.5)
+        with pytest.raises(ConfigError):
+            CacheConfig(default_ttl=0)
+        assert CacheConfig(default_ttl=None).default_ttl is None
+
+    def test_scheduler_validation(self):
+        with pytest.raises(ConfigError):
+            SchedulerConfig(alpha=-0.1)
+        with pytest.raises(ConfigError):
+            SchedulerConfig(alpha=1.1)
+        with pytest.raises(ConfigError):
+            SchedulerConfig(window_tasks=0)
+        with pytest.raises(ConfigError):
+            SchedulerConfig(kde_bandwidth=0)
+        with pytest.raises(ConfigError):
+            SchedulerConfig(delay_wait=-1)
+
+
+class TestRng:
+    def test_derive_is_deterministic(self):
+        a = derive_rng(7, "workload", 3).random(5)
+        b = derive_rng(7, "workload", 3).random(5)
+        assert np.array_equal(a, b)
+
+    def test_paths_independent(self):
+        a = derive_rng(7, "workload", 3).random(5)
+        b = derive_rng(7, "workload", 4).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_string_paths_stable_across_factories(self):
+        f1 = SeedSequenceFactory(42)
+        f2 = SeedSequenceFactory(42)
+        assert np.array_equal(f1.named("x").random(3), f2.named("x").random(3))
+
+    def test_fresh_streams_differ(self):
+        f = SeedSequenceFactory(42)
+        assert not np.array_equal(f.fresh().random(3), f.fresh().random(3))
+
+    def test_bool_and_int_paths(self):
+        assert np.array_equal(
+            derive_rng(1, True, 2).random(2), derive_rng(1, True, 2).random(2)
+        )
+        assert not np.array_equal(
+            derive_rng(1, True).random(2), derive_rng(1, False).random(2)
+        )

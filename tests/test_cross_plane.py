@@ -1,0 +1,35 @@
+"""Cross-plane validation: the functional engine and the performance
+model must agree on timing-independent quantities."""
+
+import pytest
+
+from repro.perfmodel.validation import compare_planes
+
+
+class TestCrossPlane:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_planes(num_workers=8, blocks=24, repeats=3)
+
+    def test_hit_ratios_agree(self, comparison):
+        """Repeated scans of a fully cache-resident dataset: after the cold
+        first scan, everything hits.  Both planes should land near
+        (repeats-1)/repeats = 2/3."""
+        assert comparison.functional_hit_ratio == pytest.approx(2 / 3, abs=0.05)
+        assert comparison.simulated_hit_ratio == pytest.approx(2 / 3, abs=0.05)
+        assert comparison.hit_ratio_gap < 0.05
+
+    def test_assignment_spread_agrees(self, comparison):
+        """With identical ring positions, block keys and scheduler config,
+        the two planes make the *same* assignment sequence: the spread
+        matches exactly."""
+        assert comparison.cv_gap < 1e-9
+
+    def test_repartition_counts_agree(self, comparison):
+        """Same window size, same task count -> same number of re-cuts."""
+        assert comparison.functional_repartitions == comparison.simulated_repartitions
+
+    def test_delay_scheduler_plane_agreement(self):
+        cmp = compare_planes(num_workers=6, blocks=18, repeats=2, scheduler="delay")
+        assert cmp.functional_hit_ratio == pytest.approx(0.5, abs=0.06)
+        assert cmp.simulated_hit_ratio == pytest.approx(0.5, abs=0.06)

@@ -1,0 +1,321 @@
+"""Tests for the DHT file system: placement, reads, permissions, recovery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import DFSConfig
+from repro.common.errors import (
+    BlockNotFound,
+    FileNotFound,
+    FileSystemError,
+    PermissionDenied,
+)
+from repro.common.hashing import HashSpace
+from repro.dfs.blocks import Block, BlockId, BlockStore
+from repro.dfs.fault import recover_from_failure
+from repro.dfs.filesystem import DHTFileSystem
+from repro.dfs.metadata import FileMetadata
+
+
+def make_fs(n=6, block_size=64, replication=2, size=1 << 20):
+    cfg = DFSConfig(block_size=block_size, replication=replication)
+    return DHTFileSystem([f"s{i}" for i in range(n)], cfg, HashSpace(size))
+
+
+class TestBlockStore:
+    def test_put_get_primary(self):
+        store = BlockStore("s0")
+        b = Block(BlockId("f", 0), key=5, size=3, data=b"abc")
+        store.put(b)
+        assert store.get(BlockId("f", 0)) is b
+        assert store.has_primary(BlockId("f", 0))
+
+    def test_replica_does_not_shadow_primary(self):
+        store = BlockStore("s0")
+        b = Block(BlockId("f", 0), key=5, size=3, data=b"abc")
+        store.put(b)
+        store.put(b, replica=True)
+        assert store.has_primary(BlockId("f", 0))
+        assert not store.has_replica(BlockId("f", 0))
+
+    def test_primary_supersedes_replica(self):
+        store = BlockStore("s0")
+        b = Block(BlockId("f", 0), key=5, size=3, data=b"abc")
+        store.put(b, replica=True)
+        store.put(b)
+        assert store.has_primary(BlockId("f", 0))
+        assert not store.has_replica(BlockId("f", 0))
+
+    def test_promote(self):
+        store = BlockStore("s0")
+        b = Block(BlockId("f", 0), key=5, size=3, data=b"abc")
+        store.put(b, replica=True)
+        store.promote(BlockId("f", 0))
+        assert store.has_primary(BlockId("f", 0))
+
+    def test_promote_missing_rejected(self):
+        store = BlockStore("s0")
+        with pytest.raises(BlockNotFound):
+            store.promote(BlockId("f", 0))
+
+    def test_byte_accounting(self):
+        store = BlockStore("s0")
+        store.put(Block(BlockId("f", 0), key=1, size=10))
+        store.put(Block(BlockId("f", 1), key=2, size=20), replica=True)
+        assert store.primary_bytes == 10
+        assert store.replica_bytes == 20
+
+    def test_block_payload_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Block(BlockId("f", 0), key=1, size=5, data=b"abc")
+
+
+class TestMetadata:
+    def test_owner_can_read_and_write(self):
+        meta = FileMetadata("f", owner="alice", size=10, permissions=0o644)
+        meta.check_access("alice")
+        meta.check_access("alice", write=True)
+
+    def test_other_read_only_with_644(self):
+        meta = FileMetadata("f", owner="alice", size=10, permissions=0o644)
+        meta.check_access("bob")
+        with pytest.raises(PermissionDenied):
+            meta.check_access("bob", write=True)
+
+    def test_private_file(self):
+        meta = FileMetadata("f", owner="alice", size=10, permissions=0o600)
+        with pytest.raises(PermissionDenied):
+            meta.check_access("bob")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            FileMetadata("", owner="a", size=1)
+
+
+class TestUploadAndRead:
+    def test_roundtrip(self):
+        fs = make_fs()
+        data = bytes(range(256)) * 3
+        fs.upload("input.txt", data)
+        assert fs.read("input.txt") == data
+
+    def test_partitioning_into_blocks(self):
+        fs = make_fs(block_size=64)
+        data = b"x" * 200
+        meta = fs.upload("f", data)
+        assert meta.num_blocks == 4  # 64+64+64+8
+        assert [d.size for d in meta.blocks] == [64, 64, 64, 8]
+        assert meta.size == 200
+
+    def test_exact_multiple_of_block_size(self):
+        fs = make_fs(block_size=64)
+        meta = fs.upload("f", b"y" * 128)
+        assert meta.num_blocks == 2
+
+    def test_empty_file(self):
+        fs = make_fs()
+        meta = fs.upload("empty", b"")
+        assert meta.size == 0
+        assert fs.read("empty") == b""
+
+    def test_size_only_upload(self):
+        fs = make_fs(block_size=64)
+        meta = fs.upload("big", size=1000)
+        assert meta.num_blocks == 16
+        with pytest.raises(FileSystemError):
+            fs.read("big")
+
+    def test_both_data_and_size_rejected(self):
+        fs = make_fs()
+        with pytest.raises(FileSystemError):
+            fs.upload("f", b"abc", size=3)
+        with pytest.raises(FileSystemError):
+            fs.upload("f")
+
+    def test_duplicate_name_rejected(self):
+        fs = make_fs()
+        fs.upload("f", b"abc")
+        with pytest.raises(FileSystemError):
+            fs.upload("f", b"def")
+
+    def test_missing_file(self):
+        fs = make_fs()
+        with pytest.raises(FileNotFound):
+            fs.stat("ghost")
+        assert not fs.exists("ghost")
+
+    def test_read_block_bounds(self):
+        fs = make_fs(block_size=64)
+        fs.upload("f", b"z" * 100)
+        with pytest.raises(BlockNotFound):
+            fs.read_block("f", 2)
+
+    def test_metadata_owner_is_ring_owner_of_name_hash(self):
+        fs = make_fs()
+        fs.upload("somefile", b"abc")
+        owner = fs.metadata_owner("somefile")
+        assert "somefile" in fs.servers[owner].metadata
+
+    def test_permissions_enforced_on_read(self):
+        fs = make_fs()
+        fs.upload("secret", b"abc", owner="alice", permissions=0o600)
+        assert fs.read("secret", user="alice") == b"abc"
+        with pytest.raises(PermissionDenied):
+            fs.read("secret", user="bob")
+
+    def test_delete(self):
+        fs = make_fs()
+        fs.upload("f", b"abc")
+        fs.delete("f")
+        assert not fs.exists("f")
+        for server in fs.servers.values():
+            assert len(server.blocks) == 0
+
+    def test_delete_requires_write_permission(self):
+        fs = make_fs()
+        fs.upload("f", b"abc", owner="alice", permissions=0o644)
+        with pytest.raises(PermissionDenied):
+            fs.delete("f", user="bob")
+
+    def test_list_files(self):
+        fs = make_fs()
+        fs.upload("b", b"1")
+        fs.upload("a", b"2")
+        assert fs.list_files() == ["a", "b"]
+
+
+class TestPlacement:
+    def test_block_primary_on_ring_owner(self):
+        fs = make_fs(block_size=64)
+        fs.upload("f", b"q" * 300)
+        for desc, holders in fs.block_locations("f"):
+            owner = fs.ring.owner_of(desc.key)
+            assert fs.servers[owner].blocks.has_primary(BlockId("f", desc.index))
+            assert owner in holders
+
+    def test_replicas_on_neighbors(self):
+        fs = make_fs(n=6, block_size=64, replication=2)
+        fs.upload("f", b"q" * 300)
+        for desc, holders in fs.block_locations("f"):
+            owner = fs.ring.owner_of(desc.key)
+            expected = set(fs.ring.replica_set(desc.key, extra=2))
+            assert set(holders) == expected
+            assert len(holders) == 3  # owner + pred + succ on a 6-node ring
+
+    def test_replication_zero(self):
+        fs = make_fs(n=6, block_size=64, replication=0)
+        fs.upload("f", b"q" * 300)
+        for _, holders in fs.block_locations("f"):
+            assert len(holders) == 1
+
+    def test_blocks_spread_across_servers(self):
+        """The DHT FS resolves input block skew by hashing blocks across
+        the ring (paper §II-A), so a large file should not pile onto one
+        server."""
+        fs = make_fs(n=6, block_size=64)
+        fs.upload("big", size=64 * 120)  # 120 blocks
+        counts = [
+            sum(1 for _ in srv.blocks.primaries()) for srv in fs.servers.values()
+        ]
+        assert max(counts) < 120  # not all on one server
+        assert sum(counts) == 120
+        assert sum(1 for c in counts if c > 0) >= 3
+
+
+class TestFailureRecovery:
+    def test_read_survives_single_failure(self):
+        fs = make_fs(n=6, block_size=64)
+        data = b"payload" * 40
+        fs.upload("f", data)
+        victim = fs.block_owner("f", 0)
+        report = recover_from_failure(fs, victim)
+        assert report.fully_recovered
+        assert fs.read("f") == data
+
+    def test_recovery_restores_replication_invariants(self):
+        fs = make_fs(n=6, block_size=64)
+        fs.upload("f", b"payload" * 40)
+        victim = list(fs.servers)[0]
+        recover_from_failure(fs, victim)
+        # After repair every block again sits on owner + pred + succ.
+        for desc, holders in fs.block_locations("f"):
+            assert set(holders) == set(fs.ring.replica_set(desc.key, extra=2))
+
+    def test_sequential_failures_until_minimum(self):
+        fs = make_fs(n=6, block_size=64)
+        data = b"abcdef" * 64
+        fs.upload("f", data)
+        for _ in range(3):  # kill half the cluster one at a time
+            victim = list(fs.servers)[0]
+            report = recover_from_failure(fs, victim)
+            assert report.fully_recovered
+            assert fs.read("f") == data
+
+    def test_unreplicated_data_is_lost(self):
+        fs = make_fs(n=6, block_size=64, replication=0)
+        fs.upload("f", b"x" * 300)
+        victim = fs.block_owner("f", 0)
+        report = recover_from_failure(fs, victim)
+        assert not report.fully_recovered
+        assert BlockId("f", 0) in report.lost_blocks
+
+    def test_metadata_owner_failure(self):
+        fs = make_fs(n=6, block_size=64)
+        fs.upload("f", b"x" * 100)
+        victim = fs.metadata_owner("f")
+        report = recover_from_failure(fs, victim)
+        assert report.fully_recovered
+        assert fs.exists("f")
+        new_owner = fs.metadata_owner("f")
+        assert "f" in fs.servers[new_owner].metadata
+
+    def test_join_after_upload_does_not_break_reads(self):
+        fs = make_fs(n=4, block_size=64)
+        data = b"j" * 500
+        fs.upload("f", data)
+        fs.add_server("late", position=12345)
+        # Reads fall back across the replica set even though ownership moved.
+        assert fs.read("f") == data
+
+
+@given(
+    payload=st.binary(min_size=0, max_size=2048),
+    n_servers=st.integers(2, 10),
+    block_size=st.sampled_from([32, 64, 128, 1024]),
+)
+@settings(max_examples=50)
+def test_roundtrip_property(payload, n_servers, block_size):
+    fs = DHTFileSystem(
+        [f"s{i}" for i in range(n_servers)],
+        DFSConfig(block_size=block_size),
+        HashSpace(1 << 24),
+    )
+    meta = fs.upload("f", payload)
+    assert fs.read("f") == payload
+    expected_blocks = max(1, -(-len(payload) // block_size))
+    assert meta.num_blocks == expected_blocks
+
+
+@given(
+    n_servers=st.integers(3, 8),
+    kills=st.integers(1, 2),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=30)
+def test_recovery_property(n_servers, kills, seed):
+    """Any sequence of single failures with repair in between loses nothing."""
+    import random
+
+    rng = random.Random(seed)
+    fs = DHTFileSystem(
+        [f"s{i}" for i in range(n_servers)],
+        DFSConfig(block_size=64, replication=2),
+        HashSpace(1 << 24),
+    )
+    data = bytes(rng.getrandbits(8) for _ in range(700))
+    fs.upload("f", data)
+    for _ in range(min(kills, n_servers - 1)):
+        victim = rng.choice(list(fs.servers))
+        report = recover_from_failure(fs, victim)
+        assert report.fully_recovered
+        assert fs.read("f") == data

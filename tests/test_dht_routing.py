@@ -1,0 +1,177 @@
+"""Tests for finger tables, Chord routing, and membership."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import RingError
+from repro.common.hashing import HashSpace
+from repro.dht.finger import RoutingTable
+from repro.dht.membership import MembershipService, NodeState
+from repro.dht.ring import ConsistentHashRing
+
+
+def build_ring(positions, size=1 << 16):
+    sp = HashSpace(size)
+    ring = ConsistentHashRing(sp)
+    for i, pos in enumerate(positions):
+        ring.add_node(f"n{i}", pos)
+    return ring
+
+
+class TestOneHopRouting:
+    def test_zero_or_one_hop(self):
+        ring = build_ring([100, 5000, 20000, 44000])
+        rt = RoutingTable(ring, one_hop=True)
+        route = rt.route("n0", 99)
+        assert route.owner == "n0" and route.hop_count == 0
+        route = rt.route("n0", 30000)
+        assert route.owner == "n3" and route.hop_count == 1
+        assert route.hops == ("n0", "n3")
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(RingError):
+            RoutingTable(ConsistentHashRing(HashSpace(100)))
+
+
+class TestChordRouting:
+    def test_log_n_routing_reaches_owner(self):
+        ring = build_ring([(i * 37 + 11) % (1 << 16) for i in range(32)])
+        rt = RoutingTable(ring, one_hop=False)
+        for key in range(0, 1 << 16, 997):
+            route = rt.route("n0", key)
+            assert route.owner == ring.owner_of(key)
+            assert route.hops[0] == "n0"
+            assert route.hops[-1] == route.owner
+
+    def test_hop_counts_are_logarithmic(self):
+        size = 1 << 20
+        sp = HashSpace(size)
+        ring = ConsistentHashRing(sp)
+        for i in range(64):
+            ring.add_node(f"n{i}")
+        rt = RoutingTable(ring, one_hop=False)
+        keys = [sp.key_of(f"probe{i}") for i in range(50)]
+        avg = rt.average_hops(keys, starts=ring.nodes[:8])
+        # For 64 nodes, Chord averages ~ (log2 64)/2 = 3 hops.
+        assert 0.5 < avg < 7.0
+
+    def test_one_hop_avg_less_than_chord(self):
+        ring = build_ring([(i * 997 + 5) % (1 << 16) for i in range(40)])
+        keys = list(range(0, 1 << 16, 2048))
+        chord = RoutingTable(ring, one_hop=False).average_hops(keys)
+        onehop = RoutingTable(ring, one_hop=True).average_hops(keys)
+        assert onehop <= 1.0
+        assert onehop < chord
+
+    def test_single_node_routes_to_itself(self):
+        ring = build_ring([77])
+        rt = RoutingTable(ring, one_hop=False)
+        assert rt.route("n0", 12345 % (1 << 16)).hop_count == 0
+
+    def test_rebuild_after_membership_change(self):
+        ring = build_ring([100, 5000, 20000])
+        rt = RoutingTable(ring, one_hop=False)
+        ring.add_node("late", 60000)
+        rt.rebuild()
+        # "late" at position 60000 owns [20000, 60000).
+        route = rt.route("n0", 59999)
+        assert route.owner == "late"
+
+
+@given(
+    st.lists(st.integers(0, (1 << 14) - 1), min_size=2, max_size=24, unique=True),
+    st.integers(0, (1 << 14) - 1),
+)
+@settings(max_examples=80)
+def test_chord_routing_always_terminates_at_owner(positions, key):
+    ring = build_ring(positions, size=1 << 14)
+    rt = RoutingTable(ring, one_hop=False)
+    start = ring.nodes[0]
+    route = rt.route(start, key)
+    assert route.owner == ring.owner_of(key)
+    assert route.hop_count <= 2 * len(ring) + 1
+    # No node is visited twice (greedy progress never cycles).
+    assert len(set(route.hops)) == len(route.hops)
+
+
+class TestMembership:
+    def _svc(self):
+        ring = ConsistentHashRing(HashSpace(1 << 16))
+        return MembershipService(ring, heartbeat_timeout=3.0)
+
+    def test_join_and_state(self):
+        svc = self._svc()
+        svc.join("a", now=0.0, position=10)
+        assert svc.state_of("a") is NodeState.ALIVE
+        assert svc.alive_nodes == ["a"]
+
+    def test_failure_removes_from_ring(self):
+        svc = self._svc()
+        svc.join("a", position=10)
+        svc.join("b", position=200)
+        svc.fail("a", now=5.0)
+        assert svc.ring.nodes == ["b"]
+        assert svc.state_of("a") is NodeState.DEAD
+        assert not svc.is_alive("a")
+
+    def test_heartbeat_timeout_detection(self):
+        svc = self._svc()
+        svc.join("a", now=0.0, position=10)
+        svc.join("b", now=0.0, position=200)
+        svc.heartbeat("a", now=2.0)
+        svc.heartbeat("b", now=2.0)
+        svc.heartbeat("a", now=4.0)
+        # b last beat at 2.0; at t=6 it exceeds the 3 s timeout.
+        failed = svc.detect_failures(now=6.0)
+        assert failed == ["b"]
+        assert svc.alive_nodes == ["a"]
+
+    def test_detect_failures_is_idempotent(self):
+        svc = self._svc()
+        svc.join("a", now=0.0, position=10)
+        svc.detect_failures(now=100.0)
+        assert svc.detect_failures(now=200.0) == []
+
+    def test_election_lowest_position_wins(self):
+        svc = self._svc()
+        svc.join("high", position=50000)
+        svc.join("low", position=3)
+        svc.join("mid", position=900)
+        assert svc.elect_coordinator() == "low"
+        svc.fail("low")
+        assert svc.elect_coordinator() == "mid"
+
+    def test_election_empty_cluster_rejected(self):
+        svc = self._svc()
+        with pytest.raises(RingError):
+            svc.elect_coordinator()
+
+    def test_events_and_listeners(self):
+        svc = self._svc()
+        seen = []
+        svc.subscribe(lambda ev: seen.append((ev.kind, ev.node_id)))
+        svc.join("a", position=1)
+        svc.join("b", position=2)
+        svc.fail("a")
+        svc.elect_coordinator()
+        assert seen == [("join", "a"), ("join", "b"), ("failure", "a"), ("election", "b")]
+
+    def test_leave_gracefully(self):
+        svc = self._svc()
+        svc.join("a", position=1)
+        svc.leave("a")
+        with pytest.raises(RingError):
+            svc.state_of("a")
+
+    def test_double_fail_is_noop(self):
+        svc = self._svc()
+        svc.join("a", position=1)
+        svc.join("b", position=2)
+        svc.fail("a")
+        svc.fail("a")  # second fail must not raise
+        assert len([e for e in svc.events if e.kind == "failure"]) == 1
+
+    def test_invalid_timeout_rejected(self):
+        ring = ConsistentHashRing(HashSpace(100))
+        with pytest.raises(RingError):
+            MembershipService(ring, heartbeat_timeout=0)

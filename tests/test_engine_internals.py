@@ -1,0 +1,141 @@
+"""Unit tests for PerfEngine internals and cross-cutting sim properties."""
+
+import pytest
+
+from repro.common.config import CacheConfig, ClusterConfig, DFSConfig, SchedulerConfig
+from repro.common.units import GB, MB
+from repro.perfmodel.engine import PerfEngine, SimJobSpec
+from repro.perfmodel.framework import eclipse_framework, hadoop_framework, spark_framework
+from repro.perfmodel.placement import dht_layout
+from repro.perfmodel.profiles import APP_PROFILES, AppProfile
+
+
+def small_engine(framework=None, nodes=4):
+    config = ClusterConfig(
+        num_nodes=nodes,
+        rack_size=max(1, nodes // 2),
+        map_slots_per_node=2,
+        reduce_slots_per_node=2,
+        dfs=DFSConfig(block_size=128 * MB),
+        cache=CacheConfig(capacity_per_server=1 * GB, icache_fraction=1.0),
+        scheduler=SchedulerConfig(window_tasks=16),
+        page_cache_per_node=1 * GB,
+    )
+    return PerfEngine(config, framework or eclipse_framework())
+
+
+class TestCpuScale:
+    def test_native_framework_always_one(self):
+        engine = small_engine(eclipse_framework())
+        for app in APP_PROFILES.values():
+            assert engine._cpu_scale(app) == pytest.approx(1.0)
+
+    def test_jvm_fully_sensitive_app(self):
+        engine = small_engine(spark_framework())
+        assert engine._cpu_scale(APP_PROFILES["kmeans"]) == pytest.approx(2.0)
+
+    def test_jvm_insensitive_app(self):
+        engine = small_engine(spark_framework())
+        assert engine._cpu_scale(APP_PROFILES["pagerank"]) == pytest.approx(1.0)
+
+    def test_partial_sensitivity(self):
+        engine = small_engine(hadoop_framework())
+        # wordcount: 0.7 sensitive at 0.5 efficiency -> 0.7/0.5 + 0.3 = 1.7
+        assert engine._cpu_scale(APP_PROFILES["wordcount"]) == pytest.approx(1.7)
+
+
+class TestRingNeighbors:
+    def test_neighbors_follow_ring_order(self):
+        engine = small_engine()
+        order = engine._ring_order
+        for i, node in enumerate(order):
+            assert engine._ring_neighbor(node, 1) == order[(i + 1) % len(order)]
+            assert engine._ring_neighbor(node, 2) == order[(i + 2) % len(order)]
+
+    def test_neighbor_zero_is_self(self):
+        engine = small_engine()
+        for node in range(4):
+            assert engine._ring_neighbor(node, 0) == node
+
+
+class TestShuffleDestinations:
+    def test_round_robin_covers_all_nodes(self):
+        engine = small_engine()
+        dests = [engine._next_shuffle_dest() for _ in range(8)]
+        assert dests == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+class TestBlockCpuMultiplier:
+    def test_deterministic(self):
+        app = APP_PROFILES["pagerank"]
+        assert app.block_cpu_multiplier("b1") == app.block_cpu_multiplier("b1")
+
+    def test_no_skew_is_identity(self):
+        assert APP_PROFILES["grep"].block_cpu_multiplier("anything") == 1.0
+
+    def test_mean_near_one(self):
+        import numpy as np
+
+        app = APP_PROFILES["pagerank"]
+        ms = [app.block_cpu_multiplier(f"x{i}") for i in range(4000)]
+        assert np.mean(ms) == pytest.approx(1.0, abs=0.06)
+        assert min(ms) > 0
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_timings(self):
+        """The whole simulation is deterministic: same config, same result."""
+        def once():
+            engine = small_engine()
+            blocks = dht_layout(engine.space, engine.ring, "in", 12, 128 * MB)
+            t = engine.run_job(
+                SimJobSpec(app=APP_PROFILES["wordcount"], tasks=blocks, label="wc")
+            )
+            return t.makespan, t.tasks_per_server, t.bytes_shuffled
+
+        assert once() == once()
+
+    def test_deterministic_across_frameworks(self):
+        for fw_factory in (eclipse_framework, hadoop_framework, spark_framework):
+            def once():
+                engine = small_engine(fw_factory())
+                blocks = dht_layout(engine.space, engine.ring, "in", 8, 128 * MB)
+                return engine.run_job(
+                    SimJobSpec(app=APP_PROFILES["grep"], tasks=blocks)
+                ).makespan
+
+            assert once() == pytest.approx(once())
+
+
+class TestNetworkConservation:
+    def test_bytes_transferred_equals_flow_sizes(self):
+        """Fluid-flow bookkeeping: completed bytes equal requested bytes."""
+        from repro.sim.engine import AllOf, Simulation
+        from repro.sim.network import Network
+
+        sim = Simulation()
+        net = Network(sim, num_nodes=6, rack_size=3, node_bandwidth=100.0,
+                      uplink_bandwidth=80.0, latency=0.001)
+        sizes = [1000, 2500, 100, 4000, 333]
+        pairs = [(0, 3), (1, 4), (2, 5), (5, 0), (3, 1)]
+
+        def one(sim, net, src, dst, n):
+            yield net.transfer(src, dst, n)
+
+        def body(sim, net):
+            yield AllOf([
+                sim.process(one(sim, net, s, d, n)) for (s, d), n in zip(pairs, sizes)
+            ])
+
+        sim.run(sim.process(body(sim, net)))
+        assert net.flows_completed == len(sizes)
+        assert net.bytes_transferred == pytest.approx(sum(sizes))
+        assert net.active_flows == 0
+
+    def test_disk_accounting_matches_work(self):
+        engine = small_engine()
+        blocks = dht_layout(engine.space, engine.ring, "in", 8, 128 * MB)
+        engine.run_job(SimJobSpec(app=APP_PROFILES["grep"], tasks=blocks))
+        read = sum(n.disk.bytes_read for n in engine.cluster.nodes)
+        # Cold run: every block read from a disk exactly once.
+        assert read == 8 * 128 * MB

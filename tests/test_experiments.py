@@ -1,0 +1,88 @@
+"""Small-scale integration tests for the figure experiment modules.
+
+The full-scale shape assertions live in ``benchmarks/``; these verify the
+experiment plumbing (series shapes, table rendering, determinism) fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import ExperimentResult, format_rows
+from repro.experiments.fig3_cdf import run as run_fig3
+from repro.experiments.fig5_io import DFSIO, run as run_fig5
+from repro.experiments.fig9_frameworks import normalized
+
+
+class TestExperimentResult:
+    def test_add_and_format(self):
+        r = ExperimentResult(title="T", x_label="x", x_values=[1, 2])
+        r.add("a", [1.0, 2.0])
+        r.note("hello")
+        text = format_rows(r)
+        assert "T" in text and "hello" in text
+        assert "1 s" in text
+
+    def test_format_units(self):
+        r = ExperimentResult(title="T", x_label="x", x_values=[1])
+        r.add("a", [12.5])
+        assert "12.5%" in format_rows(r, unit="%")
+
+
+class TestFig3:
+    def test_partition_tiles_space(self):
+        result = run_fig3(accesses=4000)
+        starts = result.series["range start"]
+        ends = result.series["range end"]
+        assert starts[0] == 0 and ends[-1] == 140
+        for i in range(len(starts) - 1):
+            assert ends[i] == starts[i + 1]
+
+    def test_equal_probability(self):
+        result = run_fig3(accesses=4000)
+        for mass in result.series["probability"]:
+            assert mass == pytest.approx(0.2, abs=0.05)
+
+    def test_deterministic(self):
+        a = run_fig3(accesses=2000)
+        b = run_fig3(accesses=2000)
+        assert a.series["range start"] == b.series["range start"]
+
+
+class TestFig5:
+    def test_dfsio_profile_free_cpu(self):
+        assert DFSIO.map_cpu_seconds(128 * 1024 * 1024) < 0.01
+        assert DFSIO.shuffle_ratio == 0.0
+
+    def test_small_sweep_shapes(self):
+        result = run_fig5(node_counts=(4, 8), blocks_per_node=2)
+        assert len(result.x_values) == 2
+        assert set(result.series) == {
+            "DHT/task (MB/s)", "HDFS/task (MB/s)", "DHT/job (MB/s)", "HDFS/job (MB/s)"
+        }
+        # The per-task metric is per-disk streaming throughput: roughly the
+        # configured disk bandwidth (140 MB/s), independent of cluster size.
+        for kind in ("DHT", "HDFS"):
+            for task_v in result.series[f"{kind}/task (MB/s)"]:
+                assert 100 < task_v < 150
+        # The job metric aggregates all spindles minus overheads, so it can
+        # never exceed nodes x disk bandwidth.
+        for nodes, job_v in zip(result.x_values, result.series["DHT/job (MB/s)"]):
+            assert job_v < nodes * 150
+
+
+class TestFig9Normalization:
+    def test_normalized_max_is_one(self):
+        r = ExperimentResult(title="T", x_label="app", x_values=["a", "b"])
+        r.add("X", [10.0, 40.0])
+        r.add("Y", [20.0, 20.0])
+        norm = normalized(r)
+        assert norm["Y"][0] == 1.0 and norm["X"][0] == 0.5
+        assert norm["X"][1] == 1.0 and norm["Y"][1] == 0.5
+
+    def test_normalized_handles_nan(self):
+        r = ExperimentResult(title="T", x_label="app", x_values=["a"])
+        r.add("X", [10.0])
+        r.add("Y", [float("nan")])
+        norm = normalized(r)
+        assert norm["X"][0] == 1.0
+        assert np.isnan(norm["Y"][0])

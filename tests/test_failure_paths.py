@@ -1,0 +1,147 @@
+"""End-to-end failure paths: worker crashes, rebalance, scheduler removal."""
+
+import pytest
+
+from repro.common.config import CacheConfig, ClusterConfig, DFSConfig, SchedulerConfig
+from repro.common.errors import SchedulingError
+from repro.common.hashing import HashSpace
+from repro.dfs.fault import rebalance
+from repro.dfs.filesystem import DHTFileSystem
+from repro.mapreduce.api import EclipseMR
+from repro.scheduler.delay import DelayScheduler
+from repro.scheduler.laf import LAFScheduler
+
+CFG = ClusterConfig(
+    num_nodes=6,
+    rack_size=3,
+    dfs=DFSConfig(block_size=256),
+    cache=CacheConfig(capacity_per_server=64 * 1024),
+    scheduler=SchedulerConfig(window_tasks=8, num_bins=64),
+)
+
+
+def word_map(block):
+    for w in block.decode().split():
+        yield w, 1
+
+
+def count_reduce(word, counts):
+    return sum(counts)
+
+
+def pack(text: bytes) -> bytes:
+    from repro.apps.workloads import pack_records
+
+    return pack_records(text.split(), CFG.dfs.block_size)
+
+
+class TestRebalanceOnJoin:
+    def test_join_then_rebalance_restores_invariants(self):
+        fs = DHTFileSystem([f"s{i}" for i in range(4)], DFSConfig(block_size=64), HashSpace(1 << 24))
+        data = b"j" * 600
+        fs.upload("f", data)
+        fs.add_server("late", position=99999)
+        report = rebalance(fs)
+        assert report.fully_recovered
+        assert fs.read("f") == data
+        for desc, holders in fs.block_locations("f"):
+            assert set(holders) == set(fs.ring.replica_set(desc.key, extra=2))
+
+    def test_rebalance_noop_when_consistent(self):
+        fs = DHTFileSystem([f"s{i}" for i in range(4)], DFSConfig(block_size=64), HashSpace(1 << 24))
+        fs.upload("f", b"x" * 300)
+        report = rebalance(fs)
+        assert report.blocks_recopied == 0
+        assert report.blocks_promoted == 0
+
+
+class TestWorkerFailureInRuntime:
+    def _cluster(self, scheduler="laf"):
+        mr = EclipseMR(workers=6, scheduler=scheduler, config=CFG)
+        mr.upload("t.txt", pack(b"omega " * 400))
+        return mr
+
+    def test_job_correct_after_crash(self):
+        mr = self._cluster()
+        before = mr.map_reduce("j1", "t.txt", word_map, count_reduce)
+        victim = mr.runtime.worker_ids[0]
+        report = mr.runtime.fail_worker(victim)
+        assert report.fully_recovered
+        after = mr.map_reduce("j2", "t.txt", word_map, count_reduce)
+        assert after.output == before.output
+        assert victim not in after.stats.tasks_per_server
+
+    def test_crash_with_delay_scheduler(self):
+        mr = self._cluster("delay")
+        before = mr.map_reduce("j1", "t.txt", word_map, count_reduce)
+        mr.runtime.fail_worker(mr.runtime.worker_ids[2])
+        after = mr.map_reduce("j2", "t.txt", word_map, count_reduce)
+        assert after.output == before.output
+
+    def test_sequential_crashes(self):
+        mr = self._cluster()
+        expected = mr.map_reduce("j0", "t.txt", word_map, count_reduce).output
+        for i in range(3):
+            mr.runtime.fail_worker(mr.runtime.worker_ids[0])
+            result = mr.map_reduce(f"j{i+1}", "t.txt", word_map, count_reduce)
+            assert result.output == expected
+        assert len(mr.runtime.worker_ids) == 3
+
+    def test_unknown_worker_rejected(self):
+        mr = self._cluster()
+        with pytest.raises(SchedulingError):
+            mr.runtime.fail_worker("ghost")
+
+    def test_scheduler_never_assigns_to_dead_worker(self):
+        mr = self._cluster()
+        victim = mr.runtime.worker_ids[0]
+        mr.runtime.fail_worker(victim)
+        result = mr.map_reduce("j", "t.txt", word_map, count_reduce)
+        assert victim not in result.stats.tasks_per_server
+        for server, _, _ in mr.scheduler.range_table():
+            assert server != victim
+
+
+class TestSchedulerRemoval:
+    def test_laf_recuts_over_survivors(self):
+        space = HashSpace(1000)
+        laf = LAFScheduler(space, ["a", "b", "c", "d"])
+        laf.remove_server("b")
+        assert laf.servers == ["a", "c", "d"]
+        table = laf.range_table()
+        assert len(table) == 3
+        assert table[0][1] == 0 and table[-1][2] == 1000
+        # Assignments still work and never name the removed server.
+        for key in range(0, 1000, 97):
+            assert laf.assign(hash_key=key).server != "b"
+
+    def test_laf_keeps_learned_popularity(self):
+        space = HashSpace(1000)
+        laf = LAFScheduler(
+            space, ["a", "b", "c"], SchedulerConfig(window_tasks=8, num_bins=100, alpha=1.0)
+        )
+        for _ in range(16):
+            laf.assign(hash_key=100)  # make the low region popular
+        hot_width_before = laf.partition.width_of(laf.partition.owner_of(100))
+        laf.remove_server("c")
+        hot_width_after = laf.partition.width_of(laf.partition.owner_of(100))
+        # The hot region stays narrow relative to a uniform cut.
+        assert hot_width_after < 1000 // 2
+
+    def test_delay_uniform_recut(self):
+        space = HashSpace(1000)
+        d = DelayScheduler(space, ["a", "b"])
+        d.remove_server("a")
+        assert d.assign(hash_key=999).server == "b"
+
+    def test_cannot_remove_last(self):
+        space = HashSpace(1000)
+        laf = LAFScheduler(space, ["solo"])
+        with pytest.raises(SchedulingError):
+            laf.remove_server("solo")
+
+    def test_remove_unknown_rejected(self):
+        space = HashSpace(1000)
+        laf = LAFScheduler(space, ["a", "b"])
+        with pytest.raises(SchedulingError):
+            laf.remove_server("zz")

@@ -1,0 +1,123 @@
+"""Tests for the DHT file system consistency checker."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import DFSConfig
+from repro.common.hashing import HashSpace
+from repro.dfs.blocks import BlockId
+from repro.dfs.fault import rebalance, recover_from_failure
+from repro.dfs.filesystem import DHTFileSystem
+from repro.dfs.fsck import check
+
+
+def make_fs(n=6, block_size=64, replication=2):
+    return DHTFileSystem(
+        [f"s{i}" for i in range(n)],
+        DFSConfig(block_size=block_size, replication=replication),
+        HashSpace(1 << 24),
+    )
+
+
+class TestCleanStates:
+    def test_fresh_upload_is_clean(self):
+        fs = make_fs()
+        fs.upload("f", b"x" * 500)
+        report = check(fs)
+        assert report.clean, report.violations
+        assert report.files_checked == 1
+        assert report.blocks_checked == 8
+
+    def test_empty_fs_is_clean(self):
+        assert check(make_fs()).clean
+
+    def test_after_recovery_is_clean(self):
+        fs = make_fs()
+        fs.upload("f", b"y" * 400)
+        recover_from_failure(fs, list(fs.servers)[0])
+        assert check(fs).clean
+
+    def test_after_join_and_rebalance_is_clean(self):
+        fs = make_fs()
+        fs.upload("f", b"z" * 400)
+        fs.add_server("late", position=424242)
+        dirty = check(fs)
+        assert not dirty.clean  # join moved ownership; data not yet moved
+        rebalance(fs)
+        assert check(fs).clean
+
+
+class TestDetectsCorruption:
+    def test_detects_missing_block(self):
+        fs = make_fs()
+        fs.upload("f", b"q" * 200)
+        bid = BlockId("f", 0)
+        for srv in fs.servers.values():
+            srv.blocks.drop(bid)
+        report = check(fs)
+        assert report.by_kind("missing-block")
+
+    def test_detects_missing_replica(self):
+        fs = make_fs()
+        fs.upload("f", b"q" * 200)
+        desc = fs.stat("f").blocks[0]
+        bid = BlockId("f", 0)
+        replica_holder = fs.ring.replica_set(desc.key, extra=2)[1]
+        fs.servers[replica_holder].blocks.drop(bid)
+        report = check(fs)
+        assert report.by_kind("missing-replica") or report.by_kind("under-replicated")
+
+    def test_detects_misplaced_primary(self):
+        fs = make_fs()
+        fs.upload("f", b"q" * 60)  # single block
+        desc = fs.stat("f").blocks[0]
+        bid = BlockId("f", 0)
+        owner = fs.ring.owner_of(desc.key)
+        block = fs.servers[owner].blocks.get(bid)
+        fs.servers[owner].blocks.drop(bid)
+        stranger = next(s for s in fs.servers if s not in fs.ring.replica_set(desc.key, extra=2))
+        fs.servers[stranger].blocks.put(block)
+        report = check(fs)
+        assert report.by_kind("misplaced-primary")
+
+    def test_detects_orphan(self):
+        from repro.dfs.blocks import Block
+
+        fs = make_fs()
+        fs.upload("f", b"q" * 60)
+        fs.servers["s0"].blocks.put(Block(BlockId("ghost", 0), key=5, size=3, data=b"abc"))
+        report = check(fs)
+        assert report.by_kind("orphan-block")
+
+    def test_detects_under_replicated_metadata(self):
+        fs = make_fs()
+        fs.upload("f", b"q" * 60)
+        # Drop every replica copy of the metadata.
+        for srv in fs.servers.values():
+            srv.metadata_replicas.pop("f", None)
+        report = check(fs)
+        assert report.by_kind("under-replicated-metadata")
+
+
+@given(
+    n_servers=st.integers(3, 8),
+    payload=st.binary(min_size=1, max_size=1500),
+    kills=st.integers(0, 2),
+    seed=st.integers(0, 99),
+)
+@settings(max_examples=30)
+def test_repair_always_restores_clean_state(n_servers, payload, kills, seed):
+    """Any upload / fail / recover / join / rebalance sequence ends clean."""
+    import random
+
+    rng = random.Random(seed)
+    fs = make_fs(n=n_servers)
+    fs.upload("f", payload)
+    for _ in range(min(kills, n_servers - 3)):
+        victim = rng.choice(list(fs.servers))
+        recover_from_failure(fs, victim)
+    fs.add_server("joiner", position=rng.randrange(1 << 24))
+    rebalance(fs)
+    report = check(fs)
+    assert report.clean, report.violations
+    assert fs.read("f") == payload

@@ -1,0 +1,173 @@
+"""Unit and property tests for the circular hash key space."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.hashing import DEFAULT_SPACE, HashSpace, KeyRange
+
+
+class TestHashSpace:
+    def test_rejects_tiny_space(self):
+        with pytest.raises(ValueError):
+            HashSpace(1)
+
+    def test_key_of_deterministic(self):
+        sp = HashSpace(2**32)
+        assert sp.key_of("input.txt") == sp.key_of("input.txt")
+
+    def test_key_of_in_space(self):
+        sp = HashSpace(140)  # the paper's Fig. 3 toy space
+        for name in ("a", "b", "file", "x" * 100):
+            assert 0 <= sp.key_of(name) < 140
+
+    def test_different_names_usually_differ(self):
+        sp = DEFAULT_SPACE
+        keys = {sp.key_of(f"file-{i}") for i in range(1000)}
+        assert len(keys) == 1000
+
+    def test_block_key_differs_from_file_key(self):
+        sp = DEFAULT_SPACE
+        assert sp.block_key("f", 0) != sp.key_of("f")
+        assert sp.block_key("f", 0) != sp.block_key("f", 1)
+
+    def test_distance_wraps(self):
+        sp = HashSpace(100)
+        assert sp.distance(90, 10) == 20
+        assert sp.distance(10, 90) == 80
+        assert sp.distance(5, 5) == 0
+
+    def test_add_wraps(self):
+        sp = HashSpace(100)
+        assert sp.add(95, 10) == 5
+        assert sp.add(5, -10) == 95
+
+    def test_in_range_plain(self):
+        sp = HashSpace(100)
+        assert sp.in_range(5, 0, 10)
+        assert not sp.in_range(10, 0, 10)  # half-open
+        assert sp.in_range(0, 0, 10)
+
+    def test_in_range_wrapping(self):
+        sp = HashSpace(100)
+        assert sp.in_range(95, 90, 10)
+        assert sp.in_range(5, 90, 10)
+        assert not sp.in_range(50, 90, 10)
+
+    def test_in_range_full_circle(self):
+        sp = HashSpace(100)
+        assert sp.in_range(42, 7, 7)
+
+    def test_validate(self):
+        sp = HashSpace(100)
+        assert sp.validate(0) == 0
+        assert sp.validate(99) == 99
+        with pytest.raises(ValueError):
+            sp.validate(100)
+        with pytest.raises(ValueError):
+            sp.validate(-1)
+
+    def test_equality_by_size(self):
+        assert HashSpace(64) == HashSpace(64)
+        assert HashSpace(64) != HashSpace(128)
+        assert hash(HashSpace(64)) == hash(HashSpace(64))
+
+
+class TestKeyRange:
+    def test_len_and_contains(self):
+        sp = HashSpace(140)
+        r = sp.range(35, 47)  # the paper's server-2 range in Fig. 3
+        assert len(r) == 12
+        assert 35 in r and 46 in r
+        assert 47 not in r and 0 not in r
+
+    def test_wrapping_range(self):
+        sp = HashSpace(140)
+        r = sp.range(102, 35)
+        assert r.wraps()
+        assert 110 in r and 0 in r and 34 in r
+        assert 35 not in r and 90 not in r
+        assert len(r) == 140 - 102 + 35
+
+    def test_full_range(self):
+        sp = HashSpace(140)
+        r = sp.full_range(55)
+        assert r.is_full
+        assert len(r) == 140
+        assert all(k in r for k in (0, 54, 55, 139))
+
+    def test_split(self):
+        sp = HashSpace(140)
+        left, right = sp.range(0, 100).split(40)
+        assert (left.start, left.end) == (0, 40)
+        assert (right.start, right.end) == (40, 100)
+
+    def test_split_rejects_boundary(self):
+        sp = HashSpace(140)
+        with pytest.raises(ValueError):
+            sp.range(0, 100).split(0)
+        with pytest.raises(ValueError):
+            sp.range(0, 100).split(100)
+        with pytest.raises(ValueError):
+            sp.range(0, 100).split(120)
+
+    def test_split_full_circle(self):
+        sp = HashSpace(140)
+        left, right = sp.full_range(10).split(70)
+        assert len(left) + len(right) == 140
+
+    def test_iter_keys_wrapping(self):
+        sp = HashSpace(10)
+        assert list(sp.range(8, 2).iter_keys()) == [8, 9, 0, 1]
+
+    def test_rejects_out_of_space_bounds(self):
+        sp = HashSpace(10)
+        with pytest.raises(ValueError):
+            KeyRange(sp, 0, 10)
+
+
+# -- property tests ----------------------------------------------------------
+
+spaces = st.integers(min_value=2, max_value=10_000).map(HashSpace)
+
+
+@given(
+    size=st.integers(min_value=2, max_value=10_000),
+    data=st.data(),
+)
+def test_distance_is_metric_like(size, data):
+    sp = HashSpace(size)
+    a = data.draw(st.integers(0, size - 1))
+    b = data.draw(st.integers(0, size - 1))
+    # going a->b then b->a walks the whole circle (or nowhere if a == b)
+    total = sp.distance(a, b) + sp.distance(b, a)
+    assert total == (0 if a == b else size)
+
+
+@given(size=st.integers(2, 5_000), data=st.data())
+def test_every_key_in_exactly_one_partition(size, data):
+    """Splitting the circle into arcs at sorted cut points covers each key once."""
+    sp = HashSpace(size)
+    n_cuts = data.draw(st.integers(1, min(8, size)))
+    cuts = sorted(data.draw(st.lists(st.integers(0, size - 1), min_size=n_cuts, max_size=n_cuts, unique=True)))
+    ranges = [sp.range(cuts[i], cuts[(i + 1) % len(cuts)]) for i in range(len(cuts))]
+    key = data.draw(st.integers(0, size - 1))
+    owners = [r for r in ranges if key in r]
+    if len(cuts) == 1:
+        assert ranges[0].is_full and len(owners) == 1
+    else:
+        assert len(owners) == 1
+
+
+@given(size=st.integers(2, 5_000), data=st.data())
+def test_range_length_sums_after_split(size, data):
+    sp = HashSpace(size)
+    start = data.draw(st.integers(0, size - 1))
+    length = data.draw(st.integers(2, size))
+    end = sp.add(start, length % size)
+    r = sp.range(start, end)
+    at = sp.add(start, data.draw(st.integers(1, len(r) - 1)))
+    left, right = r.split(at)
+    assert len(left) + len(right) == len(r)
+    probe = data.draw(st.integers(0, size - 1))
+    assert (probe in r) == ((probe in left) or (probe in right))
+    assert not ((probe in left) and (probe in right))

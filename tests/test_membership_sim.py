@@ -1,0 +1,125 @@
+"""Membership + heartbeats driven by the discrete-event clock.
+
+The paper's §II-A: "Each server exchanges heartbeat messages with direct
+neighbors to detect server failures, and the resource manager and job
+scheduler are notified when a server failure is detected."  These tests
+run the membership service against simulated heartbeat processes and
+measure detection latency and the election/takeover chain.
+"""
+
+import pytest
+
+from repro.common.hashing import HashSpace
+from repro.dht.membership import MembershipService
+from repro.dht.ring import ConsistentHashRing
+from repro.sim.engine import Simulation
+
+
+def build(num_nodes=6, timeout=3.0):
+    sim = Simulation()
+    ring = ConsistentHashRing(HashSpace(1 << 20))
+    svc = MembershipService(ring, heartbeat_timeout=timeout)
+    for i in range(num_nodes):
+        svc.join(f"n{i}", now=0.0)
+    return sim, svc
+
+
+def heartbeater(sim, svc, node, period, die_at=None):
+    """A node's heartbeat loop; optionally goes silent at ``die_at``."""
+    while True:
+        yield sim.timeout(period)
+        if die_at is not None and sim.now >= die_at:
+            return
+        if svc.is_alive(node):
+            svc.heartbeat(node, sim.now)
+
+
+def detector(sim, svc, period, log):
+    """The neighbor-watch loop: checks for silent nodes every ``period``."""
+    while True:
+        yield sim.timeout(period)
+        for failed in svc.detect_failures(sim.now):
+            log.append((sim.now, failed))
+
+
+class TestHeartbeatDetection:
+    def test_silent_node_detected_within_timeout_plus_period(self):
+        sim, svc = build(timeout=3.0)
+        log = []
+        for i in range(6):
+            sim.process(heartbeater(sim, svc, f"n{i}", 1.0, die_at=10.0 if i == 2 else None))
+        sim.process(detector(sim, svc, 0.5, log))
+        sim.run(until=30.0)
+        assert len(log) == 1
+        detected_at, node = log[0]
+        assert node == "n2"
+        # Last beat ~10 s; detection by ~10 + timeout + one detector period.
+        assert 12.5 <= detected_at <= 14.0
+
+    def test_healthy_cluster_never_fires(self):
+        sim, svc = build(timeout=3.0)
+        log = []
+        for i in range(6):
+            sim.process(heartbeater(sim, svc, f"n{i}", 1.0))
+        sim.process(detector(sim, svc, 0.5, log))
+        sim.run(until=60.0)
+        assert log == []
+        assert len(svc.alive_nodes) == 6
+
+    def test_detection_triggers_reelection_when_coordinator_dies(self):
+        sim, svc = build(timeout=2.0)
+        coordinator = svc.elect_coordinator(now=0.0)
+        log = []
+        for node in list(svc.alive_nodes):
+            die = 5.0 if node == coordinator else None
+            sim.process(heartbeater(sim, svc, node, 1.0, die_at=die))
+
+        elected = []
+
+        def watchdog(sim, svc):
+            while True:
+                yield sim.timeout(0.5)
+                for failed in svc.detect_failures(sim.now):
+                    log.append(failed)
+                    elected.append(svc.elect_coordinator(now=sim.now))
+
+        sim.process(watchdog(sim, svc))
+        sim.run(until=20.0)
+        assert log == [coordinator]
+        assert len(elected) == 1
+        assert elected[0] != coordinator
+        assert svc.is_alive(elected[0])
+
+    def test_multiple_staggered_failures(self):
+        sim, svc = build(num_nodes=8, timeout=2.0)
+        log = []
+        death = {"n1": 5.0, "n4": 12.0, "n6": 19.0}
+        for i in range(8):
+            node = f"n{i}"
+            sim.process(heartbeater(sim, svc, node, 1.0, die_at=death.get(node)))
+        sim.process(detector(sim, svc, 0.5, log))
+        sim.run(until=40.0)
+        assert [n for _, n in log] == ["n1", "n4", "n6"]
+        # Detections happen in cause order and within bounds.
+        for (t, node) in log:
+            # The last heartbeat lands up to one period before death, so
+            # detection falls in [death - period + timeout, death + timeout
+            # + detector period].
+            assert t >= death[node] - 1.0 + 2.0
+            assert t <= death[node] + 2.0 + 1.0
+        assert len(svc.alive_nodes) == 5
+
+    def test_takeover_ownership_moves_to_neighbor(self):
+        """After detection, the dead node's arc belongs to its old successor."""
+        sim, svc = build(timeout=2.0)
+        ring = svc.ring
+        victim = svc.alive_nodes[2]
+        successor = ring.successor(victim)
+        victim_range = ring.range_of(victim)
+        for node in list(svc.alive_nodes):
+            sim.process(heartbeater(sim, svc, node, 1.0, die_at=4.0 if node == victim else None))
+        log = []
+        sim.process(detector(sim, svc, 0.5, log))
+        sim.run(until=15.0)
+        probe = victim_range.start  # a key the victim used to own
+        assert ring.owner_of(probe) == successor

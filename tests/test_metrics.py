@@ -1,0 +1,137 @@
+"""Tests for the metrics primitives and the NameNode model."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.baselines.hdfs import NameNodeModel
+from repro.sim.engine import AllOf, Simulation
+from repro.sim.metrics import Counter, Gauge, MetricsRegistry, TimeSeries
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_tracks_extremes(self):
+        g = Gauge()
+        g.set(5)
+        g.set(-2)
+        g.set(3)
+        assert g.value == 3
+        assert g.max_seen == 5
+        assert g.min_seen == -2
+
+    def test_add(self):
+        g = Gauge()
+        g.add(4)
+        g.add(-1)
+        assert g.value == 3
+
+
+class TestTimeSeries:
+    def test_record_and_len(self):
+        ts = TimeSeries()
+        ts.record(0.0, 1.0)
+        ts.record(1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_rejects_out_of_order(self):
+        ts = TimeSeries()
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(4.0, 1.0)
+
+    def test_time_average_piecewise_constant(self):
+        ts = TimeSeries()
+        ts.record(0.0, 10.0)  # 10 for [0, 2)
+        ts.record(2.0, 0.0)   # 0 for [2, 4)
+        assert ts.time_average(until=4.0) == pytest.approx(5.0)
+
+    def test_time_average_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries().time_average()
+
+    def test_as_arrays(self):
+        ts = TimeSeries()
+        ts.record(0.0, 1.0)
+        t, v = ts.as_arrays()
+        assert t.shape == v.shape == (1,)
+
+
+class TestMetricsRegistry:
+    def test_name_addressed(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        reg.counter("total").inc(4)
+        assert reg.ratio("hits", "total") == pytest.approx(0.75)
+
+    def test_ratio_zero_denominator(self):
+        reg = MetricsRegistry()
+        assert reg.ratio("a", "b") == 0.0
+
+    def test_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(7)
+        snap = reg.snapshot()
+        assert snap["c"] == 1.0
+        assert snap["g (gauge)"] == 7.0
+
+    def test_stddev_helper(self):
+        assert MetricsRegistry.stddev([1, 1, 1]) == 0.0
+        assert MetricsRegistry.stddev([]) == 0.0
+
+
+class TestNameNodeModel:
+    def test_serializes_concurrent_lookups(self):
+        sim = Simulation()
+        nn = NameNodeModel(sim, lookup_time=1.0)
+
+        def client(sim, nn):
+            yield from nn.lookup()
+
+        def body(sim, nn):
+            yield AllOf([sim.process(client(sim, nn)) for _ in range(5)])
+
+        sim.run(sim.process(body(sim, nn)))
+        # Five serialized 1 s operations: the last finishes at t = 5.
+        assert sim.now == pytest.approx(5.0)
+        assert nn.operations == 5
+
+    def test_mean_wait_grows_with_contention(self):
+        sim = Simulation()
+        nn = NameNodeModel(sim, lookup_time=0.5)
+
+        def client(sim, nn):
+            yield from nn.lookup()
+
+        def body(sim, nn):
+            yield AllOf([sim.process(client(sim, nn)) for _ in range(10)])
+
+        sim.run(sim.process(body(sim, nn)))
+        # Waits are 0, .5, 1.0, ... 4.5 -> mean 2.25.
+        assert nn.mean_wait == pytest.approx(2.25)
+
+    def test_mean_wait_zero_when_uncontended(self):
+        sim = Simulation()
+        nn = NameNodeModel(sim, lookup_time=0.1)
+
+        def body(sim, nn):
+            yield from nn.lookup()
+            yield from nn.lookup()
+
+        sim.run(sim.process(body(sim, nn)))
+        assert nn.mean_wait == 0.0
+
+    def test_invalid_lookup_time(self):
+        with pytest.raises(SimulationError):
+            NameNodeModel(Simulation(), lookup_time=0)

@@ -1,0 +1,103 @@
+"""Tests for the thread-pool parallel runtime."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import kmeans_job
+from repro.apps.workloads import pack_records, points, text_corpus
+from repro.common.config import CacheConfig, ClusterConfig, DFSConfig, SchedulerConfig
+from repro.common.errors import SchedulingError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.parallel import ParallelEclipseMRRuntime
+from repro.mapreduce.runtime import EclipseMRRuntime, FailureInjector
+
+CFG = ClusterConfig(
+    num_nodes=6,
+    rack_size=3,
+    dfs=DFSConfig(block_size=2048),
+    cache=CacheConfig(capacity_per_server=1024 * 1024),
+    scheduler=SchedulerConfig(window_tasks=8, num_bins=64),
+)
+
+
+def corpus():
+    return pack_records(text_corpus(99, num_words=3000, vocab_size=60), CFG.dfs.block_size)
+
+
+def word_map(block):
+    for w in block.decode().split():
+        yield w, 1
+
+
+def wc_job(app_id="wc", **kw):
+    return MapReduceJob(app_id=app_id, input_file="t.txt", map_fn=word_map,
+                        reduce_fn=lambda w, c: sum(c), **kw)
+
+
+class TestParallelRuntime:
+    def test_matches_sequential_output(self):
+        data = corpus()
+        seq = EclipseMRRuntime(6, config=CFG)
+        seq.upload("t.txt", data)
+        par = ParallelEclipseMRRuntime(6, config=CFG, max_workers=4)
+        par.upload("t.txt", data)
+        r_seq = seq.run(wc_job())
+        r_par = par.run(wc_job())
+        assert r_par.output == r_seq.output
+        assert r_par.stats.map_tasks == r_seq.stats.map_tasks
+        assert r_par.stats.tasks_per_server == r_seq.stats.tasks_per_server
+
+    def test_single_worker_pool(self):
+        par = ParallelEclipseMRRuntime(6, config=CFG, max_workers=1)
+        par.upload("t.txt", corpus())
+        result = par.run(wc_job())
+        assert sum(result.output.values()) == 3000
+
+    def test_invalid_pool_size(self):
+        with pytest.raises(SchedulingError):
+            ParallelEclipseMRRuntime(6, config=CFG, max_workers=0)
+
+    def test_icache_reuse_across_jobs(self):
+        par = ParallelEclipseMRRuntime(6, config=CFG, max_workers=3)
+        par.upload("t.txt", corpus())
+        par.run(wc_job("j1"))
+        second = par.run(wc_job("j2"))
+        assert second.stats.icache_hits == second.stats.map_tasks
+        assert second.stats.icache_misses == 0
+
+    def test_intermediate_reuse(self):
+        par = ParallelEclipseMRRuntime(6, config=CFG, max_workers=3)
+        par.upload("t.txt", corpus())
+        first = par.run(wc_job("app", cache_intermediates=True))
+        second = par.run(wc_job("app", cache_intermediates=True, reuse_intermediates=True))
+        assert second.output == first.output
+        assert second.stats.maps_skipped_by_reuse == first.stats.map_tasks
+
+    def test_failure_injection_retries(self):
+        injector = FailureInjector({("wc", 0): 2})
+        par = ParallelEclipseMRRuntime(6, config=CFG, max_workers=3, failure_injector=injector)
+        par.upload("t.txt", corpus())
+        result = par.run(wc_job())
+        assert result.stats.task_retries == 2
+        assert sum(result.output.values()) == 3000
+
+    def test_too_many_failures_raise(self):
+        injector = FailureInjector({("wc", 0): 99})
+        par = ParallelEclipseMRRuntime(6, config=CFG, max_workers=2, failure_injector=injector)
+        par.upload("t.txt", corpus())
+        with pytest.raises(SchedulingError, match="failed"):
+            par.run(wc_job())
+
+    def test_numpy_heavy_kmeans_runs(self):
+        recs, _ = points(77, num_points=400, dim=2, num_clusters=3)
+        data = pack_records(recs, CFG.dfs.block_size)
+        seq = EclipseMRRuntime(6, config=CFG)
+        seq.upload("pts", data)
+        par = ParallelEclipseMRRuntime(6, config=CFG, max_workers=4)
+        par.upload("pts", data)
+        init = np.array([[0.2, 0.2], [0.5, 0.5], [0.8, 0.8]])
+        out_seq = seq.run(kmeans_job("pts", init, 0))
+        out_par = par.run(kmeans_job("pts", init, 0))
+        assert set(out_seq.output) == set(out_par.output)
+        for k in out_seq.output:
+            assert np.allclose(out_seq.output[k], out_par.output[k])

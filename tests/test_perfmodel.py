@@ -1,0 +1,244 @@
+"""Tests for the discrete-event performance model.
+
+These validate the *mechanics* (slots, caches, shuffle modes, overheads)
+on small clusters; the figure-level shape assertions live in
+``tests/test_experiments.py`` and the benchmark harness.
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, ClusterConfig, DFSConfig, SchedulerConfig
+from repro.common.units import GB, MB
+from repro.perfmodel.engine import PerfEngine, SimJobSpec
+from repro.perfmodel.framework import eclipse_framework, hadoop_framework, spark_framework
+from repro.perfmodel.placement import dht_layout, hdfs_layout, skewed_task_keys
+from repro.perfmodel.profiles import APP_PROFILES
+
+
+def small_config(cache_bytes=1 * GB, nodes=8):
+    return ClusterConfig(
+        num_nodes=nodes,
+        rack_size=max(1, nodes // 2),
+        map_slots_per_node=4,
+        reduce_slots_per_node=4,
+        dfs=DFSConfig(block_size=128 * MB),
+        cache=CacheConfig(capacity_per_server=cache_bytes, icache_fraction=1.0),
+        scheduler=SchedulerConfig(window_tasks=32),
+        page_cache_per_node=2 * GB,
+    )
+
+
+def make_engine(framework=None, cache_bytes=1 * GB, nodes=8):
+    return PerfEngine(small_config(cache_bytes, nodes), framework or eclipse_framework())
+
+
+def layout_for(engine, name="input", blocks=32):
+    return dht_layout(
+        engine.space, engine.ring, name, blocks, engine.config.dfs.block_size
+    )
+
+
+class TestPlacement:
+    def test_dht_layout_primary_is_ring_owner(self):
+        engine = make_engine()
+        blocks = layout_for(engine)
+        for b in blocks:
+            assert b.primary == engine.ring.owner_of(b.key)
+            assert b.holders[0] == b.primary
+            assert len(b.holders) == 3
+
+    def test_hdfs_layout_uniform_and_replicated(self):
+        engine = make_engine()
+        blocks = hdfs_layout(engine.space, range(8), "f", 64, 128 * MB, seed=1)
+        assert all(len(b.holders) == 3 for b in blocks)
+        primaries = {b.primary for b in blocks}
+        assert len(primaries) >= 6  # spread over most servers
+
+    def test_hdfs_layout_skew_concentrates(self):
+        engine = make_engine()
+        blocks = hdfs_layout(engine.space, range(8), "f", 200, 128 * MB, seed=1, skew=0.6)
+        counts = [sum(1 for b in blocks if b.primary == s) for s in range(8)]
+        assert counts[0] > counts[-1] * 3
+
+    def test_skewed_task_keys_repeat_popular_blocks(self):
+        engine = make_engine()
+        blocks = layout_for(engine, blocks=64)
+        tasks = skewed_task_keys(blocks, 1000, seed=2)
+        assert len(tasks) == 1000
+        from collections import Counter
+
+        counts = Counter(t.block_id for t in tasks)
+        # Popularity is skewed: the hottest block gets far more than average.
+        assert counts.most_common(1)[0][1] > 3 * (1000 / 64)
+
+
+class TestEngineBasics:
+    def test_job_completes_with_positive_makespan(self):
+        engine = make_engine()
+        spec = SimJobSpec(app=APP_PROFILES["grep"], tasks=layout_for(engine), label="g")
+        timing = engine.run_job(spec)
+        assert timing.makespan > 0
+        assert timing.map_tasks == 32
+        assert timing.reduce_tasks >= 1
+
+    def test_tasks_accounted_per_server(self):
+        engine = make_engine()
+        spec = SimJobSpec(app=APP_PROFILES["grep"], tasks=layout_for(engine))
+        timing = engine.run_job(spec)
+        assert sum(timing.tasks_per_server.values()) == timing.map_tasks + timing.reduce_tasks
+
+    def test_more_tasks_take_longer(self):
+        e1 = make_engine()
+        t1 = e1.run_job(SimJobSpec(app=APP_PROFILES["wordcount"], tasks=layout_for(e1, blocks=16)))
+        e2 = make_engine()
+        t2 = e2.run_job(SimJobSpec(app=APP_PROFILES["wordcount"], tasks=layout_for(e2, blocks=64)))
+        assert t2.makespan > t1.makespan
+
+    def test_compute_heavy_slower_than_io_light(self):
+        e1 = make_engine()
+        grep = e1.run_job(SimJobSpec(app=APP_PROFILES["grep"], tasks=layout_for(e1)))
+        e2 = make_engine()
+        km = e2.run_job(SimJobSpec(app=APP_PROFILES["kmeans"], tasks=layout_for(e2)))
+        assert km.makespan > grep.makespan
+
+    def test_shuffle_volume_tracked(self):
+        engine = make_engine()
+        spec = SimJobSpec(app=APP_PROFILES["sort"], tasks=layout_for(engine))
+        timing = engine.run_job(spec)
+        assert timing.bytes_shuffled == pytest.approx(spec.input_bytes, rel=0.01)
+
+
+class TestCachingEffects:
+    def test_second_job_hits_icache_and_runs_faster(self):
+        engine = make_engine(cache_bytes=8 * GB)
+        blocks = layout_for(engine)
+        app = APP_PROFILES["grep"]
+        first = engine.run_job(SimJobSpec(app=app, tasks=blocks, label="cold"))
+        engine.snapshot_cache_counters()
+        second = engine.run_job(SimJobSpec(app=app, tasks=blocks, label="warm"))
+        assert second.icache_hits == second.map_tasks
+        assert second.makespan < first.makespan
+
+    def test_zero_cache_never_hits(self):
+        engine = make_engine(cache_bytes=0)
+        blocks = layout_for(engine)
+        app = APP_PROFILES["grep"]
+        engine.run_job(SimJobSpec(app=app, tasks=blocks))
+        engine.snapshot_cache_counters()
+        second = engine.run_job(SimJobSpec(app=app, tasks=blocks))
+        assert second.icache_hits == 0
+
+    def test_drop_caches_forces_cold_run(self):
+        engine = make_engine(cache_bytes=8 * GB)
+        blocks = layout_for(engine)
+        app = APP_PROFILES["grep"]
+        engine.run_job(SimJobSpec(app=app, tasks=blocks))
+        engine.drop_caches()
+        engine.snapshot_cache_counters()
+        second = engine.run_job(SimJobSpec(app=app, tasks=blocks))
+        assert second.icache_hits == 0
+
+    def test_hadoop_never_caches_inputs(self):
+        engine = make_engine(framework=hadoop_framework())
+        blocks = layout_for(engine)
+        app = APP_PROFILES["grep"]
+        engine.run_job(SimJobSpec(app=app, tasks=blocks))
+        engine.snapshot_cache_counters()
+        second = engine.run_job(SimJobSpec(app=app, tasks=blocks))
+        assert second.icache_hits == 0
+
+
+class TestFrameworkOverheads:
+    def test_hadoop_slower_than_eclipse(self):
+        """The container overhead (7 s per task) dominates small tasks."""
+        e_ecl = make_engine(eclipse_framework())
+        t_ecl = e_ecl.run_job(SimJobSpec(app=APP_PROFILES["grep"], tasks=layout_for(e_ecl)))
+        e_had = make_engine(hadoop_framework())
+        t_had = e_had.run_job(SimJobSpec(app=APP_PROFILES["grep"], tasks=layout_for(e_had)))
+        assert t_had.makespan > t_ecl.makespan
+
+    def test_container_overhead_scales_makespan(self):
+        e1 = make_engine(hadoop_framework(container_overhead=1.0))
+        t1 = e1.run_job(SimJobSpec(app=APP_PROFILES["grep"], tasks=layout_for(e1, blocks=64)))
+        e2 = make_engine(hadoop_framework(container_overhead=10.0))
+        t2 = e2.run_job(SimJobSpec(app=APP_PROFILES["grep"], tasks=layout_for(e2, blocks=64)))
+        assert t2.makespan > t1.makespan + 5
+
+    def test_spark_first_iteration_slower(self):
+        """RDD construction makes Spark's iteration 1 much slower than 2+."""
+        engine = make_engine(spark_framework(), cache_bytes=8 * GB)
+        spec = SimJobSpec(
+            app=APP_PROFILES["kmeans"], tasks=layout_for(engine), iterations=4
+        )
+        timing = engine.run_job(spec)
+        assert len(timing.iteration_times) == 4
+        assert timing.iteration_times[0] > 1.5 * timing.iteration_times[1]
+
+    def test_eclipse_iterations_speed_up_after_first(self):
+        engine = make_engine(eclipse_framework(), cache_bytes=8 * GB)
+        spec = SimJobSpec(
+            app=APP_PROFILES["kmeans"], tasks=layout_for(engine), iterations=3
+        )
+        timing = engine.run_job(spec)
+        assert timing.iteration_times[1] < timing.iteration_times[0]
+
+    def test_pagerank_iteration_output_penalty(self):
+        """EclipseMR persists the large page rank iteration output; Spark
+        keeps it in memory -- Spark's steady-state iterations are faster."""
+        e_ecl = make_engine(eclipse_framework(), cache_bytes=8 * GB)
+        t_ecl = e_ecl.run_job(
+            SimJobSpec(app=APP_PROFILES["pagerank"], tasks=layout_for(e_ecl, blocks=8), iterations=4)
+        )
+        e_spk = make_engine(spark_framework(), cache_bytes=8 * GB)
+        t_spk = e_spk.run_job(
+            SimJobSpec(app=APP_PROFILES["pagerank"], tasks=layout_for(e_spk, blocks=8), iterations=4)
+        )
+        # steady state = iterations after the first
+        ecl_steady = min(t_ecl.iteration_times[1:-1])
+        spk_steady = min(t_spk.iteration_times[1:-1])
+        assert spk_steady < ecl_steady
+
+
+class TestSchedulingUnderSkew:
+    def _skewed_run(self, framework, num_tasks=400):
+        engine = make_engine(framework, cache_bytes=2 * GB)
+        blocks = layout_for(engine, blocks=64)
+        tasks = skewed_task_keys(blocks, num_tasks, seed=3)
+        spec = SimJobSpec(app=APP_PROFILES["grep"], tasks=tasks, label="skew")
+        return engine, engine.run_job(spec)
+
+    def test_delay_reassigns_under_skew(self):
+        _, timing = self._skewed_run(eclipse_framework("delay"))
+        assert timing.reassignments > 0
+
+    def test_laf_balances_better_than_delay(self):
+        _, t_laf = self._skewed_run(eclipse_framework("laf"))
+        _, t_delay = self._skewed_run(eclipse_framework("delay"))
+        assert t_laf.tasks_per_slot_stddev(4) < t_delay.tasks_per_slot_stddev(4)
+        assert t_laf.reassignments == 0
+
+    def test_laf_faster_than_delay_under_skew(self):
+        _, t_laf = self._skewed_run(eclipse_framework("laf"))
+        _, t_delay = self._skewed_run(eclipse_framework("delay"))
+        assert t_laf.makespan < t_delay.makespan
+
+
+class TestConcurrentJobs:
+    def test_concurrent_jobs_interleave(self):
+        engine = make_engine(cache_bytes=4 * GB)
+        blocks = layout_for(engine, blocks=16)
+        specs = [
+            SimJobSpec(app=APP_PROFILES["grep"], tasks=blocks, label=f"j{i}")
+            for i in range(3)
+        ]
+        timings = engine.run_jobs(specs)
+        assert len(timings) == 3
+        # They share the cluster: the batch is slower than one job alone,
+        # but much faster than three sequential runs (overlap).
+        solo_engine = make_engine(cache_bytes=4 * GB)
+        solo = solo_engine.run_job(
+            SimJobSpec(app=APP_PROFILES["grep"], tasks=layout_for(solo_engine, blocks=16))
+        )
+        batch_makespan = max(t.end for t in timings) - min(t.start for t in timings)
+        assert batch_makespan >= solo.makespan
+        assert batch_makespan < 3 * solo.makespan + 1.0

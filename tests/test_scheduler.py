@@ -1,0 +1,392 @@
+"""Tests for partitions, histograms, and the LAF / delay / fair schedulers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import SchedulerConfig
+from repro.common.errors import SchedulingError
+from repro.common.hashing import HashSpace
+from repro.common.rng import derive_rng
+from repro.dht.ring import ConsistentHashRing
+from repro.scheduler.base import Scheduler
+from repro.scheduler.delay import DelayScheduler
+from repro.scheduler.fair import FairScheduler
+from repro.scheduler.histogram import AccessHistogram, MovingAverageDistribution
+from repro.scheduler.laf import LAFScheduler
+from repro.scheduler.partition import SpacePartition
+
+
+class TestSpacePartition:
+    def test_figure3_layout(self):
+        """The paper's Fig. 3 table: 5 servers over [0, 140)."""
+        space = HashSpace(140)
+        p = SpacePartition(
+            space, [1, 2, 3, 4, 5], [0, 35, 47, 91, 102, 140]
+        )
+        # "new task T1 (HK=43) ... scheduled in server 2"
+        assert p.owner_of(43) == 2
+        # "new task T2 (HK=69) ... scheduled in server 3"
+        assert p.owner_of(69) == 3
+        assert p.segment_of(2) == (35, 47)
+        assert p.width_of(4) == 11
+
+    def test_uniform(self):
+        p = SpacePartition.uniform(HashSpace(100), ["a", "b", "c", "d"])
+        assert p.boundaries == [0, 25, 50, 75, 100]
+        assert p.owner_of(0) == "a"
+        assert p.owner_of(99) == "d"
+
+    def test_degenerate_ranges_hot_key(self):
+        """The paper's extreme example: all mass on key 40 gives ranges
+        [0,40) [40,40) [40,40) [40,140); every pinned server is a candidate."""
+        space = HashSpace(140)
+        p = SpacePartition(space, ["w1", "w2", "w3", "w4"], [0, 40, 40, 40, 140])
+        assert p.owner_of(40) == "w4"
+        assert p.owner_of(39) == "w1"
+        cands = p.candidates(40)
+        assert set(cands) == {"w2", "w3", "w4"}
+        assert p.candidates(39) == ["w1"]
+
+    def test_validation(self):
+        space = HashSpace(100)
+        with pytest.raises(SchedulingError):
+            SpacePartition(space, [], [0, 100])
+        with pytest.raises(SchedulingError):
+            SpacePartition(space, ["a"], [0, 50])  # wrong boundary count
+        with pytest.raises(SchedulingError):
+            SpacePartition(space, ["a", "b"], [5, 50, 100])  # must start at 0
+        with pytest.raises(SchedulingError):
+            SpacePartition(space, ["a", "b"], [0, 60, 50])  # decreasing
+
+    def test_as_table(self):
+        p = SpacePartition.uniform(HashSpace(100), ["a", "b"])
+        assert p.as_table() == [("a", 0, 50), ("b", 50, 100)]
+
+
+@given(
+    n_servers=st.integers(1, 10),
+    cuts=st.lists(st.integers(0, 999), max_size=9),
+    key=st.integers(0, 999),
+)
+@settings(max_examples=100)
+def test_partition_owner_total_function(n_servers, cuts, key):
+    """Every key has exactly one owner whose segment truly contains it."""
+    space = HashSpace(1000)
+    cuts = sorted(cuts)[: n_servers - 1]
+    while len(cuts) < n_servers - 1:
+        cuts.append(1000)
+    bounds = [0] + sorted(cuts) + [1000]
+    servers = [f"s{i}" for i in range(n_servers)]
+    p = SpacePartition(space, servers, bounds)
+    owner = p.owner_of(key)
+    start, end = p.segment_of(owner)
+    assert start <= key < end
+
+
+class TestAccessHistogram:
+    def test_record_spreads_kernel_mass(self):
+        h = AccessHistogram(HashSpace(1000), num_bins=100, bandwidth=5)
+        h.record(500)
+        assert h.counts.sum() == pytest.approx(1.0)
+        assert (h.counts > 0).sum() == 5
+        assert h.size == 1
+
+    def test_bandwidth_one_is_plain_histogram(self):
+        h = AccessHistogram(HashSpace(1000), num_bins=100, bandwidth=1)
+        h.record(505)
+        assert h.counts[50] == pytest.approx(1.0)
+
+    def test_kernel_wraps_at_edges(self):
+        h = AccessHistogram(HashSpace(1000), num_bins=100, bandwidth=5)
+        h.record(0)  # bin 0; kernel spills into the top bins
+        assert h.counts[98:].sum() > 0
+        assert h.counts.sum() == pytest.approx(1.0)
+
+    def test_reset(self):
+        h = AccessHistogram(HashSpace(1000), num_bins=10, bandwidth=1)
+        h.record_many([5, 105, 205])
+        h.reset()
+        assert h.size == 0 and h.counts.sum() == 0
+
+    def test_pdf_uniform_when_empty(self):
+        h = AccessHistogram(HashSpace(1000), num_bins=10, bandwidth=1)
+        assert np.allclose(h.pdf(), 0.1)
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            AccessHistogram(HashSpace(100), num_bins=0)
+        with pytest.raises(SchedulingError):
+            AccessHistogram(HashSpace(100), num_bins=10, bandwidth=11)
+
+
+class TestMovingAverage:
+    def test_alpha_one_tracks_current_window(self):
+        space = HashSpace(1000)
+        ma = MovingAverageDistribution(space, num_bins=100, alpha=1.0)
+        h = AccessHistogram(space, num_bins=100, bandwidth=1)
+        h.record_many([10] * 50)
+        ma.merge(h)
+        assert ma.ma[1] == pytest.approx(1.0)
+
+    def test_alpha_zero_never_moves(self):
+        space = HashSpace(1000)
+        ma = MovingAverageDistribution(space, num_bins=100, alpha=0.0)
+        before = ma.ma.copy()
+        h = AccessHistogram(space, num_bins=100, bandwidth=1)
+        h.record_many([10] * 50)
+        ma.merge(h)
+        assert np.allclose(ma.ma, before)
+
+    def test_cdf_monotone_and_normalized(self):
+        space = HashSpace(1000)
+        ma = MovingAverageDistribution(space, num_bins=64, alpha=0.5)
+        h = AccessHistogram(space, num_bins=64, bandwidth=4)
+        rng = derive_rng(0, "cdf")
+        h.record_many(rng.integers(0, 1000, size=200).tolist())
+        ma.merge(h)
+        cdf = ma.cdf()
+        assert cdf[0] == 0.0 and cdf[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_partition_uniform_data_gives_equal_ranges(self):
+        space = HashSpace(1000)
+        ma = MovingAverageDistribution(space, num_bins=100, alpha=1.0)
+        p = ma.partition(["a", "b", "c", "d"])  # uniform prior, no data
+        widths = [p.width_of(s) for s in "abcd"]
+        assert all(abs(w - 250) <= 10 for w in widths)
+
+    def test_partition_narrows_popular_ranges(self):
+        """The core LAF behaviour (paper Fig. 3): popular keys near 40 and 90
+        (scaled into [0, 1400)) make their owners' ranges narrow."""
+        space = HashSpace(1400)
+        ma = MovingAverageDistribution(space, num_bins=140, alpha=1.0)
+        h = AccessHistogram(space, num_bins=140, bandwidth=8)
+        rng = derive_rng(1, "fig3")
+        keys = np.concatenate([
+            rng.normal(400, 60, size=3000),
+            rng.normal(900, 40, size=3000),
+        ]).astype(int) % 1400
+        h.record_many(keys.tolist())
+        ma.merge(h)
+        p = ma.partition([1, 2, 3, 4, 5])
+        widths = [p.width_of(s) for s in (1, 2, 3, 4, 5)]
+        # The middle servers sit on the two modes: strictly narrower ranges
+        # than the flanks; every range has ~equal probability by construction.
+        assert widths[1] < widths[0]
+        assert widths[3] < widths[4] or widths[3] < widths[0]
+        hot_owner = p.owner_of(900)
+        cold_width = max(widths)
+        assert p.width_of(hot_owner) < cold_width
+
+    def test_partition_probability_equal(self):
+        """Each assigned range carries ~1/n of the smoothed PDF mass."""
+        space = HashSpace(10_000)
+        ma = MovingAverageDistribution(space, num_bins=500, alpha=1.0)
+        h = AccessHistogram(space, num_bins=500, bandwidth=8)
+        rng = derive_rng(2, "equalprob")
+        keys = (rng.normal(3000, 500, size=5000).astype(int)) % 10_000
+        h.record_many(keys.tolist())
+        ma.merge(h)
+        n = 5
+        p = ma.partition([f"s{i}" for i in range(n)])
+        cdf = ma.cdf()
+        edges = np.linspace(0, 10_000, 501)
+        for server in p.servers:
+            start, end = p.segment_of(server)
+            mass = np.interp(end, edges, cdf) - np.interp(start, edges, cdf)
+            assert mass == pytest.approx(1 / n, abs=0.03)
+
+
+class _DummyScheduler(Scheduler):
+    def assign(self, hash_key=None, locations=None):
+        raise NotImplementedError
+
+
+class TestSchedulerBase:
+    def test_load_tracking(self):
+        s = _DummyScheduler(["a", "b"])
+        s.notify_start("a")
+        assert s.load_of("a") == 1
+        s.notify_finish("a")
+        assert s.load_of("a") == 0
+        with pytest.raises(SchedulingError):
+            s.notify_finish("a")
+
+    def test_least_loaded_stable_tiebreak(self):
+        s = _DummyScheduler(["a", "b", "c"])
+        assert s.least_loaded(["c", "b"]) == "b"
+        s.notify_start("b")
+        assert s.least_loaded(["c", "b"]) == "c"
+
+    def test_unknown_server_rejected(self):
+        s = _DummyScheduler(["a"])
+        with pytest.raises(SchedulingError):
+            s.notify_start("zz")
+
+    def test_empty_servers_rejected(self):
+        with pytest.raises(SchedulingError):
+            _DummyScheduler([])
+
+
+class TestLAFScheduler:
+    def _laf(self, n=4, space_size=1 << 16, **cfg):
+        space = HashSpace(space_size)
+        servers = [f"s{i}" for i in range(n)]
+        config = SchedulerConfig(**{"window_tasks": 32, "num_bins": 256, **cfg})
+        return LAFScheduler(space, servers, config), space
+
+    def test_same_key_same_server(self):
+        laf, space = self._laf()
+        key = space.key_of("block-7")
+        first = laf.assign(hash_key=key).server
+        for _ in range(10):
+            assert laf.assign(hash_key=key).server == first
+
+    def test_requires_hash_key(self):
+        laf, _ = self._laf()
+        with pytest.raises(SchedulingError):
+            laf.assign()
+
+    def test_no_wait_limit(self):
+        laf, space = self._laf()
+        assert laf.assign(hash_key=123).wait_limit is None
+
+    def test_repartitions_every_window(self):
+        laf, space = self._laf(window_tasks=16)
+        rng = derive_rng(3, "laf")
+        for key in rng.integers(0, space.size, size=64).tolist():
+            laf.assign(hash_key=int(key))
+        assert laf.repartition_count == 4
+
+    def test_skewed_workload_balances_assignments(self):
+        """Zipf-like skew: LAF spreads tasks far more evenly than a static
+        partition would."""
+        laf, space = self._laf(n=8, space_size=1 << 16, window_tasks=64, alpha=0.5)
+        rng = derive_rng(4, "skew")
+        # 80% of accesses in 5% of the key space.
+        hot = rng.integers(0, space.size // 20, size=1600)
+        cold = rng.integers(0, space.size, size=400)
+        keys = np.concatenate([hot, cold])
+        rng.shuffle(keys)
+        for key in keys.tolist():
+            a = laf.assign(hash_key=int(key))
+            laf.notify_start(a.server)
+            laf.notify_finish(a.server)
+        counts = np.array(list(laf.assigned_counts.values()), dtype=float)
+        # Static uniform ranges would send ~80% to one server
+        # (cv ~ 2.6); LAF must be dramatically flatter.
+        cv = counts.std() / counts.mean()
+        assert cv < 0.9
+
+    def test_hot_single_key_spreads_over_servers(self):
+        """Paper §II-E extreme case: one key hogging the workload ends up
+        shared by multiple workers via degenerate ranges."""
+        laf, space = self._laf(n=4, window_tasks=32, alpha=1.0, kde_bandwidth=1)
+        key = space.size // 2
+        servers_used = set()
+        for _ in range(300):
+            a = laf.assign(hash_key=key)
+            servers_used.add(a.server)
+            laf.notify_start(a.server)
+            laf.notify_finish(a.server)
+        assert len(servers_used) >= 2
+
+    def test_range_table_covers_space(self):
+        laf, space = self._laf()
+        table = laf.range_table()
+        assert table[0][1] == 0
+        assert table[-1][2] == space.size
+
+
+class TestDelayScheduler:
+    def test_static_uniform_partition(self):
+        space = HashSpace(1000)
+        d = DelayScheduler(space, ["a", "b"], SchedulerConfig())
+        assert d.assign(hash_key=10).server == "a"
+        assert d.assign(hash_key=510).server == "b"
+
+    def test_wait_limit_is_configured_delay(self):
+        space = HashSpace(1000)
+        d = DelayScheduler(space, ["a", "b"], SchedulerConfig(delay_wait=5.0))
+        assert d.assign(hash_key=10).wait_limit == 5.0
+
+    def test_aligned_with_ring(self):
+        space = HashSpace(60)
+        ring = ConsistentHashRing(space)
+        for name, pos in [("A", 5), ("B", 15), ("C", 26)]:
+            ring.add_node(name, pos)
+        d = DelayScheduler(space, ["A", "B", "C"], ring=ring)
+        assert d.assign(hash_key=10).server == "B"  # B owns [5, 15)
+        assert d.assign(hash_key=59).server == "A"
+
+    def test_ring_must_contain_servers(self):
+        space = HashSpace(60)
+        ring = ConsistentHashRing(space)
+        ring.add_node("A", 5)
+        with pytest.raises(SchedulingError):
+            DelayScheduler(space, ["A", "B"], ring=ring)
+
+    def test_static_ranges_never_adapt(self):
+        space = HashSpace(1000)
+        d = DelayScheduler(space, ["a", "b"], SchedulerConfig())
+        for _ in range(500):
+            d.assign(hash_key=10)  # hammer one key
+        assert d.assigned_counts["a"] == 500
+        assert d.assigned_counts["b"] == 0
+
+    def test_reassign_goes_least_loaded_without_wait(self):
+        space = HashSpace(1000)
+        d = DelayScheduler(space, ["a", "b"], SchedulerConfig())
+        d.notify_start("a")
+        fallback = d.reassign()
+        assert fallback.server == "b"
+        assert fallback.wait_limit is None
+
+    def test_requires_hash_key(self):
+        d = DelayScheduler(HashSpace(1000), ["a"])
+        with pytest.raises(SchedulingError):
+            d.assign()
+
+
+class TestFairScheduler:
+    def test_prefers_local(self):
+        f = FairScheduler(["a", "b", "c"])
+        a = f.assign(locations=["b"])
+        assert a.server == "b" and a.reason == "node-local"
+        assert f.local_assignments == 1
+
+    def test_gives_up_locality_when_overloaded(self):
+        f = FairScheduler(["a", "b"], locality_slack=1)
+        for _ in range(3):
+            f.notify_start("b")
+        a = f.assign(locations=["b"])
+        assert a.server == "a"
+        assert f.remote_assignments == 1
+
+    def test_rack_preference(self):
+        rack = {"a": 0, "b": 0, "c": 1}.__getitem__
+        f = FairScheduler(["a", "b", "c"], rack_of=rack, locality_slack=10)
+        f.notify_start("b")
+        f.notify_start("b")  # local server loaded but within slack via rack
+        a = f.assign(locations=["b"])
+        # node-local b is within slack (load 2 <= 0 + 10) so still chosen
+        assert a.server == "b"
+
+    def test_no_locations_least_loaded(self):
+        f = FairScheduler(["a", "b"])
+        f.notify_start("a")
+        assert f.assign().server == "b"
+
+    def test_unknown_locations_ignored(self):
+        f = FairScheduler(["a", "b"])
+        a = f.assign(locations=["zz"])
+        assert a.server in ("a", "b")
+
+    def test_assignment_stddev(self):
+        f = FairScheduler(["a", "b"])
+        for _ in range(10):
+            a = f.assign()
+            f.notify_start(a.server)  # tasks stay running: load alternates
+        assert f.assignment_stddev() == pytest.approx(0.0)
+        assert f.assigned_counts == {"a": 5, "b": 5}

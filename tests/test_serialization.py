@@ -1,0 +1,89 @@
+"""Tests for configuration manifests (serialization round-trips)."""
+
+import json
+
+import pytest
+
+from repro.common.config import CacheConfig, ClusterConfig, DFSConfig, SchedulerConfig
+from repro.common.errors import ConfigError
+from repro.common.serialization import config_from_dict, config_to_dict, diff_configs
+from repro.common.units import GB, MB
+
+
+def custom_config():
+    return ClusterConfig(
+        num_nodes=12,
+        rack_size=6,
+        map_slots_per_node=4,
+        dfs=DFSConfig(block_size=64 * MB, replication=1),
+        cache=CacheConfig(capacity_per_server=2 * GB, icache_fraction=0.75),
+        scheduler=SchedulerConfig(alpha=0.05, window_tasks=32),
+    )
+
+
+class TestRoundTrip:
+    def test_default_round_trips(self):
+        cfg = ClusterConfig()
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_custom_round_trips(self):
+        cfg = custom_config()
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_json_round_trips(self):
+        cfg = custom_config()
+        blob = json.dumps(config_to_dict(cfg))
+        assert config_from_dict(json.loads(blob)) == cfg
+
+    def test_schema_stamp(self):
+        assert config_to_dict(ClusterConfig())["__schema__"] == "repro.ClusterConfig/1"
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ConfigError):
+            config_to_dict("not a config")  # type: ignore[arg-type]
+
+
+class TestValidation:
+    def test_unknown_key_rejected(self):
+        data = config_to_dict(ClusterConfig())
+        data["bogus"] = 1
+        with pytest.raises(ConfigError, match="bogus"):
+            config_from_dict(data)
+
+    def test_unknown_nested_key_rejected(self):
+        data = config_to_dict(ClusterConfig())
+        data["dfs"]["bogus"] = 1
+        with pytest.raises(ConfigError, match="bogus"):
+            config_from_dict(data)
+
+    def test_bad_schema_rejected(self):
+        data = config_to_dict(ClusterConfig())
+        data["__schema__"] = "other/9"
+        with pytest.raises(ConfigError, match="schema"):
+            config_from_dict(data)
+
+    def test_invalid_values_still_validated(self):
+        data = config_to_dict(ClusterConfig())
+        data["num_nodes"] = 0
+        with pytest.raises(ConfigError):
+            config_from_dict(data)
+
+    def test_nested_not_mapping_rejected(self):
+        data = config_to_dict(ClusterConfig())
+        data["cache"] = 5
+        with pytest.raises(ConfigError):
+            config_from_dict(data)
+
+
+class TestDiff:
+    def test_no_diff(self):
+        assert diff_configs(ClusterConfig(), ClusterConfig()) == {}
+
+    def test_flat_and_nested_diffs(self):
+        a = ClusterConfig()
+        b = custom_config()
+        d = diff_configs(a, b)
+        assert d["num_nodes"] == (40, 12)
+        assert d["dfs.block_size"] == (128 * MB, 64 * MB)
+        assert d["scheduler.alpha"] == (0.001, 0.05)
+        assert "disk_bandwidth" not in d

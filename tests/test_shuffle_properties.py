@@ -1,0 +1,102 @@
+"""Property tests for the proactive shuffle and workload packing."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.workloads import pack_records
+from repro.common.hashing import HashSpace
+from repro.mapreduce.shuffle import SpillBuffer
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(st.text(min_size=1, max_size=6), st.integers(-100, 100)),
+        max_size=120,
+    ),
+    threshold=st.integers(1, 4096),
+    n_dests=st.integers(1, 6),
+)
+@settings(max_examples=80)
+def test_every_pair_delivered_exactly_once(pairs, threshold, n_dests):
+    """No matter the spill threshold, emit+flush delivers each pair once."""
+    space = HashSpace(1 << 24)
+    delivered: list[tuple] = []
+    buf = SpillBuffer(
+        space=space,
+        route=lambda k: k % n_dests,
+        deliver=lambda dest, sid, p, n: delivered.extend(p),
+        threshold_bytes=threshold,
+        task_id="t",
+    )
+    for k, v in pairs:
+        buf.emit(k, v)
+    buf.flush()
+    assert Counter(delivered) == Counter(pairs)
+    assert buf.buffered_bytes == 0
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 50), st.integers(0, 5)), min_size=1, max_size=80
+    ),
+    threshold=st.integers(1, 512),
+)
+@settings(max_examples=60)
+def test_routing_consistent_per_key(pairs, threshold):
+    """Every occurrence of the same key lands at the same destination."""
+    space = HashSpace(1 << 24)
+    dest_of: dict = {}
+    ok = True
+
+    def deliver(dest, sid, batch, nbytes):
+        nonlocal ok
+        for k, _ in batch:
+            if dest_of.setdefault(k, dest) != dest:
+                ok = False
+
+    buf = SpillBuffer(space, route=lambda hk: hk % 7, deliver=deliver,
+                      threshold_bytes=threshold, task_id="t")
+    for k, v in pairs:
+        buf.emit(k, v)
+    buf.flush()
+    assert ok
+
+
+@given(
+    pairs=st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=60),
+    threshold=st.integers(1, 256),
+)
+@settings(max_examples=60)
+def test_spill_ids_unique(pairs, threshold):
+    space = HashSpace(1 << 24)
+    ids = []
+    buf = SpillBuffer(space, route=lambda hk: hk % 3,
+                      deliver=lambda d, sid, p, n: ids.append(sid),
+                      threshold_bytes=threshold, task_id="t")
+    for k, v in pairs:
+        buf.emit(k, v)
+    buf.flush()
+    assert len(ids) == len(set(ids))
+    assert len(ids) == buf.spills
+    assert sorted(ids) == sorted(sid for _, sid in buf.manifest())
+
+
+@given(
+    records=st.lists(
+        st.binary(min_size=0, max_size=30).filter(lambda b: b"\n" not in b),
+        max_size=60,
+    ),
+    block_size=st.sampled_from([32, 64, 256]),
+)
+@settings(max_examples=80)
+def test_pack_records_roundtrip_and_alignment(records, block_size):
+    records = [r for r in records if len(r) + 1 <= block_size]
+    data = pack_records(records, block_size)
+    # Exact multiple of the block size, and no record crosses a boundary.
+    assert len(data) % block_size == 0
+    recovered = []
+    for off in range(0, len(data), block_size):
+        block = data[off : off + block_size]
+        recovered.extend(l for l in block.split(b"\n") if l)
+    assert recovered == [r for r in records if r]

@@ -1,0 +1,297 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import AllOf, AnyOf, Interrupt, Simulation
+
+
+class TestEvents:
+    def test_succeed_and_value(self):
+        sim = Simulation()
+        ev = sim.event()
+        assert not ev.triggered
+        ev.succeed(42)
+        assert ev.triggered and ev.ok
+        assert ev.value == 42
+
+    def test_double_trigger_rejected(self):
+        sim = Simulation()
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self):
+        sim = Simulation()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+
+class TestProcesses:
+    def test_timeout_advances_clock(self):
+        sim = Simulation()
+
+        def body(sim):
+            yield sim.timeout(3.0)
+            return sim.now
+
+        p = sim.process(body(sim))
+        assert sim.run(p) == 3.0
+        assert sim.now == 3.0
+
+    def test_sequential_timeouts(self):
+        sim = Simulation()
+        trace = []
+
+        def body(sim):
+            for d in (1.0, 2.0, 0.5):
+                yield sim.timeout(d)
+                trace.append(sim.now)
+
+        sim.process(body(sim))
+        sim.run()
+        assert trace == [1.0, 3.0, 3.5]
+
+    def test_process_return_value(self):
+        sim = Simulation()
+
+        def body(sim):
+            yield sim.timeout(1)
+            return "done"
+
+        assert sim.run(sim.process(body(sim))) == "done"
+
+    def test_process_exception_propagates_to_waiter(self):
+        sim = Simulation()
+
+        def failing(sim):
+            yield sim.timeout(1)
+            raise ValueError("boom")
+
+        def waiter(sim):
+            yield sim.process(failing(sim))
+
+        with pytest.raises(ValueError, match="boom"):
+            sim.run(sim.process(waiter(sim)))
+
+    def test_unwaited_failure_surfaces_at_run(self):
+        sim = Simulation()
+
+        def failing(sim):
+            yield sim.timeout(1)
+            raise ValueError("boom")
+
+        p = sim.process(failing(sim))
+        sim.run()
+        assert p.triggered and not p.ok
+        assert isinstance(p.value, ValueError)
+
+    def test_join_another_process(self):
+        sim = Simulation()
+
+        def child(sim):
+            yield sim.timeout(5)
+            return 99
+
+        def parent(sim):
+            value = yield sim.process(child(sim))
+            return (sim.now, value)
+
+        assert sim.run(sim.process(parent(sim))) == (5.0, 99)
+
+    def test_yield_non_event_fails_process(self):
+        sim = Simulation()
+
+        def bad(sim):
+            yield 123
+
+        p = sim.process(bad(sim))
+        sim.run()
+        assert not p.ok
+        assert isinstance(p.value, SimulationError)
+
+    def test_non_generator_rejected(self):
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_cross_simulation_event_rejected(self):
+        sim1, sim2 = Simulation(), Simulation()
+
+        def bad(sim):
+            yield sim2.timeout(1)
+
+        p = sim1.process(bad(sim1))
+        sim1.run()
+        assert not p.ok
+
+
+class TestInterrupts:
+    def test_interrupt_wakes_sleeper(self):
+        sim = Simulation()
+        log = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100)
+            except Interrupt as intr:
+                log.append((sim.now, intr.cause))
+
+        def interrupter(sim, target):
+            yield sim.timeout(2)
+            target.interrupt("wake up")
+
+        target = sim.process(sleeper(sim))
+        sim.process(interrupter(sim, target))
+        sim.run()
+        assert log == [(2.0, "wake up")]
+
+    def test_stale_wakeup_ignored_after_interrupt(self):
+        sim = Simulation()
+        resumed = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(10)
+                resumed.append("timeout")
+            except Interrupt:
+                yield sim.timeout(100)
+                resumed.append("after-interrupt")
+
+        def interrupter(sim, target):
+            yield sim.timeout(1)
+            target.interrupt()
+
+        target = sim.process(sleeper(sim))
+        sim.process(interrupter(sim, target))
+        sim.run()
+        # The original 10s timeout fires at t=10 but must not resume the
+        # process, which by then waits on the 100s sleep.
+        assert resumed == ["after-interrupt"]
+
+    def test_interrupt_completed_process_is_noop(self):
+        sim = Simulation()
+
+        def quick(sim):
+            yield sim.timeout(1)
+
+        p = sim.process(quick(sim))
+        sim.run()
+        p.interrupt()  # must not raise
+        sim.run()
+
+
+class TestConditions:
+    def test_allof_collects_values(self):
+        sim = Simulation()
+
+        def child(sim, d):
+            yield sim.timeout(d)
+            return d
+
+        def parent(sim):
+            vals = yield AllOf([sim.process(child(sim, d)) for d in (3, 1, 2)])
+            return (sim.now, vals)
+
+        now, vals = sim.run(sim.process(parent(sim)))
+        assert now == 3.0
+        assert vals == [3, 1, 2]  # ordered as passed, not as completed
+
+    def test_anyof_returns_first(self):
+        sim = Simulation()
+
+        def child(sim, d):
+            yield sim.timeout(d)
+            return d
+
+        def parent(sim):
+            idx, val = yield AnyOf([sim.process(child(sim, d)) for d in (3, 1, 2)])
+            return (sim.now, idx, val)
+
+        assert sim.run(sim.process(parent(sim))) == (1.0, 1, 1)
+
+    def test_empty_condition_rejected(self):
+        with pytest.raises(SimulationError):
+            AllOf([])
+
+    def test_allof_fails_on_child_failure(self):
+        sim = Simulation()
+
+        def bad(sim):
+            yield sim.timeout(1)
+            raise RuntimeError("child failed")
+
+        def good(sim):
+            yield sim.timeout(5)
+
+        def parent(sim):
+            yield AllOf([sim.process(bad(sim)), sim.process(good(sim))])
+
+        with pytest.raises(RuntimeError, match="child failed"):
+            sim.run(sim.process(parent(sim)))
+
+
+class TestRun:
+    def test_run_until_time(self):
+        sim = Simulation()
+        fired = []
+
+        def body(sim):
+            while True:
+                yield sim.timeout(1)
+                fired.append(sim.now)
+
+        sim.process(body(sim))
+        sim.run(until=3.5)
+        assert fired == [1.0, 2.0, 3.0]
+        assert sim.now == 3.5
+
+    def test_run_until_past_rejected(self):
+        sim = Simulation()
+        sim.run(until=5)
+        with pytest.raises(SimulationError):
+            sim.run(until=1)
+
+    def test_deadlock_detected(self):
+        sim = Simulation()
+
+        def stuck(sim):
+            yield sim.event()  # nobody will fire this
+
+        p = sim.process(stuck(sim))
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(p)
+
+    def test_peek_and_step(self):
+        sim = Simulation()
+        sim.timeout(4.0)
+        assert sim.peek() == 4.0
+        sim.step()
+        assert sim.now == 4.0
+        assert sim.peek() == float("inf")
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_event_ordering_fifo_at_same_time(self):
+        sim = Simulation()
+        order = []
+
+        def body(sim, tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abc":
+            sim.process(body(sim, tag))
+        sim.run()
+        assert order == ["a", "b", "c"]

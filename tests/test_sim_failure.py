@@ -1,0 +1,115 @@
+"""Mid-job node failure in the performance plane."""
+
+import pytest
+
+from repro.common.config import CacheConfig, ClusterConfig, DFSConfig, SchedulerConfig
+from repro.common.errors import SimulationError
+from repro.common.units import GB, MB
+from repro.perfmodel.engine import PerfEngine, SimJobSpec
+from repro.perfmodel.framework import eclipse_framework, hadoop_framework
+from repro.perfmodel.placement import dht_layout
+from repro.perfmodel.profiles import APP_PROFILES
+
+
+def engine_with(framework=None, nodes=6):
+    config = ClusterConfig(
+        num_nodes=nodes,
+        rack_size=max(1, nodes // 2),
+        map_slots_per_node=2,
+        reduce_slots_per_node=2,
+        dfs=DFSConfig(block_size=128 * MB),
+        cache=CacheConfig(capacity_per_server=1 * GB, icache_fraction=1.0),
+        scheduler=SchedulerConfig(window_tasks=16),
+        page_cache_per_node=1 * GB,
+    )
+    return PerfEngine(config, framework or eclipse_framework())
+
+
+def spec_for(engine, blocks=24, app="wordcount", iterations=1):
+    layout = dht_layout(engine.space, engine.ring, "in", blocks, 128 * MB)
+    return SimJobSpec(app=APP_PROFILES[app], tasks=layout, iterations=iterations, label="j")
+
+
+class TestMidJobFailure:
+    def test_job_completes_despite_failure(self):
+        engine = engine_with()
+        spec = spec_for(engine)
+        engine.schedule_failure(node=2, at=5.0)
+        timing = engine.run_job(spec)
+        assert timing.makespan > 0
+        assert not engine.alive(2)
+        # Every task eventually ran somewhere alive.
+        assert timing.map_tasks >= len(spec.tasks)
+
+    def test_running_tasks_restart(self):
+        engine = engine_with()
+        spec = spec_for(engine, blocks=24)
+        # Fail while the first wave (12 slots, 24 tasks) is surely running.
+        engine.schedule_failure(node=0, at=2.0)
+        timing = engine.run_job(spec)
+        assert timing.task_restarts > 0
+
+    def test_failure_slows_the_job(self):
+        e1 = engine_with()
+        base = e1.run_job(spec_for(e1))
+        e2 = engine_with()
+        e2.schedule_failure(node=1, at=2.0)
+        failed = e2.run_job(spec_for(e2))
+        assert failed.makespan >= base.makespan
+
+    def test_no_tasks_on_dead_node_after_failure(self):
+        engine = engine_with()
+        spec = spec_for(engine, blocks=30)
+        engine.schedule_failure(node=3, at=0.5)
+        timing = engine.run_job(spec)
+        # Work done on node 3 is at most what slipped in before t=0.5
+        # (essentially nothing: tasks take seconds).
+        assert timing.tasks_per_server[3] <= timing.task_restarts
+
+    def test_failure_before_start(self):
+        engine = engine_with()
+        spec = spec_for(engine)
+        engine.schedule_failure(node=4, at=0.0)
+        timing = engine.run_job(spec)
+        assert timing.tasks_per_server[4] == 0
+
+    def test_failure_with_hadoop(self):
+        engine = engine_with(hadoop_framework())
+        spec = spec_for(engine, blocks=12, app="grep")
+        engine.schedule_failure(node=1, at=3.0)
+        timing = engine.run_job(spec)
+        assert timing.makespan > 0
+        assert timing.tasks_per_server[1] <= timing.task_restarts + 2
+
+    def test_failure_during_iterative_job(self):
+        engine = engine_with()
+        spec = spec_for(engine, blocks=12, app="kmeans", iterations=3)
+        engine.schedule_failure(node=2, at=10.0)
+        timing = engine.run_job(spec)
+        assert len(timing.iteration_times) == 3
+
+    def test_two_failures(self):
+        engine = engine_with(nodes=8)
+        spec = spec_for(engine, blocks=24)
+        engine.schedule_failure(node=0, at=1.0)
+        engine.schedule_failure(node=5, at=4.0)
+        timing = engine.run_job(spec)
+        assert not engine.alive(0) and not engine.alive(5)
+        assert timing.makespan > 0
+
+    def test_invalid_failure_args(self):
+        engine = engine_with()
+        with pytest.raises(SimulationError):
+            engine.schedule_failure(node=99, at=1.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_failure(node=0, at=-1.0)
+
+    def test_determinism_with_failure(self):
+        def once():
+            engine = engine_with()
+            spec = spec_for(engine)
+            engine.schedule_failure(node=2, at=5.0)
+            t = engine.run_job(spec)
+            return t.makespan, t.task_restarts
+
+        assert once() == once()

@@ -1,0 +1,206 @@
+"""Tests for Resource, PriorityResource, Store, Container."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Simulation
+from repro.sim.resources import Container, PriorityResource, Resource, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            Resource(sim, 0)
+
+    def test_grant_up_to_capacity_then_queue(self):
+        sim = Simulation()
+        res = Resource(sim, capacity=2)
+        r1, r2, r3 = res.request(), res.request(), res.request()
+        assert r1.triggered and r2.triggered and not r3.triggered
+        assert res.in_use == 2 and res.queue_length == 1
+        res.release(r1)
+        assert r3.triggered
+        assert res.in_use == 2 and res.queue_length == 0
+
+    def test_fifo_order(self):
+        sim = Simulation()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(sim, res, tag, hold):
+            req = res.request()
+            yield req
+            order.append(tag)
+            yield sim.timeout(hold)
+            res.release(req)
+
+        for tag in "abcd":
+            sim.process(worker(sim, res, tag, 1.0))
+        sim.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_release_ungranted_rejected(self):
+        sim = Simulation()
+        res = Resource(sim, capacity=1)
+        res.request()
+        queued = res.request()
+        with pytest.raises(SimulationError):
+            res.release(queued)
+
+    def test_release_foreign_request_rejected(self):
+        sim = Simulation()
+        res1, res2 = Resource(sim), Resource(sim)
+        req = res1.request()
+        with pytest.raises(SimulationError):
+            res2.release(req)
+
+    def test_cancel_queued_request(self):
+        sim = Simulation()
+        res = Resource(sim, capacity=1)
+        held = res.request()
+        queued = res.request()
+        res.cancel(queued)
+        assert res.queue_length == 0
+        res.release(held)
+        assert not queued.triggered  # cancelled request never granted
+
+    def test_cancel_granted_request_releases(self):
+        sim = Simulation()
+        res = Resource(sim, capacity=1)
+        held = res.request()
+        waiting = res.request()
+        res.cancel(held)
+        assert waiting.triggered
+
+    def test_cancel_twice_is_noop(self):
+        sim = Simulation()
+        res = Resource(sim, capacity=1)
+        res.request()
+        queued = res.request()
+        res.cancel(queued)
+        res.cancel(queued)
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_first(self):
+        sim = Simulation()
+        res = PriorityResource(sim, capacity=1)
+        held = res.request(priority=0)
+        low = res.request(priority=10)
+        high = res.request(priority=1)
+        res.release(held)
+        assert high.triggered and not low.triggered
+        res.release(high)
+        assert low.triggered
+
+    def test_fifo_within_priority(self):
+        sim = Simulation()
+        res = PriorityResource(sim, capacity=1)
+        held = res.request()
+        first = res.request(priority=5)
+        second = res.request(priority=5)
+        res.release(held)
+        assert first.triggered and not second.triggered
+
+    def test_cancel_queued(self):
+        sim = Simulation()
+        res = PriorityResource(sim, capacity=1)
+        held = res.request()
+        queued = res.request(priority=1)
+        res.cancel(queued)
+        res.release(held)
+        assert not queued.triggered
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulation()
+        store = Store(sim)
+        store.put("x")
+        ev = store.get()
+        assert ev.triggered and ev.value == "x"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulation()
+        store = Store(sim)
+        got = []
+
+        def consumer(sim, store):
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def producer(sim, store):
+            yield sim.timeout(2)
+            store.put("late")
+
+        sim.process(consumer(sim, store))
+        sim.process(producer(sim, store))
+        sim.run()
+        assert got == [(2.0, "late")]
+
+    def test_fifo_items_and_getters(self):
+        sim = Simulation()
+        store = Store(sim)
+        g1, g2 = store.get(), store.get()
+        store.put(1)
+        store.put(2)
+        assert g1.value == 1 and g2.value == 2
+
+    def test_try_get(self):
+        sim = Simulation()
+        store = Store(sim)
+        assert store.try_get() == (False, None)
+        store.put(9)
+        assert store.try_get() == (True, 9)
+        assert len(store) == 0
+
+
+class TestContainer:
+    def test_validation(self):
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            Container(sim, 0)
+        with pytest.raises(SimulationError):
+            Container(sim, 10, init=11)
+
+    def test_get_when_available(self):
+        sim = Simulation()
+        c = Container(sim, 100, init=50)
+        ev = c.get(30)
+        assert ev.triggered
+        assert c.level == 20
+
+    def test_get_blocks_until_put(self):
+        sim = Simulation()
+        c = Container(sim, 100, init=0)
+        ev = c.get(60)
+        assert not ev.triggered
+        c.put(30)
+        assert not ev.triggered
+        c.put(40)
+        assert ev.triggered
+        assert c.level == pytest.approx(10)
+
+    def test_put_clamps_at_capacity(self):
+        sim = Simulation()
+        c = Container(sim, 100, init=90)
+        c.put(50)
+        assert c.level == 100
+
+    def test_fifo_getters(self):
+        sim = Simulation()
+        c = Container(sim, 100)
+        big = c.get(80)
+        small = c.get(10)
+        c.put(50)
+        # FIFO: the big request blocks the small one behind it.
+        assert not big.triggered and not small.triggered
+        c.put(40)
+        assert big.triggered and small.triggered
+
+    def test_get_more_than_capacity_rejected(self):
+        sim = Simulation()
+        c = Container(sim, 100)
+        with pytest.raises(SimulationError):
+            c.get(101)

@@ -1,0 +1,149 @@
+"""Model-based (stateful) property tests.
+
+Hypothesis drives long random operation sequences against a reference
+model; any divergence is shrunk to a minimal failing program.  These
+catch interaction bugs that example-based tests structurally cannot.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.cache.lru import LRUCache
+from repro.common.errors import CacheMiss
+from repro.common.hashing import HashSpace
+from repro.dht.ring import ConsistentHashRing
+
+
+class LRUModel(RuleBasedStateMachine):
+    """LRUCache vs a straightforward OrderedDict reference."""
+
+    def __init__(self):
+        super().__init__()
+        self.capacity = 64
+        self.cache = LRUCache(self.capacity)
+        self.model: "OrderedDict[int, int]" = OrderedDict()
+
+    def _model_put(self, key, size):
+        if size > self.capacity:
+            self.model.pop(key, None)
+            return
+        if key in self.model:
+            del self.model[key]
+        while sum(self.model.values()) + size > self.capacity and self.model:
+            self.model.popitem(last=False)
+        self.model[key] = size
+
+    @rule(key=st.integers(0, 9), size=st.integers(0, 80))
+    def put(self, key, size):
+        self.cache.put(key, f"v{key}", size=size)
+        self._model_put(key, size)
+
+    @rule(key=st.integers(0, 9))
+    def get(self, key):
+        if key in self.model:
+            assert self.cache.get(key) == f"v{key}"
+            self.model.move_to_end(key)
+        else:
+            try:
+                self.cache.get(key)
+                raise AssertionError(f"cache had {key} but model did not")
+            except CacheMiss:
+                pass
+
+    @rule(key=st.integers(0, 9))
+    def pop(self, key):
+        entry = self.cache.pop(key)
+        expected = self.model.pop(key, None)
+        if expected is None:
+            assert entry is None
+        else:
+            assert entry is not None and entry.size == expected
+
+    @invariant()
+    def same_contents(self):
+        assert set(self.model) == {e.key for e in self.cache.entries()}
+
+    @invariant()
+    def used_matches(self):
+        assert self.cache.used == sum(self.model.values())
+        assert self.cache.used <= self.capacity
+
+    @invariant()
+    def lru_order_matches(self):
+        assert list(self.model) == [e.key for e in self.cache.entries()]
+
+
+TestLRUModel = LRUModel.TestCase
+TestLRUModel.settings = settings(max_examples=60, stateful_step_count=40)
+
+
+class RingModel(RuleBasedStateMachine):
+    """ConsistentHashRing vs brute-force successor search over positions."""
+
+    SIZE = 4096
+
+    def __init__(self):
+        super().__init__()
+        self.space = HashSpace(self.SIZE)
+        self.ring = ConsistentHashRing(self.space)
+        self.positions: dict[str, int] = {}
+        self.counter = 0
+
+    @initialize(pos=st.integers(0, SIZE - 1))
+    def first_node(self, pos):
+        self.ring.add_node("n0", pos)
+        self.positions["n0"] = pos
+        self.counter = 1
+
+    @rule(pos=st.integers(0, SIZE - 1))
+    def add(self, pos):
+        if pos in self.positions.values():
+            return
+        name = f"n{self.counter}"
+        self.counter += 1
+        self.ring.add_node(name, pos)
+        self.positions[name] = pos
+
+    @precondition(lambda self: len(self.positions) > 1)
+    @rule(data=st.data())
+    def remove(self, data):
+        victim = data.draw(st.sampled_from(sorted(self.positions)))
+        self.ring.remove_node(victim)
+        del self.positions[victim]
+
+    def _expected_owner(self, key: int) -> str:
+        """Brute force: the node at the first position strictly > key,
+        wrapping to the lowest position."""
+        above = [(p, n) for n, p in self.positions.items() if p > key]
+        if above:
+            return min(above)[1]
+        return min((p, n) for n, p in self.positions.items())[1]
+
+    @rule(key=st.integers(0, SIZE - 1))
+    def lookup(self, key):
+        assert self.ring.owner_of(key) == self._expected_owner(key)
+
+    @invariant()
+    def neighbors_consistent(self):
+        nodes = self.ring.nodes
+        assert nodes == sorted(self.positions, key=self.positions.get)
+        for n in nodes:
+            assert self.ring.predecessor(self.ring.successor(n)) == n
+
+    @invariant()
+    def arcs_partition_space(self):
+        total = sum(len(self.ring.range_of(n)) for n in self.ring.nodes)
+        assert total == self.SIZE
+
+
+TestRingModel = RingModel.TestCase
+TestRingModel.settings = settings(max_examples=40, stateful_step_count=30)

@@ -1,0 +1,97 @@
+"""Tests for task tracing and the Gantt renderer."""
+
+from repro.common.config import CacheConfig, ClusterConfig, DFSConfig, SchedulerConfig
+from repro.common.units import GB, MB
+from repro.perfmodel.engine import PerfEngine, SimJobSpec
+from repro.perfmodel.framework import eclipse_framework
+from repro.perfmodel.placement import dht_layout
+from repro.perfmodel.profiles import APP_PROFILES
+from repro.perfmodel.trace import TaskRecord, TaskTrace, gantt
+
+
+def traced_run(blocks=16, scheduler="laf"):
+    config = ClusterConfig(
+        num_nodes=4,
+        rack_size=2,
+        map_slots_per_node=2,
+        reduce_slots_per_node=2,
+        dfs=DFSConfig(block_size=128 * MB),
+        cache=CacheConfig(capacity_per_server=1 * GB, icache_fraction=1.0),
+        scheduler=SchedulerConfig(window_tasks=16),
+        page_cache_per_node=1 * GB,
+    )
+    engine = PerfEngine(config, eclipse_framework(scheduler))
+    engine.trace = TaskTrace()
+    layout = dht_layout(engine.space, engine.ring, "in", blocks, config.dfs.block_size)
+    timing = engine.run_job(SimJobSpec(app=APP_PROFILES["wordcount"], tasks=layout, label="wc"))
+    return engine, timing
+
+
+class TestTaskTrace:
+    def test_records_every_task(self):
+        engine, timing = traced_run()
+        trace = engine.trace
+        maps = [r for r in trace.records if r.kind == "map"]
+        reduces = [r for r in trace.records if r.kind == "reduce"]
+        assert len(maps) == timing.map_tasks
+        assert len(reduces) == timing.reduce_tasks
+
+    def test_lifecycle_ordering(self):
+        engine, _ = traced_run()
+        for rec in engine.trace.records:
+            assert rec.started_at is not None and rec.done_at is not None
+            assert rec.scheduled_at <= rec.started_at <= rec.done_at
+            assert rec.server >= 0
+
+    def test_waits_nonnegative_and_bounded_by_makespan(self):
+        engine, timing = traced_run()
+        trace = engine.trace
+        assert all(r.wait >= 0 for r in trace.records)
+        assert trace.makespan() <= timing.makespan + 1e-9
+
+    def test_slot_pressure_creates_waits(self):
+        # 16 tasks over 8 map slots: at least one task queues.
+        engine, _ = traced_run(blocks=16)
+        assert engine.trace.total_wait() > 0
+
+    def test_by_server_partition(self):
+        engine, _ = traced_run()
+        by_server = engine.trace.by_server()
+        assert sum(len(v) for v in by_server.values()) == len(engine.trace)
+
+    def test_stragglers_empty_for_uniform_tasks(self):
+        engine, _ = traced_run()
+        maps_only = TaskTrace()
+        maps_only.records = [r for r in engine.trace.records if r.kind == "map"]
+        # Uniform blocks, no compute skew: nothing is 3x the median.
+        assert maps_only.stragglers(factor=3.0) == []
+
+    def test_trace_off_by_default(self):
+        config = ClusterConfig(num_nodes=2, rack_size=2)
+        engine = PerfEngine(config, eclipse_framework())
+        assert engine.trace is None
+
+
+class TestGantt:
+    def test_renders_rows_per_server(self):
+        engine, _ = traced_run()
+        text = gantt(engine.trace, width=40)
+        assert "task timeline" in text
+        rows = [l for l in text.splitlines() if l.strip().startswith("node")]
+        assert len(rows) == len(engine.trace.by_server())
+        for row in rows:
+            bar = row.split("|")[1]
+            assert len(bar) == 40
+            assert "#" in bar
+
+    def test_empty_trace(self):
+        assert gantt(TaskTrace()) == "(no completed tasks)"
+
+    def test_max_servers_elision(self):
+        trace = TaskTrace()
+        for s in range(25):
+            rec = trace.open(f"t{s}", "map", s, 0.0)
+            rec.started_at = 0.0
+            rec.done_at = 1.0
+        text = gantt(trace, max_servers=10)
+        assert "more servers" in text

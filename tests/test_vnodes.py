@@ -1,0 +1,106 @@
+"""Tests for virtual-node consistent hashing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import RingError
+from repro.common.hashing import HashSpace
+from repro.dht.ring import ConsistentHashRing
+from repro.dht.vnodes import VirtualNodeRing
+
+
+def vring(n=8, vnodes=16):
+    ring = VirtualNodeRing(HashSpace(1 << 32), vnodes=vnodes)
+    for i in range(n):
+        ring.add_node(f"s{i}")
+    return ring
+
+
+class TestVirtualNodeRing:
+    def test_membership(self):
+        ring = vring(4)
+        assert len(ring) == 4
+        assert "s0" in ring and "s9" not in ring
+        assert ring.nodes == [f"s{i}" for i in range(4)]
+
+    def test_duplicate_rejected(self):
+        ring = vring(2)
+        with pytest.raises(RingError):
+            ring.add_node("s0")
+
+    def test_invalid_vnodes(self):
+        with pytest.raises(RingError):
+            VirtualNodeRing(vnodes=0)
+
+    def test_owner_is_a_member(self):
+        ring = vring(6)
+        sp = ring.space
+        for i in range(200):
+            assert ring.owner_of(sp.key_of(f"k{i}")) in ring.nodes
+
+    def test_remove_releases_all_positions(self):
+        ring = vring(4, vnodes=8)
+        ring.remove_node("s2")
+        assert len(ring._ring) == 3 * 8
+        sp = ring.space
+        for i in range(200):
+            assert ring.owner_of(sp.key_of(f"k{i}")) != "s2"
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(RingError):
+            vring(2).remove_node("ghost")
+
+    def test_replica_set_distinct_physical(self):
+        ring = vring(6, vnodes=32)
+        sp = ring.space
+        for i in range(100):
+            rs = ring.replica_set(sp.key_of(f"k{i}"), extra=2)
+            assert len(rs) == 3
+            assert len(set(rs)) == 3
+
+    def test_replica_set_small_cluster(self):
+        ring = vring(2, vnodes=8)
+        rs = ring.replica_set(123456, extra=2)
+        assert set(rs) == {"s0", "s1"}
+
+    def test_vnodes_even_out_ownership(self):
+        """The whole point: many virtual positions concentrate each
+        server's share around 1/n."""
+        single = ConsistentHashRing(HashSpace(1 << 32))
+        for i in range(8):
+            single.add_node(f"s{i}")
+        single_shares = [single.owned_fraction(n) for n in single.nodes]
+
+        virtual = vring(8, vnodes=64)
+        virtual_shares = [virtual.owned_fraction(n) for n in virtual.nodes]
+
+        assert np.std(virtual_shares) < 0.5 * np.std(single_shares)
+        assert sum(virtual_shares) == pytest.approx(1.0)
+        assert sum(single_shares) == pytest.approx(1.0)
+
+    def test_minimal_disruption_on_leave(self):
+        ring = vring(6, vnodes=16)
+        sp = ring.space
+        keys = [sp.key_of(f"k{i}") for i in range(300)]
+        before = {k: ring.owner_of(k) for k in keys}
+        ring.remove_node("s3")
+        moved = sum(1 for k in keys if before[k] != ring.owner_of(k))
+        lost = sum(1 for k in keys if before[k] == "s3")
+        assert moved == lost  # only the departed server's keys move
+
+
+@given(
+    n=st.integers(2, 8),
+    vnodes=st.sampled_from([1, 4, 16]),
+    key=st.integers(0, (1 << 32) - 1),
+)
+@settings(max_examples=60)
+def test_vnode_ownership_total(n, vnodes, key):
+    ring = VirtualNodeRing(HashSpace(1 << 32), vnodes=vnodes)
+    for i in range(n):
+        ring.add_node(f"s{i}")
+    owner = ring.owner_of(key)
+    assert owner in ring.nodes
+    shares = [ring.owned_fraction(s) for s in ring.nodes]
+    assert sum(shares) == pytest.approx(1.0)
