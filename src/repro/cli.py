@@ -141,17 +141,70 @@ FIGURES: dict[str, tuple[Callable, str]] = {
 }
 
 
+def _cluster(args) -> int:
+    """Stand up a real N-process cluster, run wordcount, print stats."""
+    from repro.apps.wordcount import wordcount_job
+    from repro.apps.workloads import pack_records, text_corpus
+    from repro.cluster import ClusterRuntime
+    from repro.common.config import ClusterConfig, DFSConfig
+    from repro.experiments.common import ExperimentResult
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    num_words = 5000 if args.fast else 20000
+    cfg = ClusterConfig(dfs=DFSConfig(block_size=16 * 1024))
+    data = pack_records(
+        text_corpus(7, num_words=num_words, vocab_size=500), cfg.dfs.block_size
+    )
+    print(f"starting {args.workers} worker processes on localhost ...")
+    t0 = time.time()
+    with ClusterRuntime(args.workers, cfg) as rt:
+        rt.upload("corpus.txt", data)
+        res = rt.run(wordcount_job("corpus.txt", app_id="cli-wordcount"))
+        stats = rt.worker_stats()
+        rpc_calls = rt.metrics.counter("rpc.calls").value
+        rpc_retries = rt.metrics.counter("rpc.retries").value
+        beats = rt.metrics.counter("heartbeat.received").value
+        max_age = rt.metrics.gauge("heartbeat.max_age_s").max_seen
+    elapsed = time.time() - t0
+
+    workers = list(stats)
+    result = ExperimentResult(
+        title=f"wordcount on a {args.workers}-process cluster "
+              f"({res.stats.map_tasks} map tasks, {len(res.output)} distinct words)",
+        x_label="worker",
+        x_values=workers,
+    )
+    result.add("map tasks", [stats[w].get("worker.maps_run", 0.0) for w in workers])
+    result.add("reduce tasks", [stats[w].get("worker.reduces_run", 0.0) for w in workers])
+    result.add("blocks stored", [float(stats[w]["blocks_stored"]) for w in workers])
+    result.add("spill bytes in", [float(stats[w]["bytes_received"]) for w in workers])
+    result.add("shuffle bytes out",
+               [stats[w].get("worker.bytes_shuffled_out", 0.0) for w in workers])
+    result.note(
+        f"{int(rpc_calls)} RPCs ({int(rpc_retries)} retried), "
+        f"{int(beats)} heartbeats (max observed silence {max_age:.2f}s)"
+    )
+    print(render(result, style=args.style, unit=""))
+    print(f"\n(cluster job finished in {elapsed:.1f}s)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Regenerate the EclipseMR paper's evaluation figures."
     )
-    parser.add_argument("target", choices=sorted(FIGURES) + ["all", "list"],
-                        help="figure to regenerate, 'all', or 'list'")
+    parser.add_argument("target", choices=sorted(FIGURES) + ["all", "cluster", "list"],
+                        help="figure to regenerate, 'cluster' for a live "
+                             "multi-process demo, 'all', or 'list'")
     parser.add_argument("--style", choices=("table", "bars"), default="table",
                         help="output rendering (default: table)")
     parser.add_argument("--fast", action="store_true", help="smaller datasets")
     parser.add_argument("--blocks", type=int, default=common.DEFAULT_BLOCKS,
                         help="base input size in 128 MB blocks where applicable")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker process count for 'cluster' (default: 4)")
     return parser
 
 
@@ -160,7 +213,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.target == "list":
         for name, (_, desc) in sorted(FIGURES.items()):
             print(f"  {name:10} {desc}")
+        print("  cluster    live N-process cluster demo (wordcount + per-worker stats)")
         return 0
+    if args.target == "cluster":
+        return _cluster(args)
     targets = sorted(FIGURES) if args.target == "all" else [args.target]
     for name in targets:
         fn, desc = FIGURES[name]

@@ -1,0 +1,30 @@
+"""Plane 3: a real multi-process EclipseMR cluster on localhost TCP.
+
+Workers are OS processes (``multiprocessing``) each holding a DHT FS
+shard, an iCache/oCache partition, and an intermediate store; the
+coordinator owns the ring, the LAF scheduler, and heartbeat liveness.
+:class:`ClusterRuntime` exposes the same ``run(job)`` API as the
+sequential and thread-pool runtimes.
+"""
+
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.fnpickle import dumps_fn, loads_fn
+from repro.cluster.heartbeat import HeartbeatSender, LivenessTracker
+from repro.cluster.messages import RingTable, WorkerAddress, decode_job, encode_job
+from repro.cluster.runtime import ClusterRuntime
+from repro.cluster.worker import WorkerNode, worker_main
+
+__all__ = [
+    "ClusterRuntime",
+    "Coordinator",
+    "WorkerNode",
+    "worker_main",
+    "LivenessTracker",
+    "HeartbeatSender",
+    "RingTable",
+    "WorkerAddress",
+    "encode_job",
+    "decode_job",
+    "dumps_fn",
+    "loads_fn",
+]

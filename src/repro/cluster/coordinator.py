@@ -1,0 +1,302 @@
+"""The cluster coordinator: ring, scheduler, job state, liveness.
+
+The coordinator is the control plane only -- the paper's data paths
+(block reads, spill pushes) run worker-to-worker.  It owns:
+
+* the DHT ring and the block/metadata placement derived from it;
+* the LAF (or delay) scheduler and its hash key table;
+* worker addresses, the heartbeat-fed :class:`LivenessTracker`, and the
+  failover procedure: a dead worker's arc merges into its successor's
+  (ring removal), lost copies are re-replicated from survivors, and the
+  new ring table is broadcast to every live worker.
+
+RPC/heartbeat traffic is counted into one :class:`MetricsRegistry`
+shared with the runtime, so ``eclipsemr-repro cluster`` can print it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Hashable, Optional, Sequence
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import ClusterError, NetworkError, SchedulingError, WorkerLost
+from repro.common.hashing import DEFAULT_SPACE, HashSpace
+from repro.dfs.metadata import BlockDescriptor, FileMetadata
+from repro.dht.ring import ConsistentHashRing
+from repro.cluster.heartbeat import LivenessTracker
+from repro.cluster.messages import RingTable, WorkerAddress
+from repro.net.retry import RetryPolicy
+from repro.net.rpc import ConnectionPool, RpcServer
+from repro.scheduler.base import Scheduler
+from repro.scheduler.delay import DelayScheduler
+from repro.scheduler.laf import LAFScheduler
+from repro.sim.metrics import MetricsRegistry
+
+__all__ = ["Coordinator"]
+
+
+class Coordinator:
+    """Owns cluster-wide state; never touches payload bytes on the data path
+    (except when restoring replication after a failure)."""
+
+    def __init__(
+        self,
+        worker_ids: Sequence[str],
+        config: ClusterConfig | None = None,
+        scheduler: str | Scheduler = "laf",
+        space: HashSpace = DEFAULT_SPACE,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.worker_ids = [str(w) for w in worker_ids]
+        if not self.worker_ids:
+            raise ClusterError("cluster needs at least one worker")
+        if len(set(self.worker_ids)) != len(self.worker_ids):
+            raise ClusterError("duplicate worker ids")
+        self.config = config or ClusterConfig()
+        self.space = space
+        self.metrics = metrics or MetricsRegistry()
+        self.ring = ConsistentHashRing(space)
+        for wid in self.worker_ids:
+            self.ring.add_node(wid)
+        if isinstance(scheduler, Scheduler):
+            self.scheduler = scheduler
+        elif scheduler == "laf":
+            self.scheduler = LAFScheduler(
+                space, self.worker_ids, self.config.scheduler, ring=self.ring
+            )
+        elif scheduler == "delay":
+            self.scheduler = DelayScheduler(
+                space, self.worker_ids, self.config.scheduler, ring=self.ring
+            )
+        else:
+            raise SchedulingError(f"unknown scheduler {scheduler!r}")
+
+        self.metadata: dict[str, FileMetadata] = {}
+        self.holders: dict[tuple[str, int], list[str]] = {}
+        self.block_keys: dict[tuple[str, int], int] = {}
+        self.addresses: dict[str, WorkerAddress] = {}
+        self.epoch = 0
+        self.liveness = LivenessTracker(
+            self.config.net.heartbeat_interval,
+            self.config.net.heartbeat_miss_threshold,
+        )
+        self.pool = ConnectionPool(self.config.net, metrics=self.metrics)
+        self._registered = threading.Event()
+        self._lock = threading.Lock()
+        self.server = RpcServer(
+            {"register": self._handle_register, "heartbeat": self._handle_heartbeat},
+            net=self.config.net,
+            metrics=self.metrics,
+        )
+        self.server.start()
+        self._update_live_gauge()
+
+    # -- registration & heartbeats -------------------------------------------------
+
+    def _handle_register(self, worker_id: str, host: str, port: int) -> bool:
+        with self._lock:
+            if worker_id not in self.worker_ids:
+                raise ClusterError(f"unexpected worker {worker_id!r} tried to register")
+            self.addresses[worker_id] = WorkerAddress(worker_id, host, port)
+            complete = len(self.addresses) == len(self.worker_ids)
+        self.liveness.register(worker_id)
+        self.metrics.counter("cluster.registrations").inc()
+        if complete:
+            self._registered.set()
+        return True
+
+    def _handle_heartbeat(self, worker_id: str, seq: int) -> bool:
+        self.liveness.beat(worker_id)
+        self.metrics.counter("heartbeat.received").inc()
+        return True
+
+    def wait_for_workers(self, timeout: float) -> None:
+        if not self._registered.wait(timeout):
+            missing = sorted(set(self.worker_ids) - set(self.addresses))
+            raise ClusterError(
+                f"workers {missing} did not register within {timeout:.1f}s"
+            )
+
+    # -- membership ------------------------------------------------------------------
+
+    def alive_ids(self) -> list[str]:
+        """Registered workers not yet declared dead, in creation order."""
+        return [wid for wid in self.worker_ids if wid in self.addresses]
+
+    def address_of(self, worker_id: str) -> WorkerAddress:
+        try:
+            return self.addresses[worker_id]
+        except KeyError:
+            raise WorkerLost(worker_id, "no registered address") from None
+
+    def ring_table(self) -> RingTable:
+        return RingTable.from_ring(self.ring, epoch=self.epoch)
+
+    def broadcast_ring(self) -> None:
+        """Push the current ring + peer addresses to every live worker."""
+        wire = self.ring_table().to_wire()
+        peers = {wid: a.addr for wid, a in self.addresses.items()}
+        for wid in self.alive_ids():
+            try:
+                self.pool.call(self.address_of(wid).addr, "update_ring",
+                               {"ring": wire, "peers": peers})
+            except NetworkError as exc:
+                raise WorkerLost(wid, f"ring broadcast failed: {exc}") from exc
+
+    def check_heartbeats(self) -> list[str]:
+        """Workers the heartbeat stream has declared dead (not yet removed)."""
+        dead = self.liveness.dead_workers()
+        if dead:
+            self.metrics.counter("heartbeat.missed_deadlines").inc(len(dead))
+        for wid in self.liveness.tracked():
+            self.metrics.gauge("heartbeat.max_age_s").set(self.liveness.age(wid))
+        return dead
+
+    def mark_dead(self, worker_id: str) -> None:
+        """Fail a worker over: merge its arc, restore replication, re-ring.
+
+        The dead worker's key range transfers to its ring successor, which
+        by the paper's placement rule already replicates that range -- so
+        every block stays readable.  Blocks that dropped below the
+        replication factor are re-copied from survivors.
+        """
+        with self._lock:
+            if worker_id not in self.addresses:
+                return  # already failed over
+            if len(self.addresses) == 1:
+                raise ClusterError("cannot fail the last worker")
+            gone = self.addresses.pop(worker_id)
+            self.epoch += 1
+        self.liveness.remove(worker_id)
+        self.pool.close_address(gone.addr)
+        self.ring.remove_node(worker_id)
+        self.scheduler.remove_server(worker_id)
+        self.metrics.counter("cluster.failovers").inc()
+        self._update_live_gauge()
+        lost = [bid for bid, hs in self.holders.items() if worker_id in hs]
+        for bid in lost:
+            self.holders[bid] = [h for h in self.holders[bid] if h != worker_id]
+            if not self.holders[bid]:
+                raise ClusterError(
+                    f"all copies of block {bid} died with worker {worker_id!r}"
+                )
+        self._restore_replication(lost)
+        self.broadcast_ring()
+
+    def _restore_replication(self, block_ids: list[tuple[str, int]]) -> None:
+        """Copy under-replicated blocks to their new replica holders."""
+        for bid in block_ids:
+            key = self.block_keys[bid]
+            targets = self.ring.replica_set(key, extra=self.config.dfs.replication)
+            survivors = self.holders[bid]
+            data: bytes | None = None
+            for target in targets:
+                if target in survivors:
+                    continue
+                if data is None:
+                    data = self._fetch_from_any(bid, survivors)
+                self.pool.call(
+                    self.address_of(target).addr,
+                    "put_block",
+                    {"name": bid[0], "index": bid[1], "data": data,
+                     "replica": target != targets[0]},
+                )
+                self.holders[bid].append(target)
+                self.metrics.counter("failover.blocks_rereplicated").inc()
+                self.metrics.counter("failover.bytes_rereplicated").inc(len(data))
+
+    def _fetch_from_any(self, bid: tuple[str, int], survivors: list[str]) -> bytes:
+        last: Exception | None = None
+        for wid in survivors:
+            try:
+                return self.pool.call(self.address_of(wid).addr, "fetch_block",
+                                      {"name": bid[0], "index": bid[1]})
+            except NetworkError as exc:
+                last = exc
+        raise ClusterError(f"could not read block {bid} from any survivor: {last}")
+
+    def _update_live_gauge(self) -> None:
+        self.metrics.gauge("cluster.live_workers").set(len(self.addresses))
+
+    # -- data placement ----------------------------------------------------------------
+
+    def upload(
+        self,
+        name: str,
+        data: bytes,
+        *,
+        owner: str = "user",
+        permissions: int = 0o644,
+        tags: dict[str, str] | None = None,
+    ) -> FileMetadata:
+        """Split a file into blocks and spread them over the worker shards."""
+        if name in self.metadata:
+            raise ClusterError(f"file {name!r} already exists")
+        block_size = self.config.dfs.block_size
+        descriptors: list[BlockDescriptor] = []
+        index = 0
+        offset = 0
+        total = len(data)
+        while True:
+            this_size = min(block_size, total - offset)
+            if this_size <= 0 and index > 0:
+                break
+            key = self.space.block_key(name, index)
+            payload = data[offset : offset + this_size]
+            replicas = self.ring.replica_set(key, extra=self.config.dfs.replication)
+            for i, wid in enumerate(replicas):
+                try:
+                    self.pool.call(
+                        self.address_of(wid).addr,
+                        "put_block",
+                        {"name": name, "index": index, "data": payload,
+                         "replica": i > 0},
+                    )
+                except NetworkError as exc:
+                    raise WorkerLost(wid, f"block upload failed: {exc}") from exc
+            self.holders[(name, index)] = list(replicas)
+            self.block_keys[(name, index)] = key
+            descriptors.append(BlockDescriptor(index, key, this_size))
+            self.metrics.counter("cluster.blocks_uploaded").inc()
+            offset += this_size
+            index += 1
+            if offset >= total:
+                break
+        meta = FileMetadata(
+            name=name, owner=owner, size=total, permissions=permissions,
+            created_at=0.0, blocks=descriptors, tags=dict(tags or {}),
+        )
+        self.metadata[name] = meta
+        return meta
+
+    def stat(self, name: str, user: str = "user", *, write: bool = False) -> FileMetadata:
+        try:
+            meta = self.metadata[name]
+        except KeyError:
+            from repro.common.errors import FileNotFound
+
+            raise FileNotFound(f"no such file: {name!r}") from None
+        meta.check_access(user, write=write)
+        return meta
+
+    def block_holders(self, name: str, index: int) -> list[WorkerAddress]:
+        """Live holders of one block, primaries first."""
+        return [
+            self.addresses[wid]
+            for wid in self.holders.get((name, index), [])
+            if wid in self.addresses
+        ]
+
+    # -- teardown -----------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        policy = RetryPolicy(attempts=1, base_delay=0.01)
+        for wid in self.alive_ids():
+            try:
+                self.pool.call(self.address_of(wid).addr, "shutdown",
+                               timeout=2.0, policy=policy)
+            except NetworkError:
+                pass  # it is being killed anyway
+        self.pool.close_all()
+        self.server.stop()

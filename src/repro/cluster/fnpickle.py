@@ -1,0 +1,189 @@
+"""Ship map/reduce functions to worker processes.
+
+Plain :mod:`pickle` serializes functions *by reference* (module + name),
+which fails for exactly the functions MapReduce users write: lambdas,
+and closures like ``kmeans_map_fn(centroids)`` that capture iteration
+state.  This module serializes such functions *by value*: the code object
+via :mod:`marshal`, the closure cells, defaults, and -- crucially -- the
+subset of module globals the code actually references, each captured
+recursively (so a closure calling a helper function ships the helper too,
+and a reference to ``numpy`` travels as a module name, not an object).
+
+By-reference pickling is still used for functions in ``repro.*`` and
+``numpy.*`` modules, which every worker can import; test code and user
+scripts go by value so workers never need to import them.
+
+Both sides of a cluster run the same interpreter (workers are spawned
+from the coordinator's ``sys.executable``), so ``marshal``'s bytecode-
+version sensitivity is not a concern.
+"""
+
+from __future__ import annotations
+
+import builtins
+import importlib
+import marshal
+import pickle
+import types
+from typing import Any
+
+from repro.common.errors import SerializationError
+
+__all__ = ["dumps_fn", "loads_fn"]
+
+# Capture tags.
+_PICKLE = "p"     # plain picklable value (incl. by-reference functions)
+_FUNC = "f"       # function captured by value
+_MODULE = "m"     # module, captured as its import name
+_SELF = "s"       # the function currently being captured (recursion)
+_EMPTY = "e"      # an empty closure cell
+
+_BY_REFERENCE_PREFIXES = ("repro.", "numpy")
+
+
+def dumps_fn(fn: Any) -> bytes:
+    """Serialize a callable (or any picklable object) for the wire."""
+    try:
+        return pickle.dumps(_pack(fn, seen=()), protocol=pickle.HIGHEST_PROTOCOL)
+    except SerializationError:
+        raise
+    except Exception as exc:
+        raise SerializationError(f"cannot serialize {fn!r}: {exc}") from exc
+
+
+def loads_fn(data: bytes) -> Any:
+    """Rebuild what :func:`dumps_fn` produced."""
+    try:
+        return _unpack(pickle.loads(data))
+    except SerializationError:
+        raise
+    except Exception as exc:
+        raise SerializationError(f"cannot deserialize function payload: {exc}") from exc
+
+
+# -- capture ------------------------------------------------------------------
+
+
+def _pack(obj: Any, seen: tuple[int, ...]) -> tuple[str, Any]:
+    if isinstance(obj, types.ModuleType):
+        return (_MODULE, obj.__name__)
+    if isinstance(obj, types.FunctionType):
+        if id(obj) in seen:
+            # Direct self-recursion: resolved against the function being
+            # rebuilt.  (Mutual recursion between two by-value functions is
+            # not supported -- capture would never terminate.)
+            if id(obj) != seen[-1]:
+                raise SerializationError(
+                    f"mutually recursive by-value functions are not supported: {obj!r}"
+                )
+            return (_SELF, None)
+        if _picklable_by_reference(obj):
+            return (_PICKLE, obj)
+        return (_FUNC, _capture(obj, seen + (id(obj),)))
+    return (_PICKLE, obj)
+
+
+def _picklable_by_reference(fn: types.FunctionType) -> bool:
+    module = fn.__module__ or ""
+    if not (module in ("builtins",) or any(module == p.rstrip(".") or module.startswith(p)
+                                           for p in _BY_REFERENCE_PREFIXES)):
+        return False
+    try:
+        return pickle.loads(pickle.dumps(fn)) is fn
+    except Exception:
+        return False
+
+
+def _referenced_names(code: types.CodeType) -> set[str]:
+    """Global names referenced by ``code`` or any code object nested in it."""
+    names = set(code.co_names)
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            names |= _referenced_names(const)
+    return names
+
+
+def _capture(fn: types.FunctionType, seen: tuple[int, ...]) -> dict[str, Any]:
+    code = fn.__code__
+    globs: dict[str, tuple[str, Any]] = {}
+    fn_globals = fn.__globals__
+    for name in sorted(_referenced_names(code)):
+        if name in fn_globals:
+            globs[name] = _pack(fn_globals[name], seen)
+    closure: list[tuple[str, Any]] = []
+    for cell in fn.__closure__ or ():
+        try:
+            closure.append(_pack(cell.cell_contents, seen))
+        except ValueError:  # empty cell
+            closure.append((_EMPTY, None))
+    return {
+        "code": marshal.dumps(code),
+        "name": fn.__name__,
+        "qualname": fn.__qualname__,
+        "module": fn.__module__,
+        "doc": fn.__doc__,
+        "globals": globs,
+        "closure": tuple(closure),
+        "defaults": tuple(_pack(v, seen) for v in (fn.__defaults__ or ())),
+        "kwdefaults": {k: _pack(v, seen) for k, v in (fn.__kwdefaults__ or {}).items()},
+    }
+
+
+# -- rebuild ------------------------------------------------------------------
+
+
+def _unpack(packed: tuple[str, Any], self_ref: list | None = None) -> Any:
+    tag, value = packed
+    if tag == _PICKLE:
+        return value
+    if tag == _MODULE:
+        return importlib.import_module(value)
+    if tag == _EMPTY:
+        return _EMPTY_CELL
+    if tag == _SELF:
+        if self_ref is None:
+            raise SerializationError("self-reference outside a function capture")
+        return self_ref  # placeholder; patched once the function exists
+    if tag == _FUNC:
+        return _rebuild(value)
+    raise SerializationError(f"unknown capture tag {tag!r}")
+
+
+_EMPTY_CELL = object()
+
+
+def _rebuild(cap: dict[str, Any]) -> types.FunctionType:
+    self_ref: list = []
+    g: dict[str, Any] = {"__builtins__": builtins}
+    patches: list[tuple[str, str]] = []  # (kind, key/index) needing the self ref
+    for name, packed in cap["globals"].items():
+        value = _unpack(packed, self_ref)
+        if value is self_ref:
+            patches.append(("global", name))
+        else:
+            g[name] = value
+    cells = []
+    cell_patches: list[int] = []
+    for i, packed in enumerate(cap["closure"]):
+        value = _unpack(packed, self_ref)
+        if value is _EMPTY_CELL:
+            cells.append(types.CellType())
+        elif value is self_ref:
+            cells.append(types.CellType())
+            cell_patches.append(i)
+        else:
+            cells.append(types.CellType(value))
+    defaults = tuple(_unpack(p, self_ref) for p in cap["defaults"])
+    fn = types.FunctionType(
+        marshal.loads(cap["code"]), g, cap["name"], defaults or None, tuple(cells)
+    )
+    fn.__qualname__ = cap["qualname"]
+    fn.__module__ = cap["module"]
+    fn.__doc__ = cap["doc"]
+    if cap["kwdefaults"]:
+        fn.__kwdefaults__ = {k: _unpack(p, self_ref) for k, p in cap["kwdefaults"].items()}
+    for kind, name in patches:
+        g[name] = fn
+    for i in cell_patches:
+        cells[i].cell_contents = fn
+    return fn

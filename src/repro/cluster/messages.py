@@ -1,0 +1,119 @@
+"""Wire-level value types shared by the coordinator and workers.
+
+Workers never see the coordinator's full :class:`ConsistentHashRing`
+object -- they receive a :class:`RingTable`, the flat ``(position,
+worker)`` list every EclipseMR server derives from its one-hop finger
+table, and route spill pushes with it locally.  Jobs travel as plain
+dicts whose functions are pre-serialized by :mod:`repro.cluster.fnpickle`
+so the RPC envelope itself never pickles a closure.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.common.errors import ClusterError
+from repro.mapreduce.job import MapReduceJob
+from repro.cluster.fnpickle import dumps_fn, loads_fn
+
+__all__ = ["WorkerAddress", "RingTable", "encode_job", "DecodedJob", "decode_job"]
+
+
+@dataclass(frozen=True)
+class WorkerAddress:
+    """Where a worker's RPC server listens."""
+
+    worker_id: str
+    host: str
+    port: int
+
+    @property
+    def addr(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+
+class RingTable:
+    """An immutable snapshot of the DHT ring: sorted positions -> owners.
+
+    Implements the same ownership rule as
+    :meth:`repro.dht.ring.ConsistentHashRing.owner_of` (the node at the
+    first position strictly greater than the key owns it, wrapping past
+    the top), so the coordinator and every worker route a hash key to the
+    same server without talking to each other.
+    """
+
+    def __init__(self, entries: list[tuple[int, str]], epoch: int = 0) -> None:
+        if not entries:
+            raise ClusterError("ring table needs at least one worker")
+        ordered = sorted(entries)
+        self.positions = [pos for pos, _ in ordered]
+        self.owners = [wid for _, wid in ordered]
+        if len(set(self.positions)) != len(self.positions):
+            raise ClusterError("ring table has duplicate positions")
+        self.epoch = epoch
+
+    @classmethod
+    def from_ring(cls, ring, epoch: int = 0) -> "RingTable":
+        return cls([(ring.position_of(node), node) for node in ring.nodes], epoch)
+
+    def owner_of(self, key: int) -> str:
+        idx = bisect.bisect_right(self.positions, key)
+        if idx == len(self.positions):
+            idx = 0
+        return self.owners[idx]
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"entries": list(zip(self.positions, self.owners)), "epoch": self.epoch}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "RingTable":
+        return cls([tuple(e) for e in wire["entries"]], wire["epoch"])
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+
+def encode_job(job: MapReduceJob) -> dict[str, Any]:
+    """A job as wire-safe plain data (functions pre-serialized)."""
+    return {
+        "app_id": job.app_id,
+        "input_file": job.input_file,
+        "user": job.user,
+        "map_fn": dumps_fn(job.map_fn),
+        "reduce_fn": dumps_fn(job.reduce_fn),
+        "combiner": dumps_fn(job.combiner) if job.combiner is not None else None,
+        "spill_buffer_bytes": job.spill_buffer_bytes,
+        "cache_intermediates": job.cache_intermediates,
+        "intermediate_ttl": job.intermediate_ttl,
+    }
+
+
+@dataclass
+class DecodedJob:
+    """A worker-side job: same fields, functions rebuilt and callable."""
+
+    app_id: str
+    input_file: str
+    user: str
+    map_fn: Any
+    reduce_fn: Any
+    combiner: Optional[Any]
+    spill_buffer_bytes: int
+    cache_intermediates: bool
+    intermediate_ttl: Optional[float]
+
+
+def decode_job(wire: dict[str, Any]) -> DecodedJob:
+    return DecodedJob(
+        app_id=wire["app_id"],
+        input_file=wire["input_file"],
+        user=wire["user"],
+        map_fn=loads_fn(wire["map_fn"]),
+        reduce_fn=loads_fn(wire["reduce_fn"]),
+        combiner=loads_fn(wire["combiner"]) if wire["combiner"] is not None else None,
+        spill_buffer_bytes=wire["spill_buffer_bytes"],
+        cache_intermediates=wire["cache_intermediates"],
+        intermediate_ttl=wire["intermediate_ttl"],
+    )

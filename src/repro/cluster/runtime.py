@@ -1,0 +1,332 @@
+"""Plane 3: the multi-process cluster runtime.
+
+:class:`ClusterRuntime` exposes the same ``upload`` / ``run(job)`` API as
+the sequential :class:`~repro.mapreduce.runtime.EclipseMRRuntime`, but
+workers are real OS processes (no GIL sharing) serving RPCs over
+localhost TCP.  Map tasks are dispatched by hash key to the worker whose
+LAF range covers the block; the workers read their blocks shard-locally
+(or from a replica holder over the wire), push spills worker-to-worker,
+and reduce in place.
+
+Fault tolerance follows the paper's replication story end-to-end: a
+worker killed mid-job stops heartbeating (or drops its TCP connections);
+the coordinator declares it dead, merges its arc into its successor's,
+re-replicates the blocks that lost a copy from the surviving replica
+holders, broadcasts the new ring, and re-executes the job's map tasks on
+the survivors.  Re-execution is safe because spill delivery is keyed by
+deterministic spill ids -- a re-pushed spill overwrites, never duplicates.
+
+Outputs are equal to the sequential runtime's: the scheduler sees the
+same assignment sequence (all assignments are drawn before any dispatch,
+when every worker's load is zero -- exactly the state the sequential
+runtime assigns in), and reduce grouping is made deterministic by
+consuming spills in spill-id order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Optional, Sequence
+
+import repro as _repro_pkg
+from repro.common.config import ClusterConfig
+from repro.common.errors import (
+    ClusterError,
+    NetworkError,
+    RpcRemoteError,
+    WorkerLost,
+)
+from repro.common.hashing import DEFAULT_SPACE, HashSpace
+from repro.common.serialization import config_to_dict
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.messages import encode_job
+from repro.cluster.worker import worker_main
+from repro.mapreduce.job import JobResult, JobStats, MapReduceJob
+from repro.sim.metrics import MetricsRegistry
+
+__all__ = ["ClusterRuntime"]
+
+
+class ClusterRuntime:
+    """An EclipseMR cluster of real worker processes on localhost."""
+
+    def __init__(
+        self,
+        worker_ids: Sequence[str] | int,
+        config: ClusterConfig | None = None,
+        scheduler: str = "laf",
+        space: HashSpace = DEFAULT_SPACE,
+    ) -> None:
+        if isinstance(worker_ids, int):
+            worker_ids = [f"worker-{i}" for i in range(worker_ids)]
+        self.config = config or ClusterConfig()
+        self.space = space
+        self.metrics = MetricsRegistry()
+        self.coordinator = Coordinator(
+            worker_ids, self.config, scheduler, space, metrics=self.metrics
+        )
+        self._processes: dict[str, multiprocessing.process.BaseProcess] = {}
+        self._closed = False
+        #: Test/chaos hook: called with the number of completed map tasks
+        #: after each one finishes (killing a worker here exercises failover).
+        self.on_map_complete: Optional[Callable[[int], None]] = None
+        try:
+            self._start_workers()
+            self.coordinator.wait_for_workers(self.config.net.start_timeout)
+            self.coordinator.broadcast_ring()
+        except BaseException:
+            self.shutdown()
+            raise
+
+    # -- process management ---------------------------------------------------------
+
+    def _start_workers(self) -> None:
+        ctx = multiprocessing.get_context(self.config.net.mp_start_method)
+        manifest = config_to_dict(self.config)
+        # Spawned children re-import ``repro``; make sure they can even when
+        # the parent runs from a source tree that is not installed.
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(_repro_pkg.__file__)))
+        old_pythonpath = os.environ.get("PYTHONPATH")
+        parts = [src_root] + ([old_pythonpath] if old_pythonpath else [])
+        os.environ["PYTHONPATH"] = os.pathsep.join(parts)
+        try:
+            for wid in self.coordinator.worker_ids:
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(
+                        wid,
+                        self.coordinator.server.host,
+                        self.coordinator.server.port,
+                        manifest,
+                        self.space.size,
+                    ),
+                    name=f"eclipsemr-{wid}",
+                    daemon=True,
+                )
+                proc.start()
+                self._processes[wid] = proc
+        finally:
+            if old_pythonpath is None:
+                os.environ.pop("PYTHONPATH", None)
+            else:
+                os.environ["PYTHONPATH"] = old_pythonpath
+
+    def kill_worker(self, worker_id: str) -> None:
+        """SIGKILL a worker process *without* telling the coordinator.
+
+        Detection must come the honest way: missed heartbeats or dead TCP
+        connections.  This is the chaos hook the failover tests use.
+        """
+        proc = self._processes.get(worker_id)
+        if proc is None:
+            raise ClusterError(f"no process for worker {worker_id!r}")
+        proc.kill()
+        proc.join(timeout=10.0)
+        self.metrics.counter("cluster.workers_killed").inc()
+
+    def _reap(self, worker_id: str) -> None:
+        proc = self._processes.pop(worker_id, None)
+        if proc is None:
+            return
+        proc.join(timeout=1.0)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+
+    # -- membership views -----------------------------------------------------------
+
+    @property
+    def worker_ids(self) -> list[str]:
+        return self.coordinator.alive_ids()
+
+    def check_liveness(self) -> list[str]:
+        """Heartbeat-dead workers (detected, not yet failed over)."""
+        return self.coordinator.check_heartbeats()
+
+    # -- data -----------------------------------------------------------------------
+
+    def upload(self, name: str, data: bytes, **kwargs: Any) -> None:
+        """Put an input file into the workers' DHT FS shards."""
+        self.coordinator.upload(name, data, **kwargs)
+
+    # -- job execution ---------------------------------------------------------------
+
+    def run(self, job: MapReduceJob) -> JobResult:
+        """Execute one MapReduce job across the worker processes."""
+        if job.reuse_intermediates:
+            raise ClusterError(
+                "reuse_intermediates is not supported by the cluster plane yet; "
+                "run such jobs on EclipseMRRuntime"
+            )
+        meta = self.coordinator.stat(job.input_file, user=job.user)
+        wire = encode_job(job)
+        max_failovers = max(0, len(self.coordinator.alive_ids()) - 1)
+        failovers = 0
+        reexecuted = 0
+        while True:
+            stats = JobStats(
+                tasks_per_server={wid: 0 for wid in self.coordinator.alive_ids()}
+            )
+            try:
+                self._broadcast("discard_job", {"app_id": job.app_id})
+                self._map_phase(job, wire, meta, stats)
+                output = self._reduce_phase(job, wire, stats)
+                self._broadcast("discard_job", {"app_id": job.app_id})
+                stats.task_retries = reexecuted
+                return JobResult(app_id=job.app_id, output=output, stats=stats)
+            except WorkerLost as lost:
+                failovers += 1
+                # Completed maps of the aborted attempt will run again.
+                reexecuted += stats.map_tasks
+                self.metrics.counter("cluster.tasks_reexecuted").inc(stats.map_tasks)
+                if failovers > max_failovers:
+                    raise ClusterError(
+                        f"job {job.app_id!r} lost {failovers} workers; giving up"
+                    ) from lost
+                self._failover(lost.worker_id)
+
+    # -- phases ----------------------------------------------------------------------
+
+    def _map_phase(self, job: MapReduceJob, wire: dict, meta, stats: JobStats) -> None:
+        dead = self.coordinator.check_heartbeats()
+        if dead:
+            raise WorkerLost(dead[0], "missed heartbeats")
+        # Draw every assignment before any dispatch: the scheduler sees the
+        # same zero-load state at each decision as in the sequential runtime,
+        # so the assignment sequence (and tasks_per_server) is identical.
+        assignments = []
+        for desc in meta.blocks:
+            a = self.coordinator.scheduler.assign(hash_key=desc.key)
+            assignments.append((desc, a.server))
+            stats.tasks_per_server[a.server] += 1
+        if not assignments:
+            return
+        pool_size = min(16, len(assignments))
+        lost: WorkerLost | None = None
+        with ThreadPoolExecutor(max_workers=pool_size, thread_name_prefix="dispatch") as pool:
+            futures = []
+            for desc, wid in assignments:
+                self.coordinator.scheduler.notify_start(wid)
+                futures.append((desc, wid, pool.submit(self._dispatch_map, wid, wire, desc)))
+            for desc, wid, fut in futures:
+                try:
+                    result = fut.result()
+                except WorkerLost as exc:
+                    if lost is None:
+                        lost = exc
+                    continue
+                finally:
+                    self.coordinator.scheduler.notify_finish(wid)
+                if lost is not None:
+                    continue  # drain remaining futures; job restarts anyway
+                stats.map_tasks += 1
+                stats.spills += result["spills"]
+                stats.bytes_shuffled += result["bytes_shuffled"]
+                if result["source"] == "icache":
+                    stats.icache_hits += 1
+                else:
+                    stats.icache_misses += 1
+                    if result["source"] == "local":
+                        stats.local_block_reads += 1
+                    else:
+                        stats.remote_block_reads += 1
+                if self.on_map_complete is not None:
+                    self.on_map_complete(stats.map_tasks)
+        if lost is not None:
+            raise lost
+
+    def _dispatch_map(self, wid: str, wire: dict, desc) -> dict:
+        holders = [
+            (a.worker_id, a.host, a.port)
+            for a in self.coordinator.block_holders(wire["input_file"], desc.index)
+        ]
+        return self._call_worker(
+            wid,
+            "run_map",
+            {"job": wire, "name": wire["input_file"], "index": desc.index,
+             "holders": holders},
+        )
+
+    def _reduce_phase(self, job: MapReduceJob, wire: dict, stats: JobStats) -> dict:
+        output: dict[Any, Any] = {}
+        for wid in self.coordinator.alive_ids():
+            self.coordinator.scheduler.notify_start(wid)
+            try:
+                result = self._call_worker(wid, "run_reduce", {"job": wire})
+            finally:
+                self.coordinator.scheduler.notify_finish(wid)
+            if result["pairs"] == 0:
+                continue
+            for k, v in result["output"].items():
+                if k in output:
+                    raise ClusterError(f"intermediate key {k!r} reduced on two servers")
+                output[k] = v
+            stats.reduce_tasks += 1
+            stats.tasks_per_server[wid] += 1
+        return output
+
+    # -- RPC plumbing -----------------------------------------------------------------
+
+    def _call_worker(self, wid: str, method: str, args: dict,
+                     timeout: float | None = None) -> Any:
+        addr = self.coordinator.address_of(wid).addr
+        try:
+            return self.coordinator.pool.call(addr, method, args, timeout=timeout)
+        except RpcRemoteError as exc:
+            if exc.etype == "SpillDeliveryLost" and exc.data:
+                # The mapper is fine; its reduce-side *target* is gone.
+                raise WorkerLost(exc.data["target"], "spill push failed") from exc
+            raise ClusterError(f"worker {wid!r} failed {method}: {exc}") from exc
+        except NetworkError as exc:
+            raise WorkerLost(wid, str(exc)) from exc
+
+    def _broadcast(self, method: str, args: dict) -> None:
+        for wid in self.coordinator.alive_ids():
+            self._call_worker(wid, method, args)
+
+    def _failover(self, worker_id: str) -> None:
+        wid = worker_id
+        for _ in range(len(self.coordinator.worker_ids)):
+            self._reap(wid)
+            try:
+                self.coordinator.mark_dead(wid)
+                return
+            except WorkerLost as exc:  # another worker died during failover
+                wid = exc.worker_id
+        raise ClusterError("failover could not stabilize the cluster")
+
+    # -- stats & teardown --------------------------------------------------------------
+
+    def worker_stats(self) -> dict[str, dict]:
+        """Live per-worker statistics (tasks run, bytes moved, cache hits)."""
+        return {
+            wid: self._call_worker(wid, "get_stats", {})
+            for wid in self.coordinator.alive_ids()
+        }
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.coordinator.shutdown()
+        finally:
+            for wid in list(self._processes):
+                self._reap(wid)
+
+    def __enter__(self) -> "ClusterRuntime":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:  # best-effort safety net
+        try:
+            self.shutdown()
+        except Exception:
+            pass

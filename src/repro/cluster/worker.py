@@ -1,0 +1,353 @@
+"""One cluster worker: an OS process owning a shard of everything.
+
+A worker holds its slice of the DHT file system (the blocks whose hash
+keys fall in its arc, plus neighbor replicas), its iCache/oCache
+partitions, and its reduce-side intermediate store.  It serves RPCs:
+
+* ``put_block`` / ``fetch_block`` -- DHT FS shard reads and writes;
+* ``run_map`` -- execute a map task: read the block (iCache, local
+  shard, or a remote holder over TCP), run the user's map function, and
+  push spill buffers to the reduce-side owners *worker-to-worker* over
+  the wire (Fig. 2 step 4 -- the coordinator never touches a spill);
+* ``push_spill`` -- accept another worker's spill into the local
+  intermediate store (and oCache, when the job tags intermediates);
+* ``run_reduce`` -- reduce everything that landed here, in place;
+* ``update_ring`` / ``discard_job`` / ``get_stats`` / ``ping`` /
+  ``shutdown`` -- control plane.
+
+The process is started by :class:`repro.cluster.runtime.ClusterRuntime`
+via :mod:`multiprocessing` and announces itself to the coordinator with a
+``register`` RPC, then heartbeats until told to stop (or until the
+coordinator disappears).
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections import defaultdict
+from typing import Any, Optional
+
+from repro.cache.worker import WorkerCache
+from repro.common.config import ClusterConfig
+from repro.common.errors import BlockNotFound, ClusterError, NetworkError
+from repro.common.hashing import HashSpace
+from repro.common.serialization import config_from_dict
+from repro.cluster.heartbeat import HeartbeatSender
+from repro.cluster.messages import RingTable, decode_job
+from repro.mapreduce.shuffle import IntermediateStore, SpillBuffer
+from repro.net.rpc import ConnectionPool, RpcClient, RpcServer
+from repro.sim.metrics import MetricsRegistry
+
+__all__ = ["SpillDeliveryLost", "WorkerNode", "worker_main"]
+
+
+class SpillDeliveryLost(ClusterError):
+    """A spill push to a reduce-side peer failed (the peer is likely dead).
+
+    The coordinator reads ``rpc_data['target']`` out of the RPC error to
+    learn *which* peer died -- the mapper itself is healthy.
+    """
+
+    def __init__(self, target: str, spill_id: str) -> None:
+        super().__init__(f"spill {spill_id} undeliverable to {target!r}")
+        self.rpc_data = {"target": target, "spill_id": spill_id}
+
+
+class WorkerNode:
+    """A worker's state and RPC handlers (in-process; no sockets of its own).
+
+    Separated from :func:`worker_main` so tests can drive handlers
+    directly, and so the server wiring stays trivial.
+    """
+
+    def __init__(self, worker_id: str, config: ClusterConfig, space: HashSpace) -> None:
+        self.worker_id = worker_id
+        self.config = config
+        self.space = space
+        self.metrics = MetricsRegistry()
+        self.blocks: dict[tuple[str, int], bytes] = {}
+        self.block_replica: dict[tuple[str, int], bool] = {}
+        self.cache = WorkerCache(worker_id, config.cache)
+        self.intermediates = IntermediateStore(worker_id)
+        self.ring: Optional[RingTable] = None
+        self.peers: dict[str, tuple[str, int]] = {}
+        self.pool = ConnectionPool(config.net, metrics=self.metrics)
+        self._jobs: dict[str, Any] = {}  # app_id -> DecodedJob
+        self._lock = threading.RLock()
+
+    # -- DHT FS shard -------------------------------------------------------------
+
+    def put_block(self, name: str, index: int, data: bytes, replica: bool = False) -> int:
+        with self._lock:
+            self.blocks[(name, index)] = data
+            self.block_replica[(name, index)] = replica
+        self.metrics.counter("worker.blocks_stored").inc()
+        return len(data)
+
+    def fetch_block(self, name: str, index: int) -> bytes:
+        with self._lock:
+            try:
+                data = self.blocks[(name, index)]
+            except KeyError:
+                raise BlockNotFound(
+                    f"{self.worker_id} does not hold block {index} of {name!r}"
+                ) from None
+        self.metrics.counter("worker.blocks_served").inc()
+        return data
+
+    def drop_block(self, name: str, index: int) -> bool:
+        with self._lock:
+            self.block_replica.pop((name, index), None)
+            return self.blocks.pop((name, index), None) is not None
+
+    # -- control ------------------------------------------------------------------
+
+    def update_ring(self, ring: dict, peers: dict[str, tuple[str, int]]) -> int:
+        table = RingTable.from_wire(ring)
+        with self._lock:
+            if self.ring is not None and table.epoch <= self.ring.epoch:
+                return self.ring.epoch  # stale broadcast
+            self.ring = table
+            self.peers = {wid: tuple(addr) for wid, addr in peers.items()}
+        return table.epoch
+
+    def discard_job(self, app_id: str) -> None:
+        """Drop a job's in-flight intermediates (failover restart or job end).
+
+        oCache entries survive on purpose -- they are LRU/TTL-governed,
+        exactly like the sequential runtime's distributed cache.
+        """
+        with self._lock:
+            self.intermediates.discard_job(app_id)
+            self._jobs.pop(app_id, None)
+
+    def ping(self) -> str:
+        return "pong"
+
+    def get_stats(self) -> dict[str, Any]:
+        cache = self.cache.stats()
+        with self._lock:
+            stored = len(self.blocks)
+            replicas = sum(1 for r in self.block_replica.values() if r)
+        out = {name: c.value for name, c in self.metrics.counters.items()}
+        out.update(
+            worker_id=self.worker_id,
+            blocks_stored=stored,
+            replica_blocks=replicas,
+            icache_hits=cache.icache_hits,
+            icache_misses=cache.icache_misses,
+            ocache_hits=cache.ocache_hits,
+            ocache_misses=cache.ocache_misses,
+            bytes_received=self.intermediates.bytes_received,
+        )
+        return out
+
+    # -- map path -----------------------------------------------------------------
+
+    def _job(self, job_wire: dict) -> Any:
+        app_id = job_wire["app_id"]
+        with self._lock:
+            job = self._jobs.get(app_id)
+            if job is None:
+                job = decode_job(job_wire)
+                self._jobs[app_id] = job
+        return job
+
+    def run_map(
+        self,
+        job: dict,
+        name: str,
+        index: int,
+        holders: list[tuple[str, str, int]],
+    ) -> dict[str, Any]:
+        decoded = self._job(job)
+        with self._lock:
+            ring = self.ring
+            peers = dict(self.peers)
+        if ring is None:
+            raise ClusterError(f"{self.worker_id} has no ring table yet")
+        data, source = self._read_block(name, index, holders)
+        spill = SpillBuffer(
+            space=self.space,
+            route=ring.owner_of,
+            deliver=lambda dest, sid, pairs, nbytes: self._deliver_spill(
+                decoded, peers, dest, sid, pairs, nbytes
+            ),
+            threshold_bytes=decoded.spill_buffer_bytes,
+            task_id=f"{decoded.app_id}/map{index}",
+        )
+        for key, value in decoded.map_fn(data):
+            spill.emit(key, value)
+        spill.flush()
+        self.metrics.counter("worker.maps_run").inc()
+        self.metrics.counter("worker.spills_out").inc(spill.spills)
+        self.metrics.counter("worker.bytes_shuffled_out").inc(spill.bytes_pushed)
+        return {
+            "worker_id": self.worker_id,
+            "source": source,
+            "spills": spill.spills,
+            "bytes_shuffled": spill.bytes_pushed,
+        }
+
+    def _read_block(
+        self, name: str, index: int, holders: list[tuple[str, str, int]]
+    ) -> tuple[bytes, str]:
+        bid = (name, index)
+        hit, data = self.cache.get_input(bid)
+        if hit:
+            return data, "icache"
+        with self._lock:
+            data = self.blocks.get(bid)
+        if data is not None:
+            self.cache.put_input(bid, data, size=len(data),
+                                 hash_key=self.space.block_key(name, index))
+            return data, "local"
+        last: Exception | None = None
+        for wid, host, port in holders:
+            if wid == self.worker_id:
+                continue
+            try:
+                data = self.pool.call((host, port), "fetch_block",
+                                      {"name": name, "index": index})
+            except NetworkError as exc:
+                last = exc
+                continue
+            self.metrics.counter("worker.remote_block_reads").inc()
+            self.cache.put_input(bid, data, size=len(data),
+                                 hash_key=self.space.block_key(name, index))
+            return data, "remote"
+        raise BlockNotFound(
+            f"no reachable holder for block {index} of {name!r}: {last}"
+        )
+
+    def _deliver_spill(
+        self,
+        job: Any,
+        peers: dict[str, tuple[str, int]],
+        dest: str,
+        spill_id: str,
+        pairs: list[tuple[Any, Any]],
+        nbytes: int,
+    ) -> None:
+        if job.combiner is not None:
+            grouped: dict[Any, list[Any]] = defaultdict(list)
+            for k, v in pairs:
+                grouped[k].append(v)
+            pairs = [(k, v) for k, vs in grouped.items() for v in job.combiner(k, vs)]
+        if dest == self.worker_id:
+            self.receive_spill(job.app_id, spill_id, pairs, nbytes,
+                               cache=job.cache_intermediates, ttl=job.intermediate_ttl)
+            self.metrics.counter("worker.local_spills").inc()
+            return
+        try:
+            addr = peers[dest]
+        except KeyError:
+            raise SpillDeliveryLost(dest, spill_id) from None
+        try:
+            self.pool.call(
+                addr,
+                "push_spill",
+                {
+                    "app_id": job.app_id,
+                    "spill_id": spill_id,
+                    "pairs": pairs,
+                    "nbytes": nbytes,
+                    "cache": job.cache_intermediates,
+                    "ttl": job.intermediate_ttl,
+                },
+            )
+        except NetworkError as exc:
+            raise SpillDeliveryLost(dest, spill_id) from exc
+
+    # -- reduce path --------------------------------------------------------------
+
+    def push_spill(self, app_id: str, spill_id: str, pairs: list,
+                   nbytes: int, cache: bool = False, ttl: float | None = None) -> int:
+        return self.receive_spill(app_id, spill_id, pairs, nbytes, cache, ttl)
+
+    def receive_spill(self, app_id: str, spill_id: str, pairs: list,
+                      nbytes: int, cache: bool = False, ttl: float | None = None) -> int:
+        with self._lock:
+            self.intermediates.receive(app_id, spill_id, pairs, nbytes)
+        if cache:
+            payload = pickle.dumps(pairs, protocol=pickle.HIGHEST_PROTOCOL)
+            self.cache.put_output(app_id, spill_id, pairs, size=len(payload), ttl=ttl)
+        self.metrics.counter("worker.spills_in").inc()
+        return len(pairs)
+
+    def run_reduce(self, job: dict) -> dict[str, Any]:
+        decoded = self._job(job)
+        with self._lock:
+            # Deterministic consumption order: spill ids, not arrival order
+            # (concurrent mappers race their pushes).
+            spills = sorted(self.intermediates.spills_for(decoded.app_id).items())
+        pairs = [pair for _, spill in spills for pair in spill]
+        if not pairs:
+            return {"worker_id": self.worker_id, "pairs": 0, "output": {}}
+        grouped: dict[Any, list[Any]] = defaultdict(list)
+        for k, v in pairs:
+            grouped[k].append(v)
+        output = {k: decoded.reduce_fn(k, vs) for k, vs in grouped.items()}
+        self.metrics.counter("worker.reduces_run").inc()
+        return {"worker_id": self.worker_id, "pairs": len(pairs), "output": output}
+
+    # -- wiring -------------------------------------------------------------------
+
+    def handlers(self, extra: dict[str, Any] | None = None) -> dict[str, Any]:
+        out = {
+            "ping": self.ping,
+            "put_block": self.put_block,
+            "fetch_block": self.fetch_block,
+            "drop_block": self.drop_block,
+            "update_ring": self.update_ring,
+            "discard_job": self.discard_job,
+            "run_map": self.run_map,
+            "push_spill": self.push_spill,
+            "run_reduce": self.run_reduce,
+            "get_stats": self.get_stats,
+        }
+        out.update(extra or {})
+        return out
+
+    def close(self) -> None:
+        self.pool.close_all()
+
+
+def worker_main(
+    worker_id: str,
+    coordinator_host: str,
+    coordinator_port: int,
+    manifest: dict,
+    space_size: int,
+) -> None:
+    """Entry point of a worker process (the ``multiprocessing`` target)."""
+    config = config_from_dict(manifest)
+    node = WorkerNode(worker_id, config, HashSpace(space_size))
+    stop = threading.Event()
+
+    server = RpcServer(
+        node.handlers({"shutdown": lambda: (stop.set(), "bye")[1]}),
+        net=config.net,
+        metrics=node.metrics,
+    )
+    server.start()
+    heartbeats = HeartbeatSender(
+        worker_id,
+        (coordinator_host, coordinator_port),
+        config.net,
+        on_coordinator_lost=stop.set,
+    )
+    try:
+        client = RpcClient(coordinator_host, coordinator_port, net=config.net)
+        client.call(
+            "register",
+            {"worker_id": worker_id, "host": server.host, "port": server.port},
+        )
+        client.close()
+        heartbeats.start()
+        stop.wait()
+    finally:
+        heartbeats.stop()
+        server.stop()
+        node.close()

@@ -72,6 +72,69 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
+class NetConfig:
+    """Cluster-plane wire parameters (TCP RPC, retries, heartbeats).
+
+    Only the cluster execution plane (:mod:`repro.cluster`) reads these;
+    the sequential, thread-pool, and discrete-event planes ignore them.
+    """
+
+    host: str = "127.0.0.1"
+    """Interface workers and the coordinator bind and advertise."""
+
+    connect_timeout: float = 5.0
+    """Seconds to wait for a TCP connect before the dial fails."""
+
+    call_timeout: float = 30.0
+    """Default per-call RPC timeout in seconds."""
+
+    max_frame_bytes: int = 256 * MB
+    """Largest frame either side accepts; bigger headers are rejected."""
+
+    retry_attempts: int = 3
+    """Transport attempts per RPC (1 = no retry)."""
+
+    retry_base_delay: float = 0.05
+    """Backoff before the first retry, in seconds; doubles per attempt."""
+
+    retry_max_delay: float = 2.0
+    """Ceiling on the exponential backoff delay, in seconds."""
+
+    retry_jitter: float = 0.25
+    """Jitter fraction: each delay is scaled by ``1 ± jitter``."""
+
+    heartbeat_interval: float = 0.25
+    """Seconds between a worker's heartbeats to the coordinator."""
+
+    heartbeat_miss_threshold: int = 4
+    """Consecutive missed heartbeat intervals before a worker is declared dead."""
+
+    start_timeout: float = 30.0
+    """Seconds to wait for every worker process to register at startup."""
+
+    mp_start_method: str = "spawn"
+    """``multiprocessing`` start method for worker processes."""
+
+    def __post_init__(self) -> None:
+        for name in ("connect_timeout", "call_timeout", "heartbeat_interval",
+                     "start_timeout", "retry_base_delay"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.max_frame_bytes < 64:
+            raise ConfigError("max_frame_bytes is too small to hold a message")
+        if self.retry_attempts < 1:
+            raise ConfigError("retry_attempts must be >= 1")
+        if self.retry_max_delay < self.retry_base_delay:
+            raise ConfigError("retry_max_delay must be >= retry_base_delay")
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ConfigError(f"retry_jitter must be in [0, 1], got {self.retry_jitter}")
+        if self.heartbeat_miss_threshold < 1:
+            raise ConfigError("heartbeat_miss_threshold must be >= 1")
+        if self.mp_start_method not in ("spawn", "fork", "forkserver"):
+            raise ConfigError(f"unknown start method {self.mp_start_method!r}")
+
+
+@dataclass(frozen=True)
 class SchedulerConfig:
     """LAF / delay scheduler parameters (paper §II-E, §II-F, Algorithm 1)."""
 
@@ -136,6 +199,7 @@ class ClusterConfig:
     dfs: DFSConfig = field(default_factory=DFSConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    net: NetConfig = field(default_factory=NetConfig)
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:

@@ -43,5 +43,53 @@ class SchedulingError(ReproError):
     """The scheduler could not produce a valid assignment."""
 
 
+class SerializationError(ReproError):
+    """A value could not be serialized for the wire (or deserialized back)."""
+
+
+class NetworkError(ReproError):
+    """Base class for wire-protocol and RPC failures."""
+
+
+class FramingError(NetworkError):
+    """A malformed frame: bad magic, bad version, or an oversized length."""
+
+
+class RpcConnectionError(NetworkError):
+    """The transport failed: could not connect, or the peer went away."""
+
+
+class RpcTimeout(NetworkError):
+    """An RPC call did not complete within its per-call timeout."""
+
+
+class RpcRemoteError(NetworkError):
+    """The remote handler raised; carries the remote exception's identity.
+
+    ``data`` is an optional structured payload the remote attached to the
+    exception (``exc.rpc_data``), e.g. which downstream peer a spill push
+    could not reach.
+    """
+
+    def __init__(self, etype: str, message: str, data=None) -> None:
+        super().__init__(f"{etype}: {message}")
+        self.etype = etype
+        self.message = message
+        self.data = data
+
+
+class ClusterError(ReproError):
+    """A cluster-plane operation failed (startup, dispatch, failover)."""
+
+
+class WorkerLost(ClusterError):
+    """A worker process was declared dead (missed heartbeats or dead TCP)."""
+
+    def __init__(self, worker_id, reason: str = "") -> None:
+        super().__init__(f"worker {worker_id!r} lost{': ' + reason if reason else ''}")
+        self.worker_id = worker_id
+        self.reason = reason
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation kernel detected an inconsistency."""

@@ -15,12 +15,26 @@ from __future__ import annotations
 import dataclasses
 from typing import Any
 
-from repro.common.config import CacheConfig, ClusterConfig, DFSConfig, SchedulerConfig
+from repro.common.config import (
+    CacheConfig,
+    ClusterConfig,
+    DFSConfig,
+    NetConfig,
+    SchedulerConfig,
+)
 from repro.common.errors import ConfigError
 
 __all__ = ["config_to_dict", "config_from_dict", "diff_configs"]
 
-_NESTED = {"dfs": DFSConfig, "cache": CacheConfig, "scheduler": SchedulerConfig}
+# ``net`` joined the schema after the first manifests shipped; manifests
+# written without it keep loading (the field falls back to its defaults),
+# so the schema string stays at /1.
+_NESTED = {
+    "dfs": DFSConfig,
+    "cache": CacheConfig,
+    "scheduler": SchedulerConfig,
+    "net": NetConfig,
+}
 
 
 def config_to_dict(config: ClusterConfig) -> dict[str, Any]:

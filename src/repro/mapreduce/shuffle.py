@@ -44,6 +44,10 @@ class IntermediateStore:
         self._pairs[job_id][spill_id] = pairs
         self.bytes_received += nbytes
 
+    def spills_for(self, job_id: str) -> dict[str, list[tuple[Any, Any]]]:
+        """A job's spills keyed by spill id (callers choose their order)."""
+        return dict(self._pairs.get(job_id, {}))
+
     def pairs_for(self, job_id: str) -> list[tuple[Any, Any]]:
         """All pairs pushed for a job, grouped later by the reduce task."""
         out: list[tuple[Any, Any]] = []

@@ -1,0 +1,29 @@
+"""The cluster plane's wire layer.
+
+Three small, separately testable pieces:
+
+* :mod:`repro.net.framing` -- length-prefixed binary frames over a byte
+  stream (the only thing that ever touches raw sockets);
+* :mod:`repro.net.retry` -- exponential backoff with jitter, with
+  injectable sleep/rng so policies unit-test deterministically;
+* :mod:`repro.net.rpc` -- a request/response RPC layer (threaded TCP
+  server, pooled client connections, per-call timeouts).
+
+Everything above this package (:mod:`repro.cluster`) talks in terms of
+named methods and plain-dict arguments; everything below is bytes.
+"""
+
+from repro.net.framing import FrameDecoder, encode_frame, read_frame, write_frame
+from repro.net.retry import RetryPolicy
+from repro.net.rpc import ConnectionPool, RpcClient, RpcServer
+
+__all__ = [
+    "FrameDecoder",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+    "RetryPolicy",
+    "ConnectionPool",
+    "RpcClient",
+    "RpcServer",
+]

@@ -1,0 +1,141 @@
+"""Length-prefixed binary message framing.
+
+Every message on a cluster-plane TCP connection is one *frame*::
+
+    +----------+---------+------------------+
+    | magic    | version | payload length   |  payload (length bytes)
+    | 3 bytes  | 1 byte  | 4 bytes (BE)     |
+    +----------+---------+------------------+
+
+The fixed 8-byte header makes partial reads easy to resume (read until 8
+bytes, then until ``length`` more) and lets a receiver reject garbage --
+wrong magic, unknown version, or a length above the configured maximum --
+before buffering a single payload byte.
+
+:class:`FrameDecoder` is the incremental, socket-free state machine (what
+the property tests chew on); :func:`read_frame`/:func:`write_frame` adapt
+it to blocking sockets.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+from repro.common.errors import FramingError
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "HEADER_SIZE",
+    "DEFAULT_MAX_FRAME",
+    "encode_frame",
+    "FrameDecoder",
+    "read_frame",
+    "write_frame",
+]
+
+MAGIC = b"EMR"
+VERSION = 1
+_HEADER = struct.Struct("!3sBI")
+HEADER_SIZE = _HEADER.size
+DEFAULT_MAX_FRAME = 256 * 1024 * 1024
+
+# recv() chunk for socket reads; deliberately small enough that multi-MB
+# payloads always exercise the partial-read path.
+_RECV_CHUNK = 64 * 1024
+
+
+def encode_frame(payload: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Wrap ``payload`` in a frame header."""
+    if len(payload) > max_frame_bytes:
+        raise FramingError(
+            f"payload of {len(payload)} bytes exceeds the {max_frame_bytes}-byte frame limit"
+        )
+    return _HEADER.pack(MAGIC, VERSION, len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser: feed arbitrary byte chunks, get payloads.
+
+    The decoder owns no I/O, so partial reads, coalesced frames, and
+    malformed input are all testable without sockets.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self.frames_decoded = 0
+        self.bytes_fed = 0
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb ``data``; return every payload completed by it (in order)."""
+        self._buffer.extend(data)
+        self.bytes_fed += len(data)
+        out: list[bytes] = []
+        while True:
+            payload = self._next_frame()
+            if payload is None:
+                return out
+            out.append(payload)
+
+    def _next_frame(self) -> bytes | None:
+        if len(self._buffer) < HEADER_SIZE:
+            return None
+        magic, version, length = _HEADER.unpack_from(self._buffer)
+        if magic != MAGIC:
+            raise FramingError(f"bad magic {bytes(magic)!r} (expected {MAGIC!r})")
+        if version != VERSION:
+            raise FramingError(f"unsupported frame version {version}")
+        if length > self.max_frame_bytes:
+            raise FramingError(
+                f"declared payload of {length} bytes exceeds the "
+                f"{self.max_frame_bytes}-byte frame limit"
+            )
+        if len(self._buffer) < HEADER_SIZE + length:
+            return None
+        payload = bytes(self._buffer[HEADER_SIZE : HEADER_SIZE + length])
+        del self._buffer[: HEADER_SIZE + length]
+        self.frames_decoded += 1
+        return payload
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward a frame that has not completed yet."""
+        return len(self._buffer)
+
+    def at_boundary(self) -> bool:
+        """True when no partial frame is buffered (a clean EOF point)."""
+        return not self._buffer
+
+
+def read_frame(sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME) -> bytes | None:
+    """Read exactly one frame from a blocking socket.
+
+    Returns ``None`` on a clean EOF (connection closed between frames);
+    raises :class:`FramingError` if the peer dies mid-frame or sends a
+    malformed header.  ``socket.timeout`` propagates to the caller.
+    """
+    decoder = FrameDecoder(max_frame_bytes)
+    while True:
+        chunk = sock.recv(_RECV_CHUNK)
+        if not chunk:
+            if decoder.at_boundary():
+                return None
+            raise FramingError(
+                f"connection closed mid-frame ({decoder.pending_bytes} bytes buffered)"
+            )
+        frames = decoder.feed(chunk)
+        if frames:
+            # One request/response per read on an RPC connection; anything
+            # extra means the peer broke the lockstep protocol.
+            if len(frames) > 1 or not decoder.at_boundary():
+                raise FramingError("peer sent more than one frame in a single exchange")
+            return frames[0]
+
+
+def write_frame(sock: socket.socket, payload: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME) -> int:
+    """Send one frame; returns the bytes put on the wire."""
+    frame = encode_frame(payload, max_frame_bytes)
+    sock.sendall(frame)
+    return len(frame)

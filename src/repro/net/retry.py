@@ -1,0 +1,96 @@
+"""Retry with exponential backoff and jitter.
+
+The policy is pure arithmetic plus two injectable effects (``sleep`` and
+``rng``), so unit tests pin both and assert the exact delay sequence; the
+cluster plane builds policies from :class:`~repro.common.config.NetConfig`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.common.config import NetConfig
+
+__all__ = ["RetryPolicy"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class RetryPolicy:
+    """How many transport attempts to make and how long to wait between them.
+
+    The delay before retry ``n`` (0-based) is::
+
+        min(max_delay, base_delay * 2**n) * (1 + jitter * U(-1, 1))
+
+    -- classic capped exponential backoff with symmetric jitter, so a burst
+    of failed calls from many workers does not re-dogpile the same peer.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    sleep: Callable[[float], None] = time.sleep
+    rng: random.Random = field(default_factory=random.Random)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay <= 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 < base_delay <= max_delay")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    @classmethod
+    def from_config(
+        cls,
+        net: NetConfig,
+        sleep: Callable[[float], None] | None = None,
+        rng: random.Random | None = None,
+    ) -> "RetryPolicy":
+        return cls(
+            attempts=net.retry_attempts,
+            base_delay=net.retry_base_delay,
+            max_delay=net.retry_max_delay,
+            jitter=net.retry_jitter,
+            sleep=sleep or time.sleep,
+            rng=rng or random.Random(),
+        )
+
+    def backoff(self, attempt: int) -> float:
+        """Delay in seconds after failed attempt number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        base = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        jittered = base * (1.0 + self.jitter * (2.0 * self.rng.random() - 1.0))
+        return max(0.0, jittered)
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        retry_on: Tuple[Type[BaseException], ...],
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> T:
+        """Run ``fn`` with up to :attr:`attempts` tries.
+
+        ``on_retry(attempt, exc)`` fires before each backoff sleep; the
+        final failure re-raises the last exception unchanged.
+        """
+        last: BaseException | None = None
+        for attempt in range(self.attempts):
+            try:
+                return fn()
+            except retry_on as exc:  # noqa: PERF203 - retry loop by design
+                last = exc
+                if attempt + 1 >= self.attempts:
+                    break
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self.sleep(self.backoff(attempt))
+        assert last is not None
+        raise last

@@ -1,0 +1,347 @@
+"""A tiny request/response RPC layer over framed TCP.
+
+One request per frame, one response per frame, one call in flight per
+connection -- the simplest protocol that supports the cluster plane.
+Requests and responses are pickled envelopes::
+
+    {"id": 7, "method": "push_spill", "args": {...}}
+    {"id": 7, "ok": True, "value": ...}
+    {"id": 7, "ok": False, "etype": "BlockNotFound", "error": "...", "data": ...}
+
+:class:`RpcServer` is threaded (one thread per accepted connection), so a
+worker can serve block fetches while it executes a map task.
+:class:`ConnectionPool` keeps idle client connections per address and
+layers :class:`~repro.net.retry.RetryPolicy` over transport failures;
+remote application errors are *not* retried.  All sides count traffic into
+an optional :class:`~repro.sim.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import threading
+from typing import Any, Callable, Optional
+
+from repro.common.config import NetConfig
+from repro.common.errors import (
+    FramingError,
+    NetworkError,
+    RpcConnectionError,
+    RpcRemoteError,
+    RpcTimeout,
+)
+from repro.net.framing import read_frame, write_frame
+from repro.net.retry import RetryPolicy
+
+__all__ = ["RpcServer", "RpcClient", "ConnectionPool"]
+
+Handler = Callable[..., Any]
+
+_TRANSPORT_ERRORS = (RpcConnectionError, ConnectionError, FramingError, OSError)
+
+
+def _dumps(obj: Any) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class RpcServer:
+    """A threaded TCP server dispatching framed requests to named handlers."""
+
+    def __init__(
+        self,
+        handlers: dict[str, Handler] | None = None,
+        net: NetConfig | None = None,
+        host: str | None = None,
+        port: int = 0,
+        metrics=None,
+    ) -> None:
+        self.net = net or NetConfig()
+        self._handlers: dict[str, Handler] = dict(handlers or {})
+        self._metrics = metrics
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host or self.net.host, port))
+        self._sock.listen(128)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._running = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self._conns: set[socket.socket] = set()
+        self._lock = threading.Lock()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def register(self, name: str, handler: Handler) -> None:
+        self._handlers[name] = handler
+
+    def start(self) -> "RpcServer":
+        self._running.set()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"rpc-accept:{self.port}", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    # -- serving ----------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # listener closed by stop()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                self._conns.add(conn)
+            threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name=f"rpc-conn:{self.port}", daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while self._running.is_set():
+                try:
+                    raw = read_frame(conn, self.net.max_frame_bytes)
+                except (FramingError, OSError):
+                    return
+                if raw is None:
+                    return  # clean close
+                self._count("net.bytes_received", len(raw))
+                response = self._handle(raw)
+                try:
+                    sent = write_frame(conn, response, self.net.max_frame_bytes)
+                except OSError:
+                    return
+                self._count("net.bytes_sent", sent)
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle(self, raw: bytes) -> bytes:
+        rid: Any = None
+        try:
+            request = pickle.loads(raw)
+            rid = request.get("id")
+            method = request["method"]
+            handler = self._handlers[method]
+        except KeyError as exc:
+            return _dumps({"id": rid, "ok": False, "etype": "UnknownMethod",
+                           "error": f"no handler for {exc}", "data": None})
+        except Exception as exc:  # undecodable request
+            return _dumps({"id": rid, "ok": False, "etype": type(exc).__name__,
+                           "error": str(exc), "data": None})
+        self._count("rpc.served", 1)
+        try:
+            value = handler(**(request.get("args") or {}))
+            return _dumps({"id": rid, "ok": True, "value": value})
+        except Exception as exc:
+            self._count("rpc.handler_errors", 1)
+            return _dumps({
+                "id": rid,
+                "ok": False,
+                "etype": type(exc).__name__,
+                "error": str(exc),
+                "data": getattr(exc, "rpc_data", None),
+            })
+
+    def stop(self) -> None:
+        self._running.clear()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    def _count(self, name: str, amount: float) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc(amount)
+
+
+class RpcClient:
+    """One TCP connection making lockstep request/response calls."""
+
+    def __init__(self, host: str, port: int, net: NetConfig | None = None, metrics=None) -> None:
+        self.net = net or NetConfig()
+        self.address = (host, port)
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._next_id = 0
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=self.net.connect_timeout
+            )
+        except OSError as exc:
+            raise RpcConnectionError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def call(self, method: str, args: dict[str, Any] | None = None,
+             timeout: float | None = None) -> Any:
+        """Send one request and wait for its response (per-call timeout)."""
+        with self._lock:
+            self._next_id += 1
+            rid = self._next_id
+            payload = _dumps({"id": rid, "method": method, "args": args or {}})
+            try:
+                self._sock.settimeout(timeout if timeout is not None else self.net.call_timeout)
+                sent = write_frame(self._sock, payload, self.net.max_frame_bytes)
+                self._count("net.bytes_sent", sent)
+                raw = read_frame(self._sock, self.net.max_frame_bytes)
+            except socket.timeout as exc:
+                raise RpcTimeout(f"{method} to {self.address} timed out") from exc
+            except (ConnectionError, FramingError, OSError) as exc:
+                raise RpcConnectionError(f"{method} to {self.address}: {exc}") from exc
+        if raw is None:
+            raise RpcConnectionError(f"{self.address} closed the connection mid-call")
+        self._count("net.bytes_received", len(raw))
+        response = pickle.loads(raw)
+        if response.get("id") != rid:
+            raise RpcConnectionError(
+                f"response id {response.get('id')} does not match request {rid}"
+            )
+        if response.get("ok"):
+            return response.get("value")
+        raise RpcRemoteError(
+            response.get("etype", "Exception"),
+            response.get("error", ""),
+            response.get("data"),
+        )
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def _count(self, name: str, amount: float) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc(amount)
+
+
+class ConnectionPool:
+    """Idle :class:`RpcClient` connections per address, with retries.
+
+    ``call`` checks out a free connection (dialing a new one when none is
+    idle), runs one RPC, and returns the connection to the pool.  Transport
+    failures close the connection and retry per the policy; remote errors
+    and timeouts are surfaced immediately.
+    """
+
+    def __init__(self, net: NetConfig | None = None, metrics=None,
+                 policy: RetryPolicy | None = None) -> None:
+        self.net = net or NetConfig()
+        self._metrics = metrics
+        self.policy = policy or RetryPolicy.from_config(self.net)
+        self._free: dict[tuple[str, int], list[RpcClient]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- connection management -----------------------------------------------------
+
+    def _checkout(self, addr: tuple[str, int]) -> RpcClient:
+        with self._lock:
+            if self._closed:
+                raise RpcConnectionError("connection pool is closed")
+            free = self._free.get(addr)
+            if free:
+                return free.pop()
+        self._count("net.connections_opened", 1)
+        return RpcClient(addr[0], addr[1], self.net, self._metrics)
+
+    def _checkin(self, addr: tuple[str, int], client: RpcClient) -> None:
+        with self._lock:
+            if not self._closed:
+                self._free.setdefault(addr, []).append(client)
+                return
+        client.close()
+
+    # -- calls ---------------------------------------------------------------------
+
+    def call(
+        self,
+        addr: tuple[str, int],
+        method: str,
+        args: dict[str, Any] | None = None,
+        timeout: float | None = None,
+        policy: RetryPolicy | None = None,
+    ) -> Any:
+        policy = policy or self.policy
+        last: NetworkError | None = None
+        for attempt in range(policy.attempts):
+            client: RpcClient | None = None
+            self._count("rpc.calls", 1)
+            try:
+                client = self._checkout(addr)
+                value = client.call(method, args, timeout)
+            except RpcTimeout:
+                # The call may still be executing remotely; retrying could
+                # double-execute, so timeouts surface to the caller.
+                if client is not None:
+                    client.close()
+                self._count("rpc.failures", 1)
+                raise
+            except RpcRemoteError:
+                # The transport worked; the connection is still good.
+                if client is not None:
+                    self._checkin(addr, client)
+                raise
+            except _TRANSPORT_ERRORS as exc:
+                if client is not None:
+                    client.close()
+                last = exc if isinstance(exc, NetworkError) else RpcConnectionError(str(exc))
+                if attempt + 1 < policy.attempts:
+                    self._count("rpc.retries", 1)
+                    policy.sleep(policy.backoff(attempt))
+                continue
+            else:
+                self._checkin(addr, client)
+                return value
+        self._count("rpc.failures", 1)
+        raise RpcConnectionError(
+            f"{method} to {addr} failed after {policy.attempts} attempts: {last}"
+        )
+
+    # -- teardown --------------------------------------------------------------------
+
+    def close_address(self, addr: tuple[str, int]) -> None:
+        """Drop every idle connection to one peer (it left the cluster)."""
+        with self._lock:
+            clients = self._free.pop(addr, [])
+        for client in clients:
+            client.close()
+
+    def close_all(self) -> None:
+        with self._lock:
+            self._closed = True
+            pools = list(self._free.values())
+            self._free.clear()
+        for clients in pools:
+            for client in clients:
+                client.close()
+
+    def idle_connections(self, addr: tuple[str, int]) -> int:
+        with self._lock:
+            return len(self._free.get(addr, []))
+
+    def _count(self, name: str, amount: float) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc(amount)

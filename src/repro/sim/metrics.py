@@ -27,21 +27,36 @@ class Counter:
         self.value += amount
 
 
-@dataclass
 class Gauge:
-    """A value that moves both ways, with its historical extremes."""
+    """A value that moves both ways, with its historical extremes.
 
-    value: float = 0.0
-    max_seen: float = float("-inf")
-    min_seen: float = float("inf")
+    A gauge that was never set reports ``0.0`` extremes (not ``±inf``),
+    so report tables stay readable for metrics that never fired.
+    """
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+        self._max: float | None = None
+        self._min: float | None = None
+
+    @property
+    def max_seen(self) -> float:
+        return 0.0 if self._max is None else self._max
+
+    @property
+    def min_seen(self) -> float:
+        return 0.0 if self._min is None else self._min
 
     def set(self, value: float) -> None:
         self.value = value
-        self.max_seen = max(self.max_seen, value)
-        self.min_seen = min(self.min_seen, value)
+        self._max = value if self._max is None else max(self._max, value)
+        self._min = value if self._min is None else min(self._min, value)
 
     def add(self, delta: float) -> None:
         self.set(self.value + delta)
+
+    def __repr__(self) -> str:
+        return f"Gauge(value={self.value!r})"
 
 
 @dataclass

@@ -1,0 +1,215 @@
+"""Integration tests for the multi-process cluster plane.
+
+These stand up real worker processes talking TCP on localhost, so they
+are the slowest tests in the suite; the datasets are kept small.  The
+core claims:
+
+* ``ClusterRuntime.run(job)`` equals ``EclipseMRRuntime.run(job)`` --
+  outputs bit-equal, and the LAF scheduler makes the *same* assignment
+  sequence (``tasks_per_server`` equal) because assignments are drawn
+  sequentially at zero load in both planes;
+* killing a worker mid-job is detected and the job completes on the
+  survivors via replica failover plus task re-execution.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import kmeans_job
+from repro.apps.wordcount import wordcount_job
+from repro.apps.workloads import pack_records, points, text_corpus
+from repro.cluster import ClusterRuntime, LivenessTracker
+from repro.common.config import ClusterConfig, DFSConfig, NetConfig
+from repro.common.errors import ClusterError
+from repro.mapreduce.runtime import EclipseMRRuntime
+
+CFG = ClusterConfig(dfs=DFSConfig(block_size=2048))
+
+
+def corpus():
+    return pack_records(text_corpus(99, num_words=3000, vocab_size=60),
+                        CFG.dfs.block_size)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """One 4-worker cluster shared by the happy-path tests (startup is
+    the expensive part; jobs use distinct app ids and input files)."""
+    with ClusterRuntime(4, CFG) as rt:
+        yield rt
+
+
+class TestSequentialEquivalence:
+    def test_wordcount_matches_sequential_runtime(self, cluster):
+        data = corpus()
+        seq = EclipseMRRuntime(4, config=CFG)
+        seq.upload("wc.txt", data)
+        ref = seq.run(wordcount_job("wc.txt", app_id="wc-eq"))
+
+        cluster.upload("wc.txt", data)
+        res = cluster.run(wordcount_job("wc.txt", app_id="wc-eq"))
+
+        assert res.output == ref.output
+        assert res.stats.map_tasks == ref.stats.map_tasks
+        assert res.stats.reduce_tasks == ref.stats.reduce_tasks
+        assert res.stats.tasks_per_server == ref.stats.tasks_per_server
+
+    def test_kmeans_matches_sequential_runtime(self, cluster):
+        recs, _ = points(77, num_points=400, dim=2, num_clusters=3)
+        data = pack_records(recs, CFG.dfs.block_size)
+        seq = EclipseMRRuntime(4, config=CFG)
+        seq.upload("pts", data)
+        init = np.array([[0.2, 0.2], [0.5, 0.5], [0.8, 0.8]])
+        ref = seq.run(kmeans_job("pts", init, 0, app_id="km-eq"))
+
+        cluster.upload("pts", data)
+        res = cluster.run(kmeans_job("pts", init, 0, app_id="km-eq"))
+
+        assert set(res.output) == set(ref.output)
+        for k in ref.output:
+            # Same pairs, but float summation order may differ per spill.
+            assert np.allclose(res.output[k], ref.output[k])
+        assert res.stats.tasks_per_server == ref.stats.tasks_per_server
+
+    def test_map_tasks_run_on_distinct_processes(self, cluster):
+        cluster.upload("spread.txt", corpus())
+        cluster.run(wordcount_job("spread.txt", app_id="wc-spread"))
+        stats = cluster.worker_stats()
+        ran = [w for w, s in stats.items() if s.get("worker.maps_run", 0) > 0]
+        assert len(ran) >= 2  # true process parallelism, not one busy worker
+
+    def test_reuse_intermediates_rejected(self, cluster):
+        with pytest.raises(ClusterError, match="reuse_intermediates"):
+            cluster.run(wordcount_job("wc.txt", app_id="wc-reuse",
+                                      reuse_intermediates=True))
+
+
+class TestFailover:
+    def test_worker_killed_mid_job_completes_via_failover(self):
+        data = corpus()
+        seq = EclipseMRRuntime(4, config=CFG)
+        seq.upload("ft.txt", data)
+        ref = seq.run(wordcount_job("ft.txt", app_id="wc-ft"))
+
+        with ClusterRuntime(4, CFG) as rt:
+            rt.upload("ft.txt", data)
+            killed = []
+
+            def chaos(done_maps):
+                if done_maps == 2 and not killed:
+                    victim = rt.worker_ids[1]
+                    rt.kill_worker(victim)
+                    killed.append(victim)
+
+            rt.on_map_complete = chaos
+            res = rt.run(wordcount_job("ft.txt", app_id="wc-ft"))
+
+            assert killed, "chaos hook never fired"
+            assert res.output == ref.output  # correct despite the kill
+            assert killed[0] not in rt.worker_ids
+            assert len(rt.worker_ids) == 3
+            assert rt.metrics.counter("cluster.failovers").value == 1
+            assert rt.metrics.counter("cluster.tasks_reexecuted").value >= 1
+            assert res.stats.task_retries >= 1
+            # The dead worker's blocks were re-replicated from survivors.
+            assert rt.metrics.counter("failover.blocks_rereplicated").value >= 1
+
+    def test_death_detected_by_heartbeats_between_jobs(self):
+        net = NetConfig(heartbeat_interval=0.1, heartbeat_miss_threshold=3)
+        cfg = ClusterConfig(dfs=DFSConfig(block_size=2048), net=net)
+        with ClusterRuntime(3, cfg) as rt:
+            rt.upload("hb.txt", corpus())
+            victim = rt.worker_ids[-1]
+            rt.kill_worker(victim)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if victim in rt.check_liveness():
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("heartbeat silence was never detected")
+            # The next job notices at dispatch time and fails over.
+            res = rt.run(wordcount_job("hb.txt", app_id="wc-hb"))
+            assert victim not in rt.worker_ids
+            assert sum(res.output.values()) == 3000
+
+    def test_losing_all_workers_raises(self):
+        with ClusterRuntime(2, CFG) as rt:
+            rt.upload("die.txt", corpus())
+
+            def chaos(done_maps):
+                if done_maps == 1 and rt.worker_ids:
+                    rt.kill_worker(rt.worker_ids[0])
+
+            rt.on_map_complete = chaos
+            with pytest.raises(ClusterError):
+                rt.run(wordcount_job("die.txt", app_id="wc-die"))
+
+
+class TestLivenessTracker:
+    def test_dead_after_missed_threshold(self):
+        now = [0.0]
+        tracker = LivenessTracker(interval=1.0, miss_threshold=4,
+                                  clock=lambda: now[0])
+        tracker.register("w1")
+        tracker.register("w2")
+        now[0] = 3.9
+        tracker.beat("w2")
+        assert tracker.dead_workers() == []
+        now[0] = 4.1  # w1 silent for > 4 intervals; w2 beat at 3.9
+        assert tracker.dead_workers() == ["w1"]
+        assert not tracker.alive("w1")
+        assert tracker.alive("w2")
+
+    def test_beat_resets_the_clock(self):
+        now = [0.0]
+        tracker = LivenessTracker(interval=0.5, miss_threshold=2,
+                                  clock=lambda: now[0])
+        tracker.register("w")
+        for t in (0.9, 1.8, 2.7):
+            now[0] = t
+            tracker.beat("w")
+            assert tracker.dead_workers() == []
+        assert tracker.beats_of("w") == 3
+
+    def test_removed_worker_is_not_tracked(self):
+        now = [0.0]
+        tracker = LivenessTracker(interval=1.0, miss_threshold=1,
+                                  clock=lambda: now[0])
+        tracker.register("w")
+        tracker.remove("w")
+        now[0] = 100.0
+        assert tracker.dead_workers() == []
+        tracker.beat("w")  # late heartbeat from a removed worker: ignored
+        assert tracker.tracked() == []
+
+    def test_age(self):
+        now = [10.0]
+        tracker = LivenessTracker(interval=1.0, miss_threshold=2,
+                                  clock=lambda: now[0])
+        tracker.register("w")
+        now[0] = 12.5
+        assert tracker.age("w") == pytest.approx(2.5)
+        with pytest.raises(ClusterError):
+            tracker.age("unknown")
+
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            LivenessTracker(interval=0.0, miss_threshold=2)
+        with pytest.raises(ClusterError):
+            LivenessTracker(interval=1.0, miss_threshold=0)
+
+
+class TestCaching:
+    def test_second_job_hits_icache(self):
+        cfg = ClusterConfig(dfs=DFSConfig(block_size=2048))
+        with ClusterRuntime(4, cfg) as rt:
+            rt.upload("cache.txt", corpus())
+            first = rt.run(wordcount_job("cache.txt", app_id="wc-c1"))
+            second = rt.run(wordcount_job("cache.txt", app_id="wc-c2"))
+            assert first.output == second.output
+            assert first.stats.icache_hits == 0
+            # Same blocks, same LAF assignment, warm caches.
+            assert second.stats.icache_hits == second.stats.map_tasks

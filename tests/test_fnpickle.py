@@ -1,0 +1,107 @@
+"""Tests for function shipping (fnpickle).
+
+Functions from installed packages (``repro.*``, ``numpy``) go by
+reference; everything else -- lambdas, closures, test-module helpers --
+is captured by value (code object + referenced globals + cells) because
+worker processes cannot import the test module.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import kmeans_map_fn
+from repro.apps.wordcount import wordcount_map
+from repro.cluster.fnpickle import dumps_fn, loads_fn
+from repro.common.errors import SerializationError
+
+SCALE = 10
+
+
+def _helper(x):
+    return x * SCALE
+
+
+def _uses_helper(x):
+    return _helper(x) + 1
+
+
+def _recursive(n):
+    if n <= 0:
+        return 0
+    return n + _recursive(n - 1)
+
+
+class TestByReference:
+    def test_repro_function_ships_by_reference(self):
+        clone = loads_fn(dumps_fn(wordcount_map))
+        assert clone is wordcount_map
+
+    def test_numpy_function_ships_by_reference(self):
+        clone = loads_fn(dumps_fn(np.mean))
+        assert clone is np.mean
+
+
+class TestByValue:
+    def test_lambda(self):
+        fn = loads_fn(dumps_fn(lambda x: x * 2))
+        assert fn(21) == 42
+
+    def test_closure_over_locals(self):
+        def make(a, b):
+            def add(x):
+                return a * x + b
+
+            return add
+
+        fn = loads_fn(dumps_fn(make(3, 4)))
+        assert fn(5) == 19
+
+    def test_closure_over_numpy_array(self):
+        centroids = np.array([[0.0, 0.0], [10.0, 10.0]])
+
+        def nearest(p):
+            return int(np.argmin(np.linalg.norm(centroids - p, axis=1)))
+
+        fn = loads_fn(dumps_fn(nearest))
+        assert fn(np.array([9.0, 9.5])) == 1
+
+    def test_kmeans_map_closure_round_trips(self):
+        centroids = np.array([[0.0, 0.0], [1.0, 1.0]])
+        fn = kmeans_map_fn(centroids)
+        clone = loads_fn(dumps_fn(fn))
+        block = b"0.1,0.1\n0.9,0.95\n"
+        assert list(clone(block)) == list(fn(block))
+
+    def test_test_module_helper_and_its_globals_are_captured(self):
+        # _uses_helper references _helper and SCALE from this module,
+        # which a worker process cannot import.
+        fn = loads_fn(dumps_fn(_uses_helper))
+        assert fn(4) == 41
+
+    def test_defaults_preserved(self):
+        def f(x, y=7, *, z=3):
+            return x + y + z
+
+        fn = loads_fn(dumps_fn(f))
+        assert fn(1) == 11
+        assert fn(1, y=0, z=0) == 1
+
+    def test_self_recursion(self):
+        fn = loads_fn(dumps_fn(_recursive))
+        assert fn(4) == 10
+
+    def test_wire_format_is_plain_pickle(self):
+        blob = dumps_fn(lambda: "hi")
+        assert isinstance(blob, bytes)
+        pickle.loads(blob)  # must not require fnpickle to even parse
+
+    def test_plain_data_passes_through(self):
+        # Non-callables (e.g. a combiner of None) ride the same channel.
+        assert loads_fn(dumps_fn(None)) is None
+        assert loads_fn(dumps_fn({"k": 1})) == {"k": 1}
+
+    def test_unserializable_reported(self):
+        with pytest.raises(SerializationError):
+            dumps_fn((i for i in range(3)))  # a live generator has no code to ship

@@ -36,6 +36,19 @@ class TestGauge:
         g.add(-1)
         assert g.value == 3
 
+    def test_never_set_extremes_are_zero(self):
+        # Regression: these used to report -inf/+inf before any set().
+        g = Gauge()
+        assert g.max_seen == 0.0
+        assert g.min_seen == 0.0
+
+    def test_initial_value_does_not_count_as_observation(self):
+        g = Gauge(7.0)
+        assert g.max_seen == 0.0
+        g.set(3.0)
+        assert g.max_seen == 3.0
+        assert g.min_seen == 3.0
+
 
 class TestTimeSeries:
     def test_record_and_len(self):

@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.common.config import CacheConfig, ClusterConfig, DFSConfig, SchedulerConfig
+from repro.common.config import (
+    CacheConfig,
+    ClusterConfig,
+    DFSConfig,
+    NetConfig,
+    SchedulerConfig,
+)
 from repro.common.errors import ConfigError
 from repro.common.serialization import config_from_dict, config_to_dict, diff_configs
 from repro.common.units import GB, MB
@@ -18,6 +24,7 @@ def custom_config():
         dfs=DFSConfig(block_size=64 * MB, replication=1),
         cache=CacheConfig(capacity_per_server=2 * GB, icache_fraction=0.75),
         scheduler=SchedulerConfig(alpha=0.05, window_tasks=32),
+        net=NetConfig(call_timeout=12.0, retry_attempts=5, heartbeat_interval=0.5),
     )
 
 
@@ -41,6 +48,21 @@ class TestRoundTrip:
     def test_wrong_type_rejected(self):
         with pytest.raises(ConfigError):
             config_to_dict("not a config")  # type: ignore[arg-type]
+
+    def test_net_section_round_trips(self):
+        cfg = ClusterConfig(net=NetConfig(retry_base_delay=0.2, retry_max_delay=9.0))
+        data = config_to_dict(cfg)
+        assert data["net"]["retry_base_delay"] == 0.2
+        assert config_from_dict(data) == cfg
+
+    def test_manifest_without_net_section_still_loads(self):
+        # Manifests written before the cluster plane existed have no "net"
+        # key; they must keep loading (with defaults) under the same schema.
+        data = config_to_dict(custom_config())
+        del data["net"]
+        cfg = config_from_dict(data)
+        assert cfg.net == NetConfig()
+        assert cfg.dfs.block_size == 64 * MB
 
 
 class TestValidation:
