@@ -17,6 +17,7 @@ shared with the runtime, so ``eclipsemr-repro cluster`` can print it.
 from __future__ import annotations
 
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Hashable, Optional, Sequence
 
 from repro.common.config import ClusterConfig
@@ -134,15 +135,20 @@ class Coordinator:
         return RingTable.from_ring(self.ring, epoch=self.epoch)
 
     def broadcast_ring(self) -> None:
-        """Push the current ring + peer addresses to every live worker."""
+        """Push the current ring + peer addresses to every live worker,
+        concurrently (each worker applies it independently; epoch stamps
+        make stale deliveries harmless)."""
         wire = self.ring_table().to_wire()
         peers = {wid: a.addr for wid, a in self.addresses.items()}
-        for wid in self.alive_ids():
+        args = {"ring": wire, "peers": peers}
+
+        def push(wid: str) -> None:
             try:
-                self.pool.call(self.address_of(wid).addr, "update_ring",
-                               {"ring": wire, "peers": peers})
+                self.pool.call(self.address_of(wid).addr, "update_ring", args)
             except NetworkError as exc:
                 raise WorkerLost(wid, f"ring broadcast failed: {exc}") from exc
+
+        self._fan_out(push, self.alive_ids())
 
     def check_heartbeats(self) -> list[str]:
         """Workers the heartbeat stream has declared dead (not yet removed)."""
@@ -199,8 +205,10 @@ class Coordinator:
                 self.pool.call(
                     self.address_of(target).addr,
                     "put_block",
-                    {"name": bid[0], "index": bid[1], "data": data,
+                    {"name": bid[0], "index": bid[1],
                      "replica": target != targets[0]},
+                    blob=data,
+                    blob_arg="data",
                 )
                 self.holders[bid].append(target)
                 self.metrics.counter("failover.blocks_rereplicated").inc()
@@ -210,14 +218,41 @@ class Coordinator:
         last: Exception | None = None
         for wid in survivors:
             try:
-                return self.pool.call(self.address_of(wid).addr, "fetch_block",
-                                      {"name": bid[0], "index": bid[1]})
+                return bytes(self.pool.call(self.address_of(wid).addr, "fetch_block",
+                                            {"name": bid[0], "index": bid[1]}))
             except NetworkError as exc:
                 last = exc
         raise ClusterError(f"could not read block {bid} from any survivor: {last}")
 
     def _update_live_gauge(self) -> None:
         self.metrics.gauge("cluster.live_workers").set(len(self.addresses))
+
+    @staticmethod
+    def _fan_out(fn, items: Sequence, max_workers: int = 16) -> list:
+        """Run ``fn`` over ``items`` concurrently; results keep item order.
+
+        Every call is drained before the first raised error propagates,
+        so no thread is abandoned mid-RPC.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if len(items) == 1:
+            return [fn(items[0])]
+        results: list = []
+        first_error: Exception | None = None
+        with ThreadPoolExecutor(max_workers=min(max_workers, len(items)),
+                                thread_name_prefix="coord-fanout") as pool:
+            for future in [pool.submit(fn, item) for item in items]:
+                try:
+                    results.append(future.result())
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+                    results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results
 
     # -- data placement ----------------------------------------------------------------
 
@@ -230,11 +265,19 @@ class Coordinator:
         permissions: int = 0o644,
         tags: dict[str, str] | None = None,
     ) -> FileMetadata:
-        """Split a file into blocks and spread them over the worker shards."""
+        """Split a file into blocks and spread them over the worker shards.
+
+        Placement (replica sets, holders, descriptors) is computed
+        serially so metadata is deterministic; the puts themselves fan
+        out concurrently, each shipping its payload out-of-band beside a
+        tiny envelope (no pickle copy of the block bytes).
+        """
         if name in self.metadata:
             raise ClusterError(f"file {name!r} already exists")
         block_size = self.config.dfs.block_size
+        view = memoryview(data)  # block payloads are zero-copy slices
         descriptors: list[BlockDescriptor] = []
+        puts: list[tuple[str, dict, Any]] = []  # (wid, args, payload)
         index = 0
         offset = 0
         total = len(data)
@@ -243,18 +286,11 @@ class Coordinator:
             if this_size <= 0 and index > 0:
                 break
             key = self.space.block_key(name, index)
-            payload = data[offset : offset + this_size]
+            payload = view[offset : offset + this_size]
             replicas = self.ring.replica_set(key, extra=self.config.dfs.replication)
             for i, wid in enumerate(replicas):
-                try:
-                    self.pool.call(
-                        self.address_of(wid).addr,
-                        "put_block",
-                        {"name": name, "index": index, "data": payload,
-                         "replica": i > 0},
-                    )
-                except NetworkError as exc:
-                    raise WorkerLost(wid, f"block upload failed: {exc}") from exc
+                puts.append((wid, {"name": name, "index": index, "replica": i > 0},
+                             payload))
             self.holders[(name, index)] = list(replicas)
             self.block_keys[(name, index)] = key
             descriptors.append(BlockDescriptor(index, key, this_size))
@@ -263,6 +299,16 @@ class Coordinator:
             index += 1
             if offset >= total:
                 break
+
+        def put(entry: tuple[str, dict, Any]) -> None:
+            wid, args, payload = entry
+            try:
+                self.pool.call(self.address_of(wid).addr, "put_block", args,
+                               blob=payload, blob_arg="data")
+            except NetworkError as exc:
+                raise WorkerLost(wid, f"block upload failed: {exc}") from exc
+
+        self._fan_out(put, puts)
         meta = FileMetadata(
             name=name, owner=owner, size=total, permissions=permissions,
             created_at=0.0, blocks=descriptors, tags=dict(tags or {}),
@@ -292,11 +338,14 @@ class Coordinator:
 
     def shutdown(self) -> None:
         policy = RetryPolicy(attempts=1, base_delay=0.01)
-        for wid in self.alive_ids():
+
+        def tell(wid: str) -> None:
             try:
                 self.pool.call(self.address_of(wid).addr, "shutdown",
                                timeout=2.0, policy=policy)
             except NetworkError:
                 pass  # it is being killed anyway
+
+        self._fan_out(tell, self.alive_ids())
         self.pool.close_all()
         self.server.stop()

@@ -11,6 +11,7 @@ so the RPC envelope itself never pickles a closure.
 from __future__ import annotations
 
 import bisect
+import pickle
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -18,7 +19,15 @@ from repro.common.errors import ClusterError
 from repro.mapreduce.job import MapReduceJob
 from repro.cluster.fnpickle import dumps_fn, loads_fn
 
-__all__ = ["WorkerAddress", "RingTable", "encode_job", "DecodedJob", "decode_job"]
+__all__ = [
+    "WorkerAddress",
+    "RingTable",
+    "encode_job",
+    "DecodedJob",
+    "decode_job",
+    "encode_spill",
+    "decode_spill",
+]
 
 
 @dataclass(frozen=True)
@@ -103,6 +112,21 @@ class DecodedJob:
     spill_buffer_bytes: int
     cache_intermediates: bool
     intermediate_ttl: Optional[float]
+
+
+def encode_spill(pairs: list[tuple[Any, Any]]) -> bytes:
+    """Serialize a spill's pairs for the out-of-band payload frame.
+
+    The payload rides *beside* the RPC envelope (a raw frame the receiver
+    gets as a memoryview), so the envelope stays a few hundred bytes no
+    matter how large the spill is -- the proactive-shuffle bulk path.
+    """
+    return pickle.dumps(pairs, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_spill(payload) -> list[tuple[Any, Any]]:
+    """Rebuild a spill's pairs from an out-of-band payload (bytes-like)."""
+    return pickle.loads(payload)
 
 
 def decode_job(wire: dict[str, Any]) -> DecodedJob:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Optional, Sequence
 
@@ -86,32 +87,31 @@ class ClusterRuntime:
         ctx = multiprocessing.get_context(self.config.net.mp_start_method)
         manifest = config_to_dict(self.config)
         # Spawned children re-import ``repro``; make sure they can even when
-        # the parent runs from a source tree that is not installed.
+        # the parent runs from a source tree that is not installed.  The
+        # parent's ``sys.path`` travels to spawn/forkserver children via
+        # multiprocessing's preparation data, and the explicit worker arg
+        # re-asserts it at worker startup -- no mutation of the parent's
+        # environment (the old PYTHONPATH save/restore raced concurrent
+        # cluster startups and anything else reading the environment).
         src_root = os.path.dirname(os.path.dirname(os.path.abspath(_repro_pkg.__file__)))
-        old_pythonpath = os.environ.get("PYTHONPATH")
-        parts = [src_root] + ([old_pythonpath] if old_pythonpath else [])
-        os.environ["PYTHONPATH"] = os.pathsep.join(parts)
-        try:
-            for wid in self.coordinator.worker_ids:
-                proc = ctx.Process(
-                    target=worker_main,
-                    args=(
-                        wid,
-                        self.coordinator.server.host,
-                        self.coordinator.server.port,
-                        manifest,
-                        self.space.size,
-                    ),
-                    name=f"eclipsemr-{wid}",
-                    daemon=True,
-                )
-                proc.start()
-                self._processes[wid] = proc
-        finally:
-            if old_pythonpath is None:
-                os.environ.pop("PYTHONPATH", None)
-            else:
-                os.environ["PYTHONPATH"] = old_pythonpath
+        if src_root not in sys.path:
+            sys.path.insert(0, src_root)
+        for wid in self.coordinator.worker_ids:
+            proc = ctx.Process(
+                target=worker_main,
+                args=(
+                    wid,
+                    self.coordinator.server.host,
+                    self.coordinator.server.port,
+                    manifest,
+                    self.space.size,
+                    (src_root,),
+                ),
+                name=f"eclipsemr-{wid}",
+                daemon=True,
+            )
+            proc.start()
+            self._processes[wid] = proc
 
     def kill_worker(self, worker_id: str) -> None:
         """SIGKILL a worker process *without* telling the coordinator.
@@ -253,13 +253,40 @@ class ClusterRuntime:
         )
 
     def _reduce_phase(self, job: MapReduceJob, wire: dict, stats: JobStats) -> dict:
-        output: dict[Any, Any] = {}
-        for wid in self.coordinator.alive_ids():
+        """Run every worker's reduce concurrently; merge in worker order.
+
+        Each worker reduces the spills that already live on it, so the
+        phase is embarrassingly parallel.  Results are merged in
+        ``alive_ids`` order (not completion order), keeping the output
+        dict and the duplicate-key check deterministic; per-key outputs
+        are disjoint by construction (DHT routing), which the merge
+        still verifies.
+        """
+        alive = self.coordinator.alive_ids()
+        lost: WorkerLost | None = None
+        results: dict[str, dict] = {}
+
+        def reduce_on(wid: str) -> dict:
             self.coordinator.scheduler.notify_start(wid)
             try:
-                result = self._call_worker(wid, "run_reduce", {"job": wire})
+                return self._call_worker(wid, "run_reduce", {"job": wire})
             finally:
                 self.coordinator.scheduler.notify_finish(wid)
+
+        with ThreadPoolExecutor(max_workers=max(1, len(alive)),
+                                thread_name_prefix="reduce") as pool:
+            futures = [(wid, pool.submit(reduce_on, wid)) for wid in alive]
+            for wid, fut in futures:
+                try:
+                    results[wid] = fut.result()
+                except WorkerLost as exc:  # drain the rest; job restarts anyway
+                    if lost is None:
+                        lost = exc
+        if lost is not None:
+            raise lost
+        output: dict[Any, Any] = {}
+        for wid in alive:
+            result = results[wid]
             if result["pairs"] == 0:
                 continue
             for k, v in result["output"].items():
@@ -286,8 +313,25 @@ class ClusterRuntime:
             raise WorkerLost(wid, str(exc)) from exc
 
     def _broadcast(self, method: str, args: dict) -> None:
-        for wid in self.coordinator.alive_ids():
-            self._call_worker(wid, method, args)
+        """Issue one control call to every live worker concurrently."""
+        alive = self.coordinator.alive_ids()
+        if not alive:
+            return
+        if len(alive) == 1:
+            self._call_worker(alive[0], method, args)
+            return
+        first: Exception | None = None
+        with ThreadPoolExecutor(max_workers=len(alive),
+                                thread_name_prefix="broadcast") as pool:
+            for fut in [pool.submit(self._call_worker, wid, method, args)
+                        for wid in alive]:
+                try:
+                    fut.result()
+                except Exception as exc:  # drain every call before failing
+                    if first is None:
+                        first = exc
+        if first is not None:
+            raise first
 
     def _failover(self, worker_id: str) -> None:
         wid = worker_id
@@ -303,11 +347,16 @@ class ClusterRuntime:
     # -- stats & teardown --------------------------------------------------------------
 
     def worker_stats(self) -> dict[str, dict]:
-        """Live per-worker statistics (tasks run, bytes moved, cache hits)."""
-        return {
-            wid: self._call_worker(wid, "get_stats", {})
-            for wid in self.coordinator.alive_ids()
-        }
+        """Live per-worker statistics (tasks run, bytes moved, cache hits),
+        gathered from all workers concurrently."""
+        alive = self.coordinator.alive_ids()
+        if not alive:
+            return {}
+        with ThreadPoolExecutor(max_workers=len(alive),
+                                thread_name_prefix="stats") as pool:
+            futures = [(wid, pool.submit(self._call_worker, wid, "get_stats", {}))
+                       for wid in alive]
+            return {wid: fut.result() for wid, fut in futures}
 
     def shutdown(self) -> None:
         if self._closed:

@@ -26,6 +26,7 @@ from __future__ import annotations
 import pickle
 import threading
 from collections import defaultdict
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Optional
 
 from repro.cache.worker import WorkerCache
@@ -34,9 +35,9 @@ from repro.common.errors import BlockNotFound, ClusterError, NetworkError
 from repro.common.hashing import HashSpace
 from repro.common.serialization import config_from_dict
 from repro.cluster.heartbeat import HeartbeatSender
-from repro.cluster.messages import RingTable, decode_job
+from repro.cluster.messages import RingTable, decode_job, decode_spill, encode_spill
 from repro.mapreduce.shuffle import IntermediateStore, SpillBuffer
-from repro.net.rpc import ConnectionPool, RpcClient, RpcServer
+from repro.net.rpc import Blob, ConnectionPool, RpcClient, RpcServer
 from repro.sim.metrics import MetricsRegistry
 
 __all__ = ["SpillDeliveryLost", "WorkerNode", "worker_main"]
@@ -75,10 +76,20 @@ class WorkerNode:
         self.pool = ConnectionPool(config.net, metrics=self.metrics)
         self._jobs: dict[str, Any] = {}  # app_id -> DecodedJob
         self._lock = threading.RLock()
+        # Remote spill pushes to distinct reduce-side targets go out
+        # concurrently (the map task only waits for all of them at flush).
+        self._spill_pool = ThreadPoolExecutor(
+            max_workers=config.net.rpc_concurrency,
+            thread_name_prefix=f"spill:{worker_id}",
+        )
 
     # -- DHT FS shard -------------------------------------------------------------
 
-    def put_block(self, name: str, index: int, data: bytes, replica: bool = False) -> int:
+    def put_block(self, name: str, index: int, data, replica: bool = False) -> int:
+        # ``data`` arrives as a memoryview over the connection's frame
+        # buffer on the zero-copy path; snapshot it into owned bytes.
+        if not isinstance(data, bytes):
+            data = bytes(data)
         with self._lock:
             self.blocks[(name, index)] = data
             self.block_replica[(name, index)] = replica
@@ -95,6 +106,10 @@ class WorkerNode:
                 ) from None
         self.metrics.counter("worker.blocks_served").inc()
         return data
+
+    def _fetch_block_rpc(self, name: str, index: int) -> Blob:
+        """RPC wrapper: ship the block out-of-band instead of pickling it."""
+        return Blob(self.fetch_block(name, index))
 
     def drop_block(self, name: str, index: int) -> bool:
         with self._lock:
@@ -168,18 +183,39 @@ class WorkerNode:
         if ring is None:
             raise ClusterError(f"{self.worker_id} has no ring table yet")
         data, source = self._read_block(name, index, holders)
+        # Spills to *remote* reduce-side targets are dispatched
+        # concurrently -- the map keeps producing while earlier spills are
+        # still in flight (the paper's proactive shuffle, §II-D); the
+        # task only joins them all after the final flush.
+        pushes: list[Future] = []
+
+        def dispatch(dest, sid, pairs, nbytes):
+            if dest == self.worker_id:
+                self._deliver_spill(decoded, peers, dest, sid, pairs, nbytes)
+            else:
+                pushes.append(self._spill_pool.submit(
+                    self._deliver_spill, decoded, peers, dest, sid, pairs, nbytes
+                ))
+
         spill = SpillBuffer(
             space=self.space,
             route=ring.owner_of,
-            deliver=lambda dest, sid, pairs, nbytes: self._deliver_spill(
-                decoded, peers, dest, sid, pairs, nbytes
-            ),
+            deliver=dispatch,
             threshold_bytes=decoded.spill_buffer_bytes,
             task_id=f"{decoded.app_id}/map{index}",
         )
         for key, value in decoded.map_fn(data):
             spill.emit(key, value)
         spill.flush()
+        first_error: Exception | None = None
+        for push in pushes:
+            try:
+                push.result()
+            except Exception as exc:  # drain every push before failing
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
         self.metrics.counter("worker.maps_run").inc()
         self.metrics.counter("worker.spills_out").inc(spill.spills)
         self.metrics.counter("worker.bytes_shuffled_out").inc(spill.bytes_pushed)
@@ -213,6 +249,7 @@ class WorkerNode:
             except NetworkError as exc:
                 last = exc
                 continue
+            data = bytes(data)  # snapshot the out-of-band frame view
             self.metrics.counter("worker.remote_block_reads").inc()
             self.cache.put_input(bid, data, size=len(data),
                                  hash_key=self.space.block_key(name, index))
@@ -245,25 +282,31 @@ class WorkerNode:
         except KeyError:
             raise SpillDeliveryLost(dest, spill_id) from None
         try:
+            # The pairs ride out-of-band: a small envelope plus one raw
+            # frame, never pickled into (or copied through) the envelope.
             self.pool.call(
                 addr,
                 "push_spill",
                 {
                     "app_id": job.app_id,
                     "spill_id": spill_id,
-                    "pairs": pairs,
                     "nbytes": nbytes,
                     "cache": job.cache_intermediates,
                     "ttl": job.intermediate_ttl,
                 },
+                blob=encode_spill(pairs),
+                blob_arg="payload",
             )
         except NetworkError as exc:
             raise SpillDeliveryLost(dest, spill_id) from exc
 
     # -- reduce path --------------------------------------------------------------
 
-    def push_spill(self, app_id: str, spill_id: str, pairs: list,
-                   nbytes: int, cache: bool = False, ttl: float | None = None) -> int:
+    def push_spill(self, app_id: str, spill_id: str, pairs: list | None = None,
+                   nbytes: int = 0, cache: bool = False, ttl: float | None = None,
+                   payload=None) -> int:
+        if pairs is None:
+            pairs = decode_spill(payload)
         return self.receive_spill(app_id, spill_id, pairs, nbytes, cache, ttl)
 
     def receive_spill(self, app_id: str, spill_id: str, pairs: list,
@@ -298,7 +341,7 @@ class WorkerNode:
         out = {
             "ping": self.ping,
             "put_block": self.put_block,
-            "fetch_block": self.fetch_block,
+            "fetch_block": self._fetch_block_rpc,
             "drop_block": self.drop_block,
             "update_ring": self.update_ring,
             "discard_job": self.discard_job,
@@ -311,6 +354,7 @@ class WorkerNode:
         return out
 
     def close(self) -> None:
+        self._spill_pool.shutdown(wait=False)
         self.pool.close_all()
 
 
@@ -320,8 +364,19 @@ def worker_main(
     coordinator_port: int,
     manifest: dict,
     space_size: int,
+    extra_sys_path: tuple[str, ...] = (),
 ) -> None:
-    """Entry point of a worker process (the ``multiprocessing`` target)."""
+    """Entry point of a worker process (the ``multiprocessing`` target).
+
+    ``extra_sys_path`` carries the parent's source root explicitly (the
+    import-path contract travels in the worker args, not via a mutated
+    parent environment).
+    """
+    import sys
+
+    for entry in extra_sys_path:
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
     config = config_from_dict(manifest)
     node = WorkerNode(worker_id, config, HashSpace(space_size))
     stop = threading.Event()

@@ -91,6 +91,10 @@ class NetConfig:
     max_frame_bytes: int = 256 * MB
     """Largest frame either side accepts; bigger headers are rejected."""
 
+    rpc_concurrency: int = 16
+    """Handler threads per accepted connection: how many pipelined
+    requests one connection executes concurrently server-side."""
+
     retry_attempts: int = 3
     """Transport attempts per RPC (1 = no retry)."""
 

@@ -15,6 +15,17 @@ before buffering a single payload byte.
 :class:`FrameDecoder` is the incremental, socket-free state machine (what
 the property tests chew on); :func:`read_frame`/:func:`write_frame` adapt
 it to blocking sockets.
+
+The decoder fills a buffer pre-allocated per frame (sized from the
+header), so a completed payload is a standalone ``bytearray`` that no
+later frame touches.  With ``copy=False`` it hands that buffer back as a
+:class:`memoryview` -- the zero-copy receive path the RPC layer uses for
+out-of-band block/spill payloads.  On the send side, :func:`sendv`
+gathers header + payload buffers into one vectored ``sendmsg`` so bulk
+bytes never get concatenated into a fresh frame buffer, and
+:func:`write_frames` validates *every* frame length before the first
+byte hits the socket (an oversized payload must never poison a
+connection mid-stream).
 """
 
 from __future__ import annotations
@@ -30,9 +41,12 @@ __all__ = [
     "HEADER_SIZE",
     "DEFAULT_MAX_FRAME",
     "encode_frame",
+    "encode_header",
     "FrameDecoder",
     "read_frame",
     "write_frame",
+    "write_frames",
+    "sendv",
 ]
 
 MAGIC = b"EMR"
@@ -45,14 +59,21 @@ DEFAULT_MAX_FRAME = 256 * 1024 * 1024
 # payloads always exercise the partial-read path.
 _RECV_CHUNK = 64 * 1024
 
+Buffer = "bytes | bytearray | memoryview"
 
-def encode_frame(payload: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME) -> bytes:
-    """Wrap ``payload`` in a frame header."""
-    if len(payload) > max_frame_bytes:
+
+def encode_header(length: int, max_frame_bytes: int = DEFAULT_MAX_FRAME) -> bytes:
+    """The 8-byte header for a payload of ``length`` bytes."""
+    if length > max_frame_bytes:
         raise FramingError(
-            f"payload of {len(payload)} bytes exceeds the {max_frame_bytes}-byte frame limit"
+            f"payload of {length} bytes exceeds the {max_frame_bytes}-byte frame limit"
         )
-    return _HEADER.pack(MAGIC, VERSION, len(payload)) + payload
+    return _HEADER.pack(MAGIC, VERSION, length)
+
+
+def encode_frame(payload, max_frame_bytes: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Wrap ``payload`` in a frame header (one concatenated buffer)."""
+    return encode_header(len(payload), max_frame_bytes) + payload
 
 
 class FrameDecoder:
@@ -60,29 +81,57 @@ class FrameDecoder:
 
     The decoder owns no I/O, so partial reads, coalesced frames, and
     malformed input are all testable without sockets.
+
+    Each frame's payload is accumulated in its own ``bytearray`` sized
+    from the (validated) header, so completed payloads share no storage
+    with the decoder or with each other.  ``copy=True`` (the default)
+    returns them as ``bytes``; ``copy=False`` returns ``memoryview``s
+    over the per-frame buffer -- zero additional copies for bulk data.
     """
 
-    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME) -> None:
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME, copy: bool = True) -> None:
         self.max_frame_bytes = max_frame_bytes
-        self._buffer = bytearray()
+        self.copy = copy
+        self._head = bytearray()  # partial header bytes
+        self._body: bytearray | None = None  # pre-allocated payload buffer
+        self._filled = 0
         self.frames_decoded = 0
         self.bytes_fed = 0
 
-    def feed(self, data: bytes) -> list[bytes]:
+    def feed(self, data) -> list:
         """Absorb ``data``; return every payload completed by it (in order)."""
-        self._buffer.extend(data)
-        self.bytes_fed += len(data)
-        out: list[bytes] = []
-        while True:
-            payload = self._next_frame()
-            if payload is None:
-                return out
-            out.append(payload)
+        view = memoryview(data)
+        total = len(view)
+        self.bytes_fed += total
+        out: list = []
+        off = 0
+        while off < total or (self._body is not None and self._filled == len(self._body)):
+            if self._body is None:
+                take = min(HEADER_SIZE - len(self._head), total - off)
+                self._head += view[off : off + take]
+                off += take
+                if len(self._head) < HEADER_SIZE:
+                    break
+                length = self._parse_header()
+                self._head.clear()
+                self._body = bytearray(length)
+                self._filled = 0
+            take = min(len(self._body) - self._filled, total - off)
+            if take:
+                self._body[self._filled : self._filled + take] = view[off : off + take]
+                self._filled += take
+                off += take
+            if self._filled == len(self._body):
+                payload = self._body
+                self._body = None
+                self.frames_decoded += 1
+                out.append(bytes(payload) if self.copy else memoryview(payload))
+            elif off >= total:
+                break
+        return out
 
-    def _next_frame(self) -> bytes | None:
-        if len(self._buffer) < HEADER_SIZE:
-            return None
-        magic, version, length = _HEADER.unpack_from(self._buffer)
+    def _parse_header(self) -> int:
+        magic, version, length = _HEADER.unpack(bytes(self._head))
         if magic != MAGIC:
             raise FramingError(f"bad magic {bytes(magic)!r} (expected {MAGIC!r})")
         if version != VERSION:
@@ -92,21 +141,18 @@ class FrameDecoder:
                 f"declared payload of {length} bytes exceeds the "
                 f"{self.max_frame_bytes}-byte frame limit"
             )
-        if len(self._buffer) < HEADER_SIZE + length:
-            return None
-        payload = bytes(self._buffer[HEADER_SIZE : HEADER_SIZE + length])
-        del self._buffer[: HEADER_SIZE + length]
-        self.frames_decoded += 1
-        return payload
+        return length
 
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered toward a frame that has not completed yet."""
-        return len(self._buffer)
+        if self._body is not None:
+            return HEADER_SIZE + self._filled
+        return len(self._head)
 
     def at_boundary(self) -> bool:
         """True when no partial frame is buffered (a clean EOF point)."""
-        return not self._buffer
+        return self._body is None and not self._head
 
 
 def read_frame(sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME) -> bytes | None:
@@ -115,6 +161,10 @@ def read_frame(sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME) ->
     Returns ``None`` on a clean EOF (connection closed between frames);
     raises :class:`FramingError` if the peer dies mid-frame or sends a
     malformed header.  ``socket.timeout`` propagates to the caller.
+
+    This is the *lockstep* reader (one frame per exchange) used by
+    simple request/response exchanges; the pipelined RPC layer reads
+    its stream through a long-lived :class:`FrameDecoder` instead.
     """
     decoder = FrameDecoder(max_frame_bytes)
     while True:
@@ -127,15 +177,52 @@ def read_frame(sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME) ->
             )
         frames = decoder.feed(chunk)
         if frames:
-            # One request/response per read on an RPC connection; anything
-            # extra means the peer broke the lockstep protocol.
+            # One request/response per read on a lockstep connection;
+            # anything extra means the peer broke the protocol.
             if len(frames) > 1 or not decoder.at_boundary():
                 raise FramingError("peer sent more than one frame in a single exchange")
             return frames[0]
 
 
-def write_frame(sock: socket.socket, payload: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME) -> int:
+def sendv(sock: socket.socket, buffers: list) -> int:
+    """Vectored send: put every buffer on the wire without concatenating.
+
+    Uses ``sendmsg`` (writev) where available, resuming after partial
+    sends; falls back to per-buffer ``sendall``.  Returns total bytes.
+    """
+    views = [memoryview(b) for b in buffers if len(b)]
+    total = sum(len(v) for v in views)
+    if not views:
+        return 0
+    if hasattr(sock, "sendmsg"):
+        while views:
+            sent = sock.sendmsg(views)
+            while views and sent >= len(views[0]):
+                sent -= len(views[0])
+                views.pop(0)
+            if views and sent:
+                views[0] = views[0][sent:]
+    else:  # pragma: no cover - every supported platform has sendmsg
+        for v in views:
+            sock.sendall(v)
+    return total
+
+
+def write_frame(sock: socket.socket, payload, max_frame_bytes: int = DEFAULT_MAX_FRAME) -> int:
     """Send one frame; returns the bytes put on the wire."""
-    frame = encode_frame(payload, max_frame_bytes)
-    sock.sendall(frame)
-    return len(frame)
+    return write_frames(sock, [payload], max_frame_bytes)
+
+
+def write_frames(sock: socket.socket, payloads: list,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME) -> int:
+    """Send several frames back-to-back in one vectored write.
+
+    Every payload's length is validated *before* any byte is sent, so an
+    oversized frame raises :class:`FramingError` while the connection is
+    still at a frame boundary (instead of poisoning it mid-stream).
+    """
+    buffers: list = []
+    for payload in payloads:
+        buffers.append(encode_header(len(payload), max_frame_bytes))
+        buffers.append(payload)
+    return sendv(sock, buffers)

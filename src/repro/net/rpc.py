@@ -1,27 +1,52 @@
-"""A tiny request/response RPC layer over framed TCP.
+"""A multiplexed, pipelined request/response RPC layer over framed TCP.
 
-One request per frame, one response per frame, one call in flight per
-connection -- the simplest protocol that supports the cluster plane.
-Requests and responses are pickled envelopes::
+Requests and responses are pickled envelopes sharing one connection::
 
     {"id": 7, "method": "push_spill", "args": {...}}
     {"id": 7, "ok": True, "value": ...}
     {"id": 7, "ok": False, "etype": "BlockNotFound", "error": "...", "data": ...}
 
-:class:`RpcServer` is threaded (one thread per accepted connection), so a
-worker can serve block fetches while it executes a map task.
-:class:`ConnectionPool` keeps idle client connections per address and
-layers :class:`~repro.net.retry.RetryPolicy` over transport failures;
-remote application errors are *not* retried.  All sides count traffic into
-an optional :class:`~repro.sim.metrics.MetricsRegistry`.
+Envelope ids let *many* calls share one connection concurrently: a
+:class:`RpcClient` owns a reader thread that matches response ids to
+pending futures, so ``call_async`` returns immediately and responses may
+complete out of order.  A transport failure fails every in-flight future
+with :class:`RpcConnectionError` -- no future is ever resolved with
+another call's response.
+
+Bulk bytes travel *out of band*: an envelope carrying ``"blob_arg"``
+(request) or ``"blob": True`` (response) is immediately followed by one
+raw frame holding the payload.  The payload is never pickled into the
+envelope and never concatenated with it -- the sender validates both
+frame lengths up front and puts header + envelope + header + payload on
+the wire in one vectored ``sendmsg``; the receiver's
+:class:`~repro.net.framing.FrameDecoder` hands the payload back as a
+``memoryview`` over its own buffer.  That removes the pickle copy and
+the frame-assembly copy on every block upload, block fetch, and spill
+push (the paper's proactive shuffle lives and dies on this path, §II-D).
+
+:class:`RpcServer` reads each connection's stream through a long-lived
+decoder and dispatches every request to a per-connection thread pool, so
+pipelined requests execute concurrently and responses are written (under
+a send lock) as they finish.  :class:`ConnectionPool` keeps **one
+multiplexed connection per address** shared by all callers, layers
+:class:`~repro.net.retry.RetryPolicy` over transport failures, and
+offers ``call_many`` (pipelined batch to one peer) and ``broadcast``
+(concurrent fan-out to many peers).  Remote application errors are *not*
+retried.  All sides count traffic into an optional
+:class:`~repro.sim.metrics.MetricsRegistry`; the pool also records a
+per-call latency histogram (``rpc.latency_s``).
 """
 
 from __future__ import annotations
 
 import pickle
 import socket
+import struct
 import threading
-from typing import Any, Callable, Optional
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import Any, Callable, Optional, Sequence
 
 from repro.common.config import NetConfig
 from repro.common.errors import (
@@ -31,22 +56,98 @@ from repro.common.errors import (
     RpcRemoteError,
     RpcTimeout,
 )
-from repro.net.framing import read_frame, write_frame
+from repro.net.framing import FrameDecoder, encode_header, sendv
 from repro.net.retry import RetryPolicy
 
-__all__ = ["RpcServer", "RpcClient", "ConnectionPool"]
+__all__ = ["Blob", "RpcServer", "RpcClient", "ConnectionPool"]
 
 Handler = Callable[..., Any]
 
 _TRANSPORT_ERRORS = (RpcConnectionError, ConnectionError, FramingError, OSError)
+
+_RECV_CHUNK = 256 * 1024
+
+
+class Blob:
+    """Marks a bytes-like value for out-of-band (zero-copy) transport.
+
+    A handler that returns ``Blob(data)`` ships ``data`` as a raw frame
+    beside the response envelope instead of pickling it; the caller
+    receives the raw bytes-like object as the call's value.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data) -> None:
+        self.data = data
+
+    def __len__(self) -> int:
+        return len(self.data)
 
 
 def _dumps(obj: Any) -> bytes:
     return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
 
 
+class _Channel:
+    """Framed envelope+blob I/O shared by both ends of a connection.
+
+    Owns the send lock and the stream state machine that pairs an
+    envelope announcing a blob with the raw frame that follows it.
+    """
+
+    def __init__(self, sock: socket.socket, max_frame_bytes: int) -> None:
+        self.sock = sock
+        self.max_frame_bytes = max_frame_bytes
+        self.send_lock = threading.Lock()
+        self.decoder = FrameDecoder(max_frame_bytes, copy=False)
+        self._awaiting_blob: dict | None = None
+
+    def send_envelope(self, envelope: dict, blob=None) -> int:
+        """Pickle + send one envelope (and its optional out-of-band blob).
+
+        Both frame lengths are validated before any byte is written, so
+        an oversized payload raises :class:`FramingError` with the
+        connection still healthy at a frame boundary.
+        """
+        raw = _dumps(envelope)
+        buffers = [encode_header(len(raw), self.max_frame_bytes), raw]
+        if blob is not None:
+            buffers.append(encode_header(len(blob), self.max_frame_bytes))
+            buffers.append(blob)
+        with self.send_lock:
+            return sendv(self.sock, buffers)
+
+    def feed(self, chunk) -> list[dict]:
+        """Decode a recv'd chunk into completed envelopes.
+
+        A blob frame is attached to its announcing envelope under the
+        ``"__blob__"`` key; the envelope is only surfaced once its blob
+        has fully arrived.
+        """
+        out: list[dict] = []
+        for frame in self.decoder.feed(chunk):
+            if self._awaiting_blob is not None:
+                envelope = self._awaiting_blob
+                self._awaiting_blob = None
+                envelope["__blob__"] = frame
+                out.append(envelope)
+                continue
+            envelope = pickle.loads(frame)
+            if envelope.get("blob_arg") is not None or envelope.get("blob"):
+                self._awaiting_blob = envelope
+            else:
+                out.append(envelope)
+        return out
+
+
 class RpcServer:
-    """A threaded TCP server dispatching framed requests to named handlers."""
+    """A threaded TCP server dispatching framed requests to named handlers.
+
+    Each accepted connection gets a reader thread plus a small executor:
+    pipelined requests on one connection run concurrently and responses
+    go out in completion order (ids restore the pairing client-side).
+    """
 
     def __init__(
         self,
@@ -101,22 +202,28 @@ class RpcServer:
             ).start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
+        channel = _Channel(conn, self.net.max_frame_bytes)
+        pool = ThreadPoolExecutor(
+            max_workers=self.net.rpc_concurrency,
+            thread_name_prefix=f"rpc-handler:{self.port}",
+        )
         try:
             while self._running.is_set():
                 try:
-                    raw = read_frame(conn, self.net.max_frame_bytes)
-                except (FramingError, OSError):
-                    return
-                if raw is None:
-                    return  # clean close
-                self._count("net.bytes_received", len(raw))
-                response = self._handle(raw)
-                try:
-                    sent = write_frame(conn, response, self.net.max_frame_bytes)
+                    chunk = conn.recv(_RECV_CHUNK)
                 except OSError:
                     return
-                self._count("net.bytes_sent", sent)
+                if not chunk:
+                    return  # peer closed
+                self._count("net.bytes_received", len(chunk))
+                try:
+                    requests = channel.feed(chunk)
+                except (FramingError, pickle.UnpicklingError, struct.error):
+                    return  # garbage on the wire; drop the connection
+                for request in requests:
+                    pool.submit(self._serve_request, channel, request)
         finally:
+            pool.shutdown(wait=False)
             with self._lock:
                 self._conns.discard(conn)
             try:
@@ -124,32 +231,51 @@ class RpcServer:
             except OSError:
                 pass
 
-    def _handle(self, raw: bytes) -> bytes:
-        rid: Any = None
+    def _serve_request(self, channel: _Channel, request: dict) -> None:
+        response, blob = self._handle(request)
         try:
-            request = pickle.loads(raw)
-            rid = request.get("id")
+            sent = channel.send_envelope(response, blob)
+        except FramingError:
+            # The response does not fit in a frame; the connection is
+            # still at a boundary, so report the failure in-band.
+            self._count("net.frames_rejected", 1)
+            err = {"id": response.get("id"), "ok": False, "etype": "FramingError",
+                   "error": "response exceeds the frame size limit", "data": None}
+            try:
+                sent = channel.send_envelope(err)
+            except OSError:
+                return
+        except OSError:
+            return
+        self._count("net.bytes_sent", sent)
+
+    def _handle(self, request: dict) -> tuple[dict, Any]:
+        rid = request.get("id")
+        try:
             method = request["method"]
             handler = self._handlers[method]
         except KeyError as exc:
-            return _dumps({"id": rid, "ok": False, "etype": "UnknownMethod",
-                           "error": f"no handler for {exc}", "data": None})
-        except Exception as exc:  # undecodable request
-            return _dumps({"id": rid, "ok": False, "etype": type(exc).__name__,
-                           "error": str(exc), "data": None})
+            return ({"id": rid, "ok": False, "etype": "UnknownMethod",
+                     "error": f"no handler for {exc}", "data": None}, None)
+        args = dict(request.get("args") or {})
+        blob_arg = request.get("blob_arg")
+        if blob_arg is not None:
+            args[blob_arg] = request.get("__blob__")
         self._count("rpc.served", 1)
         try:
-            value = handler(**(request.get("args") or {}))
-            return _dumps({"id": rid, "ok": True, "value": value})
+            value = handler(**args)
         except Exception as exc:
             self._count("rpc.handler_errors", 1)
-            return _dumps({
+            return ({
                 "id": rid,
                 "ok": False,
                 "etype": type(exc).__name__,
                 "error": str(exc),
                 "data": getattr(exc, "rpc_data", None),
-            })
+            }, None)
+        if isinstance(value, Blob):
+            return ({"id": rid, "ok": True, "value": None, "blob": True}, value.data)
+        return ({"id": rid, "ok": True, "value": value}, None)
 
     def stop(self) -> None:
         self._running.clear()
@@ -178,7 +304,15 @@ class RpcServer:
 
 
 class RpcClient:
-    """One TCP connection making lockstep request/response calls."""
+    """One TCP connection multiplexing many concurrent in-flight calls.
+
+    ``call_async`` assigns an envelope id, registers a future, and
+    returns; a dedicated reader thread completes futures as responses
+    arrive (in any order).  ``call`` is the blocking convenience wrapper.
+    When the transport dies, every in-flight future fails with
+    :class:`RpcConnectionError` -- exactly the signal the cluster layer
+    converts into ``WorkerLost``.
+    """
 
     def __init__(self, host: str, port: int, net: NetConfig | None = None, metrics=None) -> None:
         self.net = net or NetConfig()
@@ -186,6 +320,8 @@ class RpcClient:
         self._metrics = metrics
         self._lock = threading.Lock()
         self._next_id = 0
+        self._pending: dict[int, Future] = {}
+        self._closed = False
         try:
             self._sock = socket.create_connection(
                 (host, port), timeout=self.net.connect_timeout
@@ -193,44 +329,155 @@ class RpcClient:
         except OSError as exc:
             raise RpcConnectionError(f"cannot connect to {host}:{port}: {exc}") from exc
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock.settimeout(None)  # the reader blocks; per-call timeouts are future-side
+        self._channel = _Channel(self._sock, self.net.max_frame_bytes)
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"rpc-reader:{host}:{port}", daemon=True
+        )
+        self._reader.start()
 
-    def call(self, method: str, args: dict[str, Any] | None = None,
-             timeout: float | None = None) -> Any:
-        """Send one request and wait for its response (per-call timeout)."""
+    # -- issuing calls ---------------------------------------------------------
+
+    def call_async(self, method: str, args: dict[str, Any] | None = None,
+                   blob=None, blob_arg: str | None = None) -> Future:
+        """Pipeline one request; the returned future resolves to its value.
+
+        ``blob`` ships out-of-band as a raw frame; ``blob_arg`` names the
+        handler keyword it binds to.  Frame-size violations raise
+        :class:`FramingError` here, before any bytes are sent.
+        """
+        future: Future = Future()
         with self._lock:
+            if self._closed:
+                raise RpcConnectionError(f"connection to {self.address} is closed")
             self._next_id += 1
             rid = self._next_id
-            payload = _dumps({"id": rid, "method": method, "args": args or {}})
-            try:
-                self._sock.settimeout(timeout if timeout is not None else self.net.call_timeout)
-                sent = write_frame(self._sock, payload, self.net.max_frame_bytes)
-                self._count("net.bytes_sent", sent)
-                raw = read_frame(self._sock, self.net.max_frame_bytes)
-            except socket.timeout as exc:
-                raise RpcTimeout(f"{method} to {self.address} timed out") from exc
-            except (ConnectionError, FramingError, OSError) as exc:
-                raise RpcConnectionError(f"{method} to {self.address}: {exc}") from exc
-        if raw is None:
-            raise RpcConnectionError(f"{self.address} closed the connection mid-call")
-        self._count("net.bytes_received", len(raw))
-        response = pickle.loads(raw)
-        if response.get("id") != rid:
-            raise RpcConnectionError(
-                f"response id {response.get('id')} does not match request {rid}"
-            )
+            self._pending[rid] = future
+        envelope: dict[str, Any] = {"id": rid, "method": method, "args": args or {}}
+        if blob is not None:
+            if blob_arg is None:
+                raise ValueError("blob requires blob_arg naming the handler keyword")
+            envelope["blob_arg"] = blob_arg
+            if len(blob) > self.net.max_frame_bytes:
+                self._forget(rid)
+                self._count("net.frames_rejected", 1)
+                raise FramingError(
+                    f"blob of {len(blob)} bytes exceeds the "
+                    f"{self.net.max_frame_bytes}-byte frame limit"
+                )
+        try:
+            sent = self._channel.send_envelope(envelope, blob)
+        except FramingError:
+            self._forget(rid)
+            self._count("net.frames_rejected", 1)
+            raise
+        except OSError as exc:
+            self._forget(rid)
+            self._teardown(RpcConnectionError(f"send to {self.address} failed: {exc}"))
+            raise RpcConnectionError(f"{method} to {self.address}: {exc}") from exc
+        self._count("net.bytes_sent", sent)
+        return future
+
+    def call(self, method: str, args: dict[str, Any] | None = None,
+             timeout: float | None = None, blob=None, blob_arg: str | None = None) -> Any:
+        """Send one request and wait for its response (per-call timeout)."""
+        future = self.call_async(method, args, blob=blob, blob_arg=blob_arg)
+        try:
+            return future.result(timeout if timeout is not None else self.net.call_timeout)
+        except FutureTimeout:
+            # The call may still be executing remotely; the reader will
+            # discard its (now orphaned) response when it arrives.
+            future.cancel()
+            raise RpcTimeout(f"{method} to {self.address} timed out") from None
+
+    # -- the reader ------------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        error: NetworkError
+        try:
+            while True:
+                chunk = self._sock.recv(_RECV_CHUNK)
+                if not chunk:
+                    error = RpcConnectionError(
+                        f"{self.address} closed the connection mid-call"
+                    )
+                    break
+                self._count("net.bytes_received", len(chunk))
+                for envelope in self._channel.feed(chunk):
+                    self._complete(envelope)
+        except (FramingError, pickle.UnpicklingError, struct.error) as exc:
+            # Garbage from the peer is a transport failure (retryable),
+            # unlike a send-side FramingError raised before any bytes move.
+            error = RpcConnectionError(f"garbage from {self.address}: {exc}")
+        except OSError as exc:
+            error = RpcConnectionError(f"connection to {self.address} died: {exc}")
+        self._teardown(error)
+
+    def _complete(self, response: dict) -> None:
+        rid = response.get("id")
+        with self._lock:
+            future = self._pending.pop(rid, None)
+        if future is None:
+            self._count("rpc.orphan_responses", 1)  # abandoned after a timeout
+            return
         if response.get("ok"):
-            return response.get("value")
-        raise RpcRemoteError(
-            response.get("etype", "Exception"),
-            response.get("error", ""),
-            response.get("data"),
-        )
+            value = response.get("__blob__") if response.get("blob") else response.get("value")
+            if not future.set_running_or_notify_cancel():
+                return  # caller timed out and cancelled
+            future.set_result(value)
+        else:
+            err = RpcRemoteError(
+                response.get("etype", "Exception"),
+                response.get("error", ""),
+                response.get("data"),
+            )
+            if not future.set_running_or_notify_cancel():
+                return
+            future.set_exception(err)
+
+    def _forget(self, rid: int) -> None:
+        with self._lock:
+            self._pending.pop(rid, None)
+
+    def _teardown(self, error: NetworkError) -> None:
+        """Fail every in-flight future; no response can ever arrive now."""
+        with self._lock:
+            already = self._closed
+            self._closed = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            if future.set_running_or_notify_cancel():
+                future.set_exception(error)
+        if not already:
+            # shutdown() before close(): closing an fd does not wake a
+            # thread blocked in recv(), so the reader would hang (and
+            # close() would stall on the join) until the peer spoke.
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._teardown(RpcConnectionError(f"connection to {self.address} was closed"))
+        if threading.current_thread() is not self._reader:
+            self._reader.join(timeout=2.0)
 
     def _count(self, name: str, amount: float) -> None:
         if self._metrics is not None:
@@ -238,12 +485,14 @@ class RpcClient:
 
 
 class ConnectionPool:
-    """Idle :class:`RpcClient` connections per address, with retries.
+    """One shared multiplexed connection per address, with retries.
 
-    ``call`` checks out a free connection (dialing a new one when none is
-    idle), runs one RPC, and returns the connection to the pool.  Transport
-    failures close the connection and retry per the policy; remote errors
-    and timeouts are surfaced immediately.
+    Any number of threads may call concurrently; their requests pipeline
+    onto the address's single connection and complete independently.
+    Transport failures close the shared connection and retry per the
+    policy; remote errors and timeouts are surfaced immediately (a timed
+    out call may still be executing remotely, so the connection is *not*
+    torn down -- the late response is discarded by id).
     """
 
     def __init__(self, net: NetConfig | None = None, metrics=None,
@@ -251,27 +500,38 @@ class ConnectionPool:
         self.net = net or NetConfig()
         self._metrics = metrics
         self.policy = policy or RetryPolicy.from_config(self.net)
-        self._free: dict[tuple[str, int], list[RpcClient]] = {}
+        self._conns: dict[tuple[str, int], RpcClient] = {}
         self._lock = threading.Lock()
         self._closed = False
 
     # -- connection management -----------------------------------------------------
 
-    def _checkout(self, addr: tuple[str, int]) -> RpcClient:
+    def _connection(self, addr: tuple[str, int]) -> RpcClient:
         with self._lock:
             if self._closed:
                 raise RpcConnectionError("connection pool is closed")
-            free = self._free.get(addr)
-            if free:
-                return free.pop()
+            client = self._conns.get(addr)
+            if client is not None and not client.closed:
+                return client
+            if client is not None:
+                del self._conns[addr]
+        dialed = RpcClient(addr[0], addr[1], self.net, self._metrics)
         self._count("net.connections_opened", 1)
-        return RpcClient(addr[0], addr[1], self.net, self._metrics)
-
-    def _checkin(self, addr: tuple[str, int], client: RpcClient) -> None:
         with self._lock:
-            if not self._closed:
-                self._free.setdefault(addr, []).append(client)
-                return
+            if self._closed:
+                dialed.close()
+                raise RpcConnectionError("connection pool is closed")
+            current = self._conns.get(addr)
+            if current is not None and not current.closed:
+                dialed.close()  # lost a dial race; share the winner
+                return current
+            self._conns[addr] = dialed
+        return dialed
+
+    def _discard(self, addr: tuple[str, int], client: RpcClient) -> None:
+        with self._lock:
+            if self._conns.get(addr) is client:
+                del self._conns[addr]
         client.close()
 
     # -- calls ---------------------------------------------------------------------
@@ -283,64 +543,154 @@ class ConnectionPool:
         args: dict[str, Any] | None = None,
         timeout: float | None = None,
         policy: RetryPolicy | None = None,
+        blob=None,
+        blob_arg: str | None = None,
     ) -> Any:
         policy = policy or self.policy
         last: NetworkError | None = None
         for attempt in range(policy.attempts):
-            client: RpcClient | None = None
             self._count("rpc.calls", 1)
+            client: RpcClient | None = None
+            started = time.perf_counter()
             try:
-                client = self._checkout(addr)
-                value = client.call(method, args, timeout)
-            except RpcTimeout:
-                # The call may still be executing remotely; retrying could
-                # double-execute, so timeouts surface to the caller.
-                if client is not None:
-                    client.close()
+                client = self._connection(addr)
+                future = client.call_async(method, args, blob=blob, blob_arg=blob_arg)
+                value = future.result(
+                    timeout if timeout is not None else self.net.call_timeout
+                )
+            except FutureTimeout:
+                future.cancel()
                 self._count("rpc.failures", 1)
-                raise
+                raise RpcTimeout(f"{method} to {addr} timed out") from None
             except RpcRemoteError:
-                # The transport worked; the connection is still good.
-                if client is not None:
-                    self._checkin(addr, client)
-                raise
+                raise  # the transport worked; the connection is still good
+            except FramingError:
+                raise  # send-side size rejection: no bytes hit the socket
             except _TRANSPORT_ERRORS as exc:
                 if client is not None:
-                    client.close()
+                    self._discard(addr, client)
                 last = exc if isinstance(exc, NetworkError) else RpcConnectionError(str(exc))
                 if attempt + 1 < policy.attempts:
                     self._count("rpc.retries", 1)
                     policy.sleep(policy.backoff(attempt))
                 continue
             else:
-                self._checkin(addr, client)
+                self._observe_latency(time.perf_counter() - started)
                 return value
         self._count("rpc.failures", 1)
         raise RpcConnectionError(
             f"{method} to {addr} failed after {policy.attempts} attempts: {last}"
         )
 
+    def call_async(self, addr: tuple[str, int], method: str,
+                   args: dict[str, Any] | None = None,
+                   blob=None, blob_arg: str | None = None) -> Future:
+        """Pipeline one call on the shared connection (no retries)."""
+        self._count("rpc.calls", 1)
+        return self._connection(addr).call_async(method, args, blob=blob, blob_arg=blob_arg)
+
+    def call_many(
+        self,
+        addr: tuple[str, int],
+        calls: Sequence[tuple[str, dict[str, Any] | None]],
+        timeout: float | None = None,
+        policy: RetryPolicy | None = None,
+    ) -> list[Any]:
+        """Pipeline a batch of ``(method, args)`` calls to one peer.
+
+        All requests go out back-to-back on the shared connection and
+        execute concurrently server-side; results come back in request
+        order.  Calls that fail in transport are retried individually
+        (remote errors propagate immediately, like :meth:`call`).
+        """
+        futures: list[Future | None] = []
+        try:
+            client = self._connection(addr)
+            for method, args in calls:
+                self._count("rpc.calls", 1)
+                futures.append(client.call_async(method, args))
+        except _TRANSPORT_ERRORS:
+            futures.extend([None] * (len(calls) - len(futures)))
+        results: list[Any] = []
+        deadline = timeout if timeout is not None else self.net.call_timeout
+        for future, (method, args) in zip(futures, calls):
+            value = None
+            retry = future is None
+            if future is not None:
+                try:
+                    value = future.result(deadline)
+                except FutureTimeout:
+                    future.cancel()
+                    self._count("rpc.failures", 1)
+                    raise RpcTimeout(f"{method} to {addr} timed out") from None
+                except RpcRemoteError:
+                    raise
+                except _TRANSPORT_ERRORS:
+                    retry = True
+            if retry:
+                value = self.call(addr, method, args, timeout=timeout, policy=policy)
+            results.append(value)
+        return results
+
+    def broadcast(
+        self,
+        addrs: Sequence[tuple[str, int]],
+        method: str,
+        args: dict[str, Any] | None = None,
+        timeout: float | None = None,
+        policy: RetryPolicy | None = None,
+    ) -> list[Any]:
+        """Issue the same call to many peers concurrently; results align
+        with ``addrs``.  The first error (of any kind) propagates after
+        every call has resolved."""
+        if not addrs:
+            return []
+        with ThreadPoolExecutor(max_workers=len(addrs),
+                                thread_name_prefix="rpc-broadcast") as pool:
+            futures = [
+                pool.submit(self.call, addr, method, args, timeout, policy)
+                for addr in addrs
+            ]
+            results, first_error = [], None
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+                    results.append(None)
+            if first_error is not None:
+                raise first_error
+            return results
+
     # -- teardown --------------------------------------------------------------------
 
     def close_address(self, addr: tuple[str, int]) -> None:
-        """Drop every idle connection to one peer (it left the cluster)."""
+        """Drop the connection to one peer (it left the cluster)."""
         with self._lock:
-            clients = self._free.pop(addr, [])
-        for client in clients:
+            client = self._conns.pop(addr, None)
+        if client is not None:
             client.close()
 
     def close_all(self) -> None:
         with self._lock:
             self._closed = True
-            pools = list(self._free.values())
-            self._free.clear()
-        for clients in pools:
-            for client in clients:
-                client.close()
+            clients = list(self._conns.values())
+            self._conns.clear()
+        for client in clients:
+            client.close()
 
     def idle_connections(self, addr: tuple[str, int]) -> int:
+        """Live shared connections to ``addr`` with nothing in flight."""
         with self._lock:
-            return len(self._free.get(addr, []))
+            client = self._conns.get(addr)
+        if client is None or client.closed:
+            return 0
+        return 1 if client.in_flight == 0 else 0
+
+    def _observe_latency(self, seconds: float) -> None:
+        if self._metrics is not None:
+            self._metrics.histogram("rpc.latency_s").record(seconds)
 
     def _count(self, name: str, amount: float) -> None:
         if self._metrics is not None:

@@ -12,7 +12,7 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["Counter", "Gauge", "TimeSeries", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "TimeSeries", "Histogram", "MetricsRegistry"]
 
 
 @dataclass
@@ -91,6 +91,45 @@ class TimeSeries:
         return float(np.sum(widths * v) / (end - self.times[0]))
 
 
+class Histogram:
+    """Unordered value samples with percentile summaries (RPC latencies).
+
+    Unlike :class:`TimeSeries` there is no time axis -- concurrent RPC
+    completions land in any order -- so recording is thread-safe-enough
+    for CPython (a single ``list.append``) and summaries are computed on
+    demand with NumPy.
+    """
+
+    def __init__(self) -> None:
+        self.samples: list[float] = []
+
+    def record(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        return float(np.mean(self.samples)) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of everything recorded; 0 when empty."""
+        if not self.samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self.samples, dtype=float), q))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+            "max": self.percentile(100.0),
+        }
+
+
 class MetricsRegistry:
     """Name-addressed counters/gauges/series shared by a simulation run."""
 
@@ -98,6 +137,7 @@ class MetricsRegistry:
         self.counters: dict[str, Counter] = defaultdict(Counter)
         self.gauges: dict[str, Gauge] = defaultdict(Gauge)
         self.series: dict[str, TimeSeries] = defaultdict(TimeSeries)
+        self.histograms: dict[str, Histogram] = defaultdict(Histogram)
 
     def counter(self, name: str) -> Counter:
         return self.counters[name]
@@ -107,6 +147,9 @@ class MetricsRegistry:
 
     def timeseries(self, name: str) -> TimeSeries:
         return self.series[name]
+
+    def histogram(self, name: str) -> Histogram:
+        return self.histograms[name]
 
     def ratio(self, hits: str, total: str) -> float:
         """``counters[hits] / counters[total]`` (0 when the denominator is 0)."""
@@ -120,6 +163,8 @@ class MetricsRegistry:
             out[name] = c.value
         for name, g in self.gauges.items():
             out[f"{name} (gauge)"] = g.value
+        for name, h in self.histograms.items():
+            out[f"{name} (p50)"] = h.percentile(50.0)
         return out
 
     @staticmethod
