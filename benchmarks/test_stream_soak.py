@@ -1,0 +1,140 @@
+"""Stream soak: bounded memory under repeated large streamed responses.
+
+Hammers the streaming transport with reduce-sized payloads and records
+what the bounded-memory claim is actually about -- peak process RSS and
+the transport's own gauges:
+
+* **stream soak** -- one RPC server whose handler streams a multi-MB
+  paged response; the client pulls it ``N_ROUNDS`` times back to back.
+  Peak RSS is sampled before and after: a transport that buffered whole
+  responses (or leaked page buffers across rounds) would grow RSS round
+  over round, while the paged path should plateau after the first round.
+* **backpressure soak** -- a burst of pipelined calls against a small
+  ``max_in_flight`` window; the ``rpc.in_flight`` peak must equal the
+  window, never exceed it.
+
+Results land in ``STREAM_SOAK.json`` at the repo root so CI can archive
+them.  ``BENCH_QUICK=1`` shrinks the payloads for smoke runs.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_stream_soak.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import time
+from pathlib import Path
+
+from benchmarks.conftest import record_report
+from repro.common.config import NetConfig
+from repro.common.units import MB
+from repro.net.framing import paginate
+from repro.net.rpc import RpcClient, RpcServer, Stream
+from repro.sim.metrics import MetricsRegistry
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+RESULT_PATH = Path(__file__).resolve().parent.parent / "STREAM_SOAK.json"
+
+PAYLOAD_BYTES = (8 if QUICK else 64) * MB
+PAGE_BYTES = 256 * 1024
+N_ROUNDS = 4 if QUICK else 10
+WINDOW = 8
+N_BURST = 200 if QUICK else 1000
+
+
+def _peak_rss_mb() -> float:
+    """ru_maxrss is KiB on Linux (bytes on macOS; we only run Linux CI)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _soak_streaming() -> dict:
+    net = NetConfig(max_frame_bytes=1 * MB, stream_page_bytes=PAGE_BYTES)
+    payload = os.urandom(PAGE_BYTES) * (PAYLOAD_BYTES // PAGE_BYTES)
+
+    def stream_payload():
+        return Stream(paginate(payload, PAGE_BYTES),
+                      value={"bytes": len(payload)})
+
+    srv = RpcServer({"stream_payload": stream_payload}, net=net).start()
+    metrics = MetricsRegistry()
+    client = RpcClient(srv.host, srv.port, net, metrics)
+    rss_per_round = []
+    try:
+        started = time.perf_counter()
+        for _ in range(N_ROUNDS):
+            result = client.call("stream_payload", timeout=120.0)
+            assert result.value["bytes"] == len(payload)
+            assert len(result) == len(payload) // PAGE_BYTES
+            # Drop the pages before the next round, like the cluster
+            # does once the output dict is rebuilt.
+            del result
+            rss_per_round.append(round(_peak_rss_mb(), 1))
+        elapsed = time.perf_counter() - started
+    finally:
+        client.close()
+        srv.stop()
+    moved = N_ROUNDS * len(payload)
+    return {
+        "payload_mb": len(payload) / MB,
+        "rounds": N_ROUNDS,
+        "pages_per_round": len(payload) // PAGE_BYTES,
+        "throughput_mb_s": round(moved / MB / elapsed, 1),
+        "peak_rss_mb_per_round": rss_per_round,
+        "peak_rss_mb": rss_per_round[-1],
+        "rss_growth_after_first_round_mb":
+            round(rss_per_round[-1] - rss_per_round[0], 1),
+        "peak_stream_pages": metrics.peak("rpc.stream_pages"),
+        "streams_completed": metrics.counters["rpc.streams_completed"].value,
+    }
+
+
+def _soak_backpressure() -> dict:
+    net = NetConfig(max_in_flight=WINDOW)
+
+    def echo(value):
+        return value
+
+    srv = RpcServer({"echo": echo}, net=net).start()
+    metrics = MetricsRegistry()
+    client = RpcClient(srv.host, srv.port, net, metrics)
+    try:
+        started = time.perf_counter()
+        futures = [client.call_async("echo", {"value": i})
+                   for i in range(N_BURST)]
+        results = [f.result(60.0) for f in futures]
+        elapsed = time.perf_counter() - started
+    finally:
+        client.close()
+        srv.stop()
+    assert results == list(range(N_BURST))
+    return {
+        "burst_calls": N_BURST,
+        "window": WINDOW,
+        "peak_in_flight": metrics.peak("rpc.in_flight"),
+        "calls_per_s": round(N_BURST / elapsed, 1),
+    }
+
+
+def test_stream_soak(benchmark):
+    def run() -> dict:
+        return {
+            "quick": QUICK,
+            "streaming": _soak_streaming(),
+            "backpressure": _soak_backpressure(),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    record_report("Stream soak", json.dumps(results, indent=2))
+
+    # The window is a hard ceiling, and the soak must actually fill it.
+    assert results["backpressure"]["peak_in_flight"] == WINDOW
+    # Bounded memory: after the first round established the plateau,
+    # later rounds must not keep growing peak RSS by anything close to
+    # a whole payload (that would mean responses are being retained).
+    growth = results["streaming"]["rss_growth_after_first_round_mb"]
+    assert growth < results["streaming"]["payload_mb"]

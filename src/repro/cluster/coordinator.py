@@ -119,6 +119,16 @@ class Coordinator:
                 f"workers {missing} did not register within {timeout:.1f}s"
             )
 
+    def set_stream_page_hook(self, hook) -> None:
+        """Observe streamed-response pages on the coordinator's connections.
+
+        ``hook(worker_addr, pages_so_far)`` fires as each page of a
+        streamed reduce output (or any streamed RPC response) arrives.
+        The fault-injection suite uses this to kill a worker between two
+        of its ``stream chunk`` frames -- deterministic mid-stream death.
+        """
+        self.pool.stream_page_hook = hook
+
     # -- membership ------------------------------------------------------------------
 
     def alive_ids(self) -> list[str]:

@@ -27,6 +27,9 @@ __all__ = [
     "decode_job",
     "encode_spill",
     "decode_spill",
+    "iter_output_pages",
+    "decode_output_pages",
+    "reassemble_reduce",
 ]
 
 
@@ -127,6 +130,64 @@ def encode_spill(pairs: list[tuple[Any, Any]]) -> bytes:
 def decode_spill(payload) -> list[tuple[Any, Any]]:
     """Rebuild a spill's pairs from an out-of-band payload (bytes-like)."""
     return pickle.loads(payload)
+
+
+def iter_output_pages(output: dict[Any, Any], page_bytes: int):
+    """Page a reduce output dict into pickled slices of bounded size.
+
+    Lazily yields ``bytes`` pages, each the pickle of a list of ``(key,
+    value)`` pairs whose individual pickled sizes sum to at most
+    ``page_bytes`` -- except that a single pair bigger than a page gets a
+    page of its own (a key's value cannot be split).  Pages preserve dict
+    order, so ``decode_output_pages`` rebuilds an *equal* dict (same
+    items, same insertion order).  An empty output yields no pages.
+
+    These are the payloads of the transport's ``stream chunk`` frames
+    (``stream begin``/``chunk``/``end``, :mod:`repro.net.rpc`): a reduce
+    output larger than ``net.max_frame_bytes`` flows as many small frames
+    and is never materialized as one envelope on either side.
+    """
+    if page_bytes < 1:
+        raise ClusterError(f"page size must be >= 1, got {page_bytes}")
+    chunk: list[tuple[Any, Any]] = []
+    size = 0
+    for item in output.items():
+        nbytes = len(pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL))
+        if chunk and size + nbytes > page_bytes:
+            yield pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL)
+            chunk = []
+            size = 0
+        chunk.append(item)
+        size += nbytes
+    if chunk:
+        yield pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_output_pages(pages) -> dict[Any, Any]:
+    """Reassemble :func:`iter_output_pages` pages into the output dict."""
+    output: dict[Any, Any] = {}
+    for page in pages:
+        for key, value in pickle.loads(page):
+            output[key] = value
+    return output
+
+
+def reassemble_reduce(result) -> dict[str, Any]:
+    """Collapse a ``run_reduce`` response into its plain result dict.
+
+    Small outputs come back inline (already the result dict); outputs
+    over the page threshold arrive as a
+    :class:`~repro.net.rpc.StreamResult` whose header carries the
+    metadata and whose pages carry the output -- rebuild the inline
+    shape so callers never see the transport.
+    """
+    from repro.net.rpc import StreamResult
+
+    if not isinstance(result, StreamResult):
+        return result
+    header = dict(result.value or {})
+    header["output"] = decode_output_pages(result.pages)
+    return header
 
 
 def decode_job(wire: dict[str, Any]) -> DecodedJob:

@@ -42,7 +42,7 @@ from repro.common.errors import (
 from repro.common.hashing import DEFAULT_SPACE, HashSpace
 from repro.common.serialization import config_to_dict
 from repro.cluster.coordinator import Coordinator
-from repro.cluster.messages import encode_job
+from repro.cluster.messages import encode_job, reassemble_reduce
 from repro.cluster.worker import worker_main
 from repro.mapreduce.job import JobResult, JobStats, MapReduceJob
 from repro.sim.metrics import MetricsRegistry
@@ -73,6 +73,11 @@ class ClusterRuntime:
         #: Test/chaos hook: called with the number of completed map tasks
         #: after each one finishes (killing a worker here exercises failover).
         self.on_map_complete: Optional[Callable[[int], None]] = None
+        #: Test/chaos hook: called with ``(worker_addr, pages_so_far)`` as
+        #: each streamed-response page reaches the coordinator (killing the
+        #: sender here exercises mid-stream failover).
+        self.on_stream_page: Optional[Callable[[tuple[str, int], int], None]] = None
+        self.coordinator.set_stream_page_hook(self._stream_page)
         try:
             self._start_workers()
             self.coordinator.wait_for_workers(self.config.net.start_timeout)
@@ -80,6 +85,11 @@ class ClusterRuntime:
         except BaseException:
             self.shutdown()
             raise
+
+    def _stream_page(self, addr: tuple[str, int], pages: int) -> None:
+        hook = self.on_stream_page
+        if hook is not None:
+            hook(addr, pages)
 
     # -- process management ---------------------------------------------------------
 
@@ -261,6 +271,13 @@ class ClusterRuntime:
         dict and the duplicate-key check deterministic; per-key outputs
         are disjoint by construction (DHT routing), which the merge
         still verifies.
+
+        A reduce output over ``net.stream_page_bytes`` arrives as a paged
+        stream; ``reassemble_reduce`` rebuilds the inline result shape
+        from the pages.  A worker dying mid-stream surfaces as a
+        transport failure (partial pages discarded by the RPC layer), so
+        it rides the same ``WorkerLost`` -> failover -> re-execution path
+        as any other death.
         """
         alive = self.coordinator.alive_ids()
         lost: WorkerLost | None = None
@@ -269,7 +286,9 @@ class ClusterRuntime:
         def reduce_on(wid: str) -> dict:
             self.coordinator.scheduler.notify_start(wid)
             try:
-                return self._call_worker(wid, "run_reduce", {"job": wire})
+                return reassemble_reduce(
+                    self._call_worker(wid, "run_reduce", {"job": wire})
+                )
             finally:
                 self.coordinator.scheduler.notify_finish(wid)
 

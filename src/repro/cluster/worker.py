@@ -35,9 +35,15 @@ from repro.common.errors import BlockNotFound, ClusterError, NetworkError
 from repro.common.hashing import HashSpace
 from repro.common.serialization import config_from_dict
 from repro.cluster.heartbeat import HeartbeatSender
-from repro.cluster.messages import RingTable, decode_job, decode_spill, encode_spill
+from repro.cluster.messages import (
+    RingTable,
+    decode_job,
+    decode_spill,
+    encode_spill,
+    iter_output_pages,
+)
 from repro.mapreduce.shuffle import IntermediateStore, SpillBuffer
-from repro.net.rpc import Blob, ConnectionPool, RpcClient, RpcServer
+from repro.net.rpc import Blob, ConnectionPool, RpcClient, RpcServer, Stream
 from repro.sim.metrics import MetricsRegistry
 
 __all__ = ["SpillDeliveryLost", "WorkerNode", "worker_main"]
@@ -319,7 +325,7 @@ class WorkerNode:
         self.metrics.counter("worker.spills_in").inc()
         return len(pairs)
 
-    def run_reduce(self, job: dict) -> dict[str, Any]:
+    def run_reduce(self, job: dict) -> Any:
         decoded = self._job(job)
         with self._lock:
             # Deterministic consumption order: spill ids, not arrival order
@@ -333,7 +339,28 @@ class WorkerNode:
             grouped[k].append(v)
         output = {k: decoded.reduce_fn(k, vs) for k, vs in grouped.items()}
         self.metrics.counter("worker.reduces_run").inc()
-        return {"worker_id": self.worker_id, "pairs": len(pairs), "output": output}
+        # An output over the page threshold streams out as paged frames
+        # (reassembled by the coordinator) instead of one giant envelope;
+        # small outputs keep the inline shape.  Pages must also fit well
+        # inside a frame beside their chunk envelopes.
+        page_bytes = min(self.config.net.stream_page_bytes,
+                         max(64, self.config.net.max_frame_bytes // 2))
+        pager = iter_output_pages(output, page_bytes)
+        first = next(pager, None)
+        second = next(pager, None)
+        if second is None and (first is None or len(first) <= page_bytes):
+            return {"worker_id": self.worker_id, "pairs": len(pairs),
+                    "output": output}
+        self.metrics.counter("worker.reduces_streamed").inc()
+
+        def pages():
+            yield first
+            if second is not None:
+                yield second
+            yield from pager
+
+        return Stream(pages(), value={"worker_id": self.worker_id,
+                                      "pairs": len(pairs)})
 
     # -- wiring -------------------------------------------------------------------
 

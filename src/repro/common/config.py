@@ -95,6 +95,16 @@ class NetConfig:
     """Handler threads per accepted connection: how many pipelined
     requests one connection executes concurrently server-side."""
 
+    max_in_flight: int = 64
+    """Per-connection in-flight request window: ``call_async`` blocks once
+    this many requests are awaiting responses on one connection, so fan-in
+    can no longer grow either peer's memory without bound."""
+
+    stream_page_bytes: int = 4 * MB
+    """Page threshold for streamed responses: a reduce output whose
+    serialized size exceeds this is returned as a sequence of out-of-band
+    page frames (each roughly this large) instead of one giant envelope."""
+
     retry_attempts: int = 3
     """Transport attempts per RPC (1 = no retry)."""
 
@@ -120,12 +130,26 @@ class NetConfig:
     """``multiprocessing`` start method for worker processes."""
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check every wire parameter; raises :class:`ConfigError`.
+
+        Runs automatically at construction; callable again on a config
+        rebuilt from a manifest.
+        """
         for name in ("connect_timeout", "call_timeout", "heartbeat_interval",
                      "start_timeout", "retry_base_delay"):
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be positive")
         if self.max_frame_bytes < 64:
             raise ConfigError("max_frame_bytes is too small to hold a message")
+        if self.max_in_flight < 1:
+            raise ConfigError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+        if self.stream_page_bytes < 64:
+            raise ConfigError("stream_page_bytes is too small to hold a message")
         if self.retry_attempts < 1:
             raise ConfigError("retry_attempts must be >= 1")
         if self.retry_max_delay < self.retry_base_delay:

@@ -47,6 +47,7 @@ __all__ = [
     "write_frame",
     "write_frames",
     "sendv",
+    "paginate",
 ]
 
 MAGIC = b"EMR"
@@ -153,6 +154,23 @@ class FrameDecoder:
     def at_boundary(self) -> bool:
         """True when no partial frame is buffered (a clean EOF point)."""
         return self._body is None and not self._head
+
+
+def paginate(payload, page_bytes: int):
+    """Slice a bytes-like payload into zero-copy pages of ``page_bytes``.
+
+    Yields ``memoryview`` slices over the original buffer (no copies):
+    every page is exactly ``page_bytes`` long except a shorter final one;
+    an empty payload yields nothing.  Joining the pages in order
+    reconstructs the payload bit-for-bit.  This is how a body larger than
+    one frame crosses the wire: each page rides its own frame, so neither
+    side ever materializes the whole payload as a single frame buffer.
+    """
+    if page_bytes < 1:
+        raise FramingError(f"page size must be >= 1, got {page_bytes}")
+    view = memoryview(payload)
+    for off in range(0, len(view), page_bytes):
+        yield view[off : off + page_bytes]
 
 
 def read_frame(sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME) -> bytes | None:

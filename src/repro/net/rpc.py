@@ -24,6 +24,25 @@ the wire in one vectored ``sendmsg``; the receiver's
 the frame-assembly copy on every block upload, block fetch, and spill
 push (the paper's proactive shuffle lives and dies on this path, §II-D).
 
+Responses larger than one frame *stream*: a handler that returns
+:class:`Stream` ships its payload as a paged sequence of out-of-band raw
+frames bracketed by ``stream begin`` / ``stream end`` envelopes, each
+``stream chunk`` envelope announcing the page frame that follows it.
+Chunk pairs are sent atomically but independently, so pages of two
+concurrent streams (and ordinary responses) interleave freely on one
+connection; the client buffers pages by envelope id and resolves the
+call's future with a :class:`StreamResult` only at ``stream end``.  A
+transport death mid-stream discards the partial page buffer (counted in
+``rpc.streams_aborted``) and fails the future like any other in-flight
+call -- the caller re-executes, it never sees half a stream.
+
+The transport also applies **backpressure**: each connection admits at
+most ``net.max_in_flight`` requests awaiting responses; ``call_async``
+blocks (it does not queue) until a response frees a window slot, so
+fan-in can no longer grow either peer's memory without bound.  The
+current window occupancy is exported as the ``rpc.in_flight`` gauge
+(its ``max_seen`` is the observed peak).
+
 :class:`RpcServer` reads each connection's stream through a long-lived
 decoder and dispatches every request to a per-connection thread pool, so
 pipelined requests execute concurrently and responses are written (under
@@ -59,7 +78,7 @@ from repro.common.errors import (
 from repro.net.framing import FrameDecoder, encode_header, sendv
 from repro.net.retry import RetryPolicy
 
-__all__ = ["Blob", "RpcServer", "RpcClient", "ConnectionPool"]
+__all__ = ["Blob", "Stream", "StreamResult", "RpcServer", "RpcClient", "ConnectionPool"]
 
 Handler = Callable[..., Any]
 
@@ -83,6 +102,48 @@ class Blob:
 
     def __len__(self) -> int:
         return len(self.data)
+
+
+class Stream:
+    """Marks an iterable of bytes-like pages for streamed transport.
+
+    A handler that returns ``Stream(pages)`` ships each page as its own
+    out-of-band raw frame (a ``stream chunk``), bracketed by ``begin`` /
+    ``end`` envelopes; the caller's future resolves to a
+    :class:`StreamResult` holding every page in order.  ``pages`` may be
+    a generator -- the server pulls pages one at a time while sending, so
+    a response far larger than ``max_frame_bytes`` crosses the wire
+    without either side materializing it as one buffer.  ``value`` is a
+    small picklable header (metadata about the stream) carried in the
+    ``begin`` envelope.
+    """
+
+    __slots__ = ("pages", "value")
+
+    def __init__(self, pages, value: Any = None) -> None:
+        self.pages = pages
+        self.value = value
+
+
+class StreamResult:
+    """What a streamed call resolves to: the header plus the page frames.
+
+    ``pages`` are bytes-like objects (memoryviews over per-frame buffers
+    on the zero-copy receive path) in send order; ``join()`` concatenates
+    them for callers that want the flat payload back.
+    """
+
+    __slots__ = ("value", "pages")
+
+    def __init__(self, value: Any, pages: list) -> None:
+        self.value = value
+        self.pages = pages
+
+    def join(self) -> bytes:
+        return b"".join(bytes(p) for p in self.pages)
+
+    def __len__(self) -> int:
+        return len(self.pages)
 
 
 def _dumps(obj: Any) -> bytes:
@@ -233,6 +294,9 @@ class RpcServer:
 
     def _serve_request(self, channel: _Channel, request: dict) -> None:
         response, blob = self._handle(request)
+        if isinstance(blob, Stream):
+            self._serve_stream(channel, response, blob)
+            return
         try:
             sent = channel.send_envelope(response, blob)
         except FramingError:
@@ -245,6 +309,56 @@ class RpcServer:
                 sent = channel.send_envelope(err)
             except OSError:
                 return
+        except OSError:
+            return
+        self._count("net.bytes_sent", sent)
+
+    def _serve_stream(self, channel: _Channel, begin: dict, stream: Stream) -> None:
+        """Send one streamed response: begin, page chunks, end.
+
+        Each chunk (envelope + page frame) is sent atomically but
+        independently, so other responses -- and other streams -- may
+        interleave between pages on the same connection.  Pages are
+        pulled from the (possibly lazy) iterable one at a time, so the
+        server never holds more than one encoded page of a large
+        response.  A failure mid-iteration (oversized page, handler
+        exception inside a generator) is reported by a failing ``end``
+        envelope: the client discards the partial page buffer and raises,
+        with the connection still healthy at a frame boundary.
+        """
+        rid = begin.get("id")
+        try:
+            sent = channel.send_envelope(begin)
+        except OSError:
+            return
+        self._count("net.bytes_sent", sent)
+        pages_sent = 0
+        error: tuple[str, str] | None = None
+        try:
+            for page in stream.pages:
+                chunk = {"id": rid, "stream": "chunk", "seq": pages_sent, "blob": True}
+                sent = channel.send_envelope(chunk, page)
+                self._count("net.bytes_sent", sent)
+                pages_sent += 1
+        except FramingError as exc:
+            # The oversized page was rejected before any of its bytes hit
+            # the wire, so the stream can still end cleanly in-band.
+            self._count("net.frames_rejected", 1)
+            error = ("FramingError", str(exc))
+        except OSError:
+            return
+        except Exception as exc:  # the pages iterable failed mid-stream
+            self._count("rpc.handler_errors", 1)
+            error = (type(exc).__name__, str(exc))
+        if error is None:
+            end = {"id": rid, "ok": True, "stream": "end", "pages": pages_sent}
+            self._count("rpc.streams_served", 1)
+            self._count("rpc.stream_pages_sent", pages_sent)
+        else:
+            end = {"id": rid, "ok": False, "stream": "end",
+                   "etype": error[0], "error": error[1], "data": None}
+        try:
+            sent = channel.send_envelope(end)
         except OSError:
             return
         self._count("net.bytes_sent", sent)
@@ -275,6 +389,9 @@ class RpcServer:
             }, None)
         if isinstance(value, Blob):
             return ({"id": rid, "ok": True, "value": None, "blob": True}, value.data)
+        if isinstance(value, Stream):
+            return ({"id": rid, "ok": True, "stream": "begin",
+                     "value": value.value}, value)
         return ({"id": rid, "ok": True, "value": value}, None)
 
     def stop(self) -> None:
@@ -312,6 +429,20 @@ class RpcClient:
     When the transport dies, every in-flight future fails with
     :class:`RpcConnectionError` -- exactly the signal the cluster layer
     converts into ``WorkerLost``.
+
+    At most ``net.max_in_flight`` requests may await responses at once:
+    ``call_async`` blocks on the window semaphore until a slot frees
+    (a response arrives, a call is cancelled, or the transport dies), so
+    a caller cannot pipeline unbounded state onto one connection.  The
+    occupancy is exported as the ``rpc.in_flight`` gauge.
+
+    Streamed responses are reassembled here: pages announced by ``stream
+    chunk`` envelopes are buffered per request id (``rpc.stream_pages``
+    gauge tracks the buffered count) and handed to the future as a
+    :class:`StreamResult` at ``stream end``.  ``stream_page_hook``, when
+    set, is invoked as ``hook(address, pages_so_far)`` after each page
+    arrives -- the fault-injection tests use it to kill a peer
+    mid-stream at a deterministic point.
     """
 
     def __init__(self, host: str, port: int, net: NetConfig | None = None, metrics=None) -> None:
@@ -321,7 +452,11 @@ class RpcClient:
         self._lock = threading.Lock()
         self._next_id = 0
         self._pending: dict[int, Future] = {}
+        self._streams: dict[int, list] = {}
+        self._window = threading.Semaphore(self.net.max_in_flight)
+        self._admitted = 0
         self._closed = False
+        self.stream_page_hook: Optional[Callable[[tuple[str, int], int], None]] = None
         try:
             self._sock = socket.create_connection(
                 (host, port), timeout=self.net.connect_timeout
@@ -345,38 +480,81 @@ class RpcClient:
         ``blob`` ships out-of-band as a raw frame; ``blob_arg`` names the
         handler keyword it binds to.  Frame-size violations raise
         :class:`FramingError` here, before any bytes are sent.
+
+        Blocks while ``net.max_in_flight`` requests are already awaiting
+        responses on this connection -- the transport's backpressure
+        window.  The slot is held until the call's future completes
+        (response, cancellation, or transport death).
         """
-        future: Future = Future()
-        with self._lock:
-            if self._closed:
-                raise RpcConnectionError(f"connection to {self.address} is closed")
-            self._next_id += 1
-            rid = self._next_id
-            self._pending[rid] = future
-        envelope: dict[str, Any] = {"id": rid, "method": method, "args": args or {}}
-        if blob is not None:
-            if blob_arg is None:
-                raise ValueError("blob requires blob_arg naming the handler keyword")
-            envelope["blob_arg"] = blob_arg
-            if len(blob) > self.net.max_frame_bytes:
+        self._window_acquire()
+        admitted = False
+        try:
+            future: Future = Future()
+            with self._lock:
+                if self._closed:
+                    raise RpcConnectionError(f"connection to {self.address} is closed")
+                self._next_id += 1
+                rid = self._next_id
+                self._pending[rid] = future
+            envelope: dict[str, Any] = {"id": rid, "method": method, "args": args or {}}
+            if blob is not None:
+                if blob_arg is None:
+                    raise ValueError("blob requires blob_arg naming the handler keyword")
+                envelope["blob_arg"] = blob_arg
+                if len(blob) > self.net.max_frame_bytes:
+                    self._forget(rid)
+                    self._count("net.frames_rejected", 1)
+                    raise FramingError(
+                        f"blob of {len(blob)} bytes exceeds the "
+                        f"{self.net.max_frame_bytes}-byte frame limit"
+                    )
+            try:
+                sent = self._channel.send_envelope(envelope, blob)
+            except FramingError:
                 self._forget(rid)
                 self._count("net.frames_rejected", 1)
-                raise FramingError(
-                    f"blob of {len(blob)} bytes exceeds the "
-                    f"{self.net.max_frame_bytes}-byte frame limit"
-                )
-        try:
-            sent = self._channel.send_envelope(envelope, blob)
-        except FramingError:
-            self._forget(rid)
-            self._count("net.frames_rejected", 1)
-            raise
-        except OSError as exc:
-            self._forget(rid)
-            self._teardown(RpcConnectionError(f"send to {self.address} failed: {exc}"))
-            raise RpcConnectionError(f"{method} to {self.address}: {exc}") from exc
+                raise
+            except OSError as exc:
+                self._forget(rid)
+                self._teardown(RpcConnectionError(f"send to {self.address} failed: {exc}"))
+                raise RpcConnectionError(f"{method} to {self.address}: {exc}") from exc
+            admitted = True
+        finally:
+            if not admitted:
+                self._window_release()
+        # If the response already arrived, the callback fires immediately.
+        future.add_done_callback(self._window_done)
         self._count("net.bytes_sent", sent)
         return future
+
+    # -- the in-flight window ---------------------------------------------------
+
+    def _window_acquire(self) -> None:
+        """Take one in-flight slot; block while the window is full.
+
+        Polls so a connection closed underneath a blocked caller raises
+        instead of hanging (teardown cannot know how many callers wait).
+        """
+        while not self._window.acquire(timeout=0.05):
+            with self._lock:
+                if self._closed:
+                    raise RpcConnectionError(
+                        f"connection to {self.address} is closed"
+                    )
+        with self._lock:
+            self._admitted += 1
+            occupancy = self._admitted
+        self._gauge("rpc.in_flight", occupancy)
+
+    def _window_release(self) -> None:
+        with self._lock:
+            self._admitted -= 1
+            occupancy = self._admitted
+        self._gauge("rpc.in_flight", occupancy)
+        self._window.release()
+
+    def _window_done(self, _future: Future) -> None:
+        self._window_release()
 
     def call(self, method: str, args: dict[str, Any] | None = None,
              timeout: float | None = None, blob=None, blob_arg: str | None = None) -> Any:
@@ -415,6 +593,55 @@ class RpcClient:
 
     def _complete(self, response: dict) -> None:
         rid = response.get("id")
+        stream = response.get("stream")
+        if stream == "begin":
+            with self._lock:
+                # Only open a buffer for a call someone still waits on; a
+                # cancelled call's stream is discarded page by page.
+                if rid in self._pending:
+                    self._streams[rid] = StreamResult(response.get("value"), [])
+            return
+        if stream == "chunk":
+            with self._lock:
+                partial = self._streams.get(rid)
+                if partial is not None:
+                    partial.pages.append(response.get("__blob__"))
+                    pages = len(partial.pages)
+                    buffered = sum(len(s.pages) for s in self._streams.values())
+            if partial is None:
+                self._count("rpc.orphan_responses", 1)
+                return
+            self._gauge("rpc.stream_pages", buffered)
+            hook = self.stream_page_hook
+            if hook is not None:
+                try:
+                    hook(self.address, pages)
+                except Exception:
+                    pass  # a chaos hook must not take down the reader
+            return
+        if stream == "end":
+            with self._lock:
+                partial = self._streams.pop(rid, None)
+                future = self._pending.pop(rid, None)
+                buffered = sum(len(s.pages) for s in self._streams.values())
+            self._gauge("rpc.stream_pages", buffered)
+            if future is None:
+                self._count("rpc.orphan_responses", 1)
+                return
+            if not future.set_running_or_notify_cancel():
+                return  # caller timed out and cancelled
+            if response.get("ok"):
+                self._count("rpc.streams_completed", 1)
+                future.set_result(partial if partial is not None
+                                  else StreamResult(None, []))
+            else:
+                self._count("rpc.streams_aborted", 1)
+                future.set_exception(RpcRemoteError(
+                    response.get("etype", "Exception"),
+                    response.get("error", ""),
+                    response.get("data"),
+                ))
+            return
         with self._lock:
             future = self._pending.pop(rid, None)
         if future is None:
@@ -440,12 +667,22 @@ class RpcClient:
             self._pending.pop(rid, None)
 
     def _teardown(self, error: NetworkError) -> None:
-        """Fail every in-flight future; no response can ever arrive now."""
+        """Fail every in-flight future; no response can ever arrive now.
+
+        Partial streams are discarded whole (counted in
+        ``rpc.streams_aborted``) -- their futures fail like any other
+        in-flight call, so a caller never observes half a stream.
+        """
         with self._lock:
             already = self._closed
             self._closed = True
             pending = list(self._pending.values())
             self._pending.clear()
+            aborted_streams = len(self._streams)
+            self._streams.clear()
+        if aborted_streams:
+            self._count("rpc.streams_aborted", aborted_streams)
+            self._gauge("rpc.stream_pages", 0)
         for future in pending:
             if future.set_running_or_notify_cancel():
                 future.set_exception(error)
@@ -483,6 +720,10 @@ class RpcClient:
         if self._metrics is not None:
             self._metrics.counter(name).inc(amount)
 
+    def _gauge(self, name: str, value: float) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge(name).set(value)
+
 
 class ConnectionPool:
     """One shared multiplexed connection per address, with retries.
@@ -503,6 +744,9 @@ class ConnectionPool:
         self._conns: dict[tuple[str, int], RpcClient] = {}
         self._lock = threading.Lock()
         self._closed = False
+        #: Propagated to every connection (see RpcClient.stream_page_hook);
+        #: the fault-injection tests use it to act mid-stream.
+        self.stream_page_hook: Optional[Callable[[tuple[str, int], int], None]] = None
 
     # -- connection management -----------------------------------------------------
 
@@ -512,10 +756,12 @@ class ConnectionPool:
                 raise RpcConnectionError("connection pool is closed")
             client = self._conns.get(addr)
             if client is not None and not client.closed:
+                client.stream_page_hook = self.stream_page_hook
                 return client
             if client is not None:
                 del self._conns[addr]
         dialed = RpcClient(addr[0], addr[1], self.net, self._metrics)
+        dialed.stream_page_hook = self.stream_page_hook
         self._count("net.connections_opened", 1)
         with self._lock:
             if self._closed:

@@ -131,7 +131,15 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Name-addressed counters/gauges/series shared by a simulation run."""
+    """Name-addressed counters/gauges/series shared by a simulation run.
+
+    The cluster data plane exports two load-bearing gauges here:
+    ``rpc.in_flight`` (per-connection window occupancy; its peak must
+    never exceed ``net.max_in_flight``) and ``rpc.stream_pages`` (pages
+    buffered toward streamed responses under reassembly).  ``peak(name)``
+    reads a gauge's historical maximum -- the number the backpressure
+    and bounded-memory assertions check.
+    """
 
     def __init__(self) -> None:
         self.counters: dict[str, Counter] = defaultdict(Counter)
@@ -144,6 +152,10 @@ class MetricsRegistry:
 
     def gauge(self, name: str) -> Gauge:
         return self.gauges[name]
+
+    def peak(self, name: str) -> float:
+        """Highest value the named gauge ever held (0.0 if never set)."""
+        return self.gauges[name].max_seen
 
     def timeseries(self, name: str) -> TimeSeries:
         return self.series[name]

@@ -1,0 +1,465 @@
+"""Bounded-memory data plane: streamed reduce output plus backpressure.
+
+The fault-injection / property suite for the streaming transport.  What
+it pins down, layer by layer:
+
+* **Paging** -- ``framing.paginate`` and the reduce-output pager
+  (``iter_output_pages`` / ``decode_output_pages``) round-trip exactly,
+  across page/frame boundary sizes including empty payloads (Hypothesis
+  property tests).
+* **Stream RPC** -- a handler returning :class:`Stream` reaches the
+  caller as a :class:`StreamResult` with header and pages intact; a
+  generator that fails mid-stream, or produces an oversized page, is
+  reported in-band with the connection still usable; a server that dies
+  mid-stream discards the partial page buffer (``rpc.streams_aborted``)
+  and fails the future with a transport error -- the caller never sees
+  half a stream.
+* **Backpressure** -- ``call_async`` admits at most ``net.max_in_flight``
+  requests per connection; the ``rpc.in_flight`` gauge's peak proves the
+  window holds, callers blocked on a full window are released by
+  responses and raised by a closing connection, and ``NetConfig``
+  rejects a windowless configuration outright.
+* **Cluster** -- a wordcount whose reduce output exceeds
+  ``net.max_frame_bytes`` streams across the wire and stays bit-equal to
+  the sequential runtime with the LAF assignment sequence unchanged; a
+  worker SIGKILLed *mid-stream* (via the ``on_stream_page`` chaos hook)
+  fails over cleanly and the job still finishes bit-equal on survivors.
+"""
+
+import pickle
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterRuntime
+from repro.cluster.messages import decode_output_pages, iter_output_pages
+from repro.common.config import ClusterConfig, DFSConfig, NetConfig
+from repro.common.errors import (
+    ClusterError,
+    ConfigError,
+    FramingError,
+    RpcConnectionError,
+    RpcRemoteError,
+)
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import EclipseMRRuntime
+from repro.net.framing import paginate
+from repro.net.rpc import RpcClient, RpcServer, Stream, StreamResult
+from repro.sim.metrics import MetricsRegistry
+
+
+# ---------------------------------------------------------------------------
+# Paging: byte-exact slicing and reduce-output round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestPaginate:
+    @given(
+        payload=st.binary(min_size=0, max_size=4096),
+        page_bytes=st.integers(min_value=1, max_value=1024),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_round_trip_and_page_bounds(self, payload, page_bytes):
+        pages = list(paginate(payload, page_bytes))
+        assert b"".join(bytes(p) for p in pages) == payload
+        # Every page is full except possibly the last; none exceed the limit.
+        for page in pages[:-1]:
+            assert len(page) == page_bytes
+        if pages:
+            assert 1 <= len(pages[-1]) <= page_bytes
+        else:
+            assert payload == b""
+
+    @pytest.mark.parametrize("size", [0, 1, 63, 64, 65, 1000])
+    def test_boundary_sizes_against_a_64_byte_page(self, size):
+        payload = bytes(range(256)) * 4
+        payload = (payload * (size // len(payload) + 1))[:size]
+        pages = list(paginate(payload, 64))
+        assert b"".join(bytes(p) for p in pages) == payload
+        assert len(pages) == (size + 63) // 64
+
+    def test_invalid_page_size_rejected(self):
+        with pytest.raises(FramingError, match="page size"):
+            list(paginate(b"abc", 0))
+
+
+class TestOutputPaging:
+    @given(
+        output=st.dictionaries(
+            st.text(min_size=0, max_size=20),
+            st.one_of(st.integers(), st.text(max_size=50), st.binary(max_size=50)),
+            max_size=40,
+        ),
+        page_bytes=st.integers(min_value=16, max_value=512),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_round_trip_preserves_items_and_order(self, output, page_bytes):
+        pages = list(iter_output_pages(output, page_bytes))
+        rebuilt = decode_output_pages(pages)
+        assert rebuilt == output
+        assert list(rebuilt) == list(output)  # dict insertion order survives
+        if not output:
+            assert pages == []
+
+    def test_pages_respect_the_byte_budget(self):
+        output = {f"key-{i:04d}": "v" * 20 for i in range(200)}
+        page_bytes = 256
+        pages = list(iter_output_pages(output, page_bytes))
+        assert len(pages) > 1
+        item_sizes = {
+            k: len(pickle.dumps((k, v), protocol=pickle.HIGHEST_PROTOCOL))
+            for k, v in output.items()
+        }
+        for page in pages:
+            items = pickle.loads(page)
+            # The *item pickles* the pager budgeted with fit the page,
+            # unless a single item alone is bigger than a page.
+            if len(items) > 1:
+                assert sum(item_sizes[k] for k, _ in items) <= page_bytes
+
+    def test_single_item_bigger_than_a_page_gets_its_own_page(self):
+        output = {"small": 1, "huge": "x" * 4096, "tail": 2}
+        pages = list(iter_output_pages(output, 64))
+        assert decode_output_pages(pages) == output
+        solo = [pickle.loads(p) for p in pages if len(p) > 64]
+        assert solo and all(len(items) == 1 for items in solo)
+
+    def test_invalid_page_size_rejected(self):
+        with pytest.raises(ClusterError, match="page size"):
+            list(iter_output_pages({"a": 1}, 0))
+
+
+# ---------------------------------------------------------------------------
+# Stream RPC: reassembly, in-band failures, mid-stream transport death
+# ---------------------------------------------------------------------------
+
+NET = NetConfig(max_frame_bytes=64 * 1024)
+
+
+@pytest.fixture()
+def stream_server():
+    release = threading.Event()
+    started = threading.Event()
+
+    def fixed_stream(n, page_size):
+        def pages():
+            for i in range(n):
+                yield bytes([i % 256]) * page_size
+        return Stream(pages(), value={"n": n, "page_size": page_size})
+
+    def failing_stream(after):
+        def pages():
+            for i in range(after):
+                yield b"ok" * 8
+            raise RuntimeError("the pager exploded")
+        return Stream(pages(), value=None)
+
+    def oversized_page():
+        def pages():
+            yield b"fine" * 8
+            yield b"z" * (NET.max_frame_bytes + 1)
+        return Stream(pages(), value=None)
+
+    def gated_stream():
+        def pages():
+            yield b"first-page"
+            started.set()
+            release.wait(10.0)
+            yield b"never-delivered"
+        return Stream(pages(), value={"gated": True})
+
+    def echo(value):
+        return value
+
+    srv = RpcServer(
+        {
+            "fixed_stream": fixed_stream,
+            "failing_stream": failing_stream,
+            "oversized_page": oversized_page,
+            "gated_stream": gated_stream,
+            "echo": echo,
+        },
+        net=NET,
+    ).start()
+    srv.release = release
+    srv.started = started
+    yield srv
+    release.set()
+    srv.stop()
+
+
+class TestStreamRpc:
+    def test_streamed_response_reassembles_with_header(self, stream_server):
+        metrics = MetricsRegistry()
+        client = RpcClient(stream_server.host, stream_server.port, NET, metrics)
+        try:
+            result = client.call("fixed_stream", {"n": 10, "page_size": 1000})
+            assert isinstance(result, StreamResult)
+            assert result.value == {"n": 10, "page_size": 1000}
+            assert len(result) == 10
+            assert result.join() == b"".join(
+                bytes([i % 256]) * 1000 for i in range(10)
+            )
+            assert metrics.counter("rpc.streams_completed").value == 1
+            # Reassembly is complete: nothing left buffered.
+            assert metrics.gauge("rpc.stream_pages").value == 0
+            assert metrics.peak("rpc.stream_pages") >= 1
+        finally:
+            client.close()
+
+    def test_stream_larger_than_the_frame_limit(self, stream_server):
+        """The whole point: a response bigger than any legal frame."""
+        client = RpcClient(stream_server.host, stream_server.port, NET)
+        try:
+            n, page = 40, 32 * 1024  # 1.25 MiB total, frames capped at 64 KiB
+            assert n * page > NET.max_frame_bytes
+            result = client.call("fixed_stream", {"n": n, "page_size": page},
+                                 timeout=30.0)
+            assert len(result) == n
+            assert len(result.join()) == n * page
+        finally:
+            client.close()
+
+    def test_empty_stream_resolves_to_zero_pages(self, stream_server):
+        client = RpcClient(stream_server.host, stream_server.port, NET)
+        try:
+            result = client.call("fixed_stream", {"n": 0, "page_size": 1})
+            assert isinstance(result, StreamResult)
+            assert len(result) == 0 and result.join() == b""
+        finally:
+            client.close()
+
+    def test_generator_failure_mid_stream_is_in_band(self, stream_server):
+        """A pager that raises fails the call but keeps the connection."""
+        metrics = MetricsRegistry()
+        client = RpcClient(stream_server.host, stream_server.port, NET, metrics)
+        try:
+            with pytest.raises(RpcRemoteError, match="pager exploded"):
+                client.call("failing_stream", {"after": 3})
+            assert metrics.counter("rpc.streams_aborted").value == 1
+            assert metrics.gauge("rpc.stream_pages").value == 0  # buffer dropped
+            # The failure ended at a frame boundary: the connection lives.
+            assert client.call("echo", {"value": "still-alive"}) == "still-alive"
+        finally:
+            client.close()
+
+    def test_oversized_page_rejected_in_band(self, stream_server):
+        client = RpcClient(stream_server.host, stream_server.port, NET)
+        try:
+            with pytest.raises(RpcRemoteError) as excinfo:
+                client.call("oversized_page")
+            assert excinfo.value.etype == "FramingError"
+            assert client.call("echo", {"value": 42}) == 42
+        finally:
+            client.close()
+
+    def test_server_death_mid_stream_discards_partial_pages(self, stream_server):
+        """The kill lands between chunks: the partial buffer must go.
+
+        The gated pager blocks after its first page, so exactly one chunk
+        is on the client when the server dies -- fully deterministic,
+        unlike SIGKILLing a process whose stream may already sit in
+        kernel socket buffers.
+        """
+        metrics = MetricsRegistry()
+        client = RpcClient(stream_server.host, stream_server.port, NET, metrics)
+        first_page = threading.Event()
+        client.stream_page_hook = lambda addr, pages: first_page.set()
+        try:
+            future = client.call_async("gated_stream")
+            assert stream_server.started.wait(10.0), "stream never started"
+            assert first_page.wait(10.0), "first chunk never arrived"
+            stream_server.stop()  # transport death with the stream open
+            with pytest.raises(RpcConnectionError):
+                future.result(10.0)
+            assert metrics.counter("rpc.streams_aborted").value == 1
+            assert metrics.gauge("rpc.stream_pages").value == 0  # discarded
+        finally:
+            stream_server.release.set()
+            client.close()
+
+
+# ---------------------------------------------------------------------------
+# Backpressure: the per-connection in-flight window
+# ---------------------------------------------------------------------------
+
+
+class TestBackpressure:
+    def test_config_rejects_windowless_transport(self):
+        with pytest.raises(ConfigError, match="max_in_flight"):
+            NetConfig(max_in_flight=0)
+        with pytest.raises(ConfigError, match="max_in_flight"):
+            NetConfig(max_in_flight=-1)
+
+    def test_peak_in_flight_never_exceeds_the_window(self):
+        def slow_echo(value):
+            time.sleep(0.05)
+            return value
+
+        net = NetConfig(max_in_flight=4)
+        srv = RpcServer({"slow_echo": slow_echo}, net=net).start()
+        metrics = MetricsRegistry()
+        client = RpcClient(srv.host, srv.port, net, metrics)
+        try:
+            # 20 pipelined calls against a window of 4: call_async itself
+            # blocks for slots, so issuing them serially exercises the wait.
+            futures = [client.call_async("slow_echo", {"value": i})
+                       for i in range(20)]
+            assert [f.result(30.0) for f in futures] == list(range(20))
+            assert metrics.peak("rpc.in_flight") <= net.max_in_flight
+            assert metrics.peak("rpc.in_flight") == 4  # the window filled
+            assert metrics.gauge("rpc.in_flight").value == 0  # all drained
+        finally:
+            client.close()
+            srv.stop()
+
+    def test_blocked_caller_released_by_a_response(self):
+        gate = threading.Event()
+
+        def wait_for_gate(tag):
+            gate.wait(10.0)
+            return tag
+
+        net = NetConfig(max_in_flight=2)
+        srv = RpcServer({"wait_for_gate": wait_for_gate}, net=net).start()
+        client = RpcClient(srv.host, srv.port, net)
+        third_result = []
+        try:
+            f1 = client.call_async("wait_for_gate", {"tag": 1})
+            f2 = client.call_async("wait_for_gate", {"tag": 2})
+
+            def third():
+                third_result.append(client.call("wait_for_gate", {"tag": 3},
+                                                timeout=30.0))
+
+            t = threading.Thread(target=third, daemon=True)
+            t.start()
+            time.sleep(0.3)
+            assert t.is_alive()          # the window is full: call 3 waits
+            assert not third_result
+            gate.set()                   # responses free slots
+            t.join(30.0)
+            assert third_result == [3]
+            assert f1.result(10.0) == 1 and f2.result(10.0) == 2
+        finally:
+            gate.set()
+            client.close()
+            srv.stop()
+
+    def test_blocked_caller_raises_when_the_connection_closes(self):
+        gate = threading.Event()
+
+        def wait_for_gate():
+            gate.wait(10.0)
+            return True
+
+        net = NetConfig(max_in_flight=1)
+        srv = RpcServer({"wait_for_gate": wait_for_gate}, net=net).start()
+        client = RpcClient(srv.host, srv.port, net)
+        outcome = []
+        try:
+            client.call_async("wait_for_gate")  # occupies the only slot
+
+            def blocked():
+                try:
+                    client.call_async("wait_for_gate")
+                    outcome.append("sent")
+                except RpcConnectionError:
+                    outcome.append("raised")
+
+            t = threading.Thread(target=blocked, daemon=True)
+            t.start()
+            time.sleep(0.2)
+            assert not outcome           # still parked on the window
+            client.close()               # teardown must wake the waiter
+            t.join(10.0)
+            assert outcome == ["raised"]
+        finally:
+            gate.set()
+            srv.stop()
+
+
+# ---------------------------------------------------------------------------
+# Cluster: streamed reduce output, bit-equal, and mid-stream failover
+# ---------------------------------------------------------------------------
+
+STREAM_CFG = ClusterConfig(
+    dfs=DFSConfig(block_size=2048),
+    # Shrunk so a modest wordcount output must stream: no single frame
+    # may carry it, and each stream spans many pages.
+    net=NetConfig(max_frame_bytes=16 * 1024, stream_page_bytes=1024),
+)
+
+
+def big_corpus() -> bytes:
+    """A corpus whose wordcount output far exceeds ``max_frame_bytes``."""
+    words = [f"streamword-{i:05d}-{'x' * 10}" for i in range(4000)]
+    return " ".join(words[i % len(words)] for i in range(8000)).encode()
+
+
+def big_wordcount(app_id: str) -> MapReduceJob:
+    def wc_map(block):
+        for token in bytes(block).decode().split():
+            yield token, 1
+
+    def wc_reduce(key, values):
+        return sum(values)
+
+    return MapReduceJob(app_id=app_id, input_file="big.txt",
+                        map_fn=wc_map, reduce_fn=wc_reduce)
+
+
+class TestClusterStreaming:
+    def test_streamed_reduce_output_is_bit_equal(self):
+        data = big_corpus()
+        seq = EclipseMRRuntime(3, config=STREAM_CFG)
+        seq.upload("big.txt", data)
+        ref = seq.run(big_wordcount("stream-eq"))
+
+        # The output could not have shipped inline: it exceeds any frame.
+        out_bytes = len(pickle.dumps(ref.output,
+                                     protocol=pickle.HIGHEST_PROTOCOL))
+        assert out_bytes > STREAM_CFG.net.max_frame_bytes
+
+        with ClusterRuntime(3, STREAM_CFG) as rt:
+            rt.upload("big.txt", data)
+            res = rt.run(big_wordcount("stream-eq"))
+
+            assert res.output == ref.output  # bit-equal across the stream
+            assert res.stats.tasks_per_server == ref.stats.tasks_per_server
+            assert rt.metrics.counter("rpc.streams_completed").value >= 1
+            assert rt.metrics.peak("rpc.stream_pages") >= 1
+            streamed = sum(s.get("worker.reduces_streamed", 0)
+                           for s in rt.worker_stats().values())
+            assert streamed >= 1  # the workers really took the paged path
+
+    def test_worker_killed_mid_stream_fails_over_bit_equal(self):
+        data = big_corpus()
+        seq = EclipseMRRuntime(3, config=STREAM_CFG)
+        seq.upload("big.txt", data)
+        ref = seq.run(big_wordcount("stream-ft"))
+
+        with ClusterRuntime(3, STREAM_CFG) as rt:
+            rt.upload("big.txt", data)
+            killed = []
+            addr_to_wid = {a.addr: w
+                           for w, a in rt.coordinator.addresses.items()}
+
+            def chaos(addr, pages):
+                # SIGKILL the first worker seen streaming, two pages in.
+                if pages == 2 and not killed:
+                    wid = addr_to_wid[addr]
+                    killed.append(wid)
+                    rt.kill_worker(wid)
+
+            rt.on_stream_page = chaos
+            res = rt.run(big_wordcount("stream-ft"))
+
+            assert killed, "chaos hook never fired mid-stream"
+            assert res.output == ref.output  # correct despite the kill
+            assert rt.metrics.counter("cluster.failovers").value == 1
+            assert killed[0] not in rt.worker_ids  # membership updated
+            assert res.stats.task_retries >= 1     # work was re-executed

@@ -1,8 +1,16 @@
 """Cross-plane validation: the functional engine and the performance
-model must agree on timing-independent quantities."""
+model must agree on timing-independent quantities, and all three
+execution planes (sequential, thread-parallel, multi-process cluster)
+must produce identical results even when reduce outputs are large
+enough to stream on the cluster's wire."""
 
 import pytest
 
+from repro.cluster import ClusterRuntime
+from repro.common.config import ClusterConfig, DFSConfig, NetConfig
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.parallel import ParallelEclipseMRRuntime
+from repro.mapreduce.runtime import EclipseMRRuntime
 from repro.perfmodel.validation import compare_planes
 
 
@@ -33,3 +41,57 @@ class TestCrossPlane:
         cmp = compare_planes(num_workers=6, blocks=18, repeats=2, scheduler="delay")
         assert cmp.functional_hit_ratio == pytest.approx(0.5, abs=0.06)
         assert cmp.simulated_hit_ratio == pytest.approx(0.5, abs=0.06)
+
+
+class TestThreePlaneStreaming:
+    """The same big-output wordcount on every execution plane.
+
+    The cluster plane's frame limit is shrunk so each worker's reduce
+    output *must* take the paged streaming path; the sequential and
+    thread-parallel planes have no wire at all.  All three answers must
+    be identical -- the transport is invisible to results.
+    """
+
+    CFG = ClusterConfig(
+        dfs=DFSConfig(block_size=2048),
+        net=NetConfig(max_frame_bytes=16 * 1024, stream_page_bytes=1024),
+    )
+
+    @staticmethod
+    def corpus() -> bytes:
+        words = [f"planeword-{i:05d}-{'y' * 12}" for i in range(3000)]
+        return " ".join(words[i % len(words)] for i in range(6000)).encode()
+
+    @staticmethod
+    def job(app_id: str) -> MapReduceJob:
+        def wc_map(block):
+            for token in bytes(block).decode().split():
+                yield token, 1
+
+        def wc_reduce(key, values):
+            return sum(values)
+
+        return MapReduceJob(app_id=app_id, input_file="planes.txt",
+                            map_fn=wc_map, reduce_fn=wc_reduce)
+
+    def test_all_planes_agree_on_streamed_output(self):
+        data = self.corpus()
+
+        seq = EclipseMRRuntime(3, config=self.CFG)
+        seq.upload("planes.txt", data)
+        ref = seq.run(self.job("planes-seq"))
+
+        par = ParallelEclipseMRRuntime(3, config=self.CFG, max_workers=4)
+        par.upload("planes.txt", data)
+        threaded = par.run(self.job("planes-par"))
+
+        with ClusterRuntime(3, self.CFG) as rt:
+            rt.upload("planes.txt", data)
+            clustered = rt.run(self.job("planes-cluster"))
+            streamed = rt.metrics.counter("rpc.streams_completed").value
+
+        assert threaded.output == ref.output
+        assert clustered.output == ref.output
+        assert threaded.stats.tasks_per_server == ref.stats.tasks_per_server
+        assert clustered.stats.tasks_per_server == ref.stats.tasks_per_server
+        assert streamed >= 1  # the cluster plane really streamed
