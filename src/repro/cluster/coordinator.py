@@ -26,7 +26,7 @@ from repro.common.hashing import DEFAULT_SPACE, HashSpace
 from repro.dfs.metadata import BlockDescriptor, FileMetadata
 from repro.dht.ring import ConsistentHashRing
 from repro.cluster.heartbeat import LivenessTracker
-from repro.cluster.messages import RingTable, WorkerAddress
+from repro.cluster.messages import CompletionMarker, RingTable, WorkerAddress
 from repro.net.retry import RetryPolicy
 from repro.net.rpc import ConnectionPool, RpcServer
 from repro.scheduler.base import Scheduler
@@ -76,6 +76,9 @@ class Coordinator:
         self.metadata: dict[str, FileMetadata] = {}
         self.holders: dict[tuple[str, int], list[str]] = {}
         self.block_keys: dict[tuple[str, int], int] = {}
+        # Completion markers: per-map spill manifests for oCache replay,
+        # keyed like the sequential plane's ``_imr-done/...`` objects.
+        self.markers: dict[tuple[str, str, int], CompletionMarker] = {}
         self.addresses: dict[str, WorkerAddress] = {}
         self.epoch = 0
         self.liveness = LivenessTracker(
@@ -343,6 +346,22 @@ class Coordinator:
             for wid in self.holders.get((name, index), [])
             if wid in self.addresses
         ]
+
+    # -- completion markers (oCache replay) --------------------------------------
+
+    def record_marker(self, marker: CompletionMarker) -> None:
+        """Store (or overwrite) one map task's completion marker.
+
+        Markers are metadata and live here with the file metadata -- the
+        spill payloads they name stay sharded on the destination
+        workers, exactly like blocks."""
+        with self._lock:
+            self.markers[(marker.app_id, marker.input_file, marker.block_index)] = marker
+
+    def marker_for(self, app_id: str, input_file: str, block_index: int) -> Optional[CompletionMarker]:
+        """The completion marker for one map task, if one was recorded."""
+        with self._lock:
+            return self.markers.get((app_id, input_file, block_index))
 
     # -- teardown -----------------------------------------------------------------------
 

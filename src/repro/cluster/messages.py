@@ -22,6 +22,7 @@ from repro.cluster.fnpickle import dumps_fn, loads_fn
 __all__ = [
     "WorkerAddress",
     "RingTable",
+    "CompletionMarker",
     "encode_job",
     "DecodedJob",
     "decode_job",
@@ -85,6 +86,62 @@ class RingTable:
 
     def __len__(self) -> int:
         return len(self.positions)
+
+
+@dataclass(frozen=True)
+class CompletionMarker:
+    """One finished map task's spill manifest (the oCache replay unit).
+
+    The cluster-plane analog of the sequential runtime's
+    ``_imr-done/{app_id}/{input_file}#map{index}`` DFS object: it names
+    every spill the map delivered as ``(dest_worker, spill_id, nbytes)``
+    so a later ``reuse_intermediates`` job can repopulate the reduce-side
+    stores -- with the *original* byte accounting -- without re-mapping.
+    Markers are control-plane metadata and live on the coordinator, next
+    to the file metadata; the spill payloads themselves stay sharded on
+    the destination workers (oCache + persisted spill objects).
+    """
+
+    app_id: str
+    input_file: str
+    block_index: int
+    entries: tuple[tuple[str, str, int], ...]  # (dest, spill_id, nbytes)
+
+    @property
+    def spill_count(self) -> int:
+        return len(self.entries)
+
+    @property
+    def total_nbytes(self) -> int:
+        return sum(nbytes for _, _, nbytes in self.entries)
+
+    def by_dest(self) -> dict[str, list[tuple[str, int]]]:
+        """Entries grouped per destination worker, manifest order kept:
+        ``{dest: [(spill_id, nbytes), ...]}`` -- one replay RPC per dest."""
+        out: dict[str, list[tuple[str, int]]] = {}
+        for dest, spill_id, nbytes in self.entries:
+            out.setdefault(dest, []).append((spill_id, nbytes))
+        return out
+
+    def spill_ids(self) -> list[str]:
+        return [spill_id for _, spill_id, _ in self.entries]
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "app_id": self.app_id,
+            "input_file": self.input_file,
+            "block_index": self.block_index,
+            "entries": [list(e) for e in self.entries],
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "CompletionMarker":
+        return cls(
+            app_id=wire["app_id"],
+            input_file=wire["input_file"],
+            block_index=wire["block_index"],
+            entries=tuple((str(d), str(s), int(n)) for d, s, n in wire["entries"]),
+        )
 
 
 def encode_job(job: MapReduceJob) -> dict[str, Any]:

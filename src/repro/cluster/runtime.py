@@ -42,7 +42,7 @@ from repro.common.errors import (
 from repro.common.hashing import DEFAULT_SPACE, HashSpace
 from repro.common.serialization import config_to_dict
 from repro.cluster.coordinator import Coordinator
-from repro.cluster.messages import encode_job, reassemble_reduce
+from repro.cluster.messages import CompletionMarker, encode_job, reassemble_reduce
 from repro.cluster.worker import worker_main
 from repro.mapreduce.job import JobResult, JobStats, MapReduceJob
 from repro.sim.metrics import MetricsRegistry
@@ -73,6 +73,10 @@ class ClusterRuntime:
         #: Test/chaos hook: called with the number of completed map tasks
         #: after each one finishes (killing a worker here exercises failover).
         self.on_map_complete: Optional[Callable[[int], None]] = None
+        #: Test/chaos hook: called with the number of maps skipped by
+        #: oCache replay so far (killing a worker here exercises the
+        #: mid-replay failover / fallback-to-re-map path).
+        self.on_replay_complete: Optional[Callable[[int], None]] = None
         #: Test/chaos hook: called with ``(worker_addr, pages_so_far)`` as
         #: each streamed-response page reaches the coordinator (killing the
         #: sender here exercises mid-stream failover).
@@ -168,11 +172,6 @@ class ClusterRuntime:
 
     def run(self, job: MapReduceJob) -> JobResult:
         """Execute one MapReduce job across the worker processes."""
-        if job.reuse_intermediates:
-            raise ClusterError(
-                "reuse_intermediates is not supported by the cluster plane yet; "
-                "run such jobs on EclipseMRRuntime"
-            )
         meta = self.coordinator.stat(job.input_file, user=job.user)
         wire = encode_job(job)
         max_failovers = max(0, len(self.coordinator.alive_ids()) - 1)
@@ -186,9 +185,6 @@ class ClusterRuntime:
                 self._broadcast("discard_job", {"app_id": job.app_id})
                 self._map_phase(job, wire, meta, stats)
                 output = self._reduce_phase(job, wire, stats)
-                self._broadcast("discard_job", {"app_id": job.app_id})
-                stats.task_retries = reexecuted
-                return JobResult(app_id=job.app_id, output=output, stats=stats)
             except WorkerLost as lost:
                 failovers += 1
                 # Completed maps of the aborted attempt will run again.
@@ -199,6 +195,25 @@ class ClusterRuntime:
                         f"job {job.app_id!r} lost {failovers} workers; giving up"
                     ) from lost
                 self._failover(lost.worker_id)
+                continue
+            # The result is assembled: cleanup is best-effort from here
+            # on.  A worker dying under the end-of-job broadcast must
+            # never restart a *completed* job.
+            self._cleanup_job(job.app_id)
+            stats.task_retries = reexecuted
+            return JobResult(app_id=job.app_id, output=output, stats=stats)
+
+    def _cleanup_job(self, app_id: str) -> None:
+        """Drop a finished job's in-flight intermediates on every worker.
+
+        Failures are swallowed and counted (``cluster.cleanup_failures``):
+        whoever missed the broadcast is either dead (its store died with
+        it) or will shed the entries when the next job's start-of-attempt
+        ``discard_job`` reaches it."""
+        try:
+            self._broadcast("discard_job", {"app_id": app_id})
+        except Exception:
+            self.metrics.counter("cluster.cleanup_failures").inc()
 
     # -- phases ----------------------------------------------------------------------
 
@@ -222,7 +237,7 @@ class ClusterRuntime:
             futures = []
             for desc, wid in assignments:
                 self.coordinator.scheduler.notify_start(wid)
-                futures.append((desc, wid, pool.submit(self._dispatch_map, wid, wire, desc)))
+                futures.append((desc, wid, pool.submit(self._dispatch_task, job, wire, desc, wid)))
             for desc, wid, fut in futures:
                 try:
                     result = fut.result()
@@ -234,9 +249,18 @@ class ClusterRuntime:
                     self.coordinator.scheduler.notify_finish(wid)
                 if lost is not None:
                     continue  # drain remaining futures; job restarts anyway
-                stats.map_tasks += 1
                 stats.spills += result["spills"]
                 stats.bytes_shuffled += result["bytes_shuffled"]
+                if result.get("replayed"):
+                    # oCache replay: the reduce side was repopulated from
+                    # cached/persisted spills; no map ran, no block read.
+                    stats.maps_skipped_by_reuse += 1
+                    stats.ocache_hits += result["ocache_hits"]
+                    stats.ocache_misses += result["ocache_misses"]
+                    if self.on_replay_complete is not None:
+                        self.on_replay_complete(stats.maps_skipped_by_reuse)
+                    continue
+                stats.map_tasks += 1
                 if result["source"] == "icache":
                     stats.icache_hits += 1
                 else:
@@ -245,10 +269,80 @@ class ClusterRuntime:
                         stats.local_block_reads += 1
                     else:
                         stats.remote_block_reads += 1
+                if result.get("manifest") is not None:
+                    self.coordinator.record_marker(CompletionMarker(
+                        app_id=job.app_id,
+                        input_file=job.input_file,
+                        block_index=desc.index,
+                        entries=tuple(tuple(e) for e in result["manifest"]),
+                    ))
                 if self.on_map_complete is not None:
                     self.on_map_complete(stats.map_tasks)
         if lost is not None:
             raise lost
+
+    def _dispatch_task(self, job: MapReduceJob, wire: dict, desc, wid: str) -> dict:
+        """Replay one block's intermediates if a marker allows it, else map."""
+        if job.reuse_intermediates:
+            marker = self.coordinator.marker_for(job.app_id, job.input_file, desc.index)
+            if marker is not None:
+                replayed = self._try_replay(job, marker)
+                if replayed is not None:
+                    return replayed
+        return self._dispatch_map(wid, wire, desc)
+
+    def _try_replay(self, job: MapReduceJob, marker: CompletionMarker) -> dict | None:
+        """Replay one map task's spills from its completion marker.
+
+        One ``replay_intermediates`` RPC per destination worker; each is
+        check-then-apply on its side.  Any miss (a destination died with
+        its shard, or a spill object fell out of the FIFO budget) undoes
+        the destinations already applied and returns ``None`` -- the
+        caller re-executes the map instead.  A destination dying *during*
+        replay surfaces as ``WorkerLost`` and rides the normal failover /
+        re-execution loop (the restarted attempt begins with a
+        ``discard_job`` broadcast, so partial replays never leak into it).
+        """
+        groups = marker.by_dest()
+        if any(dest not in self.coordinator.addresses for dest in groups):
+            self.metrics.counter("cluster.replay_fallbacks").inc()
+            return None
+        applied: list[str] = []
+        spills = nbytes = ocache_hits = ocache_misses = 0
+        for dest, entries in groups.items():
+            result = self._call_worker(
+                dest,
+                "replay_intermediates",
+                {"app_id": job.app_id, "spills": entries,
+                 "ttl": job.intermediate_ttl},
+            )
+            if not result["ok"]:
+                self._discard_partial_replay(job, marker, applied)
+                self.metrics.counter("cluster.replay_fallbacks").inc()
+                return None
+            applied.append(dest)
+            spills += result["spills"]
+            nbytes += result["bytes"]
+            ocache_hits += result["ocache_hits"]
+            ocache_misses += result["ocache_misses"]
+        self.metrics.counter("cluster.maps_replayed").inc()
+        return {"replayed": True, "spills": spills, "bytes_shuffled": nbytes,
+                "ocache_hits": ocache_hits, "ocache_misses": ocache_misses}
+
+    def _discard_partial_replay(self, job: MapReduceJob, marker: CompletionMarker,
+                                applied: list[str]) -> None:
+        """Un-deliver the spills of a partially replayed map task.
+
+        Errors propagate: an unreachable destination becomes
+        ``WorkerLost`` and restarts the attempt (which re-discards
+        everything anyway), so stale spills can never survive into the
+        re-mapped shuffle."""
+        groups = marker.by_dest()
+        for dest in applied:
+            self._call_worker(dest, "discard_spills", {
+                "app_id": job.app_id,
+                "spill_ids": [sid for sid, _ in groups[dest]],
+            })
 
     def _dispatch_map(self, wid: str, wire: dict, desc) -> dict:
         holders = [

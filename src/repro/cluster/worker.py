@@ -10,7 +10,16 @@ partitions, and its reduce-side intermediate store.  It serves RPCs:
   push spill buffers to the reduce-side owners *worker-to-worker* over
   the wire (Fig. 2 step 4 -- the coordinator never touches a spill);
 * ``push_spill`` -- accept another worker's spill into the local
-  intermediate store (and oCache, when the job tags intermediates);
+  intermediate store (and, when the job tags intermediates, into oCache
+  plus a *persisted spill object* in the local DHT FS shard -- the
+  durable copy behind oCache replay, paper §II-C step 5);
+* ``replay_intermediates`` -- repopulate the local intermediate store
+  for a ``reuse_intermediates`` job from oCache (hit) or the persisted
+  spill object (miss), without any map running anywhere; the handler is
+  check-then-apply, so a missing spill delivers *nothing* and the
+  coordinator falls back to re-executing that map;
+* ``discard_spills`` -- drop specific replayed spills (the fallback path
+  un-doing a partially replayed map task before re-mapping it);
 * ``run_reduce`` -- reduce everything that landed here, in place;
 * ``update_ring`` / ``discard_job`` / ``get_stats`` / ``ping`` /
   ``shutdown`` -- control plane.
@@ -42,7 +51,7 @@ from repro.cluster.messages import (
     encode_spill,
     iter_output_pages,
 )
-from repro.mapreduce.shuffle import IntermediateStore, SpillBuffer
+from repro.mapreduce.shuffle import IntermediateStore, SpillBuffer, combine_pairs
 from repro.net.rpc import Blob, ConnectionPool, RpcClient, RpcServer, Stream
 from repro.sim.metrics import MetricsRegistry
 
@@ -77,6 +86,12 @@ class WorkerNode:
         self.block_replica: dict[tuple[str, int], bool] = {}
         self.cache = WorkerCache(worker_id, config.cache)
         self.intermediates = IntermediateStore(worker_id)
+        # Persisted spill objects: the durable, non-LRU copies behind
+        # oCache replay, keyed ``(app_id, spill_id)``.  Insertion order
+        # doubles as the FIFO eviction order against the configured
+        # ``cache.spill_store_bytes`` budget.
+        self.spill_objects: dict[tuple[str, str], bytes] = {}
+        self.spill_object_bytes = 0
         self.ring: Optional[RingTable] = None
         self.peers: dict[str, tuple[str, int]] = {}
         self.pool = ConnectionPool(config.net, metrics=self.metrics)
@@ -152,6 +167,9 @@ class WorkerNode:
             stored = len(self.blocks)
             replicas = sum(1 for r in self.block_replica.values() if r)
         out = {name: c.value for name, c in self.metrics.counters.items()}
+        with self._lock:
+            spill_objects = len(self.spill_objects)
+            spill_object_bytes = self.spill_object_bytes
         out.update(
             worker_id=self.worker_id,
             blocks_stored=stored,
@@ -161,6 +179,8 @@ class WorkerNode:
             ocache_hits=cache.ocache_hits,
             ocache_misses=cache.ocache_misses,
             bytes_received=self.intermediates.bytes_received,
+            spill_objects=spill_objects,
+            spill_object_bytes=spill_object_bytes,
         )
         return out
 
@@ -196,12 +216,24 @@ class WorkerNode:
         pushes: list[Future] = []
 
         def dispatch(dest, sid, pairs, nbytes):
+            # In-node combining: pairs are collapsed *before* they leave
+            # this worker, and a spill the combiner empties out is
+            # skipped outright -- never shipped, cached, or persisted
+            # (identical to the sequential plane's discipline).
+            pairs = combine_pairs(decoded.combiner, pairs)
+            if not pairs:
+                self.metrics.counter("worker.spills_skipped_empty").inc()
+                return False
             if dest == self.worker_id:
-                self._deliver_spill(decoded, peers, dest, sid, pairs, nbytes)
+                self.receive_spill(decoded.app_id, sid, pairs, nbytes,
+                                   cache=decoded.cache_intermediates,
+                                   ttl=decoded.intermediate_ttl)
+                self.metrics.counter("worker.local_spills").inc()
             else:
                 pushes.append(self._spill_pool.submit(
-                    self._deliver_spill, decoded, peers, dest, sid, pairs, nbytes
+                    self._push_spill_remote, decoded, peers, dest, sid, pairs, nbytes
                 ))
+            return True
 
         spill = SpillBuffer(
             space=self.space,
@@ -230,6 +262,10 @@ class WorkerNode:
             "source": source,
             "spills": spill.spills,
             "bytes_shuffled": spill.bytes_pushed,
+            # The completion-marker manifest: which spills this map
+            # delivered where, at what size.  The coordinator records it
+            # so a later ``reuse_intermediates`` job can replay.
+            "manifest": spill.manifest() if decoded.cache_intermediates else None,
         }
 
     def _read_block(
@@ -264,7 +300,7 @@ class WorkerNode:
             f"no reachable holder for block {index} of {name!r}: {last}"
         )
 
-    def _deliver_spill(
+    def _push_spill_remote(
         self,
         job: Any,
         peers: dict[str, tuple[str, int]],
@@ -273,16 +309,8 @@ class WorkerNode:
         pairs: list[tuple[Any, Any]],
         nbytes: int,
     ) -> None:
-        if job.combiner is not None:
-            grouped: dict[Any, list[Any]] = defaultdict(list)
-            for k, v in pairs:
-                grouped[k].append(v)
-            pairs = [(k, v) for k, vs in grouped.items() for v in job.combiner(k, vs)]
-        if dest == self.worker_id:
-            self.receive_spill(job.app_id, spill_id, pairs, nbytes,
-                               cache=job.cache_intermediates, ttl=job.intermediate_ttl)
-            self.metrics.counter("worker.local_spills").inc()
-            return
+        """Ship one (already combined, non-empty) spill to its reduce-side
+        owner over the wire."""
         try:
             addr = peers[dest]
         except KeyError:
@@ -312,18 +340,97 @@ class WorkerNode:
                    nbytes: int = 0, cache: bool = False, ttl: float | None = None,
                    payload=None) -> int:
         if pairs is None:
+            if cache:
+                payload = bytes(payload)  # snapshot the frame view: we keep it
             pairs = decode_spill(payload)
-        return self.receive_spill(app_id, spill_id, pairs, nbytes, cache, ttl)
+        return self.receive_spill(app_id, spill_id, pairs, nbytes, cache, ttl,
+                                  payload=payload if cache else None)
 
     def receive_spill(self, app_id: str, spill_id: str, pairs: list,
-                      nbytes: int, cache: bool = False, ttl: float | None = None) -> int:
+                      nbytes: int, cache: bool = False, ttl: float | None = None,
+                      payload: bytes | None = None) -> int:
         with self._lock:
             self.intermediates.receive(app_id, spill_id, pairs, nbytes)
         if cache:
-            payload = pickle.dumps(pairs, protocol=pickle.HIGHEST_PROTOCOL)
+            if payload is None:
+                payload = pickle.dumps(pairs, protocol=pickle.HIGHEST_PROTOCOL)
             self.cache.put_output(app_id, spill_id, pairs, size=len(payload), ttl=ttl)
+            self._persist_spill_object(app_id, spill_id, payload)
         self.metrics.counter("worker.spills_in").inc()
         return len(pairs)
+
+    # -- oCache replay ------------------------------------------------------------
+
+    def _persist_spill_object(self, app_id: str, spill_id: str, payload: bytes) -> None:
+        """Keep a spill's serialized payload in the local DHT FS shard.
+
+        Unlike the oCache entry (LRU/TTL-governed), the spill object is
+        the durable replay source; it only leaves under the FIFO
+        ``cache.spill_store_bytes`` budget.  Re-delivery of the same
+        spill id (a retried map) overwrites in place.
+        """
+        budget = self.config.cache.spill_store_bytes
+        if budget <= 0 or len(payload) > budget:
+            self.metrics.counter("worker.spill_objects_rejected").inc()
+            return
+        key = (app_id, spill_id)
+        with self._lock:
+            old = self.spill_objects.pop(key, None)
+            if old is not None:
+                self.spill_object_bytes -= len(old)
+            while self.spill_object_bytes + len(payload) > budget and self.spill_objects:
+                victim, evicted = next(iter(self.spill_objects.items()))
+                del self.spill_objects[victim]
+                self.spill_object_bytes -= len(evicted)
+                self.metrics.counter("worker.spill_objects_evicted").inc()
+            self.spill_objects[key] = payload
+            self.spill_object_bytes += len(payload)
+        self.metrics.counter("worker.spill_objects_stored").inc()
+
+    def replay_intermediates(self, app_id: str, spills: list[tuple[str, int]],
+                             ttl: float | None = None) -> dict[str, Any]:
+        """Repopulate the local intermediate store from cached/persisted spills.
+
+        ``spills`` is this worker's slice of a completion marker:
+        ``[(spill_id, nbytes), ...]`` with the *original* push sizes.
+        Check-then-apply: if any spill is neither in oCache nor in the
+        persisted store, nothing is delivered and ``{"ok": False}`` comes
+        back -- the coordinator then re-executes the map instead.
+        """
+        staged: list[tuple[str, list, int, bytes | None]] = []
+        ocache_hits = 0
+        ocache_misses = 0
+        for spill_id, nbytes in spills:
+            hit, pairs = self.cache.get_output(app_id, spill_id)
+            if hit:
+                ocache_hits += 1
+                staged.append((spill_id, pairs, nbytes, None))
+                continue
+            ocache_misses += 1
+            with self._lock:
+                payload = self.spill_objects.get((app_id, spill_id))
+            if payload is None:
+                self.metrics.counter("worker.replay_misses").inc()
+                return {"ok": False, "missing": spill_id,
+                        "worker_id": self.worker_id}
+            staged.append((spill_id, pickle.loads(payload), nbytes, payload))
+        replayed_bytes = 0
+        for spill_id, pairs, nbytes, payload in staged:
+            with self._lock:
+                self.intermediates.receive(app_id, spill_id, pairs, nbytes)
+            if payload is not None:  # refill the oCache on a store read
+                self.cache.put_output(app_id, spill_id, pairs,
+                                      size=len(payload), ttl=ttl)
+            replayed_bytes += nbytes
+        self.metrics.counter("worker.spills_replayed").inc(len(staged))
+        return {"ok": True, "worker_id": self.worker_id,
+                "spills": len(staged), "bytes": replayed_bytes,
+                "ocache_hits": ocache_hits, "ocache_misses": ocache_misses}
+
+    def discard_spills(self, app_id: str, spill_ids: list[str]) -> int:
+        """Drop specific in-flight spills (fallback after a partial replay)."""
+        with self._lock:
+            return self.intermediates.discard_spills(app_id, spill_ids)
 
     def run_reduce(self, job: dict) -> Any:
         decoded = self._job(job)
@@ -374,6 +481,8 @@ class WorkerNode:
             "discard_job": self.discard_job,
             "run_map": self.run_map,
             "push_spill": self.push_spill,
+            "replay_intermediates": self.replay_intermediates,
+            "discard_spills": self.discard_spills,
             "run_reduce": self.run_reduce,
             "get_stats": self.get_stats,
         }

@@ -60,9 +60,18 @@ class CacheConfig:
     (§II-E), so the default is off.
     """
 
+    spill_store_bytes: int = 1 * GB
+    """Per-worker budget for *persisted* spill objects on the cluster
+    plane (the durable copies behind oCache replay, paper §II-C step 5).
+    Oldest objects are dropped first when the budget is exceeded; a
+    dropped object degrades a later ``reuse_intermediates`` job to
+    re-executing that map, never to a wrong answer."""
+
     def __post_init__(self) -> None:
         if self.capacity_per_server < 0:
             raise ConfigError("cache capacity must be non-negative")
+        if self.spill_store_bytes < 0:
+            raise ConfigError("spill_store_bytes must be non-negative")
         if not 0.0 <= self.icache_fraction <= 1.0:
             raise ConfigError(
                 f"icache_fraction must be in [0, 1], got {self.icache_fraction}"

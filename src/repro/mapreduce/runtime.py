@@ -31,7 +31,7 @@ from repro.common.hashing import DEFAULT_SPACE, HashSpace
 from repro.dfs.filesystem import DHTFileSystem
 from repro.dfs.metadata import BlockDescriptor
 from repro.mapreduce.job import JobResult, JobStats, MapReduceJob
-from repro.mapreduce.shuffle import IntermediateStore, SpillBuffer
+from repro.mapreduce.shuffle import IntermediateStore, SpillBuffer, combine_pairs
 from repro.scheduler.base import Scheduler
 from repro.scheduler.delay import DelayScheduler
 from repro.scheduler.laf import LAFScheduler
@@ -251,25 +251,26 @@ class EclipseMRRuntime:
         pairs: list[tuple[Any, Any]],
         nbytes: int,
         stats: JobStats,
-    ) -> None:
-        if job.combiner is not None:
-            grouped: dict[Any, list[Any]] = defaultdict(list)
-            for k, v in pairs:
-                grouped[k].append(v)
-            pairs = [(k, v) for k, vs in grouped.items() for v in job.combiner(k, vs)]
+    ) -> bool:
+        pairs = combine_pairs(job.combiner, pairs)
+        if not pairs:
+            # The combiner dropped every pair: deliver nothing, cache
+            # nothing, persist nothing (a keyless DFS object at key 0
+            # would otherwise shadow a real spill's slot).
+            return False
         self.workers[dest].intermediates.receive(job.app_id, spill_id, pairs, nbytes)
         stats.bytes_shuffled += nbytes
         if job.cache_intermediates:
             payload = pickle.dumps(pairs, protocol=pickle.HIGHEST_PROTOCOL)
+            hash_key = self.space.key_of(repr(pairs[0][0]))
             self.dcache.worker(dest).put_output(
                 job.app_id, spill_id, pairs, size=len(payload),
-                ttl=job.intermediate_ttl,
-                hash_key=self.space.key_of(repr(pairs[0][0])) if pairs else None,
+                ttl=job.intermediate_ttl, hash_key=hash_key,
             )
             obj_name = self._spill_object_name(job, spill_id)
             if not self.dfs.exists(obj_name):
-                key = self.space.key_of(repr(pairs[0][0])) if pairs else 0
-                self.dfs.put_object(obj_name, payload, key, owner=job.user)
+                self.dfs.put_object(obj_name, payload, hash_key, owner=job.user)
+        return True
 
     @staticmethod
     def _spill_object_name(job: MapReduceJob, spill_id: str) -> str:
@@ -299,21 +300,35 @@ class EclipseMRRuntime:
         Looks for the completion marker; for each recorded spill, takes the
         pairs from the destination's oCache (hit) or re-reads them from the
         DHT file system (miss), then feeds the reduce side as if the map had
-        run.  Returns True when the map computation was skipped.
+        run.  Gathering is validate-then-apply: if any destination is gone
+        or any spill object is unreadable, *nothing* is delivered and the
+        map runs normally -- replay degrades to re-execution, never to a
+        partial shuffle.  Returns True when the map computation was skipped.
         """
         name = self._marker_name(job, desc.index)
         if not self.dfs.exists(name):
             return False
         manifest = pickle.loads(self.dfs.get_object(name, user=job.user))
-        for dest, spill_id in manifest:
+        staged: list[tuple[Hashable, str, list, int]] = []
+        for dest, spill_id, nbytes in manifest:
+            if dest not in self.workers:
+                return False  # destination died since the marker was cut
             cache = self.dcache.worker(dest)
             hit, pairs = cache.get_output(job.app_id, spill_id)
             if not hit:
-                payload = self.dfs.get_object(self._spill_object_name(job, spill_id), user=job.user)
+                obj_name = self._spill_object_name(job, spill_id)
+                if not self.dfs.exists(obj_name):
+                    return False  # persisted copy lost: re-run the map
+                payload = self.dfs.get_object(obj_name, user=job.user)
                 pairs = pickle.loads(payload)
                 cache.put_output(job.app_id, spill_id, pairs, size=len(payload), ttl=job.intermediate_ttl)
-            nbytes = len(pickle.dumps(pairs, protocol=pickle.HIGHEST_PROTOCOL))
+            staged.append((dest, spill_id, pairs, nbytes))
+        for dest, spill_id, pairs, nbytes in staged:
+            # The marker's recorded nbytes, not a re-pickle: replayed
+            # byte accounting matches the original push exactly.
             self.workers[dest].intermediates.receive(job.app_id, spill_id, pairs, nbytes)
+            stats.spills += 1
+            stats.bytes_shuffled += nbytes
         return True
 
     # -- reduce phase ------------------------------------------------------------------

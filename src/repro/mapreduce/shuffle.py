@@ -18,11 +18,28 @@ from __future__ import annotations
 
 import pickle
 from collections import defaultdict
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, Iterable
 
 from repro.common.hashing import HashSpace
 
-__all__ = ["SpillBuffer", "IntermediateStore"]
+__all__ = ["combine_pairs", "SpillBuffer", "IntermediateStore"]
+
+
+def combine_pairs(combiner, pairs: list[tuple[Any, Any]]) -> list[tuple[Any, Any]]:
+    """Apply a job's combiner to one spill's pairs (in-node combining).
+
+    Grouping happens per spill, on the node that produced the pairs --
+    before they are delivered, cached, or put on the wire -- so every
+    execution plane combines identically.  ``combiner(key, values)``
+    returns the (possibly empty) list of combined values for that key.
+    With no combiner the pairs pass through untouched.
+    """
+    if combiner is None:
+        return pairs
+    grouped: dict[Any, list[Any]] = defaultdict(list)
+    for k, v in pairs:
+        grouped[k].append(v)
+    return [(k, v) for k, vs in grouped.items() for v in combiner(k, vs)]
 
 
 class IntermediateStore:
@@ -58,6 +75,18 @@ class IntermediateStore:
     def discard_job(self, job_id: str) -> None:
         self._pairs.pop(job_id, None)
 
+    def discard_spills(self, job_id: str, spill_ids: Iterable[str]) -> int:
+        """Drop specific spills of a job (a partially replayed map task
+        falling back to re-execution); returns how many were present."""
+        spills = self._pairs.get(job_id)
+        if not spills:
+            return 0
+        dropped = 0
+        for sid in spill_ids:
+            if spills.pop(sid, None) is not None:
+                dropped += 1
+        return dropped
+
     def spill_count(self, job_id: str) -> int:
         return len(self._pairs.get(job_id, {}))
 
@@ -67,7 +96,11 @@ class SpillBuffer:
 
     ``deliver(dest_server, spill_id, pairs, nbytes)`` is called for every
     spill; the runtime wires it to the destination's
-    :class:`IntermediateStore`, its oCache, and the DHT file system.
+    :class:`IntermediateStore`, its oCache, and the DHT file system.  A
+    deliverer may return ``False`` to declare the spill *skipped* (its
+    combiner dropped every pair): a skipped spill counts toward nothing
+    -- not ``spills``, not ``bytes_pushed``, not the manifest -- so no
+    plane ever ships, caches, or persists an empty payload.
     """
 
     def __init__(
@@ -90,7 +123,9 @@ class SpillBuffer:
         self._buffers: dict[Hashable, list[tuple[Any, Any]]] = defaultdict(list)
         self._sizes: dict[Hashable, int] = defaultdict(int)
         self._spill_seq: dict[Hashable, int] = defaultdict(int)
+        self._manifest: list[tuple[Hashable, str, int]] = []
         self.spills = 0
+        self.spills_skipped = 0
         self.bytes_pushed = 0
 
     @staticmethod
@@ -117,7 +152,10 @@ class SpillBuffer:
         seq = self._spill_seq[dest]
         self._spill_seq[dest] = seq + 1
         spill_id = f"{self.task_id}/{dest}/{seq}"
-        self.deliver(dest, spill_id, pairs, nbytes)
+        if self.deliver(dest, spill_id, pairs, nbytes) is False:
+            self.spills_skipped += 1
+            return
+        self._manifest.append((dest, spill_id, nbytes))
         self.spills += 1
         self.bytes_pushed += nbytes
 
@@ -130,14 +168,13 @@ class SpillBuffer:
     def buffered_bytes(self) -> int:
         return sum(self._sizes.values())
 
-    def manifest(self) -> list[tuple[Hashable, str]]:
-        """Every ``(destination, spill_id)`` this buffer has pushed.
+    def manifest(self) -> list[tuple[Hashable, str, int]]:
+        """Every ``(destination, spill_id, nbytes)`` this buffer delivered.
 
         Valid after :meth:`flush`; persisted as the map task's completion
         marker so later jobs can replay the spills without re-mapping.
+        Skipped (empty post-combiner) spills never appear, and the
+        recorded ``nbytes`` is exactly what each delivery reported, so a
+        replay reproduces the original run's byte accounting.
         """
-        return [
-            (dest, f"{self.task_id}/{dest}/{seq}")
-            for dest, count in self._spill_seq.items()
-            for seq in range(count)
-        ]
+        return list(self._manifest)

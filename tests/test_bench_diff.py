@@ -1,0 +1,136 @@
+"""Unit tests for tools/bench_diff.py (the bench-trendline CI helper)."""
+
+import importlib.util
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "bench_diff", ROOT / "tools" / "bench_diff.py"
+)
+bench_diff = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_diff)
+
+
+class TestFlatten:
+    def test_nested_scalars_get_dotted_keys(self):
+        flat = bench_diff.flatten(
+            {"a": 1, "b": {"c": 2.5, "d": {"e": 3}}}
+        )
+        assert flat == {"a": 1.0, "b.c": 2.5, "b.d.e": 3.0}
+
+    def test_non_numeric_and_bool_dropped(self):
+        flat = bench_diff.flatten({"quick": False, "note": "x", "n": 7})
+        assert flat == {"n": 7.0}
+
+    def test_real_bench_file_flattens(self):
+        data = json.loads((ROOT / "BENCH_cluster_dataplane.json").read_text())
+        flat = bench_diff.flatten(data)
+        assert "pipelining.speedup" in flat
+        assert "rpc_latency.p99_us" in flat
+        assert all(isinstance(v, float) for v in flat.values())
+
+
+class TestDirection:
+    def test_latency_like_metrics_are_lower_better(self):
+        for m in ("rpc_latency.p99_us", "wordcount.wall_clock_s",
+                  "pipelining.per_call_device_latency_ms"):
+            assert bench_diff.lower_is_better(m)
+
+    def test_rates_are_higher_better(self):
+        for m in ("pipelining.speedup", "blocks.fetch_mb_s",
+                  "wordcount.words_per_s"):
+            assert not bench_diff.lower_is_better(m)
+
+
+class TestDiff:
+    def test_verdicts(self):
+        base = {"lat.p99_us": 100.0, "rate_per_s": 50.0, "gone": 1.0,
+                "same": 3.0}
+        new = {"lat.p99_us": 120.0, "rate_per_s": 60.0, "fresh": 2.0,
+               "same": 3.0}
+        rows = {r["metric"]: r for r in bench_diff.diff_metrics(base, new)}
+        assert rows["lat.p99_us"]["verdict"] == "worse"  # latency up
+        assert rows["rate_per_s"]["verdict"] == "better"  # throughput up
+        assert rows["gone"]["verdict"] == "removed"
+        assert rows["fresh"]["verdict"] == "added"
+        assert rows["same"]["verdict"] == "flat"
+        assert rows["rate_per_s"]["pct"] == pytest.approx(20.0)
+
+    def test_render_table_contains_all_metrics(self):
+        rows = bench_diff.diff_metrics({"a.b": 1.0}, {"a.b": 2.0, "c": 4.0})
+        table = bench_diff.render_table(rows)
+        assert "a.b" in table and "c" in table and "+100.0%" in table
+
+
+class TestSparkline:
+    def test_monotone_series_ramps(self):
+        line = bench_diff.sparkline([1.0, 2.0, 3.0, 4.0])
+        assert line[0] == bench_diff.SPARK_BLOCKS[0]
+        assert line[-1] == bench_diff.SPARK_BLOCKS[-1]
+
+    def test_absent_points_are_dots(self):
+        assert bench_diff.sparkline([1.0, None, 2.0])[1] == "."
+
+    def test_constant_series(self):
+        assert set(bench_diff.sparkline([5.0, 5.0])) == {bench_diff.SPARK_BLOCKS[0]}
+
+    def test_empty(self):
+        assert bench_diff.sparkline([None, None]) == ""
+
+
+class TestMain:
+    def test_file_vs_file_diff(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps({"x": {"rate_per_s": 10}}))
+        new.write_text(json.dumps({"x": {"rate_per_s": 12}}))
+        rc = bench_diff.main([str(new), "--base", str(old), "--new", str(new)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "x.rate_per_s" in out and "better" in out
+
+    def test_max_regression_gates(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps({"rate_per_s": 100}))
+        new.write_text(json.dumps({"rate_per_s": 50}))
+        rc = bench_diff.main([str(new), "--base", str(old), "--new", str(new),
+                              "--max-regression", "10"])
+        assert rc == 1
+        rc = bench_diff.main([str(new), "--base", str(old), "--new", str(new),
+                              "--max-regression", "60"])
+        assert rc == 0
+
+    def test_missing_input_is_exit_2(self, tmp_path):
+        rc = bench_diff.main([str(tmp_path / "nope.json"),
+                              "--base", str(tmp_path / "also-nope.json")])
+        assert rc == 2
+
+    def test_against_git_head(self, capsys):
+        """The committed bench file diffed against itself: all flat."""
+        rc = subprocess.run(
+            [  # run from the repo root so HEAD:path resolves
+                "python", str(ROOT / "tools" / "bench_diff.py"),
+                "BENCH_cluster_dataplane.json",
+            ],
+            cwd=ROOT, capture_output=True, text=True,
+        )
+        if "cannot read" in rc.stderr:
+            pytest.skip("bench file not committed at HEAD")
+        assert rc.returncode == 0
+        assert "pipelining.speedup" in rc.stdout
+        assert "worse" not in rc.stdout  # worktree == HEAD right now
+
+    def test_history_sparkline(self):
+        rc = subprocess.run(
+            ["python", str(ROOT / "tools" / "bench_diff.py"),
+             "--history", "5", "BENCH_cluster_dataplane.json"],
+            cwd=ROOT, capture_output=True, text=True,
+        )
+        assert rc.returncode == 0
+        assert "latest=" in rc.stdout

@@ -23,6 +23,7 @@ from repro.apps.workloads import pack_records, points, text_corpus
 from repro.cluster import ClusterRuntime, LivenessTracker
 from repro.common.config import ClusterConfig, DFSConfig, NetConfig
 from repro.common.errors import ClusterError
+from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runtime import EclipseMRRuntime
 
 CFG = ClusterConfig(dfs=DFSConfig(block_size=2048))
@@ -80,10 +81,114 @@ class TestSequentialEquivalence:
         ran = [w for w, s in stats.items() if s.get("worker.maps_run", 0) > 0]
         assert len(ran) >= 2  # true process parallelism, not one busy worker
 
-    def test_reuse_intermediates_rejected(self, cluster):
-        with pytest.raises(ClusterError, match="reuse_intermediates"):
-            cluster.run(wordcount_job("wc.txt", app_id="wc-reuse",
-                                      reuse_intermediates=True))
+class TestIntermediateReplay:
+    """Cluster-plane oCache replay: a second ``reuse_intermediates`` job
+    repopulates the reduce side from cached/persisted spills, skipping
+    every map, with the *original* run's byte accounting."""
+
+    def test_second_identical_run_replays_every_map(self, cluster):
+        cluster.upload("reuse.txt", corpus())
+
+        def job():
+            return wordcount_job("reuse.txt", app_id="wc-replay",
+                                 cache_intermediates=True,
+                                 reuse_intermediates=True)
+
+        first = cluster.run(job())
+        blocks = first.stats.map_tasks
+        assert blocks > 1
+        assert first.stats.maps_skipped_by_reuse == 0
+
+        second = cluster.run(job())
+        assert second.output == first.output
+        assert second.stats.maps_skipped_by_reuse == blocks
+        assert second.stats.map_tasks == 0
+        # Replay reports the original shuffle, not zeros (regression:
+        # replayed jobs used to come back with spills=0/bytes_shuffled=0).
+        assert second.stats.spills == first.stats.spills > 0
+        assert second.stats.bytes_shuffled == first.stats.bytes_shuffled > 0
+        # Everything was still warm in the destination workers' oCaches.
+        assert second.stats.ocache_hits == second.stats.spills
+        assert second.stats.ocache_misses == 0
+        assert second.stats.tasks_per_server == first.stats.tasks_per_server
+        assert cluster.metrics.counter("cluster.maps_replayed").value >= blocks
+
+    def test_cleanup_broadcast_failure_never_restarts_the_job(self, cluster):
+        """A worker dying under the end-of-job ``discard_job`` broadcast
+        must not re-execute a *completed* job (regression: the cleanup
+        call sat inside the failover retry loop)."""
+        from repro.common.errors import WorkerLost
+
+        cluster.upload("clean.txt", corpus())
+        real = cluster._broadcast
+        discards = []
+
+        def flaky(method, args):
+            if method == "discard_job":
+                discards.append(args["app_id"])
+                if len(discards) == 2:  # 1st: attempt start; 2nd: cleanup
+                    raise WorkerLost("worker-1", "injected: died under cleanup")
+            return real(method, args)
+
+        failovers = cluster.metrics.counter("cluster.failovers").value
+        cluster._broadcast = flaky
+        try:
+            res = cluster.run(wordcount_job("clean.txt", app_id="wc-clean"))
+        finally:
+            cluster._broadcast = real
+
+        assert len(discards) == 2, "cleanup broadcast never happened"
+        assert sum(res.output.values()) == 3000  # result still delivered
+        assert res.stats.task_retries == 0  # and nothing re-executed
+        assert cluster.metrics.counter("cluster.failovers").value == failovers
+        assert cluster.metrics.counter("cluster.cleanup_failures").value >= 1
+
+    def test_empty_post_combiner_spills_never_ship_or_persist(self, cluster):
+        """A combiner that drops every pair must leave nothing on the wire,
+        in oCache, or in the persisted spill store (regression: empty
+        spills were delivered and persisted under hash key 0)."""
+        cluster.upload("dropall.txt", corpus())
+
+        def drop_map(block):
+            for w in bytes(block).decode().split():
+                yield w, 1
+
+        def drop_all(key, values):
+            return []
+
+        def drop_reduce(key, values):
+            return sum(values)
+
+        def job(app_id, reuse=False):
+            return MapReduceJob(app_id=app_id, input_file="dropall.txt",
+                                map_fn=drop_map, reduce_fn=drop_reduce,
+                                combiner=drop_all, cache_intermediates=True,
+                                reuse_intermediates=reuse)
+
+        before = cluster.worker_stats()
+        res = cluster.run(job("wc-dropall"))
+        after = cluster.worker_stats()
+
+        assert res.output == {}
+        assert res.stats.spills == 0
+        assert res.stats.bytes_shuffled == 0
+        assert res.stats.map_tasks > 1
+
+        def total(stats, name):
+            return sum(s.get(name, 0) for s in stats.values())
+
+        skipped = (total(after, "worker.spills_skipped_empty")
+                   - total(before, "worker.spills_skipped_empty"))
+        assert skipped >= res.stats.map_tasks
+        assert total(after, "worker.spill_objects_stored") == \
+            total(before, "worker.spill_objects_stored")  # nothing persisted
+
+        # The (empty) completion markers still replay: the rerun skips
+        # every map and delivers the same empty output.
+        second = cluster.run(job("wc-dropall", reuse=True))
+        assert second.output == {}
+        assert second.stats.maps_skipped_by_reuse == res.stats.map_tasks
+        assert second.stats.map_tasks == 0
 
 
 class TestFailover:
@@ -115,6 +220,46 @@ class TestFailover:
             assert res.stats.task_retries >= 1
             # The dead worker's blocks were re-replicated from survivors.
             assert rt.metrics.counter("failover.blocks_rereplicated").value >= 1
+
+    def test_worker_killed_mid_replay_fails_over(self):
+        """SIGKILL a worker after the first oCache replay: the attempt is
+        aborted, the cluster fails over, and the retried attempt still
+        produces the correct result (replaying what it can from the
+        survivors, re-mapping the rest)."""
+        data = corpus()
+        seq = EclipseMRRuntime(4, config=CFG)
+        seq.upload("rp.txt", data)
+        ref = seq.run(wordcount_job("rp.txt", app_id="wc-rp",
+                                    cache_intermediates=True))
+
+        with ClusterRuntime(4, CFG) as rt:
+            rt.upload("rp.txt", data)
+            first = rt.run(wordcount_job("rp.txt", app_id="wc-rp",
+                                         cache_intermediates=True))
+            assert first.output == ref.output
+            blocks = first.stats.map_tasks
+            killed = []
+
+            def chaos(replays_done):
+                if replays_done == 1 and not killed:
+                    victim = rt.worker_ids[-1]
+                    rt.kill_worker(victim)
+                    killed.append(victim)
+
+            rt.on_replay_complete = chaos
+            second = rt.run(wordcount_job("rp.txt", app_id="wc-rp",
+                                          cache_intermediates=True,
+                                          reuse_intermediates=True))
+
+            assert killed, "chaos hook never fired"
+            assert second.output == ref.output  # correct despite the kill
+            assert killed[0] not in rt.worker_ids
+            # On the successful attempt every block either replayed from
+            # the survivors or fell back to an honest re-map -- no block
+            # was lost and none ran twice.
+            assert (second.stats.maps_skipped_by_reuse
+                    + second.stats.map_tasks) == blocks
+            assert rt.metrics.counter("cluster.failovers").value == 1
 
     def test_death_detected_by_heartbeats_between_jobs(self):
         net = NetConfig(heartbeat_interval=0.1, heartbeat_miss_threshold=3)

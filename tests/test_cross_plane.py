@@ -95,3 +95,71 @@ class TestThreePlaneStreaming:
         assert threaded.stats.tasks_per_server == ref.stats.tasks_per_server
         assert clustered.stats.tasks_per_server == ref.stats.tasks_per_server
         assert streamed >= 1  # the cluster plane really streamed
+
+
+class TestThreePlaneIntermediateReuse:
+    """The same cached-then-replayed wordcount on every execution plane.
+
+    Each plane runs the job twice with ``cache_intermediates`` and
+    ``reuse_intermediates`` on: the first run maps normally and tags its
+    spills; the second must skip *every* map, replay the shuffle from
+    oCache / persisted spill objects, and agree with the others on both
+    the output and the replayed shuffle accounting.
+    """
+
+    CFG = ClusterConfig(dfs=DFSConfig(block_size=2048))
+
+    @staticmethod
+    def corpus() -> bytes:
+        from repro.apps.workloads import pack_records, text_corpus
+
+        return pack_records(text_corpus(11, num_words=2400, vocab_size=40), 2048)
+
+    @staticmethod
+    def job(app_id: str) -> MapReduceJob:
+        def wc_map(block):
+            for token in bytes(block).decode().split():
+                yield token, 1
+
+        def wc_reduce(key, values):
+            return sum(values)
+
+        return MapReduceJob(app_id=app_id, input_file="reuse.txt",
+                            map_fn=wc_map, reduce_fn=wc_reduce,
+                            cache_intermediates=True,
+                            reuse_intermediates=True)
+
+    def test_all_planes_agree_on_replayed_run(self):
+        data = self.corpus()
+
+        seq = EclipseMRRuntime(3, config=self.CFG)
+        seq.upload("reuse.txt", data)
+        seq_first = seq.run(self.job("planes-reuse"))
+        seq_second = seq.run(self.job("planes-reuse"))
+
+        par = ParallelEclipseMRRuntime(3, config=self.CFG, max_workers=4)
+        par.upload("reuse.txt", data)
+        par.run(self.job("planes-reuse"))
+        par_second = par.run(self.job("planes-reuse"))
+
+        with ClusterRuntime(3, self.CFG) as rt:
+            rt.upload("reuse.txt", data)
+            cl_first = rt.run(self.job("planes-reuse"))
+            cl_second = rt.run(self.job("planes-reuse"))
+
+        blocks = seq_first.stats.map_tasks
+        assert blocks > 1
+        assert cl_first.output == seq_first.output
+        for second in (seq_second, par_second, cl_second):
+            assert second.output == seq_first.output
+            assert second.stats.maps_skipped_by_reuse == blocks
+            assert second.stats.map_tasks == 0
+        # The replayed shuffle's accounting matches the original run's
+        # (and therefore each other's) on every plane.
+        assert seq_second.stats.spills == seq_first.stats.spills > 0
+        assert cl_second.stats.spills == seq_second.stats.spills
+        assert par_second.stats.spills == seq_second.stats.spills
+        assert cl_second.stats.bytes_shuffled == seq_second.stats.bytes_shuffled > 0
+        assert par_second.stats.bytes_shuffled == seq_second.stats.bytes_shuffled
+        assert par_second.stats.tasks_per_server == seq_second.stats.tasks_per_server
+        assert cl_second.stats.tasks_per_server == seq_second.stats.tasks_per_server

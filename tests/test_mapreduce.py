@@ -84,6 +84,34 @@ class TestSpillBuffer:
         buf.flush()
         assert len(buf.manifest()) == buf.spills
 
+    def test_skipped_spills_count_toward_nothing(self):
+        """A deliverer returning False (combiner emptied the spill) leaves
+        no trace: not in ``spills``, ``bytes_pushed``, or the manifest."""
+        space = HashSpace(1000)
+        delivered = []
+
+        def deliver(dest, sid, pairs, nbytes):
+            if pairs[0][0] == "skipme":
+                return False
+            delivered.append(sid)
+
+        buf = SpillBuffer(space, route=lambda k: k % 3, deliver=deliver,
+                          threshold_bytes=1, task_id="t0")
+        buf.emit("skipme", 1)
+        buf.emit("keep", 2)
+        buf.flush()
+        assert buf.spills_skipped == 1
+        assert buf.spills == len(delivered) == 1
+        assert buf.bytes_pushed > 0
+        assert [sid for _, sid, _ in buf.manifest()] == delivered
+
+    def test_manifest_records_delivery_nbytes(self):
+        buf, deliveries = self._buffer(threshold=1)
+        buf.emit("a", 1)
+        buf.flush()
+        [(_, sid, _, nbytes)] = deliveries
+        assert buf.manifest() == [(f"s{buf.key_of('a') % 3}", sid, nbytes)]
+
     def test_invalid_threshold(self):
         with pytest.raises(ValueError):
             self._buffer(threshold=0)
@@ -237,6 +265,71 @@ class TestIntermediateReuse:
         result = mr.run(self._job("fresh", reuse=True))
         assert result.stats.maps_skipped_by_reuse == 0
         assert result.stats.map_tasks > 0
+
+    def test_replay_reports_original_shuffle_stats(self):
+        """The replayed run's spill/byte accounting equals the original
+        run's (regression: replayed jobs reported spills=0 and
+        bytes_shuffled=0 because nothing re-counted the spills)."""
+        mr = make_cluster()
+        mr.upload("t.txt", pack_words(b"iota omega " * 200))
+
+        def received():
+            return sum(w.intermediates.bytes_received
+                       for w in mr.runtime.workers.values())
+
+        first = mr.run(self._job("app", reuse=False))
+        after_first = received()
+        second = mr.run(self._job("app", reuse=True))
+
+        assert second.stats.map_tasks == 0
+        assert second.stats.spills == first.stats.spills > 0
+        assert second.stats.bytes_shuffled == first.stats.bytes_shuffled > 0
+        # The reduce-side stores were credited exactly the original sizes.
+        assert received() - after_first == first.stats.bytes_shuffled
+
+
+class TestEmptyCombinerSpills:
+    """Spills a combiner empties out are skipped on delivery: nothing is
+    shipped, cached, or persisted (regression: they were delivered and
+    written to the DFS as a keyless object at hash key 0)."""
+
+    def _job(self, app_id, combiner, reuse=False):
+        return MapReduceJob(
+            app_id=app_id, input_file="t.txt", map_fn=word_map,
+            reduce_fn=count_reduce, combiner=combiner,
+            cache_intermediates=True, reuse_intermediates=reuse,
+        )
+
+    def test_all_dropped_spills_leave_no_trace(self):
+        mr = make_cluster()
+        mr.upload("t.txt", pack_words(b"zap " * 200))
+        drop_all = lambda key, values: []
+        res = mr.run(self._job("drop", drop_all))
+        assert res.output == {}
+        assert res.stats.map_tasks > 1
+        assert res.stats.spills == 0
+        assert res.stats.bytes_shuffled == 0
+        # No spill object was persisted (markers live under _imr-done/).
+        assert not any(n.startswith("_imr/")
+                       for n in mr.runtime.dfs.list_files())
+
+        # The (empty) markers still replay: the rerun skips every map.
+        second = mr.run(self._job("drop", drop_all, reuse=True))
+        assert second.output == {}
+        assert second.stats.maps_skipped_by_reuse == res.stats.map_tasks
+        assert second.stats.map_tasks == 0
+
+    def test_partially_dropped_spills_keep_surviving_pairs(self):
+        mr = make_cluster()
+        mr.upload("t.txt", pack_words(b"keep drop " * 150))
+        combiner = lambda k, vs: [] if k == "drop" else [sum(vs)]
+        res = mr.run(self._job("part", combiner))
+        assert res.output == {"keep": 150}
+        second = mr.run(self._job("part", combiner, reuse=True))
+        assert second.output == {"keep": 150}
+        assert second.stats.maps_skipped_by_reuse == res.stats.map_tasks
+        assert second.stats.spills == res.stats.spills
+        assert second.stats.bytes_shuffled == res.stats.bytes_shuffled
 
 
 class TestFaultTolerance:

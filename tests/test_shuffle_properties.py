@@ -79,7 +79,7 @@ def test_spill_ids_unique(pairs, threshold):
     buf.flush()
     assert len(ids) == len(set(ids))
     assert len(ids) == buf.spills
-    assert sorted(ids) == sorted(sid for _, sid in buf.manifest())
+    assert sorted(ids) == sorted(sid for _, sid, _ in buf.manifest())
 
 
 @given(

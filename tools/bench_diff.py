@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Diff and trend EclipseMR bench JSON results across commits.
+
+The bench harnesses (``benchmarks/test_cluster_dataplane.py``) write
+their numbers to a committed JSON file (``BENCH_cluster_dataplane.json``)
+so performance travels with history.  This tool compares two snapshots of
+that file -- working tree vs a git rev, rev vs rev, or file vs file --
+and prints a per-metric delta table, plus an optional sparkline trend
+over the file's commit history.
+
+Typical uses::
+
+    # fresh bench run vs what is committed at HEAD
+    python tools/bench_diff.py BENCH_cluster_dataplane.json
+
+    # one rev against another
+    python tools/bench_diff.py --base v1.0 --new HEAD BENCH_cluster_dataplane.json
+
+    # trend of every metric over the last 8 commits touching the file
+    python tools/bench_diff.py --history 8 BENCH_cluster_dataplane.json
+
+Exit status is 0 unless ``--max-regression PCT`` is given, in which case
+any metric that *worsened* by more than PCT percent makes it 1 (crashes
+and unreadable inputs are 2).  Direction is inferred from the metric
+name: latencies/durations are better lower, everything else better
+higher.  Standard library only; CI runs it as a non-blocking step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def flatten(tree: dict[str, Any], prefix: str = "") -> dict[str, float]:
+    """Nested dicts of scalars -> one flat ``{"a.b.c": value}`` mapping.
+
+    Only real numbers survive (bools and strings are bench metadata such
+    as ``quick``, not metrics)."""
+    out: dict[str, float] = {}
+    for key, value in tree.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(flatten(value, f"{dotted}."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[dotted] = float(value)
+    return out
+
+
+def lower_is_better(metric: str) -> bool:
+    """Direction heuristic from the metric's leaf name.
+
+    Rates (``*_per_s``, ``*_mb_s``, speedups, ratios) are better higher;
+    latencies, percentiles, and durations (``*_s``/``*_ms``/``*_us``)
+    are better lower.  Anything else defaults to higher-is-better."""
+    leaf = metric.rsplit(".", 1)[-1]
+    if "per_s" in leaf or leaf.endswith("_mb_s") or "speedup" in leaf or "_vs_" in leaf:
+        return False
+    if any(frag in leaf for frag in ("latency", "seek", "wall_clock",
+                                     "p50", "p90", "p99")):
+        return True
+    return leaf.endswith(("_s", "_ms", "_us"))
+
+
+def load_json(source: str, path: str, repo: Optional[Path] = None) -> dict[str, Any]:
+    """Read the bench JSON from a source: ``WORKTREE`` (the file on disk),
+    a git rev (via ``git show rev:path``), or a plain file path."""
+    if source == "WORKTREE":
+        return json.loads(Path(path).read_text())
+    candidate = Path(source)
+    if candidate.is_file():
+        return json.loads(candidate.read_text())
+    return json.loads(git_show(source, path, repo))
+
+
+def git_show(rev: str, path: str, repo: Optional[Path] = None) -> str:
+    try:
+        return subprocess.run(
+            ["git", "show", f"{rev}:{path}"],
+            cwd=repo, check=True, capture_output=True, text=True,
+        ).stdout
+    except subprocess.CalledProcessError as exc:
+        raise FileNotFoundError(
+            f"cannot read {path!r} at rev {rev!r}: {exc.stderr.strip()}"
+        ) from exc
+
+
+def revs_touching(path: str, limit: int, repo: Optional[Path] = None) -> list[str]:
+    """Newest-first commits that touched ``path``."""
+    out = subprocess.run(
+        ["git", "log", "-n", str(limit), "--format=%h", "--", path],
+        cwd=repo, check=True, capture_output=True, text=True,
+    ).stdout.split()
+    return out
+
+
+def diff_metrics(base: dict[str, float], new: dict[str, float]) -> list[dict[str, Any]]:
+    """Per-metric rows for every key present on either side."""
+    rows = []
+    for metric in sorted(set(base) | set(new)):
+        b, n = base.get(metric), new.get(metric)
+        row: dict[str, Any] = {"metric": metric, "base": b, "new": n,
+                               "pct": None, "verdict": ""}
+        if b is None:
+            row["verdict"] = "added"
+        elif n is None:
+            row["verdict"] = "removed"
+        elif b == 0:
+            row["verdict"] = "flat" if n == 0 else "added"
+        else:
+            pct = (n - b) / abs(b) * 100.0
+            row["pct"] = pct
+            if abs(pct) < 1e-9:
+                row["verdict"] = "flat"
+            else:
+                improved = (pct < 0) if lower_is_better(metric) else (pct > 0)
+                row["verdict"] = "better" if improved else "worse"
+        rows.append(row)
+    return rows
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_table(rows: Iterable[dict[str, Any]]) -> str:
+    table = [("metric", "base", "new", "delta", "")]
+    for row in rows:
+        pct = "" if row["pct"] is None else f"{row['pct']:+.1f}%"
+        table.append((row["metric"], _fmt(row["base"]), _fmt(row["new"]),
+                      pct, row["verdict"]))
+    widths = [max(len(r[i]) for r in table) for i in range(5)]
+    lines = []
+    for i, r in enumerate(table):
+        lines.append("  ".join(col.ljust(w) for col, w in zip(r, widths)).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def sparkline(values: list[Optional[float]]) -> str:
+    """Oldest-to-newest trend as unicode block characters (``.`` = absent)."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return ""
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    out = []
+    for v in values:
+        if v is None:
+            out.append(".")
+        elif span == 0:
+            out.append(SPARK_BLOCKS[0])
+        else:
+            idx = int((v - lo) / span * (len(SPARK_BLOCKS) - 1))
+            out.append(SPARK_BLOCKS[idx])
+    return "".join(out)
+
+
+def render_history(path: str, limit: int, repo: Optional[Path] = None) -> str:
+    revs = revs_touching(path, limit, repo)
+    if not revs:
+        return f"no commits touch {path!r}"
+    snapshots: list[tuple[str, dict[str, float]]] = []
+    for rev in reversed(revs):  # oldest first
+        try:
+            snapshots.append((rev, flatten(json.loads(git_show(rev, path, repo)))))
+        except (FileNotFoundError, json.JSONDecodeError):
+            snapshots.append((rev, {}))
+    metrics = sorted({m for _, snap in snapshots for m in snap})
+    width = max((len(m) for m in metrics), default=0)
+    lines = [f"{path}: {len(snapshots)} commits, oldest -> newest "
+             f"({snapshots[0][0]} .. {snapshots[-1][0]})"]
+    for metric in metrics:
+        series = [snap.get(metric) for _, snap in snapshots]
+        latest = next((v for v in reversed(series) if v is not None), None)
+        lines.append(f"{metric.ljust(width)}  {sparkline(series)}  "
+                     f"latest={_fmt(latest)}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n\n")[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("path", nargs="?", default="BENCH_cluster_dataplane.json",
+                        help="bench JSON path, repo-relative (default: %(default)s)")
+    parser.add_argument("--base", default="HEAD",
+                        help="baseline: git rev or file path (default: %(default)s)")
+    parser.add_argument("--new", dest="new", default="WORKTREE",
+                        help="comparison side: WORKTREE, git rev, or file path "
+                             "(default: the file on disk)")
+    parser.add_argument("--history", type=int, metavar="N",
+                        help="instead of a diff, sparkline the last N commits")
+    parser.add_argument("--max-regression", type=float, metavar="PCT",
+                        help="exit 1 if any metric worsens by more than PCT%%")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.history:
+            print(render_history(args.path, args.history))
+            return 0
+        base = flatten(load_json(args.base, args.path))
+        new = flatten(load_json(args.new, args.path))
+    except (FileNotFoundError, json.JSONDecodeError, subprocess.CalledProcessError) as exc:
+        print(f"bench_diff: {exc}", file=sys.stderr)
+        return 2
+
+    rows = diff_metrics(base, new)
+    print(f"{args.path}: {args.base} -> {args.new}")
+    print(render_table(rows))
+    worst = [r for r in rows
+             if r["verdict"] == "worse" and args.max_regression is not None
+             and abs(r["pct"]) > args.max_regression]
+    if worst:
+        names = ", ".join(r["metric"] for r in worst)
+        print(f"bench_diff: regression over {args.max_regression}%: {names}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
