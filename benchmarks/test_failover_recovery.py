@@ -1,0 +1,171 @@
+"""Failover recovery bench: batched re-replication and surgical re-runs.
+
+Measures the live cluster's two recovery costs against real worker
+processes on localhost:
+
+* **re-replication**: SIGKILL a worker holding a share of an uploaded
+  file, then time ``Coordinator.mark_dead`` end to end -- arc merge,
+  batched ``call_many`` re-copies sourced from the least-loaded
+  survivors, and the ring re-broadcast.  Reported as wall clock, MB
+  recopied, recovery MB/s, and batching shape (copies per wire round);
+* **surgical re-execution**: the same wordcount run twice -- failure-free
+  baseline vs a worker killed halfway through the map phase -- reporting
+  the wall-clock overhead and the salvage split (completed maps kept vs
+  re-executed).  The headline claim at bench scale: the re-run count
+  stays strictly below the completed-map count.
+
+Results land in ``BENCH_failover_recovery.json`` at the repo root;
+``tools/bench_diff.py`` diffs them across commits (recovery costs are
+direction-annotated lower-is-better).  ``BENCH_QUICK=1`` shrinks the
+workload for CI smoke runs.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_failover_recovery.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import record_report
+from repro.apps.wordcount import wordcount_job
+from repro.apps.workloads import pack_records, text_corpus
+from repro.cluster.runtime import ClusterRuntime
+from repro.common.config import ClusterConfig, DFSConfig, NetConfig
+from repro.common.units import MB
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_failover_recovery.json"
+
+N_WORKERS = 4
+BLOCK_SIZE = 128 * 1024
+UPLOAD_BYTES = (2 if QUICK else 8) * MB
+WC_BLOCK_SIZE = 16 * 1024
+WC_BLOCKS = 24 if QUICK else 64
+
+
+def _cluster_config(block_size: int) -> ClusterConfig:
+    return ClusterConfig(
+        dfs=DFSConfig(block_size=block_size),
+        net=NetConfig(heartbeat_interval=0.5, heartbeat_miss_threshold=8),
+    )
+
+
+def _bench_rereplication() -> dict:
+    """Time the coordinator's whole failover of one block-holding worker."""
+    data = os.urandom(UPLOAD_BYTES)
+    with ClusterRuntime(N_WORKERS, _cluster_config(BLOCK_SIZE)) as rt:
+        rt.upload("recover.bin", data)
+        victim = rt.worker_ids[0]
+        rt.kill_worker(victim)
+        started = time.perf_counter()
+        rt.coordinator.mark_dead(victim)
+        recovery_s = time.perf_counter() - started
+        m = rt.metrics
+        blocks = m.counter("failover.blocks_rereplicated").value
+        nbytes = m.counter("failover.bytes_rereplicated").value
+        batches = m.counter("failover.rereplication_batches").value
+        assert blocks > 0 and nbytes == \
+            m.histogram("failover.rereplication_batch_bytes").total()
+        # Every block is back at full replication on the survivors.
+        targets = set(rt.worker_ids)
+        assert all(set(holders) <= targets and len(holders) == 3
+                   for holders in rt.coordinator.holders.values())
+    return {
+        "upload_mb": UPLOAD_BYTES / MB,
+        "block_kb": BLOCK_SIZE / 1024,
+        "recovery_s": round(recovery_s, 4),
+        "mb_recopied": round(nbytes / MB, 2),
+        "recovery_mb_s": round(nbytes / MB / recovery_s, 1),
+        "blocks_rereplicated": blocks,
+        "batches": batches,
+        "copies_per_batch": round(blocks / batches, 1),
+    }
+
+
+def _aligned_corpus() -> tuple[bytes, int]:
+    """One distinct word per block, so each map's spills land on exactly
+    one destination worker.  This is the workload where surgery pays:
+    a wide-vocabulary block spills to *every* worker, making every
+    completed map's output touch the victim (nothing to salvage) -- with
+    partition-aligned keys only the victim-owned share re-executes.
+    Returns ``(data, words_per_block)``."""
+    words = [f"w{i:03d}" for i in range(WC_BLOCKS)]
+    per_block = WC_BLOCK_SIZE // (len(words[0]) + 1) - 1
+    data = pack_records(
+        [((w + " ") * per_block).encode() for w in words], WC_BLOCK_SIZE
+    )
+    assert len(data) == WC_BLOCKS * WC_BLOCK_SIZE
+    return data, per_block
+
+
+def _run_wordcount(kill_at: int | None) -> tuple[dict, float, dict]:
+    data, per_block = _aligned_corpus()
+    with ClusterRuntime(N_WORKERS, _cluster_config(WC_BLOCK_SIZE)) as rt:
+        rt.upload("wc.txt", data)
+        killed = []
+        if kill_at is not None:
+            def chaos(done_maps):
+                if done_maps == kill_at and not killed:
+                    victim = rt.worker_ids[-1]
+                    rt.kill_worker(victim)
+                    killed.append(victim)
+            rt.on_map_complete = chaos
+        started = time.perf_counter()
+        result = rt.run(wordcount_job("wc.txt", app_id="bench-failover"))
+        elapsed = time.perf_counter() - started
+        assert sum(result.output.values()) == WC_BLOCKS * per_block
+        assert bool(killed) == (kill_at is not None)
+        counters = {
+            "tasks_salvaged": rt.metrics.counter("failover.tasks_salvaged").value,
+            "tasks_reexecuted":
+                rt.metrics.counter("cluster.tasks_reexecuted").value,
+        }
+    return result.output, elapsed, counters
+
+
+def _bench_surgical_job() -> dict:
+    baseline_output, baseline_s, _ = _run_wordcount(kill_at=None)
+    kill_at = max(1, WC_BLOCKS // 2)
+    failover_output, failover_s, counters = _run_wordcount(kill_at=kill_at)
+    assert failover_output == baseline_output  # bit-equal despite the kill
+    # Surgical: the maps done before the kill are mostly kept; only the
+    # victim's spill-holdings re-execute.
+    assert counters["tasks_salvaged"] > 0
+    assert counters["tasks_reexecuted"] < WC_BLOCKS
+    return {
+        "map_tasks": WC_BLOCKS,
+        "words_per_map": _aligned_corpus()[1],
+        "killed_after_maps": kill_at,
+        "baseline_wall_clock_s": round(baseline_s, 3),
+        "failover_wall_clock_s": round(failover_s, 3),
+        "overhead_pct": round((failover_s - baseline_s) / baseline_s * 100, 1),
+        "tasks_salvaged": counters["tasks_salvaged"],
+        "tasks_reexecuted": counters["tasks_reexecuted"],
+    }
+
+
+def test_failover_recovery(benchmark):
+    def run() -> dict:
+        return {
+            "quick": QUICK,
+            "workers": N_WORKERS,
+            "rereplication": _bench_rereplication(),
+            "surgical_job": _bench_surgical_job(),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    record_report("Failover recovery", json.dumps(results, indent=2))
+
+    # The batching claim: strictly fewer wire rounds than block copies
+    # (one call_many batch per surviving target, not one RPC per copy).
+    rr = results["rereplication"]
+    assert rr["batches"] < rr["blocks_rereplicated"]
+    # The surgical claim: work already done mostly stays done.
+    sj = results["surgical_job"]
+    assert sj["tasks_reexecuted"] < sj["map_tasks"]

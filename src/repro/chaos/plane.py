@@ -1,0 +1,160 @@
+"""Per-node execution engine for scripted transport faults.
+
+One :class:`FaultInjector` lives on each node (every worker process and
+the coordinator).  It is wired into the RPC layer's fault hooks:
+
+* ``on_send(addr, method)`` runs in the caller before a request's bytes
+  hit the wire (``RpcClient.call_async`` / ``ConnectionPool``);
+* ``on_serve(method)`` runs in the callee before a request is handled
+  (``RpcServer``).
+
+Faults are matched against *names*, not addresses: each node ``bind``\\ s
+the peer addresses it learns (registration, ring broadcasts) to worker
+ids / ``"coordinator"``, so a script reads like topology ("drop
+everything worker-1 receives"), and one-way partitions fall out of the
+site asymmetry -- dropping at the send seam of every peer leaves the
+victim's *own* sends (heartbeats included) untouched.
+
+Determinism: match counters advance in rule order per call, and each
+node's RNG is seeded ``f"{seed}:{node_id}"``, so a fixed seed replays the
+same fault schedule.  (Rules with ``probability < 1`` draw under the
+node lock; with concurrent callers the draw *order* follows thread
+interleaving, so fully deterministic scripts either keep
+``probability=1.0`` or target single-threaded call sites.)  Every fired
+fault lands in :attr:`FaultInjector.log` and counts into
+``chaos.faults_injected`` / ``chaos.<op>`` so remote nodes' schedules
+surface through ``get_stats``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.common.config import ChaosConfig, FaultRule
+
+__all__ = ["FaultInjector", "partition_rules"]
+
+
+def partition_rules(victim: str, *, heal_after: int | None = None) -> tuple[FaultRule, ...]:
+    """Rules for a one-way partition: nothing *sent to* ``victim`` arrives.
+
+    The victim's own outbound traffic -- heartbeats above all -- still
+    flows, which is exactly the asymmetric failure a liveness design
+    based only on heartbeats cannot see.  ``heal_after`` bounds the
+    partition to that many dropped sends per peer (``None`` = permanent).
+    """
+    return (FaultRule(op="drop", site="send", dst=victim, count=heal_after),)
+
+
+class FaultInjector:
+    """Evaluates one node's fault rules at the transport seam.
+
+    Rules are evaluated in script order; ``delay`` sleeps and keeps
+    scanning, ``crash`` exits the process on the spot, and the first
+    ``drop``/``blackhole`` ends evaluation and is returned as the action
+    for the RPC layer to apply.  ``exit_fn`` and ``sleep`` are injectable
+    so unit tests can observe crashes without dying.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        config: ChaosConfig,
+        metrics=None,
+        exit_fn: Callable[[int], None] = os._exit,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.rules: tuple[FaultRule, ...] = tuple(config.rules)
+        self.rng = random.Random(f"{config.seed}:{node_id}")
+        self.log: list[tuple[str, str, str, str, str, int]] = []
+        self._counts = [0] * len(self.rules)
+        self._names: dict[tuple[str, int], str] = {}
+        self._metrics = metrics
+        self._exit = exit_fn
+        self._sleep = sleep
+        self._lock = threading.Lock()
+
+    @property
+    def active(self) -> bool:
+        """Whether any rule exists; inactive injectors are never wired in."""
+        return bool(self.rules)
+
+    # -- topology ----------------------------------------------------------------
+
+    def bind(self, name: str, addr: Sequence) -> None:
+        """Teach this node that ``addr`` is node ``name`` (idempotent)."""
+        with self._lock:
+            self._names[(addr[0], addr[1])] = name
+
+    def name_of(self, addr: Sequence) -> str:
+        with self._lock:
+            return self._names.get((addr[0], addr[1]), "?")
+
+    # -- the seams ---------------------------------------------------------------
+
+    def on_send(self, addr: Sequence, method: str) -> Optional[str]:
+        """Client seam: runs before a request's bytes hit the wire.
+
+        Returns ``"drop"`` (fail the call as a connection error),
+        ``"blackhole"`` (admit the call but never send it), or ``None``.
+        """
+        return self._fire("send", self.node_id, self.name_of(addr), method)
+
+    def on_serve(self, method: str) -> Optional[str]:
+        """Server seam: runs before a request is dispatched to its handler.
+
+        Returns ``"drop"`` (swallow the request -- no response ever goes
+        back, the caller times out) or ``None``.
+        """
+        return self._fire("serve", "*", self.node_id, method)
+
+    def _fire(self, site: str, src: str, dst: str, method: str) -> Optional[str]:
+        for i, rule in enumerate(self.rules):
+            if rule.site != site:
+                continue
+            if rule.src not in ("*", src) or rule.dst not in ("*", dst):
+                continue
+            if rule.method not in ("*", method):
+                continue
+            with self._lock:
+                n = self._counts[i]
+                self._counts[i] += 1
+                if n < rule.after_n:
+                    continue
+                if rule.count is not None and n >= rule.after_n + rule.count:
+                    continue
+                if rule.probability < 1.0 and self.rng.random() >= rule.probability:
+                    continue
+                self.log.append((site, src, dst, method, rule.op, n))
+            self._record(rule.op)
+            if rule.op == "delay":
+                self._sleep(rule.delay_s)
+                continue
+            if rule.op == "crash":
+                self._exit(137)
+                continue  # only reached with an injected (non-exiting) exit_fn
+            return rule.op  # drop | blackhole: first match ends evaluation
+        return None
+
+    # -- accounting ---------------------------------------------------------------
+
+    def fault_counts(self) -> list[int]:
+        """Per-rule match counts (window checks included), in rule order."""
+        with self._lock:
+            return list(self._counts)
+
+    def schedule(self) -> list[tuple[str, str, str, str, str, int]]:
+        """A copy of the fired-fault log: ``(site, src, dst, method, op, n)``."""
+        with self._lock:
+            return list(self.log)
+
+    def _record(self, op: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter("chaos.faults_injected").inc()
+            self._metrics.counter(f"chaos.{op}").inc()

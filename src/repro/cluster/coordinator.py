@@ -20,8 +20,15 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Hashable, Optional, Sequence
 
+from repro.chaos.plane import FaultInjector
 from repro.common.config import ClusterConfig
-from repro.common.errors import ClusterError, NetworkError, SchedulingError, WorkerLost
+from repro.common.errors import (
+    ClusterError,
+    NetworkError,
+    RpcRemoteError,
+    SchedulingError,
+    WorkerLost,
+)
 from repro.common.hashing import DEFAULT_SPACE, HashSpace
 from repro.dfs.metadata import BlockDescriptor, FileMetadata
 from repro.dht.ring import ConsistentHashRing
@@ -93,6 +100,15 @@ class Coordinator:
             net=self.config.net,
             metrics=self.metrics,
         )
+        # The coordinator's slice of the chaos plane: faults scripted with
+        # src/dst "coordinator" fire here; workers run their own injector
+        # from the same (manifest-carried) config.  Inactive configs leave
+        # the transport hooks unset.
+        self.fault = FaultInjector("coordinator", self.config.chaos,
+                                   metrics=self.metrics)
+        if self.fault.active:
+            self.pool.fault_hook = self.fault.on_send
+            self.server.fault_hook = self.fault.on_serve
         self.server.start()
         self._update_live_gauge()
 
@@ -104,6 +120,7 @@ class Coordinator:
                 raise ClusterError(f"unexpected worker {worker_id!r} tried to register")
             self.addresses[worker_id] = WorkerAddress(worker_id, host, port)
             complete = len(self.addresses) == len(self.worker_ids)
+        self.fault.bind(worker_id, (host, port))
         self.liveness.register(worker_id)
         self.metrics.counter("cluster.registrations").inc()
         if complete:
@@ -168,8 +185,14 @@ class Coordinator:
         dead = self.liveness.dead_workers()
         if dead:
             self.metrics.counter("heartbeat.missed_deadlines").inc(len(dead))
+        ages = []
         for wid in self.liveness.tracked():
-            self.metrics.gauge("heartbeat.max_age_s").set(self.liveness.age(wid))
+            try:
+                ages.append(self.liveness.age(wid))
+            except ClusterError:
+                continue  # removed between tracked() and age()
+        if ages:
+            self.metrics.gauge("heartbeat.max_age_s").set(max(ages))
         return dead
 
     def mark_dead(self, worker_id: str) -> None:
@@ -204,38 +227,114 @@ class Coordinator:
         self.broadcast_ring()
 
     def _restore_replication(self, block_ids: list[tuple[str, int]]) -> None:
-        """Copy under-replicated blocks to their new replica holders."""
+        """Copy under-replicated blocks to their new replica holders, batched.
+
+        Adaptive re-replication (ROADMAP item): each block is fetched
+        *once*, from its least-loaded surviving holder (the LAF scheduler
+        already tracks loads), and all copies bound for one target ship
+        as a single pipelined :meth:`ConnectionPool.call_many` batch of
+        ``restore_block`` calls with out-of-band payloads -- one wire
+        round per target instead of one blocking RPC per block copy.  A
+        target dying mid-batch surfaces as :class:`WorkerLost` so the
+        failover loop can cascade onto it.
+        """
+        batches: dict[str, list[tuple[tuple[str, int], bytes, bool]]] = {}
         for bid in block_ids:
             key = self.block_keys[bid]
             targets = self.ring.replica_set(key, extra=self.config.dfs.replication)
-            survivors = self.holders[bid]
-            data: bytes | None = None
-            for target in targets:
-                if target in survivors:
-                    continue
-                if data is None:
-                    data = self._fetch_from_any(bid, survivors)
-                self.pool.call(
-                    self.address_of(target).addr,
-                    "put_block",
-                    {"name": bid[0], "index": bid[1],
-                     "replica": target != targets[0]},
-                    blob=data,
-                    blob_arg="data",
+            missing = [t for t in targets
+                       if t not in self.holders[bid] and t in self.addresses]
+            if not missing:
+                continue
+            data = self._fetch_from_any(bid, self.holders[bid])
+            for target in missing:
+                batches.setdefault(target, []).append(
+                    (bid, data, target != targets[0])
                 )
-                self.holders[bid].append(target)
-                self.metrics.counter("failover.blocks_rereplicated").inc()
-                self.metrics.counter("failover.bytes_rereplicated").inc(len(data))
-
-    def _fetch_from_any(self, bid: tuple[str, int], survivors: list[str]) -> bytes:
-        last: Exception | None = None
-        for wid in survivors:
+        for target, entries in batches.items():
+            calls = [
+                ("restore_block",
+                 {"name": bid[0], "index": bid[1], "replica": replica},
+                 data, "data")
+                for bid, data, replica in entries
+            ]
             try:
-                return bytes(self.pool.call(self.address_of(wid).addr, "fetch_block",
-                                            {"name": bid[0], "index": bid[1]}))
+                self.pool.call_many(self.address_of(target).addr, calls)
             except NetworkError as exc:
-                last = exc
-        raise ClusterError(f"could not read block {bid} from any survivor: {last}")
+                raise WorkerLost(target, f"re-replication failed: {exc}") from exc
+            batch_bytes = 0
+            for bid, data, _ in entries:
+                self.holders[bid].append(target)
+                batch_bytes += len(data)
+                self.metrics.counter("failover.blocks_rereplicated").inc()
+            self.metrics.counter("failover.bytes_rereplicated").inc(batch_bytes)
+            self.metrics.counter("failover.rereplication_batches").inc()
+            self.metrics.histogram("failover.rereplication_batch_bytes").record(batch_bytes)
+
+    def ensure_replication(self) -> None:
+        """Bring *every* block back to its replica target (post-cascade).
+
+        A worker dying while it was a re-replication target leaves other
+        blocks under-replicated; scanning all holders after the cluster
+        stabilizes closes that hole.  Fully replicated blocks cost one
+        membership check each, no bytes.
+        """
+        self._restore_replication(list(self.holders))
+
+    def _fetch_from_any(self, bid: tuple[str, int], holders: list[str]) -> bytes:
+        """Read one block for re-replication: best holders first, with retry.
+
+        Candidates are the live *recorded* holders ordered by current
+        scheduler load (least-loaded first -- they also serve map tasks),
+        then every other survivor as a long shot against stale holder
+        records.  Each sweep gives every candidate one transport attempt;
+        sweeps retry under the pool's :class:`RetryPolicy` (backoff,
+        ``max_elapsed`` deadline included).  A candidate answering
+        ``BlockNotFound`` is skipped, not fatal.
+        """
+        args = {"name": bid[0], "index": bid[1]}
+        one_shot = RetryPolicy(attempts=1, base_delay=self.pool.policy.base_delay)
+
+        def candidates() -> list[str]:
+            recorded = [w for w in holders if w in self.addresses]
+            recorded.sort(key=self._load_rank)
+            return recorded + [w for w in self.alive_ids() if w not in recorded]
+
+        def sweep() -> bytes:
+            last: Exception | None = None
+            for wid in candidates():
+                try:
+                    return bytes(self.pool.call(self.address_of(wid).addr,
+                                                "fetch_block", args,
+                                                policy=one_shot))
+                except RpcRemoteError as exc:
+                    if exc.etype != "BlockNotFound":
+                        raise ClusterError(
+                            f"survivor {wid!r} failed serving block {bid}: {exc}"
+                        ) from exc
+                    last = exc  # stale holder record; try the next one
+                except (NetworkError, WorkerLost) as exc:
+                    last = exc
+            if isinstance(last, NetworkError) and not isinstance(last, RpcRemoteError):
+                raise last  # retryable: the outer policy sweeps again
+            raise ClusterError(  # BlockNotFound everywhere: retry won't help
+                f"could not read block {bid} from any survivor: {last}"
+            )
+
+        try:
+            return self.pool.policy.call(sweep, retry_on=(NetworkError,))
+        except NetworkError as exc:
+            raise ClusterError(
+                f"could not read block {bid} from any survivor: {exc}"
+            ) from exc
+
+    def _load_rank(self, wid: str) -> tuple[int, int]:
+        """Sort key: current scheduler load, ties broken by worker order."""
+        try:
+            load = self.scheduler.load_of(wid)
+        except (KeyError, SchedulingError):
+            load = 0
+        return (load, self.worker_ids.index(wid))
 
     def _update_live_gauge(self) -> None:
         self.metrics.gauge("cluster.live_workers").set(len(self.addresses))

@@ -107,11 +107,16 @@ class HeartbeatSender:
         coordinator: tuple[str, int],
         net: NetConfig,
         on_coordinator_lost: Optional[Callable[[], None]] = None,
+        fault_hook: Optional[Callable] = None,
     ) -> None:
         self.worker_id = worker_id
         self.coordinator = coordinator
         self.net = net
         self.on_coordinator_lost = on_coordinator_lost
+        #: Chaos seam (see ``RpcClient.fault_hook``): heartbeats go over
+        #: their own connection, so partitioning data traffic away from a
+        #: worker can leave its heartbeats flowing -- or vice versa.
+        self.fault_hook = fault_hook
         self.max_consecutive_failures = max(2, 2 * net.heartbeat_miss_threshold)
         self.sent = 0
         self._stop = threading.Event()
@@ -130,6 +135,7 @@ class HeartbeatSender:
             try:
                 if self._client is None:
                     self._client = RpcClient(*self.coordinator, net=self.net)
+                    self._client.fault_hook = self.fault_hook
                 self._client.call(
                     "heartbeat",
                     {"worker_id": self.worker_id, "seq": self.sent},

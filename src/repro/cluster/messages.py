@@ -126,6 +126,12 @@ class CompletionMarker:
     def spill_ids(self) -> list[str]:
         return [spill_id for _, spill_id, _ in self.entries]
 
+    def dests(self) -> frozenset:
+        """The destination workers holding this map's spills -- the
+        salvage criterion: a completed map survives a failover iff every
+        one of these is still alive."""
+        return frozenset(dest for dest, _, _ in self.entries)
+
     def to_wire(self) -> dict[str, Any]:
         return {
             "app_id": self.app_id,

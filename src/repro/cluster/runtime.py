@@ -8,13 +8,20 @@ LAF range covers the block; the workers read their blocks shard-locally
 (or from a replica holder over the wire), push spills worker-to-worker,
 and reduce in place.
 
-Fault tolerance follows the paper's replication story end-to-end: a
+Fault tolerance is **surgical** (the paper's recovery claim, §V): a
 worker killed mid-job stops heartbeating (or drops its TCP connections);
 the coordinator declares it dead, merges its arc into its successor's,
-re-replicates the blocks that lost a copy from the surviving replica
-holders, broadcasts the new ring, and re-executes the job's map tasks on
-the survivors.  Re-execution is safe because spill delivery is keyed by
-deterministic spill ids -- a re-pushed spill overwrites, never duplicates.
+re-replicates lost block copies in batches from the least-loaded
+survivors, and broadcasts the new ring -- and the *attempt stays alive*.
+Completed maps whose spills all landed on surviving destinations are
+salvaged as-is; only the dead worker's unfinished maps, plus completed
+maps that had delivered spills *to* it, are re-assigned through the
+post-failover LAF table.  Re-execution is safe because spill delivery is
+keyed by deterministic spill ids and ring removal only grows surviving
+arcs: a re-executed map delivers to each surviving destination a
+superset of the spill ids it delivered before, so every stale spill is
+overwritten, never duplicated.  The salvage/re-run split is counted in
+``failover.tasks_salvaged`` / ``cluster.tasks_reexecuted``.
 
 Outputs are equal to the sequential runtime's: the scheduler sees the
 same assignment sequence (all assignments are drawn before any dispatch,
@@ -68,6 +75,11 @@ class ClusterRuntime:
         self.coordinator = Coordinator(
             worker_ids, self.config, scheduler, space, metrics=self.metrics
         )
+        #: The coordinator-side fault injector of the chaos plane.  Script
+        #: faults by passing ``ClusterConfig(chaos=ChaosConfig(seed=...,
+        #: rules=(...)))``; inspect the injected schedule afterwards via
+        #: ``runtime.chaos.schedule()`` / ``runtime.chaos.fault_counts()``.
+        self.chaos = self.coordinator.fault
         self._processes: dict[str, multiprocessing.process.BaseProcess] = {}
         self._closed = False
         #: Test/chaos hook: called with the number of completed map tasks
@@ -85,7 +97,7 @@ class ClusterRuntime:
         try:
             self._start_workers()
             self.coordinator.wait_for_workers(self.config.net.start_timeout)
-            self.coordinator.broadcast_ring()
+            self._with_failover(self.coordinator.broadcast_ring)
         except BaseException:
             self.shutdown()
             raise
@@ -165,43 +177,75 @@ class ClusterRuntime:
     # -- data -----------------------------------------------------------------------
 
     def upload(self, name: str, data: bytes, **kwargs: Any) -> None:
-        """Put an input file into the workers' DHT FS shards."""
-        self.coordinator.upload(name, data, **kwargs)
+        """Put an input file into the workers' DHT FS shards.
+
+        A worker dying (or partitioned away) mid-upload fails over and
+        the upload retries against the survivors: placement is recomputed
+        on the post-failover ring and block puts are idempotent
+        overwrites, so a partial first attempt leaves at worst stale
+        extra copies on survivor shards.
+        """
+        self._with_failover(lambda: self.coordinator.upload(name, data, **kwargs))
+
+    def _with_failover(self, op: Callable[[], Any]) -> Any:
+        """Run a pre-job control-plane operation, failing over any death.
+
+        Unlike the in-job loop there is no attempt to keep alive: a
+        :class:`WorkerLost` simply removes the victim and the operation
+        retries on the survivors.  Bounded because every retry follows a
+        death and failing the last worker raises :class:`ClusterError`.
+        """
+        while True:
+            try:
+                return op()
+            except WorkerLost as lost:
+                self._failover(lost.worker_id)
 
     # -- job execution ---------------------------------------------------------------
 
     def run(self, job: MapReduceJob) -> JobResult:
-        """Execute one MapReduce job across the worker processes."""
+        """Execute one MapReduce job across the worker processes.
+
+        A worker death anywhere in the job no longer restarts the
+        attempt: the failover loop salvages every completed map whose
+        spills live entirely on survivors and re-executes only the rest
+        (see the module docstring).  The job fails with
+        :class:`ClusterError` only once it has spent one failover per
+        initially-available spare worker.
+        """
         meta = self.coordinator.stat(job.input_file, user=job.user)
         wire = encode_job(job)
-        max_failovers = max(0, len(self.coordinator.alive_ids()) - 1)
-        failovers = 0
-        reexecuted = 0
+        budget = _FailoverBudget(
+            job.app_id, max(0, len(self.coordinator.alive_ids()) - 1)
+        )
+        tracker = _MapTracker(meta.blocks, self.coordinator.alive_ids())
+        self._start_attempt(job, budget)
+        self._map_phase(job, wire, meta, tracker, budget)
+        output, reduced_on = self._reduce_phase(job, wire, tracker, budget)
+        # The result is assembled: cleanup is best-effort from here
+        # on.  A worker dying under the end-of-job broadcast must
+        # never fail a *completed* job.
+        self._cleanup_job(job.app_id)
+        stats = self._finalize_stats(tracker, reduced_on)
+        return JobResult(app_id=job.app_id, output=output, stats=stats)
+
+    def _start_attempt(self, job: MapReduceJob, budget: "_FailoverBudget") -> None:
+        """Collect heartbeat-detected deaths, then clear the job's slate.
+
+        The ``discard_job`` broadcast drops any intermediates a previous
+        attempt of this app id left behind; a worker dying under it fails
+        over and the broadcast repeats on the survivors.
+        """
         while True:
-            stats = JobStats(
-                tasks_per_server={wid: 0 for wid in self.coordinator.alive_ids()}
-            )
+            for wid in self.coordinator.check_heartbeats():
+                budget.spend(WorkerLost(wid, "missed heartbeats"))
+                self._failover(wid)
             try:
                 self._broadcast("discard_job", {"app_id": job.app_id})
-                self._map_phase(job, wire, meta, stats)
-                output = self._reduce_phase(job, wire, stats)
+                return
             except WorkerLost as lost:
-                failovers += 1
-                # Completed maps of the aborted attempt will run again.
-                reexecuted += stats.map_tasks
-                self.metrics.counter("cluster.tasks_reexecuted").inc(stats.map_tasks)
-                if failovers > max_failovers:
-                    raise ClusterError(
-                        f"job {job.app_id!r} lost {failovers} workers; giving up"
-                    ) from lost
+                budget.spend(lost)
                 self._failover(lost.worker_id)
-                continue
-            # The result is assembled: cleanup is best-effort from here
-            # on.  A worker dying under the end-of-job broadcast must
-            # never restart a *completed* job.
-            self._cleanup_job(job.app_id)
-            stats.task_retries = reexecuted
-            return JobResult(app_id=job.app_id, output=output, stats=stats)
 
     def _cleanup_job(self, app_id: str) -> None:
         """Drop a finished job's in-flight intermediates on every worker.
@@ -217,10 +261,8 @@ class ClusterRuntime:
 
     # -- phases ----------------------------------------------------------------------
 
-    def _map_phase(self, job: MapReduceJob, wire: dict, meta, stats: JobStats) -> None:
-        dead = self.coordinator.check_heartbeats()
-        if dead:
-            raise WorkerLost(dead[0], "missed heartbeats")
+    def _map_phase(self, job: MapReduceJob, wire: dict, meta,
+                   tracker: "_MapTracker", budget: "_FailoverBudget") -> None:
         # Draw every assignment before any dispatch: the scheduler sees the
         # same zero-load state at each decision as in the sequential runtime,
         # so the assignment sequence (and tasks_per_server) is identical.
@@ -228,11 +270,31 @@ class ClusterRuntime:
         for desc in meta.blocks:
             a = self.coordinator.scheduler.assign(hash_key=desc.key)
             assignments.append((desc, a.server))
-            stats.tasks_per_server[a.server] += 1
-        if not assignments:
-            return
-        pool_size = min(16, len(assignments))
+        self._run_tasks(job, wire, assignments, tracker, budget)
+
+    def _run_tasks(self, job: MapReduceJob, wire: dict, assignments: list,
+                   tracker: "_MapTracker", budget: "_FailoverBudget") -> None:
+        """Dispatch map tasks until every block has a completed outcome.
+
+        Each round dispatches the current assignment set concurrently and
+        records every completion (results landing *after* a death in the
+        same round are still salvage candidates).  A death ends the round;
+        recovery fails the worker over, dooms the completed maps whose
+        spills it held, and re-plans only the still-pending blocks on the
+        post-failover LAF table.
+        """
+        while assignments:
+            lost = self._dispatch_round(job, wire, assignments, tracker)
+            if lost is None:
+                return
+            assignments = self._recover(job, lost, tracker, budget)
+
+    def _dispatch_round(self, job: MapReduceJob, wire: dict, assignments: list,
+                        tracker: "_MapTracker") -> WorkerLost | None:
+        """One concurrent dispatch wave; returns the first death, if any."""
         lost: WorkerLost | None = None
+        error: Exception | None = None
+        pool_size = min(16, len(assignments))
         with ThreadPoolExecutor(max_workers=pool_size, thread_name_prefix="dispatch") as pool:
             futures = []
             for desc, wid in assignments:
@@ -245,41 +307,94 @@ class ClusterRuntime:
                     if lost is None:
                         lost = exc
                     continue
+                except Exception as exc:  # drain the round before failing
+                    if error is None:
+                        error = exc
+                    continue
                 finally:
                     self.coordinator.scheduler.notify_finish(wid)
-                if lost is not None:
-                    continue  # drain remaining futures; job restarts anyway
-                stats.spills += result["spills"]
-                stats.bytes_shuffled += result["bytes_shuffled"]
+                tracker.record(desc, wid, result)
                 if result.get("replayed"):
-                    # oCache replay: the reduce side was repopulated from
-                    # cached/persisted spills; no map ran, no block read.
-                    stats.maps_skipped_by_reuse += 1
-                    stats.ocache_hits += result["ocache_hits"]
-                    stats.ocache_misses += result["ocache_misses"]
                     if self.on_replay_complete is not None:
-                        self.on_replay_complete(stats.maps_skipped_by_reuse)
+                        self.on_replay_complete(tracker.replays)
                     continue
-                stats.map_tasks += 1
-                if result["source"] == "icache":
-                    stats.icache_hits += 1
-                else:
-                    stats.icache_misses += 1
-                    if result["source"] == "local":
-                        stats.local_block_reads += 1
-                    else:
-                        stats.remote_block_reads += 1
-                if result.get("manifest") is not None:
+                if job.cache_intermediates:
                     self.coordinator.record_marker(CompletionMarker(
                         app_id=job.app_id,
                         input_file=job.input_file,
                         block_index=desc.index,
-                        entries=tuple(tuple(e) for e in result["manifest"]),
+                        entries=tuple(tuple(e) for e in result["manifest"] or ()),
                     ))
                 if self.on_map_complete is not None:
-                    self.on_map_complete(stats.map_tasks)
-        if lost is not None:
-            raise lost
+                    self.on_map_complete(tracker.maps_run)
+        if error is not None and lost is None:
+            raise error
+        return lost
+
+    def _recover(self, job: MapReduceJob, lost: WorkerLost,
+                 tracker: "_MapTracker", budget: "_FailoverBudget") -> list:
+        """Fail over a death and re-plan: salvage, doom, re-assign.
+
+        Returns the next round's assignments.  A further death while
+        discarding doomed spills or re-planning cascades through the same
+        budget.
+        """
+        budget.spend(lost)
+        self._failover(lost.worker_id)
+        while True:
+            try:
+                return self._plan_recovery(job, tracker)
+            except WorkerLost as exc:
+                budget.spend(exc)
+                self._failover(exc.worker_id)
+
+    def _plan_recovery(self, job: MapReduceJob, tracker: "_MapTracker") -> list:
+        """Split completed maps into salvaged and doomed; re-plan the rest.
+
+        A completed map survives iff every destination its spills landed
+        on is still alive (its own mapper dying does not doom it -- the
+        spills, not the mapper, are the map's output).  Doomed maps drop
+        their surviving spills and rejoin the pending set, which is then
+        re-assigned through the post-failover LAF table (the dead arc
+        now belongs to its ring successor).
+        """
+        alive = set(self.coordinator.alive_ids())
+        doomed = [idx for idx, entry in tracker.completed.items()
+                  if not entry.dests <= alive]
+        salvaged = len(tracker.completed) - len(doomed)
+        self.metrics.counter("failover.tasks_salvaged").inc(salvaged)
+        self.metrics.counter("failover.tasks_reexecuted").inc(len(doomed))
+        self.metrics.counter("cluster.tasks_reexecuted").inc(len(doomed))
+        for idx in doomed:
+            entry = tracker.completed.pop(idx)
+            tracker.reexecuted += 1
+            self._discard_stale_spills(job, entry, alive)
+        pending = [desc for desc in tracker.blocks
+                   if desc.index not in tracker.completed]
+        return [(desc, self.coordinator.scheduler.assign(hash_key=desc.key).server)
+                for desc in pending]
+
+    def _discard_stale_spills(self, job: MapReduceJob, entry: "_MapOutcome",
+                              alive: set) -> None:
+        """Drop a doomed map's spills from its surviving destinations.
+
+        Best-effort: the re-executed map's deterministic spill ids
+        overwrite every stale spill anyway (each surviving destination's
+        arc can only have grown, so the re-run delivers it a superset of
+        the original spill sequence), so an unreachable destination is
+        counted (``failover.discard_failures``) and skipped rather than
+        cascading a second failover out of mere housekeeping."""
+        by_dest: dict[str, list[str]] = {}
+        for dest, spill_id, _ in entry.manifest:
+            by_dest.setdefault(dest, []).append(spill_id)
+        for dest, spill_ids in by_dest.items():
+            if dest not in alive:
+                continue
+            try:
+                self._call_worker(dest, "discard_spills",
+                                  {"app_id": job.app_id, "spill_ids": spill_ids})
+            except (WorkerLost, ClusterError):
+                self.metrics.counter("failover.discard_failures").inc()
 
     def _dispatch_task(self, job: MapReduceJob, wire: dict, desc, wid: str) -> dict:
         """Replay one block's intermediates if a marker allows it, else map."""
@@ -299,9 +414,10 @@ class ClusterRuntime:
         its shard, or a spill object fell out of the FIFO budget) undoes
         the destinations already applied and returns ``None`` -- the
         caller re-executes the map instead.  A destination dying *during*
-        replay surfaces as ``WorkerLost`` and rides the normal failover /
-        re-execution loop (the restarted attempt begins with a
-        ``discard_job`` broadcast, so partial replays never leak into it).
+        replay surfaces as ``WorkerLost`` and rides the surgical failover
+        loop; the spills a partial replay already applied are safe to
+        leave behind because the re-executed map's deterministic spill
+        ids overwrite them (see ``_discard_stale_spills``).
         """
         groups = marker.by_dest()
         if any(dest not in self.coordinator.addresses for dest in groups):
@@ -327,22 +443,27 @@ class ClusterRuntime:
             ocache_misses += result["ocache_misses"]
         self.metrics.counter("cluster.maps_replayed").inc()
         return {"replayed": True, "spills": spills, "bytes_shuffled": nbytes,
-                "ocache_hits": ocache_hits, "ocache_misses": ocache_misses}
+                "ocache_hits": ocache_hits, "ocache_misses": ocache_misses,
+                "manifest": [list(e) for e in marker.entries]}
 
     def _discard_partial_replay(self, job: MapReduceJob, marker: CompletionMarker,
                                 applied: list[str]) -> None:
         """Un-deliver the spills of a partially replayed map task.
 
-        Errors propagate: an unreachable destination becomes
-        ``WorkerLost`` and restarts the attempt (which re-discards
-        everything anyway), so stale spills can never survive into the
-        re-mapped shuffle."""
+        Best-effort, like ``_discard_stale_spills``: the fallback re-map
+        regenerates every spill id the partial replay delivered, so an
+        unreachable destination is counted
+        (``cluster.replay_discard_failures``) and skipped -- stale spills
+        cannot survive into the re-mapped shuffle either way."""
         groups = marker.by_dest()
         for dest in applied:
-            self._call_worker(dest, "discard_spills", {
-                "app_id": job.app_id,
-                "spill_ids": [sid for sid, _ in groups[dest]],
-            })
+            try:
+                self._call_worker(dest, "discard_spills", {
+                    "app_id": job.app_id,
+                    "spill_ids": [sid for sid, _ in groups[dest]],
+                })
+            except (WorkerLost, ClusterError):
+                self.metrics.counter("cluster.replay_discard_failures").inc()
 
     def _dispatch_map(self, wid: str, wire: dict, desc) -> dict:
         holders = [
@@ -356,8 +477,28 @@ class ClusterRuntime:
              "holders": holders},
         )
 
-    def _reduce_phase(self, job: MapReduceJob, wire: dict, stats: JobStats) -> dict:
-        """Run every worker's reduce concurrently; merge in worker order.
+    def _reduce_phase(self, job: MapReduceJob, wire: dict,
+                      tracker: "_MapTracker",
+                      budget: "_FailoverBudget") -> tuple[dict, list[str]]:
+        """Reduce on every live worker; recover and retry on a death.
+
+        ``run_reduce`` is a pure read of a worker's spill store, so the
+        phase is idempotent: a death mid-reduce runs the same
+        salvage/re-execute recovery as a map-phase death (re-running the
+        doomed maps re-delivers their spills to the survivors) and the
+        whole reduce wave is simply issued again -- no attempt restart.
+        """
+        while True:
+            try:
+                return self._reduce_once(wire)
+            except WorkerLost as lost:
+                self._run_tasks(
+                    job, wire, self._recover(job, lost, tracker, budget),
+                    tracker, budget,
+                )
+
+    def _reduce_once(self, wire: dict) -> tuple[dict, list[str]]:
+        """One concurrent reduce wave; merge in worker order.
 
         Each worker reduces the spills that already live on it, so the
         phase is embarrassingly parallel.  Results are merged in
@@ -370,8 +511,9 @@ class ClusterRuntime:
         stream; ``reassemble_reduce`` rebuilds the inline result shape
         from the pages.  A worker dying mid-stream surfaces as a
         transport failure (partial pages discarded by the RPC layer), so
-        it rides the same ``WorkerLost`` -> failover -> re-execution path
-        as any other death.
+        it rides the same ``WorkerLost`` -> recovery path as any other
+        death.  Returns ``(output, reduced_on)`` where ``reduced_on``
+        lists the workers that contributed pairs, in merge order.
         """
         alive = self.coordinator.alive_ids()
         lost: WorkerLost | None = None
@@ -392,12 +534,13 @@ class ClusterRuntime:
             for wid, fut in futures:
                 try:
                     results[wid] = fut.result()
-                except WorkerLost as exc:  # drain the rest; job restarts anyway
+                except WorkerLost as exc:  # drain the rest, then recover
                     if lost is None:
                         lost = exc
         if lost is not None:
             raise lost
         output: dict[Any, Any] = {}
+        reduced_on: list[str] = []
         for wid in alive:
             result = results[wid]
             if result["pairs"] == 0:
@@ -406,9 +549,48 @@ class ClusterRuntime:
                 if k in output:
                     raise ClusterError(f"intermediate key {k!r} reduced on two servers")
                 output[k] = v
+            reduced_on.append(wid)
+        return output, reduced_on
+
+    def _finalize_stats(self, tracker: "_MapTracker",
+                        reduced_on: list[str]) -> JobStats:
+        """Fold the tracker's *final* per-block outcomes into JobStats.
+
+        On a failure-free run this is identical to counting at dispatch
+        time (every block has exactly one outcome, recorded on the worker
+        the zero-load draw assigned), so sequential-equality of
+        ``tasks_per_server`` is preserved; after failovers it reports the
+        work that actually produced the output, with ``task_retries``
+        counting the completed maps that had to re-execute."""
+        stats = JobStats(
+            tasks_per_server={wid: 0 for wid in tracker.initial_alive}
+        )
+        for entry in tracker.completed.values():
+            result = entry.result
+            stats.spills += result["spills"]
+            stats.bytes_shuffled += result["bytes_shuffled"]
+            stats.tasks_per_server[entry.server] = (
+                stats.tasks_per_server.get(entry.server, 0) + 1
+            )
+            if result.get("replayed"):
+                stats.maps_skipped_by_reuse += 1
+                stats.ocache_hits += result["ocache_hits"]
+                stats.ocache_misses += result["ocache_misses"]
+                continue
+            stats.map_tasks += 1
+            if result["source"] == "icache":
+                stats.icache_hits += 1
+            else:
+                stats.icache_misses += 1
+                if result["source"] == "local":
+                    stats.local_block_reads += 1
+                else:
+                    stats.remote_block_reads += 1
+        for wid in reduced_on:
             stats.reduce_tasks += 1
-            stats.tasks_per_server[wid] += 1
-        return output
+            stats.tasks_per_server[wid] = stats.tasks_per_server.get(wid, 0) + 1
+        stats.task_retries = tracker.reexecuted
+        return stats
 
     # -- RPC plumbing -----------------------------------------------------------------
 
@@ -452,6 +634,11 @@ class ClusterRuntime:
             self._reap(wid)
             try:
                 self.coordinator.mark_dead(wid)
+                # A cascaded death can interrupt ``mark_dead`` mid-restore,
+                # leaving copies of *earlier* corpses' blocks unplaced; the
+                # sweep re-checks every file and is a no-op when nothing is
+                # missing.
+                self.coordinator.ensure_replication()
                 return
             except WorkerLost as exc:  # another worker died during failover
                 wid = exc.worker_id
@@ -492,3 +679,66 @@ class ClusterRuntime:
             self.shutdown()
         except Exception:
             pass
+
+
+class _MapOutcome:
+    """One completed map task's final record: who ran it, what it
+    returned, and (the salvage criterion) which workers hold its spills."""
+
+    __slots__ = ("desc", "server", "result", "manifest", "dests")
+
+    def __init__(self, desc: Any, server: str, result: dict) -> None:
+        self.desc = desc
+        self.server = server
+        self.result = result
+        self.manifest = tuple(tuple(e) for e in result.get("manifest") or ())
+        self.dests = frozenset(dest for dest, _, _ in self.manifest)
+
+
+class _MapTracker:
+    """Per-job map progress: final outcome per block plus monotone counts.
+
+    ``completed`` maps block index -> :class:`_MapOutcome` and always
+    holds the *current* surviving outcome (recovery pops doomed entries,
+    re-execution overwrites them).  ``maps_run`` / ``replays`` count every
+    execution ever finished -- including doomed ones -- so the chaos hooks
+    see a monotone sequence; ``reexecuted`` counts completed maps that
+    recovery had to throw away (this becomes ``JobStats.task_retries``).
+    """
+
+    def __init__(self, blocks: Sequence[Any], initial_alive: Sequence[str]) -> None:
+        self.blocks = list(blocks)
+        self.initial_alive = list(initial_alive)
+        self.completed: dict[int, _MapOutcome] = {}
+        self.maps_run = 0
+        self.replays = 0
+        self.reexecuted = 0
+
+    def record(self, desc: Any, server: str, result: dict) -> None:
+        self.completed[desc.index] = _MapOutcome(desc, server, result)
+        if result.get("replayed"):
+            self.replays += 1
+        else:
+            self.maps_run += 1
+
+
+class _FailoverBudget:
+    """How many worker deaths one job will absorb before giving up.
+
+    One failover per spare worker at job start: a job beginning with N
+    live workers survives N-1 deaths (each recovery needs at least one
+    survivor to land on) and fails with :class:`ClusterError` on the
+    Nth."""
+
+    def __init__(self, app_id: str, limit: int) -> None:
+        self.app_id = app_id
+        self.limit = limit
+        self.spent_count = 0
+
+    def spend(self, lost: WorkerLost) -> None:
+        self.spent_count += 1
+        if self.spent_count > self.limit:
+            raise ClusterError(
+                f"job {self.app_id!r} lost {self.spent_count} workers"
+                f" (budget {self.limit}); giving up"
+            ) from lost

@@ -39,6 +39,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Optional
 
 from repro.cache.worker import WorkerCache
+from repro.chaos.plane import FaultInjector
 from repro.common.config import ClusterConfig
 from repro.common.errors import BlockNotFound, ClusterError, NetworkError
 from repro.common.hashing import HashSpace
@@ -95,6 +96,12 @@ class WorkerNode:
         self.ring: Optional[RingTable] = None
         self.peers: dict[str, tuple[str, int]] = {}
         self.pool = ConnectionPool(config.net, metrics=self.metrics)
+        # This worker's slice of the chaos plane (rules arrive in the
+        # config manifest); peer names are bound as ring broadcasts
+        # deliver addresses.  Inactive configs leave the hooks unset.
+        self.fault = FaultInjector(worker_id, config.chaos, metrics=self.metrics)
+        if self.fault.active:
+            self.pool.fault_hook = self.fault.on_send
         self._jobs: dict[str, Any] = {}  # app_id -> DecodedJob
         self._lock = threading.RLock()
         # Remote spill pushes to distinct reduce-side targets go out
@@ -116,6 +123,18 @@ class WorkerNode:
             self.block_replica[(name, index)] = replica
         self.metrics.counter("worker.blocks_stored").inc()
         return len(data)
+
+    def restore_block(self, name: str, index: int, data, replica: bool = False) -> int:
+        """Accept a re-replicated copy after a failover.
+
+        Same storage semantics as :meth:`put_block`; the distinct method
+        lets chaos rules and metrics target repair traffic specifically
+        (``worker.blocks_restored``), and keeps ordinary uploads out of
+        failover scripts.
+        """
+        n = self.put_block(name, index, data, replica)
+        self.metrics.counter("worker.blocks_restored").inc()
+        return n
 
     def fetch_block(self, name: str, index: int) -> bytes:
         with self._lock:
@@ -146,6 +165,9 @@ class WorkerNode:
                 return self.ring.epoch  # stale broadcast
             self.ring = table
             self.peers = {wid: tuple(addr) for wid, addr in peers.items()}
+        if self.fault.active:
+            for wid, addr in peers.items():
+                self.fault.bind(wid, addr)
         return table.epoch
 
     def discard_job(self, app_id: str) -> None:
@@ -262,10 +284,13 @@ class WorkerNode:
             "source": source,
             "spills": spill.spills,
             "bytes_shuffled": spill.bytes_pushed,
-            # The completion-marker manifest: which spills this map
-            # delivered where, at what size.  The coordinator records it
-            # so a later ``reuse_intermediates`` job can replay.
-            "manifest": spill.manifest() if decoded.cache_intermediates else None,
+            # The spill manifest: which spills this map delivered where,
+            # at what size.  Always returned -- the coordinator needs the
+            # destination set to decide whether this map survives a
+            # failover (spills all on survivors = salvaged) -- and also
+            # recorded as a completion marker when the job caches
+            # intermediates for replay.
+            "manifest": spill.manifest(),
         }
 
     def _read_block(
@@ -475,6 +500,7 @@ class WorkerNode:
         out = {
             "ping": self.ping,
             "put_block": self.put_block,
+            "restore_block": self.restore_block,
             "fetch_block": self._fetch_block_rpc,
             "drop_block": self.drop_block,
             "update_ring": self.update_ring,
@@ -522,15 +548,22 @@ def worker_main(
         net=config.net,
         metrics=node.metrics,
     )
+    fault_hook = None
+    if node.fault.active:
+        node.fault.bind("coordinator", (coordinator_host, coordinator_port))
+        server.fault_hook = node.fault.on_serve
+        fault_hook = node.fault.on_send
     server.start()
     heartbeats = HeartbeatSender(
         worker_id,
         (coordinator_host, coordinator_port),
         config.net,
         on_coordinator_lost=stop.set,
+        fault_hook=fault_hook,
     )
     try:
         client = RpcClient(coordinator_host, coordinator_port, net=config.net)
+        client.fault_hook = fault_hook
         client.call(
             "register",
             {"worker_id": worker_id, "host": server.host, "port": server.port},

@@ -126,6 +126,12 @@ class NetConfig:
     retry_jitter: float = 0.25
     """Jitter fraction: each delay is scaled by ``1 ± jitter``."""
 
+    retry_max_elapsed: float | None = None
+    """Total-elapsed deadline across all attempts of one logical call, in
+    seconds (``None`` = unbounded).  A flapping peer can otherwise hold a
+    caller for up to ``retry_attempts * retry_max_delay`` regardless of
+    how long the caller can actually afford to wait."""
+
     heartbeat_interval: float = 0.25
     """Seconds between a worker's heartbeats to the coordinator."""
 
@@ -163,6 +169,8 @@ class NetConfig:
             raise ConfigError("retry_attempts must be >= 1")
         if self.retry_max_delay < self.retry_base_delay:
             raise ConfigError("retry_max_delay must be >= retry_base_delay")
+        if self.retry_max_elapsed is not None and self.retry_max_elapsed <= 0:
+            raise ConfigError("retry_max_elapsed must be positive or None")
         if not 0.0 <= self.retry_jitter <= 1.0:
             raise ConfigError(f"retry_jitter must be in [0, 1], got {self.retry_jitter}")
         if self.heartbeat_miss_threshold < 1:
@@ -203,6 +211,86 @@ class SchedulerConfig:
             raise ConfigError("delay_wait must be non-negative")
 
 
+_FAULT_OPS = ("drop", "blackhole", "delay", "crash")
+_FAULT_SITES = ("send", "serve")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scripted fault at the RPC transport seam.
+
+    A rule matches RPCs by site, endpoint names, and method, then applies
+    ``op`` to the ``count`` matches starting at match number ``after_n``
+    (every node keeps its own per-rule match counter):
+
+    * ``drop`` -- at ``site="send"`` the call fails with a connection
+      error before any byte moves; at ``site="serve"`` the request is
+      swallowed without a response (the caller times out), which is what
+      a one-way partition looks like from the sender;
+    * ``blackhole`` -- (send-side only) the request is admitted but its
+      bytes never hit the wire, so the caller waits out its full timeout;
+    * ``delay`` -- the call proceeds after ``delay_s`` seconds;
+    * ``crash`` -- the matching node exits immediately (SIGKILL-grade:
+      no cleanup, heartbeats just stop), for crash-on-Nth-RPC scripts.
+
+    ``src``/``dst`` are node names (worker ids or ``"coordinator"``);
+    ``"*"`` matches any.  On the send site ``src`` is the calling node
+    and ``dst`` the callee; on the serve site ``dst`` is the serving
+    node and ``src`` is unknown (match with ``"*"``).
+    """
+
+    op: str
+    site: str = "send"
+    src: str = "*"
+    dst: str = "*"
+    method: str = "*"
+    after_n: int = 0
+    count: int | None = None
+    delay_s: float = 0.0
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.op not in _FAULT_OPS:
+            raise ConfigError(f"fault op must be one of {_FAULT_OPS}, got {self.op!r}")
+        if self.site not in _FAULT_SITES:
+            raise ConfigError(f"fault site must be one of {_FAULT_SITES}, got {self.site!r}")
+        if self.op == "blackhole" and self.site != "send":
+            raise ConfigError("blackhole is a send-side fault (serve-side use drop)")
+        if self.after_n < 0:
+            raise ConfigError("after_n must be >= 0")
+        if self.count is not None and self.count < 1:
+            raise ConfigError("count must be >= 1 or None (unbounded)")
+        if self.delay_s < 0:
+            raise ConfigError("delay_s must be non-negative")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError(f"probability must be in [0, 1], got {self.probability}")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """The deterministic fault-injection plane (off by default).
+
+    ``rules`` script faults at the transport seam; ``seed`` pins every
+    probabilistic draw (each node derives its RNG from
+    ``f"{seed}:{node_id}"``), so the same config replays the same fault
+    schedule run after run.  An empty rule list leaves the data plane
+    untouched -- no hook is even installed.
+    """
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                raise ConfigError(f"rules must be FaultRule instances, got {rule!r}")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.rules)
+
+
 @dataclass(frozen=True)
 class ClusterConfig:
     """The simulated hardware platform (paper §III testbed)."""
@@ -237,6 +325,7 @@ class ClusterConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     net: NetConfig = field(default_factory=NetConfig)
+    chaos: ChaosConfig = field(default_factory=ChaosConfig)
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:

@@ -17,8 +17,10 @@ from typing import Any
 
 from repro.common.config import (
     CacheConfig,
+    ChaosConfig,
     ClusterConfig,
     DFSConfig,
+    FaultRule,
     NetConfig,
     SchedulerConfig,
 )
@@ -26,15 +28,30 @@ from repro.common.errors import ConfigError
 
 __all__ = ["config_to_dict", "config_from_dict", "diff_configs"]
 
-# ``net`` joined the schema after the first manifests shipped; manifests
-# written without it keep loading (the field falls back to its defaults),
-# so the schema string stays at /1.
+# ``net`` (and later ``chaos``) joined the schema after the first
+# manifests shipped; manifests written without them keep loading (the
+# fields fall back to their defaults), so the schema string stays at /1.
 _NESTED = {
     "dfs": DFSConfig,
     "cache": CacheConfig,
     "scheduler": SchedulerConfig,
     "net": NetConfig,
+    "chaos": ChaosConfig,
 }
+
+
+def _chaos_from_dict(value: dict[str, Any]) -> ChaosConfig:
+    """Rebuild the nested fault rules (plain dicts/lists on the wire)."""
+    rules = []
+    for entry in value.get("rules") or ():
+        if not isinstance(entry, dict):
+            raise ConfigError(f"chaos rule must be a mapping, got {entry!r}")
+        rule_known = {f.name for f in dataclasses.fields(FaultRule)}
+        unknown = set(entry) - rule_known
+        if unknown:
+            raise ConfigError(f"unknown chaos rule keys: {sorted(unknown)}")
+        rules.append(FaultRule(**entry))
+    return ChaosConfig(seed=value.get("seed", 0), rules=tuple(rules))
 
 
 def config_to_dict(config: ClusterConfig) -> dict[str, Any]:
@@ -68,7 +85,10 @@ def config_from_dict(data: dict[str, Any]) -> ClusterConfig:
             unknown = set(value) - sub_known
             if unknown:
                 raise ConfigError(f"unknown {key} keys: {sorted(unknown)}")
-            kwargs[key] = _NESTED[key](**value)
+            if key == "chaos":
+                kwargs[key] = _chaos_from_dict(value)
+            else:
+                kwargs[key] = _NESTED[key](**value)
         else:
             kwargs[key] = value
     return ClusterConfig(**kwargs)

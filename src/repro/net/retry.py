@@ -29,14 +29,23 @@ class RetryPolicy:
 
     -- classic capped exponential backoff with symmetric jitter, so a burst
     of failed calls from many workers does not re-dogpile the same peer.
+
+    ``max_elapsed`` bounds the *total* wall clock one logical call may
+    spend across all attempts: before each backoff sleep the policy
+    checks whether the elapsed time plus the next delay would cross the
+    deadline and gives up (re-raising the last failure) instead of
+    sleeping past it.  ``clock`` is injectable alongside ``sleep`` so
+    tests pin the exact give-up sequence without waiting.
     """
 
     attempts: int = 3
     base_delay: float = 0.05
     max_delay: float = 2.0
     jitter: float = 0.25
+    max_elapsed: Optional[float] = None
     sleep: Callable[[float], None] = time.sleep
     rng: random.Random = field(default_factory=random.Random)
+    clock: Callable[[], float] = time.monotonic
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
@@ -45,6 +54,8 @@ class RetryPolicy:
             raise ValueError("need 0 < base_delay <= max_delay")
         if not 0.0 <= self.jitter <= 1.0:
             raise ValueError("jitter must be in [0, 1]")
+        if self.max_elapsed is not None and self.max_elapsed <= 0:
+            raise ValueError("max_elapsed must be positive or None")
 
     @classmethod
     def from_config(
@@ -52,14 +63,17 @@ class RetryPolicy:
         net: NetConfig,
         sleep: Callable[[float], None] | None = None,
         rng: random.Random | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> "RetryPolicy":
         return cls(
             attempts=net.retry_attempts,
             base_delay=net.retry_base_delay,
             max_delay=net.retry_max_delay,
             jitter=net.retry_jitter,
+            max_elapsed=net.retry_max_elapsed,
             sleep=sleep or time.sleep,
             rng=rng or random.Random(),
+            clock=clock or time.monotonic,
         )
 
     def backoff(self, attempt: int) -> float:
@@ -70,6 +84,17 @@ class RetryPolicy:
         jittered = base * (1.0 + self.jitter * (2.0 * self.rng.random() - 1.0))
         return max(0.0, jittered)
 
+    def gives_up(self, started: float, next_delay: float) -> bool:
+        """Whether the elapsed budget cannot absorb one more backoff.
+
+        ``started`` is a :attr:`clock` reading taken before the first
+        attempt.  The check is pre-sleep: a policy never starts a delay
+        it knows would end past the deadline.
+        """
+        if self.max_elapsed is None:
+            return False
+        return (self.clock() - started) + next_delay > self.max_elapsed
+
     def call(
         self,
         fn: Callable[[], T],
@@ -79,9 +104,11 @@ class RetryPolicy:
         """Run ``fn`` with up to :attr:`attempts` tries.
 
         ``on_retry(attempt, exc)`` fires before each backoff sleep; the
-        final failure re-raises the last exception unchanged.
+        final failure -- attempts exhausted or the :attr:`max_elapsed`
+        deadline reached -- re-raises the last exception unchanged.
         """
         last: BaseException | None = None
+        started = self.clock()
         for attempt in range(self.attempts):
             try:
                 return fn()
@@ -89,8 +116,11 @@ class RetryPolicy:
                 last = exc
                 if attempt + 1 >= self.attempts:
                     break
+                delay = self.backoff(attempt)
+                if self.gives_up(started, delay):
+                    break
                 if on_retry is not None:
                     on_retry(attempt, exc)
-                self.sleep(self.backoff(attempt))
+                self.sleep(delay)
         assert last is not None
         raise last

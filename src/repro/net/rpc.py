@@ -54,6 +54,16 @@ offers ``call_many`` (pipelined batch to one peer) and ``broadcast``
 retried.  All sides count traffic into an optional
 :class:`~repro.sim.metrics.MetricsRegistry`; the pool also records a
 per-call latency histogram (``rpc.latency_s``).
+
+Both ends expose a **fault hook** for the deterministic chaos plane
+(:mod:`repro.chaos`): ``fault_hook`` on a client/pool runs before a
+request's bytes hit the wire and may *drop* the call (raises
+:class:`RpcConnectionError` -- a synthetic transport failure, retried
+like a real one) or *black-hole* it (the request is admitted and its
+future registered, but nothing is sent, so the caller waits out its
+timeout); ``fault_hook`` on a server runs before dispatch and may
+swallow the request whole (no response -- what a one-way partition looks
+like).  With no hook installed, none of these paths execute.
 """
 
 from __future__ import annotations
@@ -230,6 +240,9 @@ class RpcServer:
         self._accept_thread: threading.Thread | None = None
         self._conns: set[socket.socket] = set()
         self._lock = threading.Lock()
+        #: Chaos seam: ``hook(method) -> "drop" | None`` runs before each
+        #: request is handled; ``"drop"`` swallows it (no response).
+        self.fault_hook: Optional[Callable[[str], Optional[str]]] = None
 
     @property
     def address(self) -> tuple[str, int]:
@@ -293,6 +306,10 @@ class RpcServer:
                 pass
 
     def _serve_request(self, channel: _Channel, request: dict) -> None:
+        hook = self.fault_hook
+        if hook is not None and hook(request.get("method", "")) == "drop":
+            self._count("rpc.requests_swallowed", 1)
+            return  # scripted one-way partition: the caller times out
         response, blob = self._handle(request)
         if isinstance(blob, Stream):
             self._serve_stream(channel, response, blob)
@@ -457,6 +474,9 @@ class RpcClient:
         self._admitted = 0
         self._closed = False
         self.stream_page_hook: Optional[Callable[[tuple[str, int], int], None]] = None
+        #: Chaos seam: ``hook(addr, method) -> "drop" | "blackhole" | None``
+        #: runs before each request is sent (see the module docstring).
+        self.fault_hook: Optional[Callable[[tuple[str, int], str], Optional[str]]] = None
         try:
             self._sock = socket.create_connection(
                 (host, port), timeout=self.net.connect_timeout
@@ -486,6 +506,15 @@ class RpcClient:
         window.  The slot is held until the call's future completes
         (response, cancellation, or transport death).
         """
+        action: Optional[str] = None
+        hook = self.fault_hook
+        if hook is not None:
+            action = hook(self.address, method)
+            if action == "drop":
+                self._count("net.sends_dropped", 1)
+                raise RpcConnectionError(
+                    f"{method} to {self.address} dropped by fault injection"
+                )
         self._window_acquire()
         admitted = False
         try:
@@ -509,7 +538,14 @@ class RpcClient:
                         f"{self.net.max_frame_bytes}-byte frame limit"
                     )
             try:
-                sent = self._channel.send_envelope(envelope, blob)
+                if action == "blackhole":
+                    # Admitted and registered, but nothing hits the wire:
+                    # the caller waits out its timeout, exactly like a
+                    # request lost inside a partitioned network.
+                    self._count("net.sends_blackholed", 1)
+                    sent = 0
+                else:
+                    sent = self._channel.send_envelope(envelope, blob)
             except FramingError:
                 self._forget(rid)
                 self._count("net.frames_rejected", 1)
@@ -747,6 +783,9 @@ class ConnectionPool:
         #: Propagated to every connection (see RpcClient.stream_page_hook);
         #: the fault-injection tests use it to act mid-stream.
         self.stream_page_hook: Optional[Callable[[tuple[str, int], int], None]] = None
+        #: Propagated to every connection (see RpcClient.fault_hook); the
+        #: chaos plane's send seam for every call issued through the pool.
+        self.fault_hook: Optional[Callable[[tuple[str, int], str], Optional[str]]] = None
 
     # -- connection management -----------------------------------------------------
 
@@ -757,11 +796,13 @@ class ConnectionPool:
             client = self._conns.get(addr)
             if client is not None and not client.closed:
                 client.stream_page_hook = self.stream_page_hook
+                client.fault_hook = self.fault_hook
                 return client
             if client is not None:
                 del self._conns[addr]
         dialed = RpcClient(addr[0], addr[1], self.net, self._metrics)
         dialed.stream_page_hook = self.stream_page_hook
+        dialed.fault_hook = self.fault_hook
         self._count("net.connections_opened", 1)
         with self._lock:
             if self._closed:
@@ -794,6 +835,7 @@ class ConnectionPool:
     ) -> Any:
         policy = policy or self.policy
         last: NetworkError | None = None
+        first_try = policy.clock()
         for attempt in range(policy.attempts):
             self._count("rpc.calls", 1)
             client: RpcClient | None = None
@@ -817,15 +859,19 @@ class ConnectionPool:
                     self._discard(addr, client)
                 last = exc if isinstance(exc, NetworkError) else RpcConnectionError(str(exc))
                 if attempt + 1 < policy.attempts:
+                    delay = policy.backoff(attempt)
+                    if policy.gives_up(first_try, delay):
+                        self._count("rpc.retries_abandoned", 1)
+                        break  # the elapsed budget cannot absorb another sleep
                     self._count("rpc.retries", 1)
-                    policy.sleep(policy.backoff(attempt))
+                    policy.sleep(delay)
                 continue
             else:
                 self._observe_latency(time.perf_counter() - started)
                 return value
         self._count("rpc.failures", 1)
         raise RpcConnectionError(
-            f"{method} to {addr} failed after {policy.attempts} attempts: {last}"
+            f"{method} to {addr} failed after {attempt + 1} attempt(s): {last}"
         )
 
     def call_async(self, addr: tuple[str, int], method: str,
@@ -838,28 +884,37 @@ class ConnectionPool:
     def call_many(
         self,
         addr: tuple[str, int],
-        calls: Sequence[tuple[str, dict[str, Any] | None]],
+        calls: Sequence[tuple],
         timeout: float | None = None,
         policy: RetryPolicy | None = None,
     ) -> list[Any]:
-        """Pipeline a batch of ``(method, args)`` calls to one peer.
+        """Pipeline a batch of calls to one peer.
 
-        All requests go out back-to-back on the shared connection and
-        execute concurrently server-side; results come back in request
-        order.  Calls that fail in transport are retried individually
-        (remote errors propagate immediately, like :meth:`call`).
+        Each entry is ``(method, args)`` or ``(method, args, blob,
+        blob_arg)`` -- the long form ships its payload out-of-band beside
+        the envelope, so a batch of block copies (failover re-replication)
+        pipelines without a pickle copy per block.  All requests go out
+        back-to-back on the shared connection and execute concurrently
+        server-side; results come back in request order.  Calls that fail
+        in transport are retried individually, payload included (remote
+        errors propagate immediately, like :meth:`call`).
         """
+        unpacked = [
+            (c[0], c[1], c[2] if len(c) > 2 else None, c[3] if len(c) > 3 else None)
+            for c in calls
+        ]
         futures: list[Future | None] = []
         try:
             client = self._connection(addr)
-            for method, args in calls:
+            for method, args, blob, blob_arg in unpacked:
                 self._count("rpc.calls", 1)
-                futures.append(client.call_async(method, args))
+                futures.append(client.call_async(method, args, blob=blob,
+                                                 blob_arg=blob_arg))
         except _TRANSPORT_ERRORS:
-            futures.extend([None] * (len(calls) - len(futures)))
+            futures.extend([None] * (len(unpacked) - len(futures)))
         results: list[Any] = []
         deadline = timeout if timeout is not None else self.net.call_timeout
-        for future, (method, args) in zip(futures, calls):
+        for future, (method, args, blob, blob_arg) in zip(futures, unpacked):
             value = None
             retry = future is None
             if future is not None:
@@ -874,7 +929,8 @@ class ConnectionPool:
                 except _TRANSPORT_ERRORS:
                     retry = True
             if retry:
-                value = self.call(addr, method, args, timeout=timeout, policy=policy)
+                value = self.call(addr, method, args, timeout=timeout, policy=policy,
+                                  blob=blob, blob_arg=blob_arg)
             results.append(value)
         return results
 

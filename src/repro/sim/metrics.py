@@ -113,6 +113,11 @@ class Histogram:
     def mean(self) -> float:
         return float(np.mean(self.samples)) if self.samples else 0.0
 
+    def total(self) -> float:
+        """Sum of every recorded sample (e.g. bytes across re-replication
+        batches -- must equal the matching byte counter)."""
+        return float(np.sum(self.samples)) if self.samples else 0.0
+
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0-100) of everything recorded; 0 when empty."""
         if not self.samples:

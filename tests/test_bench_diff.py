@@ -46,6 +46,15 @@ class TestDirection:
                   "wordcount.words_per_s"):
             assert not bench_diff.lower_is_better(m)
 
+    def test_recovery_costs_are_lower_better(self):
+        for m in ("failover.tasks_reexecuted", "failover.blocks_rereplicated",
+                  "failover.bytes_rereplicated", "failover.mb_recopied",
+                  "job.overhead_pct", "rpc.retries", "rpc.failures",
+                  "rereplication.recovery_s"):
+            assert bench_diff.lower_is_better(m)
+        # ...but recovery *throughput* is still a rate.
+        assert not bench_diff.lower_is_better("rereplication.recovery_mb_s")
+
 
 class TestDiff:
     def test_verdicts(self):

@@ -1,0 +1,494 @@
+"""Chaos plane + surgical failover: the PR's headline behaviors.
+
+Three layers, cheapest first:
+
+* unit tests for :class:`~repro.chaos.plane.FaultInjector` (rule windows,
+  determinism, crash/delay effects via injected ``exit_fn``/``sleep``)
+  and the chaos config's wire round-trip;
+* transport-seam tests against a real :class:`RpcServer` +
+  :class:`ConnectionPool` (drop fails fast, blackhole and serve-drop
+  both end in the caller's timeout -- the one-way partition shape);
+* cluster integration: SIGKILL mid-job salvages every completed map
+  whose spills live on survivors and re-executes *only* the doomed ones;
+  a scripted one-way partition (victim heartbeats, coordinator's sends
+  dropped) is detected by unreachability and replays the identical fault
+  schedule under a fixed seed; a second worker crashing on its first
+  ``restore_block`` mid-re-replication cascades through failover without
+  failing the job.
+
+``CHAOS_SEED`` (CI's chaos-matrix runs 0/1/2) seeds every scripted
+scenario; any seed must pass -- determinism is asserted *within* a seed.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.apps.wordcount import wordcount_job
+from repro.apps.workloads import pack_records, text_corpus
+from repro.chaos import FaultInjector, partition_rules
+from repro.cluster import ClusterRuntime
+from repro.common.config import (
+    ChaosConfig,
+    ClusterConfig,
+    DFSConfig,
+    FaultRule,
+    NetConfig,
+)
+from repro.common.errors import ConfigError, RpcConnectionError, RpcTimeout
+from repro.common.hashing import DEFAULT_SPACE
+from repro.common.serialization import config_from_dict, config_to_dict
+from repro.dht.ring import ConsistentHashRing
+from repro.mapreduce.runtime import EclipseMRRuntime
+from repro.net.retry import RetryPolicy
+from repro.net.rpc import ConnectionPool, RpcServer
+from repro.sim.metrics import MetricsRegistry
+
+SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+BLOCK = 2048
+CFG = ClusterConfig(dfs=DFSConfig(block_size=BLOCK))
+WORKERS = [f"worker-{i}" for i in range(4)]
+
+
+def _ring(worker_ids):
+    """The exact ring every coordinator builds for these worker ids."""
+    ring = ConsistentHashRing(DEFAULT_SPACE)
+    for wid in worker_ids:
+        ring.add_node(wid)
+    return ring
+
+
+def _word_owner(ring, word: str):
+    """Where a wordcount intermediate key lands (SpillBuffer routes by
+    ``space.key_of(repr(key))``)."""
+    return ring.owner_of(DEFAULT_SPACE.key_of(repr(word)))
+
+
+def corpus() -> bytes:
+    return pack_records(text_corpus(99, num_words=3000, vocab_size=60), BLOCK)
+
+
+# -- config plumbing ---------------------------------------------------------------
+
+
+class TestChaosConfig:
+    def test_fault_rule_validation(self):
+        with pytest.raises(ConfigError):
+            FaultRule(op="truncate")
+        with pytest.raises(ConfigError):
+            FaultRule(op="drop", site="wire")
+        with pytest.raises(ConfigError):
+            FaultRule(op="blackhole", site="serve")  # send-side only
+        with pytest.raises(ConfigError):
+            FaultRule(op="drop", after_n=-1)
+        with pytest.raises(ConfigError):
+            FaultRule(op="drop", count=0)
+        with pytest.raises(ConfigError):
+            FaultRule(op="delay", delay_s=-0.1)
+        with pytest.raises(ConfigError):
+            FaultRule(op="drop", probability=1.5)
+
+    def test_chaos_config_rejects_non_rules(self):
+        with pytest.raises(ConfigError):
+            ChaosConfig(rules=({"op": "drop"},))
+
+    def test_active_only_with_rules(self):
+        assert not ChaosConfig().active
+        assert ChaosConfig(rules=(FaultRule(op="drop"),)).active
+
+    def test_rules_survive_the_manifest_round_trip(self):
+        """Chaos scripts ride the config manifest into spawned workers, so
+        they must survive ``config_to_dict`` -> JSON -> ``config_from_dict``."""
+        cfg = ClusterConfig(chaos=ChaosConfig(seed=11, rules=(
+            FaultRule(op="drop", site="send", src="coordinator",
+                      dst="worker-1", method="discard_job", count=3),
+            FaultRule(op="crash", site="serve", dst="worker-2",
+                      method="restore_block", after_n=1, count=1),
+            FaultRule(op="delay", delay_s=0.25, probability=0.5),
+        )))
+        wire = json.loads(json.dumps(config_to_dict(cfg)))
+        back = config_from_dict(wire)
+        assert back.chaos == cfg.chaos
+
+    def test_unknown_rule_keys_rejected(self):
+        wire = config_to_dict(ClusterConfig())
+        wire["chaos"] = {"seed": 0, "rules": [{"op": "drop", "sit": "send"}]}
+        with pytest.raises(ConfigError, match="unknown chaos rule keys"):
+            config_from_dict(wire)
+
+    def test_partition_rules_shape(self):
+        (rule,) = partition_rules("worker-3", heal_after=5)
+        assert (rule.op, rule.site, rule.dst, rule.count) == \
+            ("drop", "send", "worker-3", 5)
+        assert rule.src == "*" and rule.method == "*"
+
+
+# -- the injector ------------------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_window_after_n_and_count(self):
+        inj = FaultInjector("node", ChaosConfig(rules=(
+            FaultRule(op="drop", site="serve", dst="node", method="m",
+                      after_n=1, count=2),
+        )))
+        assert [inj.on_serve("m") for _ in range(5)] == \
+            [None, "drop", "drop", None, None]
+        assert inj.fault_counts() == [5]  # window checks count as matches
+        assert [entry[5] for entry in inj.schedule()] == [1, 2]
+
+    def test_method_and_name_matching(self):
+        inj = FaultInjector("coordinator", ChaosConfig(rules=(
+            FaultRule(op="drop", site="send", dst="victim", method="run_map"),
+        )))
+        inj.bind("victim", ("127.0.0.1", 9001))
+        assert inj.name_of(("127.0.0.1", 9001)) == "victim"
+        assert inj.name_of(("127.0.0.1", 9002)) == "?"
+        assert inj.on_send(("127.0.0.1", 9001), "run_map") == "drop"
+        assert inj.on_send(("127.0.0.1", 9001), "heartbeat") is None
+        assert inj.on_send(("127.0.0.1", 9002), "run_map") is None
+
+    def test_first_drop_ends_evaluation(self):
+        sleeps = []
+        inj = FaultInjector("node", ChaosConfig(rules=(
+            FaultRule(op="drop", site="send"),
+            FaultRule(op="delay", site="send", delay_s=9.0),
+        )), sleep=sleeps.append)
+        assert inj.on_send(("h", 1), "m") == "drop"
+        assert sleeps == []  # the delay rule was never reached
+
+    def test_delay_sleeps_and_keeps_scanning(self):
+        sleeps = []
+        inj = FaultInjector("node", ChaosConfig(rules=(
+            FaultRule(op="delay", site="send", delay_s=0.75),
+            FaultRule(op="blackhole", site="send", method="m"),
+        )), sleep=sleeps.append)
+        assert inj.on_send(("h", 1), "m") == "blackhole"
+        assert sleeps == [pytest.approx(0.75)]
+        assert [entry[4] for entry in inj.schedule()] == ["delay", "blackhole"]
+
+    def test_crash_uses_the_injected_exit(self):
+        exits = []
+        metrics = MetricsRegistry()
+        inj = FaultInjector("node", ChaosConfig(rules=(
+            FaultRule(op="crash", site="serve", dst="node", method="m", count=1),
+        )), metrics=metrics, exit_fn=exits.append)
+        assert inj.on_serve("m") is None  # non-exiting exit_fn: scan continues
+        assert exits == [137]  # SIGKILL-grade status
+        assert metrics.counter("chaos.crash").value == 1
+        assert metrics.counter("chaos.faults_injected").value == 1
+
+    def test_probabilistic_rules_replay_under_one_seed(self):
+        def fire(seed, n=64):
+            inj = FaultInjector("node", ChaosConfig(seed=seed, rules=(
+                FaultRule(op="drop", site="send", probability=0.5),
+            )))
+            return [inj.on_send(("h", 1), "m") for _ in range(n)], inj.schedule()
+
+        first, sched_first = fire(SEED)
+        again, sched_again = fire(SEED)
+        other, _ = fire(SEED + 1)
+        assert first == again and sched_first == sched_again
+        assert first != other  # a different seed draws a different schedule
+        assert 0 < first.count("drop") < len(first)  # p=0.5 actually mixes
+
+    def test_each_node_draws_its_own_stream(self):
+        cfg = ChaosConfig(seed=SEED, rules=(
+            FaultRule(op="drop", site="send", probability=0.5),
+        ))
+
+        def fire(node):
+            inj = FaultInjector(node, cfg)
+            return [inj.on_send(("h", 1), "m") for _ in range(64)]
+
+        assert fire("worker-0") != fire("worker-1")
+
+
+# -- the transport seams -----------------------------------------------------------
+
+
+@pytest.fixture()
+def echo_server():
+    metrics = MetricsRegistry()
+    srv = RpcServer({"echo": lambda value: value}, net=NetConfig(),
+                    metrics=metrics).start()
+    yield srv, metrics
+    srv.stop()
+
+
+def _fast_policy(attempts: int = 2) -> RetryPolicy:
+    return RetryPolicy(attempts=attempts, base_delay=0.01, max_delay=0.02,
+                       jitter=0.0, sleep=lambda _s: None)
+
+
+class TestTransportSeams:
+    def test_send_drop_is_a_retried_connection_error(self, echo_server):
+        srv, _ = echo_server
+        metrics = MetricsRegistry()
+        inj = FaultInjector("coordinator", ChaosConfig(seed=SEED, rules=(
+            FaultRule(op="drop", site="send", dst="victim", method="echo"),
+        )), metrics=metrics)
+        inj.bind("victim", srv.address)
+        pool = ConnectionPool(NetConfig(), metrics=metrics,
+                              policy=_fast_policy(attempts=2))
+        pool.fault_hook = inj.on_send
+        try:
+            with pytest.raises(RpcConnectionError, match="dropped by fault injection"):
+                pool.call(srv.address, "echo", {"value": 1})
+            assert metrics.counter("net.sends_dropped").value == 2  # both attempts
+            assert metrics.counter("chaos.drop").value == 2
+        finally:
+            pool.close_all()
+
+    def test_blackhole_times_the_caller_out(self, echo_server):
+        srv, _ = echo_server
+        metrics = MetricsRegistry()
+        inj = FaultInjector("coordinator", ChaosConfig(seed=SEED, rules=(
+            FaultRule(op="blackhole", site="send", method="echo", count=1),
+        )), metrics=metrics)
+        pool = ConnectionPool(NetConfig(), metrics=metrics,
+                              policy=_fast_policy())
+        pool.fault_hook = inj.on_send
+        try:
+            with pytest.raises(RpcTimeout):
+                pool.call(srv.address, "echo", {"value": 1}, timeout=0.3)
+            assert metrics.counter("net.sends_blackholed").value == 1
+            assert metrics.counter("rpc.retries").value == 0  # timeouts never retry
+            # The window expired: the connection itself is healthy.
+            assert pool.call(srv.address, "echo", {"value": 2}) == 2
+        finally:
+            pool.close_all()
+
+    def test_serve_drop_swallows_the_request(self, echo_server):
+        srv, srv_metrics = echo_server
+        inj = FaultInjector("victim", ChaosConfig(seed=SEED, rules=(
+            FaultRule(op="drop", site="serve", dst="victim", method="echo",
+                      count=1),
+        )), metrics=srv_metrics)
+        srv.fault_hook = inj.on_serve
+        pool = ConnectionPool(NetConfig(), policy=_fast_policy())
+        try:
+            # The request reaches the server and dies there -- the sender
+            # sees only silence, exactly a one-way partition.
+            with pytest.raises(RpcTimeout):
+                pool.call(srv.address, "echo", {"value": 1}, timeout=0.3)
+            assert srv_metrics.counter("rpc.requests_swallowed").value == 1
+            assert pool.call(srv.address, "echo", {"value": 2}) == 2  # healed
+        finally:
+            srv.fault_hook = None
+            pool.close_all()
+
+
+# -- surgical failover (the headline) ----------------------------------------------
+
+
+class TestSurgicalFailover:
+    def test_kill_after_map_phase_salvages_survivor_spills(self):
+        """SIGKILL a worker after every map completed: only the maps whose
+        spills the victim *held* re-execute; the rest are salvaged, the
+        lost block copies re-replicate batched, and the output stays
+        bit-equal to the sequential runtime."""
+        # One distinct word per block => each map's spills land on exactly
+        # one destination, so the salvage split is fully predictable.
+        ring = _ring(WORKERS)
+        candidates = [f"w{i:02d}" for i in range(100)]
+        victim = _word_owner(ring, candidates[0])
+        victim_words = [w for w in candidates if _word_owner(ring, w) == victim][:3]
+        other_words = [w for w in candidates if _word_owner(ring, w) != victim][:5]
+        words = victim_words + other_words
+        assert len(words) == 8
+        data = pack_records([((w + " ") * 400).encode() for w in words], BLOCK)
+        assert len(data) == 8 * BLOCK  # one record per 2048-byte block
+
+        seq = EclipseMRRuntime(4, config=CFG)
+        seq.upload("surgical.txt", data)
+        ref = seq.run(wordcount_job("surgical.txt", app_id="wc-surgical"))
+        assert ref.output == {w: 400 for w in words}
+
+        with ClusterRuntime(4, CFG) as rt:
+            rt.upload("surgical.txt", data)
+            victim_blocks = [bid for bid, hs in rt.coordinator.holders.items()
+                             if victim in hs]
+            assert victim_blocks  # 3-of-4 placement: it holds something
+
+            killed = []
+
+            def chaos(done_maps):
+                if done_maps == len(words) and not killed:
+                    rt.kill_worker(victim)
+                    killed.append(victim)
+
+            rt.on_map_complete = chaos
+            res = rt.run(wordcount_job("surgical.txt", app_id="wc-surgical"))
+            m = rt.metrics
+
+            assert killed, "chaos hook never fired"
+            assert res.output == ref.output  # bit-equal despite the kill
+            assert victim not in rt.worker_ids
+
+            # The surgical split: 5 maps salvaged in place, exactly the 3
+            # victim-destined maps re-executed -- strictly fewer than the
+            # 8 that had completed when the worker died.
+            assert m.counter("failover.tasks_salvaged").value == 5
+            assert m.counter("cluster.tasks_reexecuted").value == 3
+            assert m.counter("failover.tasks_reexecuted").value == 3
+            assert res.stats.task_retries == 3
+            assert res.stats.map_tasks == 8  # every block exactly one outcome
+            assert m.counter("cluster.failovers").value == 1
+
+            # Batched adaptive re-replication: one new copy per block the
+            # victim held (3 survivors = full replica set), shipped in at
+            # most one batch per surviving target, byte-accounted both as
+            # a counter and a per-batch histogram.
+            assert m.counter("failover.blocks_rereplicated").value == \
+                len(victim_blocks)
+            batches = m.counter("failover.rereplication_batches").value
+            assert 1 <= batches <= min(3, len(victim_blocks))
+            total_bytes = len(victim_blocks) * BLOCK
+            assert m.counter("failover.bytes_rereplicated").value == total_bytes
+            assert m.histogram("failover.rereplication_batch_bytes").total() == \
+                total_bytes
+
+
+# -- one-way partition, scripted and deterministic ---------------------------------
+
+
+def _run_partitioned(seed: int) -> dict:
+    """A one-way partition: worker-2 heartbeats normally, but everything
+    the coordinator sends it for this job is dropped at the send seam.
+    Returns a determinism fingerprint of the run."""
+    victim = "worker-2"
+    rules = (
+        FaultRule(op="drop", site="send", src="coordinator", dst=victim,
+                  method="discard_job"),
+        FaultRule(op="drop", site="send", src="coordinator", dst=victim,
+                  method="run_map"),
+    )
+    cfg = ClusterConfig(dfs=DFSConfig(block_size=BLOCK),
+                        chaos=ChaosConfig(seed=seed, rules=rules))
+    with ClusterRuntime(4, cfg) as rt:
+        rt.upload("part.txt", corpus())
+        res = rt.run(wordcount_job("part.txt", app_id="wc-part"))
+        m = rt.metrics
+        return {
+            "schedule": tuple(rt.chaos.schedule()),
+            "alive": tuple(rt.worker_ids),
+            "failovers": m.counter("cluster.failovers").value,
+            "missed_deadlines": m.counter("heartbeat.missed_deadlines").value,
+            "sends_dropped": m.counter("net.sends_dropped").value,
+            "salvaged": m.counter("failover.tasks_salvaged").value,
+            "reexecuted": m.counter("cluster.tasks_reexecuted").value,
+            "blocks_rereplicated":
+                m.counter("failover.blocks_rereplicated").value,
+            "output": tuple(sorted(res.output.items())),
+        }
+
+
+class TestOneWayPartition:
+    def test_partition_detected_by_unreachability_and_replays_exactly(self):
+        first = _run_partitioned(SEED)
+
+        # The job completed on the survivors.
+        assert sum(count for _w, count in first["output"]) == 3000
+        assert "worker-2" not in first["alive"]
+        assert first["failovers"] == 1
+        # The victim heartbeated throughout: detection came from the
+        # dropped sends, never from heartbeat silence.
+        assert first["missed_deadlines"] == 0
+        # Exactly the start-of-attempt broadcast's transport attempts were
+        # dropped (the pool's full retry budget), then failover removed the
+        # victim before any map was assigned to it.
+        assert first["sends_dropped"] == 3
+        assert first["schedule"] == tuple(
+            ("send", "coordinator", "worker-2", "discard_job", "drop", n)
+            for n in range(3)
+        )
+
+        # Same seed, same script => the same fault schedule, the same
+        # recovery metrics, and the same output -- run for run.
+        assert _run_partitioned(SEED) == first
+
+    def test_blanket_partition_from_startup_fails_over_before_the_job(self):
+        """A permanent one-way partition active from process start: the
+        victim registers and heartbeats, but the coordinator's very first
+        sends to it (the startup ring broadcast) die.  Pre-job control
+        operations ride the failover loop -- the cluster comes up on the
+        survivors and upload + job complete without the caller seeing a
+        ``WorkerLost``."""
+        victim = "worker-1"
+        cfg = ClusterConfig(
+            dfs=DFSConfig(block_size=BLOCK),
+            chaos=ChaosConfig(seed=SEED, rules=partition_rules(victim)),
+        )
+        with ClusterRuntime(4, cfg) as rt:
+            assert victim not in rt.worker_ids  # removed during __init__
+            rt.upload("blanket.txt", corpus())
+            res = rt.run(wordcount_job("blanket.txt", app_id="wc-blanket"))
+            m = rt.metrics
+            assert sum(res.output.values()) == 3000
+            assert m.counter("cluster.failovers").value == 1
+            assert m.counter("heartbeat.missed_deadlines").value == 0
+            # The startup broadcast's full retry budget, and nothing else:
+            # after failover no send ever targets the victim again.
+            assert m.counter("net.sends_dropped").value == 3
+            assert tuple(rt.chaos.schedule()) == tuple(
+                ("send", "coordinator", victim, "update_ring", "drop", n)
+                for n in range(3)
+            )
+
+
+# -- compound failure: a crash mid-re-replication ----------------------------------
+
+
+class TestCascadedFailover:
+    def test_second_death_during_rereplication_cascades(self):
+        """The first victim is SIGKILLed; while the coordinator re-copies
+        its blocks, the chosen re-replication *target* crashes on the
+        first ``restore_block`` it serves.  The failover must cascade --
+        absorb the second death inside the first recovery -- and the job
+        still completes on the remaining two workers at full (two-copy)
+        replication."""
+        data = corpus()
+        nblocks = len(data) // BLOCK
+        victim1 = "worker-0"
+        # Offline placement math (placement is deterministic): for each
+        # block victim1 holds, the post-failover ring adds exactly one new
+        # holder.  The first such target receives the first restore batch.
+        ring = _ring(WORKERS)
+        ring2 = _ring([w for w in WORKERS if w != victim1])
+        victim2 = None
+        for i in range(nblocks):
+            key = DEFAULT_SPACE.block_key("cascade.txt", i)
+            holders = ring.replica_set(key, extra=CFG.dfs.replication)
+            if victim1 not in holders:
+                continue
+            targets = ring2.replica_set(key, extra=CFG.dfs.replication)
+            missing = [t for t in targets if t not in holders]
+            assert len(missing) == 1
+            if victim2 is None:
+                victim2 = missing[0]
+        assert victim2 is not None and victim2 != victim1
+
+        cfg = ClusterConfig(dfs=DFSConfig(block_size=BLOCK),
+                            chaos=ChaosConfig(seed=SEED, rules=(
+                                FaultRule(op="crash", site="serve", dst=victim2,
+                                          method="restore_block", count=1),
+                            )))
+        with ClusterRuntime(4, cfg) as rt:
+            rt.upload("cascade.txt", data)
+            rt.kill_worker(victim1)
+            res = rt.run(wordcount_job("cascade.txt", app_id="wc-cascade"))
+            m = rt.metrics
+
+            assert sum(res.output.values()) == 3000
+            survivors = sorted(set(WORKERS) - {victim1, victim2})
+            assert sorted(rt.worker_ids) == survivors
+            assert m.counter("cluster.failovers").value == 2
+            assert m.counter("cluster.workers_killed").value == 1  # only victim1
+            # The post-cascade sweep healed every hole the second death
+            # tore open: on a two-node ring, full replication means both
+            # survivors hold every block.
+            for bid, holders in rt.coordinator.holders.items():
+                assert sorted(holders) == survivors, bid

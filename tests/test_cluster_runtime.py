@@ -21,8 +21,11 @@ from repro.apps.kmeans import kmeans_job
 from repro.apps.wordcount import wordcount_job
 from repro.apps.workloads import pack_records, points, text_corpus
 from repro.cluster import ClusterRuntime, LivenessTracker
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.messages import WorkerAddress
 from repro.common.config import ClusterConfig, DFSConfig, NetConfig
-from repro.common.errors import ClusterError
+from repro.common.errors import ClusterError, RpcConnectionError, RpcRemoteError
+from repro.net.retry import RetryPolicy
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runtime import EclipseMRRuntime
 
@@ -281,11 +284,14 @@ class TestFailover:
             assert sum(res.output.values()) == 3000
 
     def test_losing_all_workers_raises(self):
+        """Surgical failover absorbs one death per spare worker; killing a
+        worker after every map completion exhausts the budget and the job
+        must give up instead of looping."""
         with ClusterRuntime(2, CFG) as rt:
             rt.upload("die.txt", corpus())
 
             def chaos(done_maps):
-                if done_maps == 1 and rt.worker_ids:
+                if rt.worker_ids:
                     rt.kill_worker(rt.worker_ids[0])
 
             rt.on_map_complete = chaos
@@ -345,6 +351,135 @@ class TestLivenessTracker:
             LivenessTracker(interval=0.0, miss_threshold=2)
         with pytest.raises(ClusterError):
             LivenessTracker(interval=1.0, miss_threshold=0)
+
+
+class TestHeartbeatGauge:
+    def test_max_age_gauge_reports_the_oldest_worker(self):
+        """``heartbeat.max_age_s`` must be the *max* across workers, not
+        whichever worker the loop visited last (the regression: the gauge
+        was set per-iteration, so the freshest worker won)."""
+        coord = Coordinator(["w1", "w2", "w3"], CFG)
+        try:
+            now = [0.0]
+            coord.liveness = LivenessTracker(interval=1.0, miss_threshold=10,
+                                             clock=lambda: now[0])
+            coord.liveness.register("w1")  # silent since t=0
+            now[0] = 2.0
+            coord.liveness.register("w2")
+            now[0] = 3.0
+            coord.liveness.register("w3")  # freshest, and visited last
+            assert coord.check_heartbeats() == []
+            assert coord.metrics.gauge("heartbeat.max_age_s").value == \
+                pytest.approx(3.0)
+            assert coord.metrics.counter("heartbeat.missed_deadlines").value == 0
+
+            now[0] = 30.0  # everyone blew the 10-interval deadline
+            assert coord.check_heartbeats() == ["w1", "w2", "w3"]
+            assert coord.metrics.counter("heartbeat.missed_deadlines").value == 3
+            assert coord.metrics.gauge("heartbeat.max_age_s").value == \
+                pytest.approx(30.0)
+        finally:
+            coord.shutdown()
+
+
+class _ScriptedPool:
+    """A stand-in for the coordinator's ConnectionPool: each address
+    consumes a scripted list of responses (bytes to return, exceptions to
+    raise), and every call is recorded in order."""
+
+    def __init__(self, scripts, attempts=2):
+        self.scripts = {addr: list(steps) for addr, steps in scripts.items()}
+        self.calls = []
+        self.policy = RetryPolicy(attempts=attempts, base_delay=0.01,
+                                  jitter=0.0, sleep=lambda _s: None)
+
+    def call(self, addr, method, args=None, **kwargs):
+        self.calls.append(addr)
+        step = self.scripts[addr].pop(0)
+        if isinstance(step, Exception):
+            raise step
+        return step
+
+
+class TestFetchFromAny:
+    """``Coordinator._fetch_from_any``: recorded holders first (least
+    scheduler load wins), then every other survivor, retried as whole
+    sweeps under the pool's policy."""
+
+    def _coordinator(self, scripts_by_wid, attempts=2):
+        coord = Coordinator(["w1", "w2", "w3"], CFG)
+        addr_of = {}
+        for i, wid in enumerate(coord.worker_ids):
+            address = WorkerAddress(wid, "203.0.113.9", 9000 + i)
+            coord.addresses[wid] = address
+            addr_of[wid] = address.addr
+        pool = _ScriptedPool(
+            {addr_of[wid]: steps for wid, steps in scripts_by_wid.items()},
+            attempts=attempts,
+        )
+        real_pool, coord.pool = coord.pool, pool
+        wid_of = {addr: wid for wid, addr in addr_of.items()}
+        return coord, pool, wid_of, real_pool
+
+    def test_holders_first_ordered_by_load_then_other_survivors(self):
+        coord, pool, wid_of, real = self._coordinator({
+            "w1": [RpcConnectionError("down")],
+            "w2": [RpcRemoteError("BlockNotFound", "no copy here")],
+            "w3": [b"DATA"],
+        })
+        try:
+            coord.scheduler.notify_start("w1")  # w1 busier than w2
+            data = coord._fetch_from_any(("f", 0), ["w1", "w2"])
+            assert data == b"DATA"
+            # Recorded holders first, least-loaded first; the non-holder
+            # w3 is only the long shot at the end.
+            assert [wid_of[a] for a in pool.calls] == ["w2", "w1", "w3"]
+        finally:
+            coord.pool = real
+            coord.shutdown()
+
+    def test_transport_failures_retry_the_whole_sweep(self):
+        coord, pool, wid_of, real = self._coordinator({
+            "w1": [RpcConnectionError("down"), RpcConnectionError("down")],
+            "w2": [RpcConnectionError("down"), RpcConnectionError("down")],
+            "w3": [RpcConnectionError("down"), b"DATA"],
+        })
+        try:
+            data = coord._fetch_from_any(("f", 0), ["w1", "w2"])
+            assert data == b"DATA"
+            assert [wid_of[a] for a in pool.calls] == \
+                ["w1", "w2", "w3"] * 2  # two full sweeps
+        finally:
+            coord.pool = real
+            coord.shutdown()
+
+    def test_block_not_found_everywhere_fails_without_retry(self):
+        coord, pool, wid_of, real = self._coordinator({
+            "w1": [RpcRemoteError("BlockNotFound", "gone")],
+            "w2": [RpcRemoteError("BlockNotFound", "gone")],
+            "w3": [RpcRemoteError("BlockNotFound", "gone")],
+        })
+        try:
+            with pytest.raises(ClusterError, match="from any survivor"):
+                coord._fetch_from_any(("f", 0), ["w1", "w2"])
+            assert len(pool.calls) == 3  # retrying a missing block is useless
+        finally:
+            coord.pool = real
+            coord.shutdown()
+
+    def test_unexpected_remote_error_is_fatal_immediately(self):
+        coord, pool, wid_of, real = self._coordinator({
+            "w1": [RpcRemoteError("ValueError", "corrupt shard")],
+            "w2": [b"NEVER"],
+            "w3": [b"NEVER"],
+        })
+        try:
+            with pytest.raises(ClusterError, match="failed serving block"):
+                coord._fetch_from_any(("f", 0), ["w1", "w2"])
+            assert [wid_of[a] for a in pool.calls] == ["w1"]
+        finally:
+            coord.pool = real
+            coord.shutdown()
 
 
 class TestCaching:

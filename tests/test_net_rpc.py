@@ -9,6 +9,7 @@ import pytest
 
 from repro.common.config import NetConfig
 from repro.common.errors import (
+    ConfigError,
     RpcConnectionError,
     RpcRemoteError,
     RpcTimeout,
@@ -183,6 +184,53 @@ class TestRetryPolicy:
             RetryPolicy(base_delay=1.0, max_delay=0.5)
         with pytest.raises(ValueError):
             RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_elapsed=0.0)
+
+
+class TestRetryDeadline:
+    """``max_elapsed``: a total-elapsed budget across one logical call."""
+
+    def test_give_up_sequence_is_pinned_by_the_injected_clock(self):
+        """attempts=10 would sleep 1+2+4+8... seconds; a 5 s elapsed budget
+        with each attempt burning 1 s stops after sleeps [1, 2] -- the
+        third backoff (4 s from t=3) would end past the deadline."""
+        now = [0.0]
+        sleeps = []
+        calls = []
+
+        def failing():
+            calls.append(1)
+            now[0] += 1.0
+            raise ConnectionError("down")
+
+        policy = RetryPolicy(attempts=10, base_delay=1.0, max_delay=8.0,
+                             jitter=0.0, max_elapsed=5.0,
+                             sleep=sleeps.append, clock=lambda: now[0])
+        with pytest.raises(ConnectionError):
+            policy.call(failing, retry_on=(ConnectionError,))
+        assert sleeps == [pytest.approx(1.0), pytest.approx(2.0)]
+        assert len(calls) == 3  # far short of the 10-attempt budget
+
+    def test_gives_up_is_checked_before_sleeping(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=8.0, jitter=0.0,
+                             max_elapsed=2.0, clock=lambda: 0.0)
+        assert not policy.gives_up(started=0.0, next_delay=2.0)  # lands on it
+        assert policy.gives_up(started=0.0, next_delay=2.1)  # would cross it
+        unbounded = RetryPolicy(jitter=0.0)
+        assert not unbounded.gives_up(started=0.0, next_delay=1e9)
+
+    def test_from_config_carries_the_deadline(self):
+        assert RetryPolicy.from_config(NetConfig()).max_elapsed is None
+        policy = RetryPolicy.from_config(NetConfig(retry_max_elapsed=1.5))
+        assert policy.max_elapsed == pytest.approx(1.5)
+
+    def test_net_config_validates_the_knob(self):
+        assert NetConfig(retry_max_elapsed=None).retry_max_elapsed is None
+        with pytest.raises(ConfigError):
+            NetConfig(retry_max_elapsed=0.0)
+        with pytest.raises(ConfigError):
+            NetConfig(retry_max_elapsed=-1.0)
 
 
 class TestConnectionPool:
@@ -244,9 +292,31 @@ class TestConnectionPool:
         addr = probe.getsockname()[:2]
         probe.close()
         try:
-            with pytest.raises(RpcConnectionError, match="after 2 attempts"):
+            with pytest.raises(RpcConnectionError, match=r"after 2 attempt\(s\)"):
                 pool.call(tuple(addr), "echo", {"value": 1})
             assert len(sleeps) == 1
+            assert metrics.counter("rpc.failures").value == 1
+        finally:
+            pool.close_all()
+
+    def test_abandons_retries_past_the_elapsed_deadline(self):
+        """A backoff the deadline cannot absorb is never slept: the pool
+        gives up immediately and counts the abandonment."""
+        sleeps = []
+        policy = RetryPolicy(attempts=5, base_delay=10.0, max_delay=10.0,
+                             jitter=0.0, max_elapsed=0.05, sleep=sleeps.append)
+        metrics = MetricsRegistry()
+        pool = ConnectionPool(metrics=metrics, policy=policy)
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        addr = probe.getsockname()[:2]
+        probe.close()
+        try:
+            with pytest.raises(RpcConnectionError, match=r"after 1 attempt\(s\)"):
+                pool.call(tuple(addr), "echo", {"value": 1})
+            assert sleeps == []  # the 10 s backoff was never started
+            assert metrics.counter("rpc.retries_abandoned").value == 1
+            assert metrics.counter("rpc.retries").value == 0
             assert metrics.counter("rpc.failures").value == 1
         finally:
             pool.close_all()

@@ -57,13 +57,17 @@ def lower_is_better(metric: str) -> bool:
     """Direction heuristic from the metric's leaf name.
 
     Rates (``*_per_s``, ``*_mb_s``, speedups, ratios) are better higher;
-    latencies, percentiles, and durations (``*_s``/``*_ms``/``*_us``)
-    are better lower.  Anything else defaults to higher-is-better."""
+    latencies, percentiles, durations (``*_s``/``*_ms``/``*_us``), and
+    recovery costs (work redone or recopied after a failure, retry and
+    failure counts, overhead ratios) are better lower.  Anything else
+    defaults to higher-is-better."""
     leaf = metric.rsplit(".", 1)[-1]
     if "per_s" in leaf or leaf.endswith("_mb_s") or "speedup" in leaf or "_vs_" in leaf:
         return False
     if any(frag in leaf for frag in ("latency", "seek", "wall_clock",
-                                     "p50", "p90", "p99")):
+                                     "p50", "p90", "p99",
+                                     "reexecuted", "rereplicated", "recopied",
+                                     "overhead", "retries", "failures")):
         return True
     return leaf.endswith(("_s", "_ms", "_us"))
 
