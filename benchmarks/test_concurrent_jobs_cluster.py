@@ -1,0 +1,192 @@
+"""Multi-job scheduler bench: makespan and fairness under concurrent load.
+
+Submits N wordcount jobs whose map functions each bear a fixed device-like
+latency (modeling the paper's disk-bound map tasks) against one live
+4-worker cluster and measures:
+
+* the serial baseline -- each job run to completion before the next
+  starts (``run()`` in a loop), whose wall-clocks sum to ``serial.sum_s``;
+* concurrent makespan under the FIFO inter-job policy (``submit_many``,
+  wait for all handles) -- overlapping jobs keep workers busy through
+  each other's map/reduce barriers, so the makespan must beat the serial
+  sum;
+* concurrent makespan under the fair-share policy, plus the fairness
+  spread (max - min of per-job makespans from ``JobHandle.metrics()``) --
+  fair sharing interleaves jobs instead of draining them in order, so
+  the spread tightens while the makespan stays well under serial;
+* a chaos scenario: a worker is SIGKILLed while two submitted jobs are
+  both mid-map; both must still finish correct via per-job surgical
+  failover.
+
+Results land in ``BENCH_concurrent_jobs.json`` at the repo root so CI
+can archive them and ``tools/bench_diff.py`` can trend them
+(``makespan``/``spread``/``wait`` leaves diff as lower-is-better).
+``BENCH_QUICK=1`` shrinks the map latency for smoke runs.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_concurrent_jobs_cluster.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import Counter
+from pathlib import Path
+
+from benchmarks.conftest import record_report
+from repro.common.config import ClusterConfig, DFSConfig, JobsConfig
+from repro.cluster.runtime import ClusterRuntime
+from repro.jobs.scheduler import JobScheduler
+from repro.mapreduce.job import MapReduceJob
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_concurrent_jobs.json"
+
+N_WORKERS = 4
+N_JOBS = 4
+BLOCK_SIZE = 2048
+N_BLOCKS = 3  # maps per job: small jobs cannot saturate the cluster alone
+MAP_DELAY_S = 0.04 if QUICK else 0.15
+
+
+def _cluster_config() -> ClusterConfig:
+    return ClusterConfig(
+        dfs=DFSConfig(block_size=BLOCK_SIZE),
+        jobs=JobsConfig(max_active_jobs=N_JOBS),
+    )
+
+
+def _corpus() -> bytes:
+    """~N_BLOCKS blocks of deterministic words."""
+    vocabulary = [f"word{i:03d}" for i in range(60)]
+    words = []
+    size = 0
+    target = N_BLOCKS * BLOCK_SIZE - BLOCK_SIZE // 4
+    i = 0
+    while size < target:
+        word = vocabulary[i % len(vocabulary)]
+        words.append(word)
+        size += len(word) + 1
+        i += 1
+    return " ".join(words).encode()
+
+
+def _make_slow_map(delay_s: float):
+    def map_fn(data):
+        time.sleep(delay_s)  # the device access the map is bound on
+        for word in bytes(data).decode().split():
+            yield word, 1
+
+    return map_fn
+
+
+def _reduce_fn(key, values):
+    return sum(values)
+
+
+def _job(app_id: str) -> MapReduceJob:
+    return MapReduceJob(app_id=app_id, input_file="jobs.txt",
+                       map_fn=_make_slow_map(MAP_DELAY_S), reduce_fn=_reduce_fn)
+
+
+def _bench_serial(rt: ClusterRuntime, reference: dict) -> dict:
+    per_job = []
+    for i in range(N_JOBS):
+        started = time.perf_counter()
+        result = rt.run(_job(f"serial-{i}"))
+        per_job.append(time.perf_counter() - started)
+        assert result.output == reference
+    return {
+        "jobs": N_JOBS,
+        "sum_s": round(sum(per_job), 3),
+        "mean_job_s": round(sum(per_job) / len(per_job), 3),
+    }
+
+
+def _bench_concurrent(rt: ClusterRuntime, policy: str, serial_sum_s: float,
+                      reference: dict) -> dict:
+    started = time.perf_counter()
+    handles = rt.jobs.submit_many([_job(f"{policy}-{i}") for i in range(N_JOBS)])
+    results = [h.result(timeout=300) for h in handles]
+    makespan_s = time.perf_counter() - started
+    for result in results:
+        assert result.output == reference
+    job_spans = [h.metrics()["makespan_s"] for h in handles]
+    queue_waits = [h.metrics()["queue_wait_s"] for h in handles]
+    return {
+        "jobs": N_JOBS,
+        "makespan_s": round(makespan_s, 3),
+        "speedup_vs_serial": round(serial_sum_s / makespan_s, 2),
+        "fairness_spread_s": round(max(job_spans) - min(job_spans), 3),
+        "queue_wait_max_s": round(max(queue_waits), 3),
+    }
+
+
+def _bench_chaos(rt: ClusterRuntime, reference: dict) -> dict:
+    """Kill a worker with two jobs mid-map; both must finish correct."""
+    failovers_before = rt.metrics.counter("cluster.failovers").value
+    kills = []
+
+    def chaos(_done_maps: int) -> None:
+        kills.append(1)
+        if len(kills) == 3:  # both jobs still have most maps outstanding
+            rt.kill_worker(rt.worker_ids[-1])
+
+    rt.on_map_complete = chaos
+    try:
+        started = time.perf_counter()
+        handles = rt.jobs.submit_many([_job("chaos-a"), _job("chaos-b")])
+        results = [h.result(timeout=300) for h in handles]
+        makespan_s = time.perf_counter() - started
+    finally:
+        rt.on_map_complete = None
+    for result in results:
+        assert result.output == reference
+    failovers = rt.metrics.counter("cluster.failovers").value - failovers_before
+    return {
+        "jobs": 2,
+        "makespan_s": round(makespan_s, 3),
+        "failovers": failovers,
+        "tasks_reexecuted": rt.metrics.counter("cluster.tasks_reexecuted").value,
+        "survivors": len(rt.worker_ids),
+    }
+
+
+def _swap_policy(rt: ClusterRuntime, policy: str) -> None:
+    rt.jobs.shutdown()
+    JobScheduler(rt, policy=policy)  # registers itself on the runtime
+
+
+def test_concurrent_jobs(benchmark):
+    def run() -> dict:
+        data = _corpus()
+        reference = dict(Counter(data.decode().split()))
+        results = {"quick": QUICK, "workers": N_WORKERS, "jobs": N_JOBS,
+                   "maps_per_job": N_BLOCKS,
+                   "map_delay_ms": MAP_DELAY_S * 1e3}
+        with ClusterRuntime(N_WORKERS, _cluster_config()) as rt:
+            rt.upload("jobs.txt", data)
+            results["serial"] = _bench_serial(rt, reference)
+            serial_sum = results["serial"]["sum_s"]
+            results["fifo"] = _bench_concurrent(rt, "fifo", serial_sum, reference)
+            _swap_policy(rt, "fair")
+            results["fair"] = _bench_concurrent(rt, "fair", serial_sum, reference)
+            _swap_policy(rt, "fifo")
+            results["chaos"] = _bench_chaos(rt, reference)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    record_report("Concurrent jobs", json.dumps(results, indent=2))
+
+    # The scheduler exists to overlap jobs: N small jobs submitted
+    # together must beat running them back to back, under both policies.
+    assert results["fifo"]["makespan_s"] < results["serial"]["sum_s"]
+    assert results["fair"]["makespan_s"] < results["serial"]["sum_s"]
+    # Losing a worker mid-flight must trigger (exactly one) failover and
+    # still complete every job -- checked against the reference above.
+    assert results["chaos"]["failovers"] == 1
+    assert results["chaos"]["survivors"] == N_WORKERS - 1

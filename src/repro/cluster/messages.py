@@ -150,10 +150,19 @@ class CompletionMarker:
         )
 
 
-def encode_job(job: MapReduceJob) -> dict[str, Any]:
-    """A job as wire-safe plain data (functions pre-serialized)."""
+def encode_job(job: MapReduceJob, job_uid: str | None = None) -> dict[str, Any]:
+    """A job as wire-safe plain data (functions pre-serialized).
+
+    ``job_uid`` names one *submission* of the app: two concurrent jobs
+    sharing an ``app_id`` (or a replayed job racing a fresh one) keep
+    their in-flight worker state -- intermediate stores, decoded-job
+    caches, reduce inputs -- apart under distinct uids, while durable
+    state (oCache entries, persisted spill objects, completion markers)
+    stays keyed by ``app_id`` so replays keep working across runs.
+    """
     return {
         "app_id": job.app_id,
+        "job_uid": job_uid or job.app_id,
         "input_file": job.input_file,
         "user": job.user,
         "map_fn": dumps_fn(job.map_fn),
@@ -170,6 +179,7 @@ class DecodedJob:
     """A worker-side job: same fields, functions rebuilt and callable."""
 
     app_id: str
+    job_uid: str
     input_file: str
     user: str
     map_fn: Any
@@ -256,6 +266,7 @@ def reassemble_reduce(result) -> dict[str, Any]:
 def decode_job(wire: dict[str, Any]) -> DecodedJob:
     return DecodedJob(
         app_id=wire["app_id"],
+        job_uid=wire.get("job_uid", wire["app_id"]),
         input_file=wire["input_file"],
         user=wire["user"],
         map_fn=loads_fn(wire["map_fn"]),

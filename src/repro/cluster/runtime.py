@@ -28,6 +28,12 @@ same assignment sequence (all assignments are drawn before any dispatch,
 when every worker's load is zero -- exactly the state the sequential
 runtime assigns in), and reduce grouping is made deterministic by
 consuming spills in spill-id order.
+
+Job execution itself lives in :mod:`repro.jobs`: ``run(job)`` is a thin
+wrapper over ``submit(job).result()`` on the cluster's one event-driven
+:class:`~repro.jobs.scheduler.JobScheduler`, which multiplexes any
+number of concurrently submitted jobs over the same workers (see the
+``jobs`` property / :meth:`ClusterRuntime.submit`).
 """
 
 from __future__ import annotations
@@ -35,12 +41,14 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Optional, Sequence
 
 import repro as _repro_pkg
 from repro.common.config import ClusterConfig
 from repro.common.errors import (
+    ClusterBusyError,
     ClusterError,
     NetworkError,
     RpcRemoteError,
@@ -49,9 +57,8 @@ from repro.common.errors import (
 from repro.common.hashing import DEFAULT_SPACE, HashSpace
 from repro.common.serialization import config_to_dict
 from repro.cluster.coordinator import Coordinator
-from repro.cluster.messages import CompletionMarker, encode_job, reassemble_reduce
 from repro.cluster.worker import worker_main
-from repro.mapreduce.job import JobResult, JobStats, MapReduceJob
+from repro.mapreduce.job import JobResult, MapReduceJob
 from repro.sim.metrics import MetricsRegistry
 
 __all__ = ["ClusterRuntime"]
@@ -82,6 +89,9 @@ class ClusterRuntime:
         self.chaos = self.coordinator.fault
         self._processes: dict[str, multiprocessing.process.BaseProcess] = {}
         self._closed = False
+        self._job_scheduler = None
+        self._sched_lock = threading.Lock()
+        self._run_gate = threading.Lock()
         #: Test/chaos hook: called with the number of completed map tasks
         #: after each one finishes (killing a worker here exercises failover).
         self.on_map_complete: Optional[Callable[[int], None]] = None
@@ -203,394 +213,62 @@ class ClusterRuntime:
 
     # -- job execution ---------------------------------------------------------------
 
-    def run(self, job: MapReduceJob) -> JobResult:
-        """Execute one MapReduce job across the worker processes.
+    @property
+    def jobs(self):
+        """The cluster's one :class:`~repro.jobs.scheduler.JobScheduler`.
 
-        A worker death anywhere in the job no longer restarts the
-        attempt: the failover loop salvages every completed map whose
-        spills live entirely on survivors and re-executes only the rest
-        (see the module docstring).  The job fails with
-        :class:`ClusterError` only once it has spent one failover per
+        Created lazily on first use with the configured inter-job policy
+        (``config.jobs.policy``).  Exactly one scheduler may own a
+        runtime; constructing a second raises :class:`ClusterBusyError`.
+        """
+        sched = self._job_scheduler
+        if sched is None or not sched._thread.is_alive():
+            from repro.jobs.scheduler import JobScheduler
+
+            JobScheduler(self)  # registers itself via _attach_job_scheduler
+        return self._job_scheduler
+
+    def _attach_job_scheduler(self, sched) -> None:
+        with self._sched_lock:
+            current = self._job_scheduler
+            if current is not None and current._thread.is_alive():
+                raise ClusterBusyError(
+                    "this cluster already has a running job scheduler;"
+                    " submit through runtime.jobs instead of creating"
+                    " another JobScheduler"
+                )
+            self._job_scheduler = sched
+
+    def submit(self, job: MapReduceJob, weight: float = 1.0):
+        """Queue ``job`` on the cluster's scheduler; returns its handle."""
+        return self.jobs.submit(job, weight=weight)
+
+    def run(self, job: MapReduceJob) -> JobResult:
+        """Execute one MapReduce job and block for its result.
+
+        A thin wrapper over ``submit(job).result()``: the job rides the
+        multi-job scheduler exactly like any other submission, and a lone
+        job sees the very assignment sequence the old blocking loop drew
+        (bit-equal output and ``tasks_per_server``).  Only one blocking
+        ``run`` may be in flight at a time -- a concurrent second call
+        raises :class:`ClusterBusyError` (use :meth:`submit` to overlap
+        jobs on purpose).
+
+        Fault tolerance is unchanged: a worker death anywhere in the job
+        salvages every completed map whose spills live entirely on
+        survivors and re-executes only the rest; the job fails with
+        :class:`ClusterError` once it has spent one failover per
         initially-available spare worker.
         """
-        meta = self.coordinator.stat(job.input_file, user=job.user)
-        wire = encode_job(job)
-        budget = _FailoverBudget(
-            job.app_id, max(0, len(self.coordinator.alive_ids()) - 1)
-        )
-        tracker = _MapTracker(meta.blocks, self.coordinator.alive_ids())
-        self._start_attempt(job, budget)
-        self._map_phase(job, wire, meta, tracker, budget)
-        output, reduced_on = self._reduce_phase(job, wire, tracker, budget)
-        # The result is assembled: cleanup is best-effort from here
-        # on.  A worker dying under the end-of-job broadcast must
-        # never fail a *completed* job.
-        self._cleanup_job(job.app_id)
-        stats = self._finalize_stats(tracker, reduced_on)
-        return JobResult(app_id=job.app_id, output=output, stats=stats)
-
-    def _start_attempt(self, job: MapReduceJob, budget: "_FailoverBudget") -> None:
-        """Collect heartbeat-detected deaths, then clear the job's slate.
-
-        The ``discard_job`` broadcast drops any intermediates a previous
-        attempt of this app id left behind; a worker dying under it fails
-        over and the broadcast repeats on the survivors.
-        """
-        while True:
-            for wid in self.coordinator.check_heartbeats():
-                budget.spend(WorkerLost(wid, "missed heartbeats"))
-                self._failover(wid)
-            try:
-                self._broadcast("discard_job", {"app_id": job.app_id})
-                return
-            except WorkerLost as lost:
-                budget.spend(lost)
-                self._failover(lost.worker_id)
-
-    def _cleanup_job(self, app_id: str) -> None:
-        """Drop a finished job's in-flight intermediates on every worker.
-
-        Failures are swallowed and counted (``cluster.cleanup_failures``):
-        whoever missed the broadcast is either dead (its store died with
-        it) or will shed the entries when the next job's start-of-attempt
-        ``discard_job`` reaches it."""
+        if not self._run_gate.acquire(blocking=False):
+            raise ClusterBusyError(
+                "another run() is already blocking on this cluster;"
+                " use submit() for concurrent jobs"
+            )
         try:
-            self._broadcast("discard_job", {"app_id": app_id})
-        except Exception:
-            self.metrics.counter("cluster.cleanup_failures").inc()
-
-    # -- phases ----------------------------------------------------------------------
-
-    def _map_phase(self, job: MapReduceJob, wire: dict, meta,
-                   tracker: "_MapTracker", budget: "_FailoverBudget") -> None:
-        # Draw every assignment before any dispatch: the scheduler sees the
-        # same zero-load state at each decision as in the sequential runtime,
-        # so the assignment sequence (and tasks_per_server) is identical.
-        assignments = []
-        for desc in meta.blocks:
-            a = self.coordinator.scheduler.assign(hash_key=desc.key)
-            assignments.append((desc, a.server))
-        self._run_tasks(job, wire, assignments, tracker, budget)
-
-    def _run_tasks(self, job: MapReduceJob, wire: dict, assignments: list,
-                   tracker: "_MapTracker", budget: "_FailoverBudget") -> None:
-        """Dispatch map tasks until every block has a completed outcome.
-
-        Each round dispatches the current assignment set concurrently and
-        records every completion (results landing *after* a death in the
-        same round are still salvage candidates).  A death ends the round;
-        recovery fails the worker over, dooms the completed maps whose
-        spills it held, and re-plans only the still-pending blocks on the
-        post-failover LAF table.
-        """
-        while assignments:
-            lost = self._dispatch_round(job, wire, assignments, tracker)
-            if lost is None:
-                return
-            assignments = self._recover(job, lost, tracker, budget)
-
-    def _dispatch_round(self, job: MapReduceJob, wire: dict, assignments: list,
-                        tracker: "_MapTracker") -> WorkerLost | None:
-        """One concurrent dispatch wave; returns the first death, if any."""
-        lost: WorkerLost | None = None
-        error: Exception | None = None
-        pool_size = min(16, len(assignments))
-        with ThreadPoolExecutor(max_workers=pool_size, thread_name_prefix="dispatch") as pool:
-            futures = []
-            for desc, wid in assignments:
-                self.coordinator.scheduler.notify_start(wid)
-                futures.append((desc, wid, pool.submit(self._dispatch_task, job, wire, desc, wid)))
-            for desc, wid, fut in futures:
-                try:
-                    result = fut.result()
-                except WorkerLost as exc:
-                    if lost is None:
-                        lost = exc
-                    continue
-                except Exception as exc:  # drain the round before failing
-                    if error is None:
-                        error = exc
-                    continue
-                finally:
-                    self.coordinator.scheduler.notify_finish(wid)
-                tracker.record(desc, wid, result)
-                if result.get("replayed"):
-                    if self.on_replay_complete is not None:
-                        self.on_replay_complete(tracker.replays)
-                    continue
-                if job.cache_intermediates:
-                    self.coordinator.record_marker(CompletionMarker(
-                        app_id=job.app_id,
-                        input_file=job.input_file,
-                        block_index=desc.index,
-                        entries=tuple(tuple(e) for e in result["manifest"] or ()),
-                    ))
-                if self.on_map_complete is not None:
-                    self.on_map_complete(tracker.maps_run)
-        if error is not None and lost is None:
-            raise error
-        return lost
-
-    def _recover(self, job: MapReduceJob, lost: WorkerLost,
-                 tracker: "_MapTracker", budget: "_FailoverBudget") -> list:
-        """Fail over a death and re-plan: salvage, doom, re-assign.
-
-        Returns the next round's assignments.  A further death while
-        discarding doomed spills or re-planning cascades through the same
-        budget.
-        """
-        budget.spend(lost)
-        self._failover(lost.worker_id)
-        while True:
-            try:
-                return self._plan_recovery(job, tracker)
-            except WorkerLost as exc:
-                budget.spend(exc)
-                self._failover(exc.worker_id)
-
-    def _plan_recovery(self, job: MapReduceJob, tracker: "_MapTracker") -> list:
-        """Split completed maps into salvaged and doomed; re-plan the rest.
-
-        A completed map survives iff every destination its spills landed
-        on is still alive (its own mapper dying does not doom it -- the
-        spills, not the mapper, are the map's output).  Doomed maps drop
-        their surviving spills and rejoin the pending set, which is then
-        re-assigned through the post-failover LAF table (the dead arc
-        now belongs to its ring successor).
-        """
-        alive = set(self.coordinator.alive_ids())
-        doomed = [idx for idx, entry in tracker.completed.items()
-                  if not entry.dests <= alive]
-        salvaged = len(tracker.completed) - len(doomed)
-        self.metrics.counter("failover.tasks_salvaged").inc(salvaged)
-        self.metrics.counter("failover.tasks_reexecuted").inc(len(doomed))
-        self.metrics.counter("cluster.tasks_reexecuted").inc(len(doomed))
-        for idx in doomed:
-            entry = tracker.completed.pop(idx)
-            tracker.reexecuted += 1
-            self._discard_stale_spills(job, entry, alive)
-        pending = [desc for desc in tracker.blocks
-                   if desc.index not in tracker.completed]
-        return [(desc, self.coordinator.scheduler.assign(hash_key=desc.key).server)
-                for desc in pending]
-
-    def _discard_stale_spills(self, job: MapReduceJob, entry: "_MapOutcome",
-                              alive: set) -> None:
-        """Drop a doomed map's spills from its surviving destinations.
-
-        Best-effort: the re-executed map's deterministic spill ids
-        overwrite every stale spill anyway (each surviving destination's
-        arc can only have grown, so the re-run delivers it a superset of
-        the original spill sequence), so an unreachable destination is
-        counted (``failover.discard_failures``) and skipped rather than
-        cascading a second failover out of mere housekeeping."""
-        by_dest: dict[str, list[str]] = {}
-        for dest, spill_id, _ in entry.manifest:
-            by_dest.setdefault(dest, []).append(spill_id)
-        for dest, spill_ids in by_dest.items():
-            if dest not in alive:
-                continue
-            try:
-                self._call_worker(dest, "discard_spills",
-                                  {"app_id": job.app_id, "spill_ids": spill_ids})
-            except (WorkerLost, ClusterError):
-                self.metrics.counter("failover.discard_failures").inc()
-
-    def _dispatch_task(self, job: MapReduceJob, wire: dict, desc, wid: str) -> dict:
-        """Replay one block's intermediates if a marker allows it, else map."""
-        if job.reuse_intermediates:
-            marker = self.coordinator.marker_for(job.app_id, job.input_file, desc.index)
-            if marker is not None:
-                replayed = self._try_replay(job, marker)
-                if replayed is not None:
-                    return replayed
-        return self._dispatch_map(wid, wire, desc)
-
-    def _try_replay(self, job: MapReduceJob, marker: CompletionMarker) -> dict | None:
-        """Replay one map task's spills from its completion marker.
-
-        One ``replay_intermediates`` RPC per destination worker; each is
-        check-then-apply on its side.  Any miss (a destination died with
-        its shard, or a spill object fell out of the FIFO budget) undoes
-        the destinations already applied and returns ``None`` -- the
-        caller re-executes the map instead.  A destination dying *during*
-        replay surfaces as ``WorkerLost`` and rides the surgical failover
-        loop; the spills a partial replay already applied are safe to
-        leave behind because the re-executed map's deterministic spill
-        ids overwrite them (see ``_discard_stale_spills``).
-        """
-        groups = marker.by_dest()
-        if any(dest not in self.coordinator.addresses for dest in groups):
-            self.metrics.counter("cluster.replay_fallbacks").inc()
-            return None
-        applied: list[str] = []
-        spills = nbytes = ocache_hits = ocache_misses = 0
-        for dest, entries in groups.items():
-            result = self._call_worker(
-                dest,
-                "replay_intermediates",
-                {"app_id": job.app_id, "spills": entries,
-                 "ttl": job.intermediate_ttl},
-            )
-            if not result["ok"]:
-                self._discard_partial_replay(job, marker, applied)
-                self.metrics.counter("cluster.replay_fallbacks").inc()
-                return None
-            applied.append(dest)
-            spills += result["spills"]
-            nbytes += result["bytes"]
-            ocache_hits += result["ocache_hits"]
-            ocache_misses += result["ocache_misses"]
-        self.metrics.counter("cluster.maps_replayed").inc()
-        return {"replayed": True, "spills": spills, "bytes_shuffled": nbytes,
-                "ocache_hits": ocache_hits, "ocache_misses": ocache_misses,
-                "manifest": [list(e) for e in marker.entries]}
-
-    def _discard_partial_replay(self, job: MapReduceJob, marker: CompletionMarker,
-                                applied: list[str]) -> None:
-        """Un-deliver the spills of a partially replayed map task.
-
-        Best-effort, like ``_discard_stale_spills``: the fallback re-map
-        regenerates every spill id the partial replay delivered, so an
-        unreachable destination is counted
-        (``cluster.replay_discard_failures``) and skipped -- stale spills
-        cannot survive into the re-mapped shuffle either way."""
-        groups = marker.by_dest()
-        for dest in applied:
-            try:
-                self._call_worker(dest, "discard_spills", {
-                    "app_id": job.app_id,
-                    "spill_ids": [sid for sid, _ in groups[dest]],
-                })
-            except (WorkerLost, ClusterError):
-                self.metrics.counter("cluster.replay_discard_failures").inc()
-
-    def _dispatch_map(self, wid: str, wire: dict, desc) -> dict:
-        holders = [
-            (a.worker_id, a.host, a.port)
-            for a in self.coordinator.block_holders(wire["input_file"], desc.index)
-        ]
-        return self._call_worker(
-            wid,
-            "run_map",
-            {"job": wire, "name": wire["input_file"], "index": desc.index,
-             "holders": holders},
-        )
-
-    def _reduce_phase(self, job: MapReduceJob, wire: dict,
-                      tracker: "_MapTracker",
-                      budget: "_FailoverBudget") -> tuple[dict, list[str]]:
-        """Reduce on every live worker; recover and retry on a death.
-
-        ``run_reduce`` is a pure read of a worker's spill store, so the
-        phase is idempotent: a death mid-reduce runs the same
-        salvage/re-execute recovery as a map-phase death (re-running the
-        doomed maps re-delivers their spills to the survivors) and the
-        whole reduce wave is simply issued again -- no attempt restart.
-        """
-        while True:
-            try:
-                return self._reduce_once(wire)
-            except WorkerLost as lost:
-                self._run_tasks(
-                    job, wire, self._recover(job, lost, tracker, budget),
-                    tracker, budget,
-                )
-
-    def _reduce_once(self, wire: dict) -> tuple[dict, list[str]]:
-        """One concurrent reduce wave; merge in worker order.
-
-        Each worker reduces the spills that already live on it, so the
-        phase is embarrassingly parallel.  Results are merged in
-        ``alive_ids`` order (not completion order), keeping the output
-        dict and the duplicate-key check deterministic; per-key outputs
-        are disjoint by construction (DHT routing), which the merge
-        still verifies.
-
-        A reduce output over ``net.stream_page_bytes`` arrives as a paged
-        stream; ``reassemble_reduce`` rebuilds the inline result shape
-        from the pages.  A worker dying mid-stream surfaces as a
-        transport failure (partial pages discarded by the RPC layer), so
-        it rides the same ``WorkerLost`` -> recovery path as any other
-        death.  Returns ``(output, reduced_on)`` where ``reduced_on``
-        lists the workers that contributed pairs, in merge order.
-        """
-        alive = self.coordinator.alive_ids()
-        lost: WorkerLost | None = None
-        results: dict[str, dict] = {}
-
-        def reduce_on(wid: str) -> dict:
-            self.coordinator.scheduler.notify_start(wid)
-            try:
-                return reassemble_reduce(
-                    self._call_worker(wid, "run_reduce", {"job": wire})
-                )
-            finally:
-                self.coordinator.scheduler.notify_finish(wid)
-
-        with ThreadPoolExecutor(max_workers=max(1, len(alive)),
-                                thread_name_prefix="reduce") as pool:
-            futures = [(wid, pool.submit(reduce_on, wid)) for wid in alive]
-            for wid, fut in futures:
-                try:
-                    results[wid] = fut.result()
-                except WorkerLost as exc:  # drain the rest, then recover
-                    if lost is None:
-                        lost = exc
-        if lost is not None:
-            raise lost
-        output: dict[Any, Any] = {}
-        reduced_on: list[str] = []
-        for wid in alive:
-            result = results[wid]
-            if result["pairs"] == 0:
-                continue
-            for k, v in result["output"].items():
-                if k in output:
-                    raise ClusterError(f"intermediate key {k!r} reduced on two servers")
-                output[k] = v
-            reduced_on.append(wid)
-        return output, reduced_on
-
-    def _finalize_stats(self, tracker: "_MapTracker",
-                        reduced_on: list[str]) -> JobStats:
-        """Fold the tracker's *final* per-block outcomes into JobStats.
-
-        On a failure-free run this is identical to counting at dispatch
-        time (every block has exactly one outcome, recorded on the worker
-        the zero-load draw assigned), so sequential-equality of
-        ``tasks_per_server`` is preserved; after failovers it reports the
-        work that actually produced the output, with ``task_retries``
-        counting the completed maps that had to re-execute."""
-        stats = JobStats(
-            tasks_per_server={wid: 0 for wid in tracker.initial_alive}
-        )
-        for entry in tracker.completed.values():
-            result = entry.result
-            stats.spills += result["spills"]
-            stats.bytes_shuffled += result["bytes_shuffled"]
-            stats.tasks_per_server[entry.server] = (
-                stats.tasks_per_server.get(entry.server, 0) + 1
-            )
-            if result.get("replayed"):
-                stats.maps_skipped_by_reuse += 1
-                stats.ocache_hits += result["ocache_hits"]
-                stats.ocache_misses += result["ocache_misses"]
-                continue
-            stats.map_tasks += 1
-            if result["source"] == "icache":
-                stats.icache_hits += 1
-            else:
-                stats.icache_misses += 1
-                if result["source"] == "local":
-                    stats.local_block_reads += 1
-                else:
-                    stats.remote_block_reads += 1
-        for wid in reduced_on:
-            stats.reduce_tasks += 1
-            stats.tasks_per_server[wid] = stats.tasks_per_server.get(wid, 0) + 1
-        stats.task_retries = tracker.reexecuted
-        return stats
+            return self.jobs.submit(job).result()
+        finally:
+            self._run_gate.release()
 
     # -- RPC plumbing -----------------------------------------------------------------
 
@@ -662,6 +340,12 @@ class ClusterRuntime:
         if self._closed:
             return
         self._closed = True
+        sched = getattr(self, "_job_scheduler", None)
+        if sched is not None:
+            try:
+                sched.shutdown()
+            except Exception:
+                pass
         try:
             self.coordinator.shutdown()
         finally:
@@ -679,66 +363,3 @@ class ClusterRuntime:
             self.shutdown()
         except Exception:
             pass
-
-
-class _MapOutcome:
-    """One completed map task's final record: who ran it, what it
-    returned, and (the salvage criterion) which workers hold its spills."""
-
-    __slots__ = ("desc", "server", "result", "manifest", "dests")
-
-    def __init__(self, desc: Any, server: str, result: dict) -> None:
-        self.desc = desc
-        self.server = server
-        self.result = result
-        self.manifest = tuple(tuple(e) for e in result.get("manifest") or ())
-        self.dests = frozenset(dest for dest, _, _ in self.manifest)
-
-
-class _MapTracker:
-    """Per-job map progress: final outcome per block plus monotone counts.
-
-    ``completed`` maps block index -> :class:`_MapOutcome` and always
-    holds the *current* surviving outcome (recovery pops doomed entries,
-    re-execution overwrites them).  ``maps_run`` / ``replays`` count every
-    execution ever finished -- including doomed ones -- so the chaos hooks
-    see a monotone sequence; ``reexecuted`` counts completed maps that
-    recovery had to throw away (this becomes ``JobStats.task_retries``).
-    """
-
-    def __init__(self, blocks: Sequence[Any], initial_alive: Sequence[str]) -> None:
-        self.blocks = list(blocks)
-        self.initial_alive = list(initial_alive)
-        self.completed: dict[int, _MapOutcome] = {}
-        self.maps_run = 0
-        self.replays = 0
-        self.reexecuted = 0
-
-    def record(self, desc: Any, server: str, result: dict) -> None:
-        self.completed[desc.index] = _MapOutcome(desc, server, result)
-        if result.get("replayed"):
-            self.replays += 1
-        else:
-            self.maps_run += 1
-
-
-class _FailoverBudget:
-    """How many worker deaths one job will absorb before giving up.
-
-    One failover per spare worker at job start: a job beginning with N
-    live workers survives N-1 deaths (each recovery needs at least one
-    survivor to land on) and fails with :class:`ClusterError` on the
-    Nth."""
-
-    def __init__(self, app_id: str, limit: int) -> None:
-        self.app_id = app_id
-        self.limit = limit
-        self.spent_count = 0
-
-    def spend(self, lost: WorkerLost) -> None:
-        self.spent_count += 1
-        if self.spent_count > self.limit:
-            raise ClusterError(
-                f"job {self.app_id!r} lost {self.spent_count} workers"
-                f" (budget {self.limit}); giving up"
-            ) from lost

@@ -170,15 +170,25 @@ class WorkerNode:
                 self.fault.bind(wid, addr)
         return table.epoch
 
-    def discard_job(self, app_id: str) -> None:
+    def discard_job(self, app_id: str, job_uid: str | None = None) -> None:
         """Drop a job's in-flight intermediates (failover restart or job end).
 
-        oCache entries survive on purpose -- they are LRU/TTL-governed,
-        exactly like the sequential runtime's distributed cache.
+        In-flight state is keyed by ``job_uid`` (one submission of the
+        app); ``job_uid=None`` drops *every* uid of the app id, which is
+        what a fresh attempt's start-of-job broadcast wants.  oCache
+        entries survive on purpose -- they are LRU/TTL-governed, exactly
+        like the sequential runtime's distributed cache.
         """
         with self._lock:
-            self.intermediates.discard_job(app_id)
-            self._jobs.pop(app_id, None)
+            if job_uid is not None:
+                uids = [job_uid]
+            else:
+                known = set(self._jobs) | set(self.intermediates.job_ids()) | {app_id}
+                uids = [uid for uid in known
+                        if uid == app_id or uid.startswith(app_id + "@")]
+            for uid in uids:
+                self.intermediates.discard_job(uid)
+                self._jobs.pop(uid, None)
 
     def ping(self) -> str:
         return "pong"
@@ -209,12 +219,12 @@ class WorkerNode:
     # -- map path -----------------------------------------------------------------
 
     def _job(self, job_wire: dict) -> Any:
-        app_id = job_wire["app_id"]
+        uid = job_wire.get("job_uid", job_wire["app_id"])
         with self._lock:
-            job = self._jobs.get(app_id)
+            job = self._jobs.get(uid)
             if job is None:
                 job = decode_job(job_wire)
-                self._jobs[app_id] = job
+                self._jobs[uid] = job
         return job
 
     def run_map(
@@ -249,7 +259,8 @@ class WorkerNode:
             if dest == self.worker_id:
                 self.receive_spill(decoded.app_id, sid, pairs, nbytes,
                                    cache=decoded.cache_intermediates,
-                                   ttl=decoded.intermediate_ttl)
+                                   ttl=decoded.intermediate_ttl,
+                                   job_uid=decoded.job_uid)
                 self.metrics.counter("worker.local_spills").inc()
             else:
                 pushes.append(self._spill_pool.submit(
@@ -348,6 +359,7 @@ class WorkerNode:
                 "push_spill",
                 {
                     "app_id": job.app_id,
+                    "job_uid": job.job_uid,
                     "spill_id": spill_id,
                     "nbytes": nbytes,
                     "cache": job.cache_intermediates,
@@ -363,19 +375,24 @@ class WorkerNode:
 
     def push_spill(self, app_id: str, spill_id: str, pairs: list | None = None,
                    nbytes: int = 0, cache: bool = False, ttl: float | None = None,
-                   payload=None) -> int:
+                   payload=None, job_uid: str | None = None) -> int:
         if pairs is None:
             if cache:
                 payload = bytes(payload)  # snapshot the frame view: we keep it
             pairs = decode_spill(payload)
         return self.receive_spill(app_id, spill_id, pairs, nbytes, cache, ttl,
-                                  payload=payload if cache else None)
+                                  payload=payload if cache else None,
+                                  job_uid=job_uid)
 
     def receive_spill(self, app_id: str, spill_id: str, pairs: list,
                       nbytes: int, cache: bool = False, ttl: float | None = None,
-                      payload: bytes | None = None) -> int:
+                      payload: bytes | None = None,
+                      job_uid: str | None = None) -> int:
+        # In-flight reduce inputs are keyed by submission uid; the durable
+        # replay copies (oCache entry + persisted spill object) stay keyed
+        # by app_id so a later run of the same app can replay them.
         with self._lock:
-            self.intermediates.receive(app_id, spill_id, pairs, nbytes)
+            self.intermediates.receive(job_uid or app_id, spill_id, pairs, nbytes)
         if cache:
             if payload is None:
                 payload = pickle.dumps(pairs, protocol=pickle.HIGHEST_PROTOCOL)
@@ -413,7 +430,8 @@ class WorkerNode:
         self.metrics.counter("worker.spill_objects_stored").inc()
 
     def replay_intermediates(self, app_id: str, spills: list[tuple[str, int]],
-                             ttl: float | None = None) -> dict[str, Any]:
+                             ttl: float | None = None,
+                             job_uid: str | None = None) -> dict[str, Any]:
         """Repopulate the local intermediate store from cached/persisted spills.
 
         ``spills`` is this worker's slice of a completion marker:
@@ -442,7 +460,7 @@ class WorkerNode:
         replayed_bytes = 0
         for spill_id, pairs, nbytes, payload in staged:
             with self._lock:
-                self.intermediates.receive(app_id, spill_id, pairs, nbytes)
+                self.intermediates.receive(job_uid or app_id, spill_id, pairs, nbytes)
             if payload is not None:  # refill the oCache on a store read
                 self.cache.put_output(app_id, spill_id, pairs,
                                       size=len(payload), ttl=ttl)
@@ -452,17 +470,18 @@ class WorkerNode:
                 "spills": len(staged), "bytes": replayed_bytes,
                 "ocache_hits": ocache_hits, "ocache_misses": ocache_misses}
 
-    def discard_spills(self, app_id: str, spill_ids: list[str]) -> int:
+    def discard_spills(self, app_id: str, spill_ids: list[str],
+                       job_uid: str | None = None) -> int:
         """Drop specific in-flight spills (fallback after a partial replay)."""
         with self._lock:
-            return self.intermediates.discard_spills(app_id, spill_ids)
+            return self.intermediates.discard_spills(job_uid or app_id, spill_ids)
 
     def run_reduce(self, job: dict) -> Any:
         decoded = self._job(job)
         with self._lock:
             # Deterministic consumption order: spill ids, not arrival order
             # (concurrent mappers race their pushes).
-            spills = sorted(self.intermediates.spills_for(decoded.app_id).items())
+            spills = sorted(self.intermediates.spills_for(decoded.job_uid).items())
         pairs = [pair for _, spill in spills for pair in spill]
         if not pairs:
             return {"worker_id": self.worker_id, "pairs": 0, "output": {}}

@@ -211,6 +211,58 @@ class SchedulerConfig:
             raise ConfigError("delay_wait must be non-negative")
 
 
+_JOB_POLICIES = ("fifo", "fair", "delay")
+
+
+@dataclass(frozen=True)
+class JobsConfig:
+    """Multi-job scheduler parameters (admission control + inter-job sharing).
+
+    Only the cluster plane's :class:`repro.jobs.JobScheduler` reads these;
+    single-job ``run()`` calls ride the same scheduler with the defaults.
+    """
+
+    max_active_jobs: int = 4
+    """Jobs executing concurrently; further submissions wait in the queue."""
+
+    max_queued_jobs: int = 64
+    """Bound on the admission queue; a submit past it raises
+    :class:`~repro.common.errors.JobRejected` (backpressure, not silent
+    unbounded buffering)."""
+
+    policy: str = "fifo"
+    """Inter-job sharing policy: ``fifo`` (submission order), ``fair``
+    (fair share weighted by outstanding tasks), or ``delay`` (the paper's
+    delay-scheduling baseline applied between jobs)."""
+
+    max_inflight_tasks: int = 16
+    """Cluster-wide cap on concurrently dispatched tasks across all jobs
+    (mirrors the legacy per-phase dispatch pool width)."""
+
+    delay_worker_slots: int = 2
+    """Delay policy only: in-flight tasks one worker accepts before a
+    task starts waiting for its preferred worker to free up."""
+
+    tick_interval: float = 0.05
+    """Scheduler-thread wakeup period while jobs are active, seconds."""
+
+    def __post_init__(self) -> None:
+        if self.max_active_jobs < 1:
+            raise ConfigError("max_active_jobs must be >= 1")
+        if self.max_queued_jobs < 0:
+            raise ConfigError("max_queued_jobs must be >= 0")
+        if self.policy not in _JOB_POLICIES:
+            raise ConfigError(
+                f"jobs policy must be one of {_JOB_POLICIES}, got {self.policy!r}"
+            )
+        if self.max_inflight_tasks < 1:
+            raise ConfigError("max_inflight_tasks must be >= 1")
+        if self.delay_worker_slots < 1:
+            raise ConfigError("delay_worker_slots must be >= 1")
+        if self.tick_interval <= 0:
+            raise ConfigError("tick_interval must be positive")
+
+
 _FAULT_OPS = ("drop", "blackhole", "delay", "crash")
 _FAULT_SITES = ("send", "serve")
 
@@ -325,6 +377,7 @@ class ClusterConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     net: NetConfig = field(default_factory=NetConfig)
+    jobs: JobsConfig = field(default_factory=JobsConfig)
     chaos: ChaosConfig = field(default_factory=ChaosConfig)
 
     def __post_init__(self) -> None:

@@ -91,5 +91,23 @@ class WorkerLost(ClusterError):
         self.reason = reason
 
 
+class ClusterBusyError(ClusterError):
+    """The cluster is already being driven by another entry point.
+
+    Raised when a second concurrent ``ClusterRuntime.run()`` (or a second
+    job scheduler) would share the cluster's LAF/metrics state with an
+    execution already in progress.  Use ``submit()`` on the existing
+    scheduler instead.
+    """
+
+
+class JobRejected(ClusterError):
+    """Admission control refused a job (the bounded submit queue is full)."""
+
+
+class JobCancelled(ClusterError):
+    """The job was cancelled before it produced a result."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation kernel detected an inconsistency."""

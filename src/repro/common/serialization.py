@@ -21,6 +21,7 @@ from repro.common.config import (
     ClusterConfig,
     DFSConfig,
     FaultRule,
+    JobsConfig,
     NetConfig,
     SchedulerConfig,
 )
@@ -28,14 +29,16 @@ from repro.common.errors import ConfigError
 
 __all__ = ["config_to_dict", "config_from_dict", "diff_configs"]
 
-# ``net`` (and later ``chaos``) joined the schema after the first
-# manifests shipped; manifests written without them keep loading (the
-# fields fall back to their defaults), so the schema string stays at /1.
+# ``net`` (and later ``chaos`` and ``jobs``) joined the schema after the
+# first manifests shipped; manifests written without them keep loading
+# (the fields fall back to their defaults), so the schema string stays
+# at /1.
 _NESTED = {
     "dfs": DFSConfig,
     "cache": CacheConfig,
     "scheduler": SchedulerConfig,
     "net": NetConfig,
+    "jobs": JobsConfig,
     "chaos": ChaosConfig,
 }
 

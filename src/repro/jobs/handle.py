@@ -1,0 +1,131 @@
+"""Client-side job handles for the multi-job cluster scheduler.
+
+A :class:`JobHandle` is what ``JobScheduler.submit`` returns: a future
+over one submitted job.  The scheduler thread resolves it exactly once
+-- with a :class:`~repro.mapreduce.job.JobResult`, an exception, or a
+:class:`~repro.common.errors.JobCancelled` -- and every accessor here is
+safe to call from any client thread.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from repro.common.errors import JobCancelled
+from repro.mapreduce.job import JobResult
+
+__all__ = ["JobState", "JobHandle"]
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle of a submitted job.
+
+    ``QUEUED -> RUNNING -> (SUCCEEDED | FAILED | CANCELLED)``; cancelled
+    jobs can also go terminal straight from ``QUEUED``.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.SUCCEEDED, JobState.FAILED, JobState.CANCELLED)
+
+
+class JobHandle:
+    """A future over one submitted job.
+
+    ``result()`` blocks until the scheduler resolves the job and either
+    returns its :class:`JobResult` or raises what the job died of
+    (including :class:`JobCancelled`).  ``cancel()`` asks the scheduler
+    to abandon the job; it returns ``True`` if the request was accepted
+    while the job could still be stopped.
+    """
+
+    def __init__(self, app_id: str, job_uid: str,
+                 cancel_cb: Optional[Callable[["JobHandle"], bool]] = None) -> None:
+        self.app_id = app_id
+        self.job_uid = job_uid
+        self.submitted_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._state = JobState.QUEUED
+        self._result: Optional[JobResult] = None
+        self._exception: Optional[BaseException] = None
+        self._done = threading.Event()
+        self._cancel_cb = cancel_cb
+
+    # -- scheduler side (one resolver: the scheduler thread) ----------------------
+
+    def _mark_running(self) -> None:
+        self.started_at = time.monotonic()
+        self._state = JobState.RUNNING
+
+    def _resolve(self, result: Optional[JobResult] = None,
+                 exception: Optional[BaseException] = None) -> None:
+        if self._done.is_set():
+            return
+        self.finished_at = time.monotonic()
+        if exception is not None:
+            self._exception = exception
+            self._state = (JobState.CANCELLED
+                           if isinstance(exception, JobCancelled)
+                           else JobState.FAILED)
+        else:
+            self._result = result
+            self._state = JobState.SUCCEEDED
+        self._done.set()
+
+    # -- client side ---------------------------------------------------------------
+
+    @property
+    def state(self) -> JobState:
+        return self._state
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job resolves; ``False`` on timeout."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> JobResult:
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"job {self.job_uid!r} not done after {timeout}s")
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"job {self.job_uid!r} not done after {timeout}s")
+        return self._exception
+
+    def cancel(self) -> bool:
+        """Request cancellation; ``False`` if the job already resolved."""
+        if self._done.is_set() or self._cancel_cb is None:
+            return False
+        return self._cancel_cb(self)
+
+    def metrics(self) -> dict[str, Any]:
+        """Client-visible timing of this submission (seconds)."""
+        now = time.monotonic()
+        started = self.started_at
+        finished = self.finished_at
+        return {
+            "state": self._state.value,
+            "queue_wait_s": (started - self.submitted_at) if started is not None
+                            else now - self.submitted_at,
+            "run_s": ((finished or now) - started) if started is not None else 0.0,
+            "makespan_s": ((finished or now) - self.submitted_at),
+        }
+
+    def __repr__(self) -> str:
+        return f"JobHandle({self.job_uid!r}, state={self._state.value})"

@@ -1,0 +1,144 @@
+"""Inter-job sharing policies for the multi-job scheduler.
+
+The task-level schedulers in :mod:`repro.scheduler` decide *where* a
+task runs (LAF hashes it onto the ring); the policies here decide *whose*
+ready task is dispatched next when several jobs share the cluster:
+
+* :class:`FifoPolicy` -- strict submission order (a job monopolizes the
+  dispatch slots until its ready queue drains);
+* :class:`FairSharePolicy` -- pick the job with the fewest outstanding
+  dispatched tasks per unit weight, so N equal jobs each hold ~1/N of
+  the in-flight slots (the paper's fair-sharing baseline applied between
+  jobs instead of between users);
+* :class:`DelayPolicy` -- the paper's delay-scheduling baseline (§II-F)
+  lifted to the inter-job level: a map task waits for its LAF-preferred
+  worker while that worker is saturated, and only after
+  ``scheduler.delay_wait`` seconds gives up and runs least-loaded.
+
+Policies are deliberately tiny and stateless between calls: they see a
+snapshot of the active jobs each time a dispatch slot frees up and
+return one task (or ``None`` to leave the slot idle this tick).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Optional, Sequence
+
+from repro.common.errors import ConfigError
+
+__all__ = ["DispatchContext", "InterJobPolicy", "FifoPolicy",
+           "FairSharePolicy", "DelayPolicy", "make_policy"]
+
+
+class DispatchContext:
+    """What a policy may ask about the cluster at decision time."""
+
+    def __init__(self, now: Callable[[], float],
+                 inflight_on: Callable[[str], int],
+                 delay_wait: float, worker_slots: int) -> None:
+        self.now = now
+        #: In-flight dispatched tasks currently targeting one worker.
+        self.inflight_on = inflight_on
+        #: Seconds a delay-scheduled task waits for its preferred worker.
+        self.delay_wait = delay_wait
+        #: In-flight tasks a worker absorbs before delay tasks start waiting.
+        self.worker_slots = worker_slots
+
+
+class InterJobPolicy(abc.ABC):
+    """The policy seam: pick the next ``(job, task)`` unit to dispatch.
+
+    ``jobs`` arrives in submission order and only contains active jobs
+    with at least one ready task.  Each job exposes ``ready`` (ordered
+    task list), ``outstanding`` (dispatched-unfinished count), ``weight``
+    and ``submit_index``; tasks expose ``kind``, ``wid``, ``ready_since``
+    and ``wait_limit`` -- enough for every policy here and for user
+    subclasses.
+    """
+
+    name = "policy"
+
+    def next_task(self, jobs: Sequence[Any], ctx: DispatchContext) -> Optional[Any]:
+        """Default shape: pick a job, dispatch its first ready task."""
+        job = self.pick_job(jobs, ctx)
+        if job is None:
+            return None
+        return job.ready[0]
+
+    @abc.abstractmethod
+    def pick_job(self, jobs: Sequence[Any], ctx: DispatchContext) -> Optional[Any]:
+        """Choose which job's head-of-queue task runs next."""
+
+
+class FifoPolicy(InterJobPolicy):
+    """Strict submission order: earliest job with ready work wins."""
+
+    name = "fifo"
+
+    def pick_job(self, jobs: Sequence[Any], ctx: DispatchContext) -> Optional[Any]:
+        return jobs[0] if jobs else None
+
+
+class FairSharePolicy(InterJobPolicy):
+    """Fewest outstanding dispatched tasks per unit weight goes first.
+
+    Ties break by submission order, so a lone job degenerates to FIFO
+    and the single-job plane stays bit-equal.
+    """
+
+    name = "fair"
+
+    def pick_job(self, jobs: Sequence[Any], ctx: DispatchContext) -> Optional[Any]:
+        if not jobs:
+            return None
+        return min(jobs, key=lambda j: (j.outstanding / max(j.weight, 1e-9),
+                                        j.submit_index))
+
+
+class DelayPolicy(InterJobPolicy):
+    """Delay scheduling between jobs: wait (briefly) for the preferred worker.
+
+    Jobs are scanned in submission order; a map task whose LAF-assigned
+    worker has a free slot dispatches immediately.  A task whose worker
+    is saturated is skipped until it has waited ``wait_limit`` (the
+    assignment's own limit, else ``ctx.delay_wait``) -- after that it is
+    marked for reassignment to the least-loaded worker, the paper's
+    delay-scheduling fallback.  Reduce tasks never wait (their data is
+    already in place).
+    """
+
+    name = "delay"
+
+    def pick_job(self, jobs: Sequence[Any], ctx: DispatchContext) -> Optional[Any]:
+        raise NotImplementedError("DelayPolicy picks tasks, not jobs")
+
+    def next_task(self, jobs: Sequence[Any], ctx: DispatchContext) -> Optional[Any]:
+        now = ctx.now()
+        for job in jobs:
+            for task in job.ready:
+                if task.kind != "map":
+                    return task
+                if ctx.inflight_on(task.wid) < ctx.worker_slots:
+                    return task
+                wait = task.wait_limit if task.wait_limit is not None else ctx.delay_wait
+                if now - task.ready_since >= wait:
+                    task.reassign = True
+                    return task
+        return None
+
+
+_POLICIES = {
+    "fifo": FifoPolicy,
+    "fair": FairSharePolicy,
+    "delay": DelayPolicy,
+}
+
+
+def make_policy(name: str) -> InterJobPolicy:
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown inter-job policy {name!r}; pick one of {sorted(_POLICIES)}"
+        ) from None

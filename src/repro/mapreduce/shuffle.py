@@ -65,6 +65,11 @@ class IntermediateStore:
         """A job's spills keyed by spill id (callers choose their order)."""
         return dict(self._pairs.get(job_id, {}))
 
+    def job_ids(self) -> list[str]:
+        """Every job id with spills in the store (cluster workers key
+        these by job *uid* so concurrent submissions stay apart)."""
+        return list(self._pairs)
+
     def pairs_for(self, job_id: str) -> list[tuple[Any, Any]]:
         """All pairs pushed for a job, grouped later by the reduce task."""
         out: list[tuple[Any, Any]] = []

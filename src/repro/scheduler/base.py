@@ -10,6 +10,7 @@ start/finish so the scheduler can track load.
 from __future__ import annotations
 
 import abc
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Hashable, Optional, Sequence
 
@@ -99,6 +100,31 @@ class Scheduler(abc.ABC):
     def load_of(self, server: Hashable) -> int:
         self._check(server)
         return self._load[server]
+
+    @contextmanager
+    def at_zero_load(self):
+        """Temporarily present a zero running load to assignment draws.
+
+        The cluster plane draws every one of a job's assignments *before*
+        dispatching any of them, at the zero-load state the sequential
+        runtime assigns in -- that is what makes the planes bit-equal.
+        With several jobs sharing one scheduler the real load is no longer
+        zero at draw time, so the multi-job scheduler wraps its draws in
+        this context: histogram/moving-average state still evolves
+        normally (determinism comes from drawing in submission order),
+        while the transient in-flight load of *other* jobs cannot perturb
+        degenerate-candidate tie-breaks.  Membership must not change while
+        the context is held (the caller runs on one scheduler thread).
+        """
+        saved = dict(self._load)
+        for server in self._load:
+            self._load[server] = 0
+        try:
+            yield self
+        finally:
+            for server, load in saved.items():
+                if server in self._load:
+                    self._load[server] = load
 
     def least_loaded(self, candidates: Sequence[Hashable]) -> Hashable:
         """Lowest *running* load; stable tie-break by server order.

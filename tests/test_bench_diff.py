@@ -55,6 +55,13 @@ class TestDirection:
         # ...but recovery *throughput* is still a rate.
         assert not bench_diff.lower_is_better("rereplication.recovery_mb_s")
 
+    def test_scheduler_metrics_are_lower_better(self):
+        for m in ("sched.fifo.makespan_s", "sched.fair.fairness_spread_s",
+                  "sched.queue_wait_p99_s", "sched.jobs_rejected"):
+            assert bench_diff.lower_is_better(m)
+        # ...while job throughput stays a rate.
+        assert not bench_diff.lower_is_better("sched.jobs_per_s")
+
 
 class TestDiff:
     def test_verdicts(self):

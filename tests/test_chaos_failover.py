@@ -492,3 +492,44 @@ class TestCascadedFailover:
             # survivors hold every block.
             for bid, holders in rt.coordinator.holders.items():
                 assert sorted(holders) == survivors, bid
+
+
+# -- multi-job failover ------------------------------------------------------------
+
+
+class TestMultiJobFailover:
+    def test_worker_killed_with_two_jobs_in_flight(self):
+        """SIGKILL a worker while two submitted jobs are both mid-map:
+        each job fails over independently (one budget spend apiece, one
+        cluster failover total) and both finish bit-equal to the
+        sequential runtime."""
+        data = corpus()
+        seq = EclipseMRRuntime(4, config=CFG)
+        seq.upload("multi.txt", data)
+        ref = seq.run(wordcount_job("multi.txt", app_id="mj-a")).output
+
+        with ClusterRuntime(4, CFG) as rt:
+            rt.upload("multi.txt", data)
+            kills = []
+
+            def chaos(_done_maps):
+                # The third completed map overall: both jobs still have
+                # most of their work outstanding.
+                kills.append(1)
+                if len(kills) == 3:
+                    rt.kill_worker(rt.worker_ids[-1])
+
+            rt.on_map_complete = chaos
+            ha = rt.submit(wordcount_job("multi.txt", app_id="mj-a"))
+            hb = rt.submit(wordcount_job("multi.txt", app_id="mj-b"))
+            ra = ha.result(timeout=180)
+            rb = hb.result(timeout=180)
+
+            assert len(kills) >= 3, "chaos hook never reached the kill"
+            assert ra.output == ref
+            assert rb.output == ref
+            assert rt.metrics.counter("cluster.failovers").value == 1
+            assert len(rt.worker_ids) == 3
+            # Every block of both jobs has exactly one surviving outcome.
+            assert ra.stats.map_tasks == rb.stats.map_tasks > 0
+            assert rt.metrics.counter("sched.jobs_completed").value == 2

@@ -67,7 +67,9 @@ def lower_is_better(metric: str) -> bool:
     if any(frag in leaf for frag in ("latency", "seek", "wall_clock",
                                      "p50", "p90", "p99",
                                      "reexecuted", "rereplicated", "recopied",
-                                     "overhead", "retries", "failures")):
+                                     "overhead", "retries", "failures",
+                                     "makespan", "spread", "wait",
+                                     "rejected")):
         return True
     return leaf.endswith(("_s", "_ms", "_us"))
 
