@@ -1,0 +1,280 @@
+"""Shuffle-reduction bench: wire compression, cross-spill combining,
+cost-aware eviction.
+
+Prices the three seams this repo grew to shrink data movement:
+
+* **wire** -- the 4-worker cluster wordcount run with ``net.compression``
+  off and then ``zlib``: wire bytes vs logical bytes on the out-of-band
+  payload path (spill pushes, block frames, stream pages), and the MB/s
+  cost of compressing them;
+* **cross_spill** -- a combiner-bearing wordcount with a small spill
+  buffer, run with ``cross_spill_combine`` off and on, on all three
+  execution planes: how much ``bytes_shuffled`` shrinks at the source,
+  and that every plane reports the identical post-combining accounting;
+* **eviction** -- a skewed hot-file + cold-scan grep workload and an
+  iterative repeated-scan workload on a memory-constrained functional
+  runtime, under ``cache.eviction = lru`` vs ``cost``: iCache hit rates.
+
+Results land in ``BENCH_shuffle_reduction.json`` at the repo root.
+``BENCH_QUICK=1`` shrinks the workloads for smoke runs (CI); numbers are
+then indicative only.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_shuffle_reduction.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import record_report
+from repro.common.config import CacheConfig, ClusterConfig, DFSConfig, NetConfig
+from repro.common.units import MB
+from repro.cluster.runtime import ClusterRuntime
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.parallel import ParallelEclipseMRRuntime
+from repro.mapreduce.runtime import EclipseMRRuntime
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_shuffle_reduction.json"
+
+N_WORKERS = 4
+WIRE_WORDS = 60_000 if QUICK else 400_000
+WIRE_BLOCK = 256 * 1024 if QUICK else 1 * MB
+COMB_WORDS = 20_000 if QUICK else 80_000
+EVICT_ROUNDS = 3 if QUICK else 6
+
+
+def _wordcount_job(app_id: str, input_file: str, combiner: bool = False,
+                   cross_spill: bool = False,
+                   spill_buffer: int = 32 * MB) -> MapReduceJob:
+    def map_fn(data):
+        for word in bytes(data).decode().split():
+            yield word, 1
+
+    def reduce_fn(key, values):
+        return sum(values)
+
+    def combine_fn(key, values):
+        return [sum(values)]
+
+    return MapReduceJob(app_id=app_id, input_file=input_file,
+                        map_fn=map_fn, reduce_fn=reduce_fn,
+                        combiner=combine_fn if combiner else None,
+                        cross_spill_combine=cross_spill,
+                        spill_buffer_bytes=spill_buffer)
+
+
+def _corpus(words: int, vocab: int) -> bytes:
+    vocabulary = [f"word{i:04d}" for i in range(vocab)]
+    return " ".join(vocabulary[i % vocab] for i in range(words)).encode()
+
+
+# -- wire compression on the cluster plane -----------------------------------------
+
+
+def _net(compression: str) -> NetConfig:
+    return NetConfig(heartbeat_interval=0.5, heartbeat_miss_threshold=8,
+                     compression=compression)
+
+
+def _run_wire(compression: str) -> dict:
+    """One cluster wordcount; returns throughput + the wire/logical split."""
+    cfg = ClusterConfig(dfs=DFSConfig(block_size=WIRE_BLOCK), net=_net(compression))
+    data = _corpus(WIRE_WORDS, vocab=100)
+    with ClusterRuntime(N_WORKERS, cfg) as rt:
+        rt.upload("wire.txt", data)
+        started = time.perf_counter()
+        result = rt.run(_wordcount_job(f"bench-wire-{compression}", "wire.txt"))
+        elapsed = time.perf_counter() - started
+        # Block-boundary splits can mint a few extra tokens; the exact
+        # split is deterministic, so off/on runs still agree.
+        assert sum(result.output.values()) >= WIRE_WORDS
+        wire = logical = compressed = raw = 0
+        for stats in rt.worker_stats().values():
+            wire += stats.get("net.bytes_wire", 0)
+            logical += stats.get("net.bytes_logical", 0)
+            compressed += stats.get("net.pages_compressed", 0)
+            raw += stats.get("net.pages_raw", 0)
+        wire += rt.metrics.counter("net.bytes_wire").value
+        logical += rt.metrics.counter("net.bytes_logical").value
+        compressed += rt.metrics.counter("net.pages_compressed").value
+        raw += rt.metrics.counter("net.pages_raw").value
+    return {
+        "wall_clock_s": round(elapsed, 3),
+        "input_mb_s": round(len(data) / MB / elapsed, 2),
+        "wire_bytes": int(wire),
+        "logical_bytes": int(logical),
+        "pages_compressed": int(compressed),
+        "pages_raw": int(raw),
+    }
+
+
+def _bench_wire() -> dict:
+    off = _run_wire("none")
+    on = _run_wire("zlib")
+    reduction = (1.0 - on["wire_bytes"] / on["logical_bytes"]
+                 if on["logical_bytes"] else 0.0)
+    return {
+        "words": WIRE_WORDS,
+        "off": off,
+        "zlib": on,
+        "wire_reduction_pct": round(reduction * 100, 1),
+        "mb_s_vs_raw": round(on["input_mb_s"] / off["input_mb_s"], 3),
+    }
+
+
+# -- cross-spill combining on all three planes -------------------------------------
+
+
+def _bench_cross_spill() -> dict:
+    # A skewed vocabulary (many duplicate keys per block) with a spill
+    # buffer small enough that per-destination buffers fill mid-map --
+    # exactly where cross-spill combining collapses duplicates early.
+    cfg = ClusterConfig(dfs=DFSConfig(block_size=4096))
+    data = _corpus(COMB_WORDS, vocab=60)
+
+    def job(app_id, cross_spill):
+        return _wordcount_job(app_id, "comb.txt", combiner=True,
+                              cross_spill=cross_spill, spill_buffer=2048)
+
+    seq = EclipseMRRuntime(3, config=cfg)
+    seq.upload("comb.txt", data)
+    seq_off = seq.run(job("bench-comb-off", False))
+    seq_on = seq.run(job("bench-comb-on", True))
+    assert seq_on.output == seq_off.output
+
+    par = ParallelEclipseMRRuntime(3, config=cfg, max_workers=4)
+    par.upload("comb.txt", data)
+    par_on = par.run(job("bench-comb-par", True))
+
+    with ClusterRuntime(3, cfg) as rt:
+        rt.upload("comb.txt", data)
+        cl_on = rt.run(job("bench-comb-cluster", True))
+
+    # All three planes must account the combined shuffle identically.
+    assert par_on.stats.bytes_shuffled == seq_on.stats.bytes_shuffled
+    assert cl_on.stats.bytes_shuffled == seq_on.stats.bytes_shuffled
+    assert par_on.stats.spills == seq_on.stats.spills
+    assert cl_on.stats.spills == seq_on.stats.spills
+    assert cl_on.output == seq_on.output
+
+    reduction = 1.0 - seq_on.stats.bytes_shuffled / seq_off.stats.bytes_shuffled
+    return {
+        "words": COMB_WORDS,
+        "off": {"bytes_shuffled": seq_off.stats.bytes_shuffled,
+                "spills": seq_off.stats.spills},
+        "on": {"bytes_shuffled": seq_on.stats.bytes_shuffled,
+               "spills": seq_on.stats.spills,
+               "recombines": seq_on.stats.spill_recombines},
+        "planes_agree": True,
+        "shuffle_reduction_pct": round(reduction * 100, 1),
+    }
+
+
+# -- eviction policy hit rates on the functional plane ------------------------------
+
+
+def _grep_job(app_id: str, input_file: str, needle: str) -> MapReduceJob:
+    def map_fn(data):
+        for line in bytes(data).decode().splitlines():
+            if needle in line:
+                yield needle, 1
+
+    def reduce_fn(key, values):
+        return sum(values)
+
+    return MapReduceJob(app_id=app_id, input_file=input_file,
+                        map_fn=map_fn, reduce_fn=reduce_fn)
+
+
+def _run_eviction(policy: str) -> dict:
+    """Hot-file scans interleaved with cold one-shot scans, then an
+    iterative phase of repeated hot scans; returns iCache hit rates."""
+    block = 4096
+    cfg = ClusterConfig(
+        dfs=DFSConfig(block_size=block),
+        cache=CacheConfig(capacity_per_server=12 * block, icache_fraction=0.5,
+                          eviction=policy),
+    )
+    rt = EclipseMRRuntime(3, config=cfg)
+    hot = b"\n".join(b"needle line %d" % i for i in range(2000))[: 10 * block]
+    rt.upload("hot.txt", hot)
+    for i in range(EVICT_ROUNDS):
+        cold = (b"hay line %d " % i) * (20 * block // 16)
+        rt.upload(f"cold{i}.txt", cold[: 20 * block])
+
+    # Warmup: a few hot scans so frequency-aware policies can tell the
+    # hot blocks apart from one-shot traffic (LRU gains nothing here).
+    for j in range(3):
+        rt.run(_grep_job(f"grep-warm-{policy}-{j}", "hot.txt", "needle"))
+
+    hits = misses = 0
+    # Skewed-grep phase: every round scans the hot file once, then a
+    # distinct cold file twice its size (pure LRU pollution).  Hit rate
+    # is measured on the hot scans -- the cold scans are compulsory
+    # misses for any policy.
+    for i in range(EVICT_ROUNDS):
+        r = rt.run(_grep_job(f"grep-hot-{policy}-{i}", "hot.txt", "needle"))
+        hits += r.stats.icache_hits
+        misses += r.stats.icache_misses
+        rt.run(_grep_job(f"grep-cold-{policy}-{i}", f"cold{i}.txt", "hay"))
+    skew_rate = hits / (hits + misses) if hits + misses else 0.0
+
+    # Iterative phase: the hot file scanned back-to-back (kmeans-style
+    # re-reads); whatever survived the pollution pays off here.
+    it_hits = it_misses = 0
+    for i in range(EVICT_ROUNDS):
+        r = rt.run(_grep_job(f"grep-iter-{policy}-{i}", "hot.txt", "needle"))
+        it_hits += r.stats.icache_hits
+        it_misses += r.stats.icache_misses
+    iter_rate = it_hits / (it_hits + it_misses) if it_hits + it_misses else 0.0
+
+    cache = rt.dcache.stats()
+    return {
+        "skewed_grep_hit_rate": round(skew_rate, 4),
+        "iterative_hit_rate": round(iter_rate, 4),
+        "evictions": cache.evictions,
+    }
+
+
+def _bench_eviction() -> dict:
+    lru = _run_eviction("lru")
+    cost = _run_eviction("cost")
+    return {"rounds": EVICT_ROUNDS, "lru": lru, "cost": cost}
+
+
+# -- the bench entry point ----------------------------------------------------------
+
+
+def test_shuffle_reduction(benchmark):
+    def run() -> dict:
+        return {
+            "quick": QUICK,
+            "wordcount": _bench_wire(),
+            "cross_spill": _bench_cross_spill(),
+            "eviction": _bench_eviction(),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    record_report("Shuffle reduction", json.dumps(results, indent=2))
+
+    # Compression must cut at least 30% of the out-of-band wire bytes on
+    # the compressible wordcount corpus...
+    assert results["wordcount"]["wire_reduction_pct"] >= 30.0
+    # ...without giving back more than 10% of end-to-end throughput.
+    # (Quick/CI runs are too noisy to hold a timing bar; full runs must.)
+    if not QUICK:
+        assert results["wordcount"]["mb_s_vs_raw"] >= 0.9
+    # Cross-spill combining must shrink the shuffle at the source, with
+    # identical accounting on every plane (asserted inside the section).
+    assert results["cross_spill"]["shuffle_reduction_pct"] > 0.0
+    assert results["cross_spill"]["on"]["recombines"] > 0
+    # The cost-aware policy must not lose to LRU on the skewed workload.
+    assert (results["eviction"]["cost"]["skewed_grep_hit_rate"]
+            >= results["eviction"]["lru"]["skewed_grep_hit_rate"])

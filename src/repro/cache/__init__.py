@@ -5,8 +5,11 @@ cached by *hash key*, not by which server computed them, so globally
 popular data spreads over the whole cluster and any server can locate a
 cached object with one hash.
 
-* :mod:`repro.cache.lru` -- byte-capacity LRU with TTL (the replacement
-  policy the paper assumes for worker caches).
+* :mod:`repro.cache.lru` -- byte-capacity cache with TTL and pluggable
+  victim selection (LRU by default, the policy the paper assumes).
+* :mod:`repro.cache.eviction` -- the replacement-policy seam
+  (``CacheConfig.eviction``): exact LRU, or a GDSF-style
+  frequency x recompute-cost score with aging for skewed workloads.
 * :mod:`repro.cache.worker` -- one worker's cache, split into **iCache**
   (input blocks, implicit) and **oCache** (intermediate results and
   iteration outputs, explicit, tagged, TTL-invalidated).
@@ -16,12 +19,22 @@ cached object with one hash.
 """
 
 from repro.cache.lru import LRUCache, CacheEntry
+from repro.cache.eviction import (
+    CostAwarePolicy,
+    EvictionPolicy,
+    LRUPolicy,
+    make_policy,
+)
 from repro.cache.worker import WorkerCache, CacheStats
 from repro.cache.distributed import DistributedCache
 
 __all__ = [
     "LRUCache",
     "CacheEntry",
+    "EvictionPolicy",
+    "LRUPolicy",
+    "CostAwarePolicy",
+    "make_policy",
     "WorkerCache",
     "CacheStats",
     "DistributedCache",

@@ -114,15 +114,19 @@ class DistributedCache:
     # -- aggregate statistics ------------------------------------------------------
 
     def stats(self) -> CacheStats:
-        """Summed hit/miss totals across all workers."""
-        ih = im = oh = om = 0
+        """Summed hit/miss/eviction totals across all workers."""
+        ih = im = oh = om = iev = oev = iex = oex = 0
         for cache in self.workers.values():
             s = cache.stats()
             ih += s.icache_hits
             im += s.icache_misses
             oh += s.ocache_hits
             om += s.ocache_misses
-        return CacheStats(ih, im, oh, om)
+            iev += s.icache_evictions
+            oev += s.ocache_evictions
+            iex += s.icache_expirations
+            oex += s.ocache_expirations
+        return CacheStats(ih, im, oh, om, iev, oev, iex, oex)
 
     @property
     def used(self) -> int:

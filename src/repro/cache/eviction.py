@@ -1,0 +1,121 @@
+"""Pluggable cache replacement policies (``CacheConfig.eviction``).
+
+The paper's workers evict strictly by recency (§II-E), which ages out
+hot-but-briefly-idle objects on skewed workloads.  PAPERS.md's caching
+surveys (H-SVM-LRU; Ghazali et al.) argue for scoring entries by access
+*frequency* and *recompute cost* instead; :class:`CostAwarePolicy`
+implements the classic GreedyDual-Size-Frequency form of that idea:
+
+    priority = age + frequency x cost / size
+
+``age`` is a monotone floor that rises to each evicted victim's priority,
+so long-idle entries eventually lose to fresh ones no matter how hot they
+once were -- the standard GDSF aging trick that keeps the score from
+fossilizing.  ``cost`` defaults to the entry's byte size (recompute cost
+proxied by rebuild volume), collapsing the score to ``age + frequency``:
+frequency-aware LRU with aging.  Callers that know better (an oCache
+entry whose map task took seconds to run) can pass an explicit cost.
+
+A policy only *ranks* entries; the cache keeps ownership of the entry
+table, byte accounting, TTLs, and counters.  State a policy needs lives
+on the entries themselves (``freq``/``cost``/``priority`` fields) plus
+whatever scalars the policy object carries -- which is why every cache
+partition gets its **own policy instance**.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable, Mapping
+
+from repro.common.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.cache.lru import CacheEntry
+
+__all__ = ["EvictionPolicy", "LRUPolicy", "CostAwarePolicy", "make_policy"]
+
+
+class EvictionPolicy:
+    """Ranks cache entries for eviction; owns no entry storage.
+
+    The cache calls ``on_insert`` / ``on_access`` / ``on_evict`` as
+    entries move through their lifecycle and ``select_victim`` when it
+    must free space.  ``entries`` is the cache's live table in LRU order
+    (least-recently-used first) -- policies may rely on that order but
+    must not mutate it.
+    """
+
+    name = "?"
+
+    def on_insert(self, entry: "CacheEntry") -> None:
+        pass
+
+    def on_access(self, entry: "CacheEntry") -> None:
+        pass
+
+    def on_evict(self, entry: "CacheEntry") -> None:
+        pass
+
+    def select_victim(self, entries: Mapping[Hashable, "CacheEntry"]) -> Hashable:
+        raise NotImplementedError
+
+
+class LRUPolicy(EvictionPolicy):
+    """Evict the least-recently-used entry (the paper's §II-E policy).
+
+    The cache maintains recency order in its table, so the victim is
+    simply the first key -- behavior identical to the pre-seam cache.
+    """
+
+    name = "lru"
+
+    def select_victim(self, entries: Mapping[Hashable, "CacheEntry"]) -> Hashable:
+        return next(iter(entries))
+
+
+class CostAwarePolicy(EvictionPolicy):
+    """GDSF: evict the minimum of ``age + freq x cost / size``.
+
+    Ties break toward the least recently used of the tied entries (the
+    scan keeps the first minimum in LRU order), so with uniform
+    frequencies this degenerates to exact LRU -- which also makes its
+    decisions deterministic across runs and planes.
+    """
+
+    name = "cost"
+
+    def __init__(self) -> None:
+        self._age = 0.0
+
+    def _score(self, entry: "CacheEntry") -> float:
+        return self._age + entry.freq * entry.cost / max(entry.size, 1)
+
+    def on_insert(self, entry: "CacheEntry") -> None:
+        entry.freq = 1
+        entry.priority = self._score(entry)
+
+    def on_access(self, entry: "CacheEntry") -> None:
+        entry.freq += 1
+        entry.priority = self._score(entry)
+
+    def on_evict(self, entry: "CacheEntry") -> None:
+        # Aging: future scores start from the departed victim's priority,
+        # so an entry must out-score recent traffic to stay resident.
+        self._age = max(self._age, entry.priority)
+
+    def select_victim(self, entries: Mapping[Hashable, "CacheEntry"]) -> Hashable:
+        victim = None
+        best = None
+        for key, entry in entries.items():
+            if best is None or entry.priority < best:
+                victim, best = key, entry.priority
+        return victim
+
+
+def make_policy(name: str) -> EvictionPolicy:
+    """A fresh policy instance for one cache partition."""
+    if name == "lru":
+        return LRUPolicy()
+    if name == "cost":
+        return CostAwarePolicy()
+    raise ConfigError(f"eviction policy must be 'lru' or 'cost', got {name!r}")

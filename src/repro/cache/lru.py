@@ -1,17 +1,26 @@
-"""Byte-capacity LRU cache with optional per-entry TTL.
+"""Byte-capacity cache with optional per-entry TTL and pluggable eviction.
 
 The paper's worker caches evict by LRU ("each worker server caches only a
 certain number of recently accessed data objects using the LRU cache
 replacement policy", §II-E) and oCache entries carry an application-set
-time-to-live (§II-C).
+time-to-live (§II-C).  Victim selection is delegated to an
+:class:`~repro.cache.eviction.EvictionPolicy` (default: exact LRU);
+everything else -- byte accounting, TTLs, recency order, counters --
+stays here.
+
+TTL expiry requires a clock.  With no injected clock the cache reads
+``time.monotonic``, so TTL'd entries actually expire; tests that need
+deterministic expiry inject a fake clock instead.
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterator, Optional
 
+from repro.cache.eviction import EvictionPolicy, LRUPolicy
 from repro.common.errors import CacheMiss
 
 __all__ = ["CacheEntry", "LRUCache"]
@@ -28,22 +37,38 @@ class CacheEntry:
     hash_key: Optional[int] = None
     """Position on the hash ring, for misplaced-entry migration."""
 
+    freq: int = 0
+    """Accesses since insertion (maintained by frequency-aware policies)."""
+
+    cost: float = 0.0
+    """Recompute cost the GDSF score weighs by (defaults to ``size``)."""
+
+    priority: float = 0.0
+    """The eviction policy's current score for this entry."""
+
     def expired(self, now: float) -> bool:
         return self.expires_at is not None and now >= self.expires_at
 
 
 class LRUCache:
-    """LRU over entries whose sizes sum to at most ``capacity`` bytes."""
+    """Size-bounded cache whose entries sum to at most ``capacity`` bytes.
+
+    Named for its default policy; pass an
+    :class:`~repro.cache.eviction.EvictionPolicy` to rank victims
+    differently (the entry table still tracks recency order either way).
+    """
 
     def __init__(
         self,
         capacity: int,
         clock: Optional[Callable[[], float]] = None,
+        policy: Optional[EvictionPolicy] = None,
     ) -> None:
         if capacity < 0:
             raise ValueError("cache capacity must be non-negative")
         self.capacity = int(capacity)
-        self._clock = clock or (lambda: 0.0)
+        self._clock = clock or time.monotonic
+        self.policy = policy or LRUPolicy()
         self._entries: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
         self._used = 0
         self.hits = 0
@@ -79,6 +104,7 @@ class LRUCache:
             self.misses += 1
             raise CacheMiss(f"{key!r} expired")
         self._entries.move_to_end(key)
+        self.policy.on_access(entry)
         self.hits += 1
         return entry.value
 
@@ -96,8 +122,13 @@ class LRUCache:
         size: int,
         ttl: Optional[float] = None,
         hash_key: Optional[int] = None,
+        cost: Optional[float] = None,
     ) -> bool:
-        """Insert/replace an entry; returns False when it cannot fit at all."""
+        """Insert/replace an entry; returns False when it cannot fit at all.
+
+        ``cost`` feeds cost-aware policies (what re-creating this object
+        is worth); it defaults to the entry's byte size.
+        """
         if size < 0:
             raise ValueError("entry size must be non-negative")
         if size > self.capacity:
@@ -107,9 +138,12 @@ class LRUCache:
         if key in self._entries:
             self._used -= self._entries.pop(key).size
         while self._used + size > self.capacity and self._entries:
-            self._evict_lru()
+            self._evict_one()
         expires_at = self._clock() + ttl if ttl is not None else None
-        self._entries[key] = CacheEntry(key, value, size, expires_at, hash_key)
+        entry = CacheEntry(key, value, size, expires_at, hash_key,
+                           cost=float(cost) if cost is not None else float(size))
+        self.policy.on_insert(entry)
+        self._entries[key] = entry
         self._used += size
         return True
 
@@ -144,9 +178,11 @@ class LRUCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def _evict_lru(self) -> None:
-        _, entry = self._entries.popitem(last=False)
+    def _evict_one(self) -> None:
+        victim = self.policy.select_victim(self._entries)
+        entry = self._entries.pop(victim)
         self._used -= entry.size
+        self.policy.on_evict(entry)
         self.evictions += 1
 
     def _drop(self, key: Hashable, *, expired: bool) -> None:

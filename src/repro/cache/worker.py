@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Optional
 
 from repro.common.config import CacheConfig
+from repro.cache.eviction import make_policy
 from repro.cache.lru import LRUCache
 
 __all__ = ["WorkerCache", "CacheStats"]
@@ -22,12 +23,16 @@ __all__ = ["WorkerCache", "CacheStats"]
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss totals across both partitions."""
+    """Hit/miss/eviction totals across both partitions."""
 
     icache_hits: int
     icache_misses: int
     ocache_hits: int
     ocache_misses: int
+    icache_evictions: int = 0
+    ocache_evictions: int = 0
+    icache_expirations: int = 0
+    ocache_expirations: int = 0
 
     @property
     def hits(self) -> int:
@@ -36,6 +41,14 @@ class CacheStats:
     @property
     def misses(self) -> int:
         return self.icache_misses + self.ocache_misses
+
+    @property
+    def evictions(self) -> int:
+        return self.icache_evictions + self.ocache_evictions
+
+    @property
+    def expirations(self) -> int:
+        return self.icache_expirations + self.ocache_expirations
 
     @property
     def hit_ratio(self) -> float:
@@ -56,8 +69,15 @@ class WorkerCache:
         self.config = config or CacheConfig()
         capacity = self.config.capacity_per_server
         icache_bytes = int(capacity * self.config.icache_fraction)
-        self.icache = LRUCache(icache_bytes, clock)
-        self.ocache = LRUCache(capacity - icache_bytes, clock)
+        # Each partition gets its own policy instance: cost-aware
+        # policies carry aging state that must not leak across
+        # partitions (or servers).  With no injected clock the cache
+        # falls back to ``time.monotonic``, so TTL'd oCache entries
+        # really expire.
+        self.icache = LRUCache(icache_bytes, clock,
+                               policy=make_policy(self.config.eviction))
+        self.ocache = LRUCache(capacity - icache_bytes, clock,
+                               policy=make_policy(self.config.eviction))
 
     # -- iCache -----------------------------------------------------------------
 
@@ -121,4 +141,8 @@ class WorkerCache:
             icache_misses=self.icache.misses,
             ocache_hits=self.ocache.hits,
             ocache_misses=self.ocache.misses,
+            icache_evictions=self.icache.evictions,
+            ocache_evictions=self.ocache.evictions,
+            icache_expirations=self.icache.expirations,
+            ocache_expirations=self.ocache.expirations,
         )

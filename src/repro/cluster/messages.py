@@ -169,6 +169,7 @@ def encode_job(job: MapReduceJob, job_uid: str | None = None) -> dict[str, Any]:
         "reduce_fn": dumps_fn(job.reduce_fn),
         "combiner": dumps_fn(job.combiner) if job.combiner is not None else None,
         "spill_buffer_bytes": job.spill_buffer_bytes,
+        "cross_spill_combine": job.cross_spill_combine,
         "cache_intermediates": job.cache_intermediates,
         "intermediate_ttl": job.intermediate_ttl,
     }
@@ -186,6 +187,7 @@ class DecodedJob:
     reduce_fn: Any
     combiner: Optional[Any]
     spill_buffer_bytes: int
+    cross_spill_combine: bool
     cache_intermediates: bool
     intermediate_ttl: Optional[float]
 
@@ -273,6 +275,7 @@ def decode_job(wire: dict[str, Any]) -> DecodedJob:
         reduce_fn=loads_fn(wire["reduce_fn"]),
         combiner=loads_fn(wire["combiner"]) if wire["combiner"] is not None else None,
         spill_buffer_bytes=wire["spill_buffer_bytes"],
+        cross_spill_combine=wire.get("cross_spill_combine", False),
         cache_intermediates=wire["cache_intermediates"],
         intermediate_ttl=wire["intermediate_ttl"],
     )

@@ -210,6 +210,10 @@ class WorkerNode:
             icache_misses=cache.icache_misses,
             ocache_hits=cache.ocache_hits,
             ocache_misses=cache.ocache_misses,
+            icache_evictions=cache.icache_evictions,
+            ocache_evictions=cache.ocache_evictions,
+            icache_expirations=cache.icache_expirations,
+            ocache_expirations=cache.ocache_expirations,
             bytes_received=self.intermediates.bytes_received,
             spill_objects=spill_objects,
             spill_object_bytes=spill_object_bytes,
@@ -274,6 +278,7 @@ class WorkerNode:
             deliver=dispatch,
             threshold_bytes=decoded.spill_buffer_bytes,
             task_id=f"{decoded.app_id}/map{index}",
+            combiner=decoded.combiner if decoded.cross_spill_combine else None,
         )
         for key, value in decoded.map_fn(data):
             spill.emit(key, value)
@@ -289,11 +294,13 @@ class WorkerNode:
             raise first_error
         self.metrics.counter("worker.maps_run").inc()
         self.metrics.counter("worker.spills_out").inc(spill.spills)
+        self.metrics.counter("worker.spill_recombines").inc(spill.recombines)
         self.metrics.counter("worker.bytes_shuffled_out").inc(spill.bytes_pushed)
         return {
             "worker_id": self.worker_id,
             "source": source,
             "spills": spill.spills,
+            "recombines": spill.recombines,
             "bytes_shuffled": spill.bytes_pushed,
             # The spill manifest: which spills this map delivered where,
             # at what size.  Always returned -- the coordinator needs the

@@ -67,6 +67,13 @@ class CacheConfig:
     dropped object degrades a later ``reuse_intermediates`` job to
     re-executing that map, never to a wrong answer."""
 
+    eviction: str = "lru"
+    """Replacement policy for the iCache/oCache partitions: ``lru``
+    (recency only, today's behavior) or ``cost`` (GDSF-style
+    frequency x recompute-cost score with aging, the H-SVM-LRU framing
+    from PAPERS.md) -- keeps hot or expensive-to-recompute objects over
+    merely recent ones on skewed workloads."""
+
     def __post_init__(self) -> None:
         if self.capacity_per_server < 0:
             raise ConfigError("cache capacity must be non-negative")
@@ -78,6 +85,10 @@ class CacheConfig:
             )
         if self.default_ttl is not None and self.default_ttl <= 0:
             raise ConfigError("default_ttl must be positive or None")
+        if self.eviction not in ("lru", "cost"):
+            raise ConfigError(
+                f"eviction must be 'lru' or 'cost', got {self.eviction!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -113,6 +124,22 @@ class NetConfig:
     """Page threshold for streamed responses: a reduce output whose
     serialized size exceeds this is returned as a sequence of out-of-band
     page frames (each roughly this large) instead of one giant envelope."""
+
+    compression: str = "none"
+    """Codec for out-of-band payloads (spill pushes, blob responses,
+    stream pages): ``none`` (bit-identical wire, the default), ``zlib``,
+    ``lz4`` (errors if the module is missing), or ``auto`` (lz4 when
+    importable, else zlib).  The wire stays self-describing -- each
+    compressed payload's envelope names its codec -- so mixed configs
+    interoperate."""
+
+    compression_level: int = 1
+    """zlib level (1..9) when the zlib codec is selected; level 1 favors
+    shuffle latency over ratio."""
+
+    compression_min_bytes: int = 4096
+    """Payloads smaller than this ship raw without attempting
+    compression (the codec overhead dominates tiny frames)."""
 
     retry_attempts: int = 3
     """Transport attempts per RPC (1 = no retry)."""
@@ -165,6 +192,17 @@ class NetConfig:
             )
         if self.stream_page_bytes < 64:
             raise ConfigError("stream_page_bytes is too small to hold a message")
+        if self.compression not in ("none", "zlib", "lz4", "auto"):
+            raise ConfigError(
+                "compression must be one of ('none', 'zlib', 'lz4', 'auto'), "
+                f"got {self.compression!r}"
+            )
+        if not 1 <= self.compression_level <= 9:
+            raise ConfigError(
+                f"compression_level must be 1..9, got {self.compression_level}"
+            )
+        if self.compression_min_bytes < 0:
+            raise ConfigError("compression_min_bytes must be non-negative")
         if self.retry_attempts < 1:
             raise ConfigError("retry_attempts must be >= 1")
         if self.retry_max_delay < self.retry_base_delay:

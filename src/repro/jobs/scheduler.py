@@ -801,6 +801,7 @@ class JobScheduler:
         for entry in tracker.completed.values():
             result = entry.result
             stats.spills += result["spills"]
+            stats.spill_recombines += result.get("recombines", 0)
             stats.bytes_shuffled += result["bytes_shuffled"]
             stats.tasks_per_server[entry.server] = (
                 stats.tasks_per_server.get(entry.server, 0) + 1

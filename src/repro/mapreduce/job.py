@@ -43,6 +43,14 @@ class MapReduceJob:
     spill_buffer_bytes: int = 32 * 1024 * 1024
     """Per-range spill threshold; the paper uses 32 MB payload buffers."""
 
+    cross_spill_combine: bool = False
+    """Run the combiner *inside* the spill buffer, across spill
+    boundaries: a full buffer is re-combined in place and only ships if
+    it stays full, so duplicate keys collapse before a single byte
+    leaves the mapper (requires ``combiner``; a no-op without one).
+    Off by default -- the spill sequence and ``bytes_shuffled`` change
+    (shrink) when enabled, identically on every plane."""
+
     def __post_init__(self) -> None:
         if not self.app_id:
             raise ValueError("app_id must be non-empty")
@@ -69,6 +77,7 @@ class JobStats:
     remote_block_reads: int = 0
     bytes_shuffled: int = 0
     spills: int = 0
+    spill_recombines: int = 0
     task_retries: int = 0
     tasks_per_server: dict[Hashable, int] = field(default_factory=dict)
 

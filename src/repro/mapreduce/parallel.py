@@ -106,11 +106,13 @@ class ParallelEclipseMRRuntime(EclipseMRRuntime):
             ),
             threshold_bytes=job.spill_buffer_bytes,
             task_id=f"{job.app_id}/map{desc.index}",
+            combiner=job.combiner if job.cross_spill_combine else None,
         )
         for key, value in pairs:
             spill.emit(key, value)
         spill.flush()
         stats.spills += spill.spills
+        stats.spill_recombines += spill.recombines
         if job.cache_intermediates:
             self._write_completion_marker(job, desc, spill)
 

@@ -199,6 +199,7 @@ class EclipseMRRuntime:
             ),
             threshold_bytes=job.spill_buffer_bytes,
             task_id=f"{job.app_id}/map{desc.index}",
+            combiner=job.combiner if job.cross_spill_combine else None,
         )
         fail_pending = self.failure_injector.should_fail(job.app_id, desc.index)
         produced = 0
@@ -213,6 +214,7 @@ class EclipseMRRuntime:
             raise _InjectedTaskFailure()
         spill.flush()
         stats.spills += spill.spills
+        stats.spill_recombines += spill.recombines
         if job.cache_intermediates:
             self._write_completion_marker(job, desc, spill)
 

@@ -1,9 +1,12 @@
 """The cluster plane's wire layer.
 
-Three small, separately testable pieces:
+Four small, separately testable pieces:
 
 * :mod:`repro.net.framing` -- length-prefixed binary frames over a byte
   stream (the only thing that ever touches raw sockets);
+* :mod:`repro.net.codec` -- pluggable page-level compression for
+  out-of-band payloads (``NetConfig.compression``), with an
+  incompressible bail-out that ships raw frames unchanged;
 * :mod:`repro.net.retry` -- exponential backoff with jitter, with
   injectable sleep/rng so policies unit-test deterministically;
 * :mod:`repro.net.rpc` -- a request/response RPC layer (threaded TCP
@@ -13,6 +16,13 @@ Everything above this package (:mod:`repro.cluster`) talks in terms of
 named methods and plain-dict arguments; everything below is bytes.
 """
 
+from repro.net.codec import (
+    Codec,
+    decode_payload,
+    encode_payload,
+    lz4_available,
+    resolve_codec,
+)
 from repro.net.framing import FrameDecoder, encode_frame, read_frame, write_frame
 from repro.net.retry import RetryPolicy
 from repro.net.rpc import ConnectionPool, RpcClient, RpcServer
@@ -22,6 +32,11 @@ __all__ = [
     "encode_frame",
     "read_frame",
     "write_frame",
+    "Codec",
+    "encode_payload",
+    "decode_payload",
+    "resolve_codec",
+    "lz4_available",
     "RetryPolicy",
     "ConnectionPool",
     "RpcClient",

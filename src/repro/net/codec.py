@@ -1,0 +1,201 @@
+"""Pluggable page-level compression for the bulk data path.
+
+Every *out-of-band* payload on a cluster-plane connection -- spill
+pushes, block blobs, streamed reduce-output pages -- can be compressed
+before it is framed.  The seam is a :class:`Codec`: ``compress`` /
+``decompress`` over bytes-like objects, selected by name through
+``NetConfig.compression``:
+
+* ``none`` (the default) -- the codec seam is not even consulted; the
+  wire bytes are bit-identical to a build without this module;
+* ``zlib`` -- the stdlib codec at ``NetConfig.compression_level``
+  (level 1 by default: the shuffle is latency-sensitive, and spill
+  pickles are redundant enough that higher levels buy little);
+* ``lz4`` -- the lz4 frame codec *if the module is importable* (the
+  container does not bake it in); requesting it without the module is a
+  :class:`~repro.common.errors.ConfigError`;
+* ``auto`` -- ``lz4`` when importable, else ``zlib``.
+
+The wire format is **self-describing**, not negotiated: a compressed
+payload's envelope carries ``"enc": "<codec name>"`` and the receiver
+decodes by that name, so peers whose configs disagree still interoperate
+(both sides of a cluster share one manifest anyway).  An envelope with
+no ``enc`` key announces a raw payload -- which is also the
+**incompressible bail-out**: :func:`encode_payload` ships the original
+bytes whenever the codec fails to win (high-entropy blocks, already
+compressed data), so the worst case costs one compression attempt and
+zero wire bytes.  Payloads below ``NetConfig.compression_min_bytes``
+skip the attempt entirely.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+
+from repro.common.errors import ConfigError, FramingError
+
+__all__ = [
+    "Codec",
+    "NoneCodec",
+    "ZlibCodec",
+    "Lz4Codec",
+    "COMPRESSION_CHOICES",
+    "lz4_available",
+    "available_codecs",
+    "resolve_codec",
+    "codec_by_name",
+    "encode_payload",
+    "decode_payload",
+]
+
+#: Legal values of ``NetConfig.compression`` (validated at config time;
+#: resolution -- including the lz4 import probe -- happens here).
+COMPRESSION_CHOICES = ("none", "zlib", "lz4", "auto")
+
+try:  # pragma: no cover - exercised only where lz4 is installed
+    import lz4.frame as _lz4frame
+except ImportError:  # the container does not ship lz4; gate, don't install
+    _lz4frame = None
+
+
+def lz4_available() -> bool:
+    return _lz4frame is not None
+
+
+class Codec:
+    """One compression algorithm: bytes-like in, bytes out."""
+
+    name = "?"
+
+    def compress(self, data) -> bytes:
+        raise NotImplementedError
+
+    def decompress(self, data) -> bytes:
+        raise NotImplementedError
+
+
+class NoneCodec(Codec):
+    """Identity codec (explicit object form of ``compression="none"``)."""
+
+    name = "none"
+
+    def compress(self, data) -> bytes:
+        return bytes(data)
+
+    def decompress(self, data) -> bytes:
+        return bytes(data)
+
+
+class ZlibCodec(Codec):
+    """Stdlib DEFLATE; always available."""
+
+    name = "zlib"
+
+    def __init__(self, level: int = 1) -> None:
+        if not 1 <= level <= 9:
+            raise ConfigError(f"zlib level must be 1..9, got {level}")
+        self.level = level
+
+    def compress(self, data) -> bytes:
+        return zlib.compress(bytes(data), self.level)
+
+    def decompress(self, data) -> bytes:
+        return zlib.decompress(bytes(data))
+
+
+class Lz4Codec(Codec):
+    """lz4 frame format; only constructible when the module imports."""
+
+    name = "lz4"
+
+    def __init__(self) -> None:
+        if _lz4frame is None:
+            raise ConfigError(
+                "compression='lz4' requested but the lz4 module is not "
+                "importable (use 'auto' to fall back to zlib)"
+            )
+
+    def compress(self, data) -> bytes:  # pragma: no cover - needs lz4
+        return _lz4frame.compress(bytes(data))
+
+    def decompress(self, data) -> bytes:  # pragma: no cover - needs lz4
+        return _lz4frame.decompress(bytes(data))
+
+
+def available_codecs() -> tuple[str, ...]:
+    """Codec names this process can actually decode."""
+    return ("zlib", "lz4") if lz4_available() else ("zlib",)
+
+
+def resolve_codec(name: str, level: int = 1) -> Optional[Codec]:
+    """The send-side codec for a ``NetConfig.compression`` value.
+
+    Returns ``None`` for ``"none"`` -- the caller's signal to skip the
+    compression seam entirely (no attempt, no metrics, no ``enc`` key).
+    """
+    if name == "none":
+        return None
+    if name == "zlib":
+        return ZlibCodec(level)
+    if name == "lz4":
+        return Lz4Codec()
+    if name == "auto":
+        return Lz4Codec() if lz4_available() else ZlibCodec(level)
+    raise ConfigError(
+        f"compression must be one of {COMPRESSION_CHOICES}, got {name!r}"
+    )
+
+
+def codec_by_name(name: str) -> Codec:
+    """The receive-side codec for an envelope's ``enc`` tag.
+
+    Decoding is by the *sender's* declared name, independent of local
+    config; an unknown name is wire garbage (:class:`FramingError`, so
+    the transport layer treats it like any other malformed frame).
+    """
+    if name == "zlib":
+        return ZlibCodec()
+    if name == "lz4":
+        if _lz4frame is None:
+            raise FramingError(
+                "peer sent an lz4-compressed payload but lz4 is not importable"
+            )
+        return Lz4Codec()
+    raise FramingError(f"unknown payload codec {name!r}")
+
+
+def encode_payload(data, codec: Optional[Codec],
+                   min_bytes: int = 0) -> tuple[bytes, Optional[str]]:
+    """Maybe-compress one out-of-band payload.
+
+    Returns ``(wire_payload, enc)``: ``enc`` is the codec name when the
+    payload was compressed, or ``None`` when it ships raw -- because no
+    codec is active, the payload is under ``min_bytes``, or compression
+    did not make it strictly smaller (the incompressible bail-out).  A
+    raw return is the *original* object, so the zero-copy path is
+    untouched whenever compression does not win.
+    """
+    if codec is None or len(data) < min_bytes:
+        return data, None
+    squeezed = codec.compress(data)
+    if len(squeezed) >= len(data):
+        return data, None
+    return squeezed, codec.name
+
+
+def decode_payload(data, enc: Optional[str]):
+    """Undo :func:`encode_payload` given the envelope's ``enc`` tag.
+
+    ``enc=None`` hands the buffer straight back (still a memoryview on
+    the zero-copy receive path); anything else decompresses to fresh
+    bytes.  A corrupt compressed payload raises :class:`FramingError`.
+    """
+    if enc is None:
+        return data
+    try:
+        return codec_by_name(enc).decompress(data)
+    except FramingError:
+        raise
+    except Exception as exc:
+        raise FramingError(f"cannot decompress {enc} payload: {exc}") from exc

@@ -85,6 +85,7 @@ from repro.common.errors import (
     RpcRemoteError,
     RpcTimeout,
 )
+from repro.net.codec import Codec, decode_payload, encode_payload, resolve_codec
 from repro.net.framing import FrameDecoder, encode_header, sendv
 from repro.net.retry import RetryPolicy
 
@@ -167,9 +168,14 @@ class _Channel:
     envelope announcing a blob with the raw frame that follows it.
     """
 
-    def __init__(self, sock: socket.socket, max_frame_bytes: int) -> None:
+    def __init__(self, sock: socket.socket, max_frame_bytes: int,
+                 codec: Optional[Codec] = None, compress_min_bytes: int = 0,
+                 metrics=None) -> None:
         self.sock = sock
         self.max_frame_bytes = max_frame_bytes
+        self.codec = codec
+        self.compress_min_bytes = compress_min_bytes
+        self._metrics = metrics
         self.send_lock = threading.Lock()
         self.decoder = FrameDecoder(max_frame_bytes, copy=False)
         self._awaiting_blob: dict | None = None
@@ -180,7 +186,23 @@ class _Channel:
         Both frame lengths are validated before any byte is written, so
         an oversized payload raises :class:`FramingError` with the
         connection still healthy at a frame boundary.
+
+        With a codec configured, the blob is compressed here -- this is
+        the single choke point every out-of-band payload crosses (request
+        blobs, blob responses, stream pages) -- and the envelope gains an
+        ``"enc"`` tag naming the codec.  An incompressible payload ships
+        raw with no tag, bit-identical to the codec-less wire.
         """
+        if blob is not None and self.codec is not None:
+            logical = len(blob)
+            blob, enc = encode_payload(blob, self.codec, self.compress_min_bytes)
+            if enc is not None:
+                envelope["enc"] = enc
+                self._count("net.pages_compressed", 1)
+            else:
+                self._count("net.pages_raw", 1)
+            self._count("net.bytes_logical", logical)
+            self._count("net.bytes_wire", len(blob))
         raw = _dumps(envelope)
         buffers = [encode_header(len(raw), self.max_frame_bytes), raw]
         if blob is not None:
@@ -194,14 +216,17 @@ class _Channel:
 
         A blob frame is attached to its announcing envelope under the
         ``"__blob__"`` key; the envelope is only surfaced once its blob
-        has fully arrived.
+        has fully arrived.  A payload whose envelope carries an ``enc``
+        tag is decompressed here, by the sender's declared codec --
+        decoding never consults local config, so mixed-compression peers
+        interoperate.
         """
         out: list[dict] = []
         for frame in self.decoder.feed(chunk):
             if self._awaiting_blob is not None:
                 envelope = self._awaiting_blob
                 self._awaiting_blob = None
-                envelope["__blob__"] = frame
+                envelope["__blob__"] = decode_payload(frame, envelope.get("enc"))
                 out.append(envelope)
                 continue
             envelope = pickle.loads(frame)
@@ -210,6 +235,10 @@ class _Channel:
             else:
                 out.append(envelope)
         return out
+
+    def _count(self, name: str, amount: float) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc(amount)
 
 
 class RpcServer:
@@ -231,6 +260,7 @@ class RpcServer:
         self.net = net or NetConfig()
         self._handlers: dict[str, Handler] = dict(handlers or {})
         self._metrics = metrics
+        self._codec = resolve_codec(self.net.compression, self.net.compression_level)
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host or self.net.host, port))
@@ -276,7 +306,8 @@ class RpcServer:
             ).start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        channel = _Channel(conn, self.net.max_frame_bytes)
+        channel = _Channel(conn, self.net.max_frame_bytes, self._codec,
+                           self.net.compression_min_bytes, self._metrics)
         pool = ThreadPoolExecutor(
             max_workers=self.net.rpc_concurrency,
             thread_name_prefix=f"rpc-handler:{self.port}",
@@ -485,7 +516,11 @@ class RpcClient:
             raise RpcConnectionError(f"cannot connect to {host}:{port}: {exc}") from exc
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock.settimeout(None)  # the reader blocks; per-call timeouts are future-side
-        self._channel = _Channel(self._sock, self.net.max_frame_bytes)
+        self._channel = _Channel(
+            self._sock, self.net.max_frame_bytes,
+            resolve_codec(self.net.compression, self.net.compression_level),
+            self.net.compression_min_bytes, self._metrics,
+        )
         self._reader = threading.Thread(
             target=self._read_loop, name=f"rpc-reader:{host}:{port}", daemon=True
         )

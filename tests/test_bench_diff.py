@@ -62,6 +62,16 @@ class TestDirection:
         # ...while job throughput stays a rate.
         assert not bench_diff.lower_is_better("sched.jobs_per_s")
 
+    def test_shuffle_reduction_metrics(self):
+        # Byte volumes on the wire shrink when compression/combining
+        # work; hit rates and achieved reductions grow.
+        for m in ("wordcount.wire_bytes", "compression.zlib.wire_bytes",
+                  "cross_spill.bytes_shuffled", "eviction.lru.evictions"):
+            assert bench_diff.lower_is_better(m)
+        for m in ("wordcount.wire_reduction_pct", "eviction.cost.hit_rate",
+                  "eviction.cost.hit_ratio", "compression.mb_s_vs_raw"):
+            assert not bench_diff.lower_is_better(m)
+
 
 class TestDiff:
     def test_verdicts(self):

@@ -1,5 +1,7 @@
 """Tests for LRU, worker caches (iCache/oCache) and the distributed view."""
 
+import time
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -7,6 +9,7 @@ from repro.common.config import CacheConfig
 from repro.common.errors import CacheMiss, SchedulingError
 from repro.common.hashing import HashSpace
 from repro.cache.distributed import DistributedCache
+from repro.cache.eviction import make_policy
 from repro.cache.lru import LRUCache
 from repro.cache.worker import WorkerCache
 from repro.scheduler.partition import SpacePartition
@@ -240,3 +243,105 @@ class TestDistributedCache:
     def test_empty_server_list_rejected(self):
         with pytest.raises(SchedulingError):
             DistributedCache([], CacheConfig(), HashSpace(100))
+
+
+class TestEvictionPolicies:
+    def test_make_policy_rejects_unknown_names(self):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError):
+            make_policy("random")
+
+    def test_cacheconfig_validates_eviction(self):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError):
+            CacheConfig(eviction="mru")
+
+    def test_cost_policy_keeps_the_hot_entry(self):
+        # LRU evicts the least-recent entry even if it is the hottest;
+        # the cost-aware policy keeps the frequently hit one.
+        def scan(policy):
+            c = LRUCache(30, policy=make_policy(policy))
+            c.put("hot", 1, size=10)
+            for _ in range(5):
+                c.get("hot")
+            c.put("cold1", 2, size=10)
+            c.put("cold2", 3, size=10)
+            c.put("new", 4, size=10)  # forces one eviction
+            return c
+        lru = scan("lru")
+        assert "hot" not in lru  # recency alone ages the hot entry out
+        cost = scan("cost")
+        assert "hot" in cost
+        assert "cold1" not in cost
+        assert cost.evictions == 1
+
+    def test_cost_policy_ages_out_stale_entries(self):
+        c = LRUCache(20, policy=make_policy("cost"))
+        c.put("once-hot", 1, size=10)
+        for _ in range(3):
+            c.get("once-hot")  # priority ~ 4
+        c.put("a", 2, size=10)
+        c.put("b", 3, size=10)      # evicts a (freq 1): age floor rises
+        c.put("c", 4, size=10)      # and keeps rising with each victim
+        c.put("d", 5, size=10)
+        c.put("e", 6, size=10)
+        # After enough evictions the age floor passes the idle hot
+        # entry's frozen priority, so it finally goes too.
+        assert "once-hot" not in c
+
+    def test_cost_policy_degenerates_to_lru_on_uniform_traffic(self):
+        lru = LRUCache(30, policy=make_policy("lru"))
+        cost = LRUCache(30, policy=make_policy("cost"))
+        for c in (lru, cost):
+            c.put("a", 1, size=10)
+            c.put("b", 2, size=10)
+            c.put("c", 3, size=10)
+            c.put("d", 4, size=10)
+        assert set(e.key for e in lru.entries()) == set(e.key for e in cost.entries())
+
+    def test_explicit_cost_outweighs_size(self):
+        c = LRUCache(20, policy=make_policy("cost"))
+        c.put("cheap", 1, size=10)              # cost defaults to size: score 1
+        c.put("dear", 2, size=10, cost=100.0)   # score 10
+        c.put("new", 3, size=10)
+        assert "dear" in c and "cheap" not in c
+
+    def test_worker_cache_selects_policy_from_config(self):
+        wc = WorkerCache("s0", CacheConfig(capacity_per_server=100, eviction="cost"))
+        assert wc.icache.policy.name == "cost"
+        # Each partition owns its own instance (aging state must not leak).
+        assert wc.icache.policy is not wc.ocache.policy
+
+    def test_stats_surface_evictions_and_expirations(self):
+        clock = FakeClock()
+        wc = WorkerCache("s0", CacheConfig(capacity_per_server=20, default_ttl=5.0),
+                         clock=clock)
+        wc.put_input("a", b"x", size=10)
+        wc.put_input("b", b"y", size=10)  # icache is 10 bytes: evicts a
+        wc.put_output("app", "t", b"z", size=1)
+        clock.t = 10.0
+        assert wc.get_output("app", "t") == (False, None)
+        stats = wc.stats()
+        assert stats.icache_evictions == 1
+        assert stats.ocache_expirations == 1
+        assert stats.evictions == 1 and stats.expirations == 1
+
+
+class TestDefaultClock:
+    def test_ttl_expires_in_real_time_without_an_injected_clock(self):
+        # Regression: the default clock used to be `lambda: 0.0`, so
+        # TTL'd oCache entries never expired unless a clock was injected.
+        wc = WorkerCache("s0", CacheConfig(capacity_per_server=100))
+        wc.put_output("app", "t", b"v", size=1, ttl=0.02)
+        assert wc.get_output("app", "t") == (True, b"v")
+        time.sleep(0.05)
+        assert wc.get_output("app", "t") == (False, None)
+        assert wc.ocache.expirations == 1
+
+    def test_lru_cache_default_clock_is_monotonic(self):
+        c = LRUCache(100)
+        c.put("k", 1, size=1, ttl=0.02)
+        assert c.get("k") == 1
+        time.sleep(0.05)
+        with pytest.raises(CacheMiss):
+            c.get("k")

@@ -7,7 +7,7 @@ enough to stream on the cluster's wire."""
 import pytest
 
 from repro.cluster import ClusterRuntime
-from repro.common.config import ClusterConfig, DFSConfig, NetConfig
+from repro.common.config import CacheConfig, ClusterConfig, DFSConfig, NetConfig
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.parallel import ParallelEclipseMRRuntime
 from repro.mapreduce.runtime import EclipseMRRuntime
@@ -163,3 +163,95 @@ class TestThreePlaneIntermediateReuse:
         assert par_second.stats.bytes_shuffled == seq_second.stats.bytes_shuffled
         assert par_second.stats.tasks_per_server == seq_second.stats.tasks_per_server
         assert cl_second.stats.tasks_per_server == seq_second.stats.tasks_per_server
+
+
+class TestThreePlaneCompressedShuffle:
+    """Wordcount with every new knob on: wire compression, cross-spill
+    combining, and cost-aware eviction.
+
+    Compression and eviction policy are transport/cache concerns and must
+    be invisible to results; cross-spill combining changes the shuffle
+    volume but must change it *identically* on every plane -- same
+    outputs, same spill counts, same ``bytes_shuffled``.
+    """
+
+    CFG = ClusterConfig(
+        dfs=DFSConfig(block_size=2048),
+        net=NetConfig(compression="zlib", compression_min_bytes=64),
+        cache=CacheConfig(eviction="cost"),
+    )
+
+    @staticmethod
+    def corpus() -> bytes:
+        # A small vocabulary repeated many times: highly compressible on
+        # the wire, and rich in duplicate keys for the combiner.
+        words = [f"combword-{i:03d}" for i in range(50)]
+        return " ".join(words[i % len(words)] for i in range(8000)).encode()
+
+    @staticmethod
+    def job(app_id: str) -> MapReduceJob:
+        def wc_map(block):
+            for token in bytes(block).decode().split():
+                yield token, 1
+
+        def wc_reduce(key, values):
+            return sum(values)
+
+        def wc_combine(key, values):
+            return [sum(values)]
+
+        return MapReduceJob(app_id=app_id, input_file="comb.txt",
+                            map_fn=wc_map, reduce_fn=wc_reduce,
+                            combiner=wc_combine,
+                            cross_spill_combine=True,
+                            spill_buffer_bytes=1024)
+
+    def test_all_planes_agree_with_every_knob_on(self):
+        data = self.corpus()
+
+        seq = EclipseMRRuntime(3, config=self.CFG)
+        seq.upload("comb.txt", data)
+        ref = seq.run(self.job("planes-comb-seq"))
+
+        par = ParallelEclipseMRRuntime(3, config=self.CFG, max_workers=4)
+        par.upload("comb.txt", data)
+        threaded = par.run(self.job("planes-comb-par"))
+
+        with ClusterRuntime(3, self.CFG) as rt:
+            rt.upload("comb.txt", data)
+            clustered = rt.run(self.job("planes-comb-cluster"))
+            worker_stats = rt.worker_stats()
+            compressed = sum(s.get("net.pages_compressed", 0)
+                             for s in worker_stats.values())
+            compressed += rt.metrics.counter("net.pages_compressed").value
+
+        assert threaded.output == ref.output
+        assert clustered.output == ref.output
+        # Identical post-combining shuffle accounting on every plane.
+        assert ref.stats.spill_recombines > 0
+        assert threaded.stats.spill_recombines == ref.stats.spill_recombines
+        assert clustered.stats.spill_recombines == ref.stats.spill_recombines
+        assert threaded.stats.spills == ref.stats.spills
+        assert clustered.stats.spills == ref.stats.spills
+        assert threaded.stats.bytes_shuffled == ref.stats.bytes_shuffled > 0
+        assert clustered.stats.bytes_shuffled == ref.stats.bytes_shuffled
+        assert threaded.stats.tasks_per_server == ref.stats.tasks_per_server
+        assert clustered.stats.tasks_per_server == ref.stats.tasks_per_server
+        # The cluster plane really compressed pages somewhere on the path.
+        assert compressed >= 1
+
+    def test_cross_spill_combining_shrinks_the_shuffle(self):
+        data = self.corpus()
+        base_cfg = ClusterConfig(dfs=DFSConfig(block_size=2048))
+
+        def run(cross_spill):
+            rt = EclipseMRRuntime(3, config=base_cfg)
+            rt.upload("comb.txt", data)
+            job = self.job("planes-comb-off")
+            job.cross_spill_combine = cross_spill
+            return rt.run(job)
+
+        off = run(False)
+        on = run(True)
+        assert on.output == off.output
+        assert on.stats.bytes_shuffled < off.stats.bytes_shuffled

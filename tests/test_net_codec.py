@@ -1,0 +1,196 @@
+"""Codec seam tests: round-trips, bail-outs, and compressed RPC traffic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import NetConfig
+from repro.common.errors import ConfigError, FramingError
+from repro.net.codec import (
+    ZlibCodec,
+    codec_by_name,
+    decode_payload,
+    encode_payload,
+    lz4_available,
+    resolve_codec,
+)
+from repro.net.framing import FrameDecoder, encode_frame
+from repro.net.rpc import Blob, RpcClient, RpcServer, Stream
+from repro.sim.metrics import MetricsRegistry
+
+
+class TestResolve:
+    def test_none_disables_the_seam(self):
+        assert resolve_codec("none") is None
+
+    def test_zlib_always_available(self):
+        assert resolve_codec("zlib", 6).name == "zlib"
+
+    def test_auto_falls_back_when_lz4_is_missing(self):
+        codec = resolve_codec("auto")
+        if lz4_available():
+            assert codec.name == "lz4"
+        else:
+            assert codec.name == "zlib"
+
+    def test_explicit_lz4_without_the_module_is_a_config_error(self):
+        if lz4_available():
+            pytest.skip("lz4 importable here")
+        with pytest.raises(ConfigError):
+            resolve_codec("lz4")
+
+    def test_unknown_codec_names(self):
+        with pytest.raises(ConfigError):
+            resolve_codec("snappy")
+        with pytest.raises(FramingError):
+            codec_by_name("snappy")
+
+    def test_netconfig_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            NetConfig(compression="snappy")
+        with pytest.raises(ConfigError):
+            NetConfig(compression_level=0)
+        with pytest.raises(ConfigError):
+            NetConfig(compression_min_bytes=-1)
+
+
+class TestEncodePayload:
+    def test_compressible_payload_compresses(self):
+        data = b"spam " * 4096
+        wire, enc = encode_payload(data, ZlibCodec())
+        assert enc == "zlib"
+        assert len(wire) < len(data)
+        assert decode_payload(wire, enc) == data
+
+    def test_incompressible_payload_ships_raw(self):
+        import random
+        data = random.Random(7).randbytes(4096)
+        wire, enc = encode_payload(data, ZlibCodec())
+        assert enc is None
+        assert wire is data  # zero-copy: the original object, untouched
+
+    def test_below_min_bytes_skips_the_attempt(self):
+        data = b"a" * 100
+        wire, enc = encode_payload(data, ZlibCodec(), min_bytes=101)
+        assert enc is None and wire is data
+
+    def test_no_codec_is_identity(self):
+        data = b"x" * 64
+        assert encode_payload(data, None) == (data, None)
+        assert decode_payload(data, None) is data
+
+    def test_corrupt_payload_is_a_framing_error(self):
+        with pytest.raises(FramingError):
+            decode_payload(b"not zlib at all", "zlib")
+
+
+class TestRoundTripProperties:
+    """compress -> frame -> reassemble (chunked arbitrarily) -> decompress."""
+
+    @given(
+        payload=st.binary(min_size=0, max_size=8192),
+        repeat=st.integers(min_value=1, max_value=50),
+        chunk_size=st.integers(min_value=1, max_value=512),
+        level=st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_zlib_round_trip_through_frames(self, payload, repeat, chunk_size, level):
+        data = payload * repeat
+        wire, enc = encode_payload(data, ZlibCodec(level))
+        framed = encode_frame(wire)
+        decoder = FrameDecoder()
+        frames = []
+        for i in range(0, len(framed), chunk_size):
+            frames.extend(decoder.feed(framed[i:i + chunk_size]))
+        assert len(frames) == 1
+        assert bytes(decode_payload(frames[0], enc)) == data
+
+    @given(payload=st.binary(min_size=0, max_size=4096))
+    @settings(max_examples=60, deadline=None)
+    def test_bail_out_never_inflates_the_wire(self, payload):
+        wire, enc = encode_payload(payload, ZlibCodec())
+        assert len(wire) <= len(payload)
+        assert bytes(decode_payload(wire, enc)) == payload
+
+
+COMPRESSED_NET = NetConfig(compression="zlib", compression_min_bytes=64)
+
+
+@pytest.fixture()
+def compressed_server():
+    def fetch(n):
+        return Blob(b"block " * n)
+
+    def stream(n):
+        pages = [b"page %d " % i * 64 for i in range(n)]
+        return Stream(iter(pages), value={"pages": n})
+
+    def push(payload):
+        return len(bytes(payload))
+
+    srv = RpcServer({"fetch": fetch, "stream": stream, "push": push},
+                    net=COMPRESSED_NET, metrics=MetricsRegistry()).start()
+    yield srv
+    srv.stop()
+
+
+class TestCompressedRpc:
+    def test_blob_response_round_trips(self, compressed_server):
+        metrics = MetricsRegistry()
+        client = RpcClient(compressed_server.host, compressed_server.port,
+                           net=COMPRESSED_NET, metrics=metrics)
+        try:
+            value = client.call("fetch", {"n": 1000})
+            assert bytes(value) == b"block " * 1000
+        finally:
+            client.close()
+        counters = compressed_server._metrics.counters
+        assert counters["net.pages_compressed"].value >= 1
+        assert counters["net.bytes_wire"].value < counters["net.bytes_logical"].value
+
+    def test_request_blob_round_trips(self, compressed_server):
+        metrics = MetricsRegistry()
+        client = RpcClient(compressed_server.host, compressed_server.port,
+                           net=COMPRESSED_NET, metrics=metrics)
+        try:
+            payload = b"spill pair " * 2048
+            assert client.call("push", blob=payload, blob_arg="payload") == len(payload)
+        finally:
+            client.close()
+        counters = metrics.counters
+        assert counters["net.pages_compressed"].value == 1
+        assert counters["net.bytes_logical"].value == len(payload)
+        assert counters["net.bytes_wire"].value < len(payload)
+
+    def test_stream_pages_round_trip(self, compressed_server):
+        client = RpcClient(compressed_server.host, compressed_server.port,
+                           net=COMPRESSED_NET)
+        try:
+            result = client.call("stream", {"n": 5})
+            assert result.value == {"pages": 5}
+            assert result.join() == b"".join(b"page %d " % i * 64 for i in range(5))
+        finally:
+            client.close()
+
+    def test_uncompressed_client_against_compressed_server(self, compressed_server):
+        # The wire is self-describing: a compression-off client still
+        # decodes the server's tagged payloads, and its own raw blobs
+        # are accepted untagged.
+        client = RpcClient(compressed_server.host, compressed_server.port,
+                           net=NetConfig())
+        try:
+            assert bytes(client.call("fetch", {"n": 500})) == b"block " * 500
+            payload = b"raw push " * 512
+            assert client.call("push", blob=payload, blob_arg="payload") == len(payload)
+        finally:
+            client.close()
+
+    def test_tiny_blob_ships_raw(self, compressed_server):
+        metrics = MetricsRegistry()
+        client = RpcClient(compressed_server.host, compressed_server.port,
+                           net=COMPRESSED_NET, metrics=metrics)
+        try:
+            assert client.call("push", blob=b"wee", blob_arg="payload") == 3
+        finally:
+            client.close()
+        assert metrics.counters["net.pages_raw"].value == 1
+        assert "net.pages_compressed" not in metrics.counters

@@ -56,20 +56,25 @@ def flatten(tree: dict[str, Any], prefix: str = "") -> dict[str, float]:
 def lower_is_better(metric: str) -> bool:
     """Direction heuristic from the metric's leaf name.
 
-    Rates (``*_per_s``, ``*_mb_s``, speedups, ratios) are better higher;
-    latencies, percentiles, durations (``*_s``/``*_ms``/``*_us``), and
-    recovery costs (work redone or recopied after a failure, retry and
-    failure counts, overhead ratios) are better lower.  Anything else
-    defaults to higher-is-better."""
+    Rates (``*_per_s``, ``*_mb_s``, speedups, ratios), cache hit rates,
+    and achieved reductions are better higher; latencies, percentiles,
+    durations (``*_s``/``*_ms``/``*_us``), shuffle/wire byte volumes,
+    and recovery costs (work redone or recopied after a failure, retry
+    and failure counts, overhead ratios) are better lower.  Anything
+    else defaults to higher-is-better."""
     leaf = metric.rsplit(".", 1)[-1]
-    if "per_s" in leaf or leaf.endswith("_mb_s") or "speedup" in leaf or "_vs_" in leaf:
+    if ("per_s" in leaf or leaf.endswith("_mb_s") or "speedup" in leaf
+            or "_vs_" in leaf or "hit_rate" in leaf or "hit_ratio" in leaf
+            or "reduction" in leaf):
         return False
     if any(frag in leaf for frag in ("latency", "seek", "wall_clock",
                                      "p50", "p90", "p99",
                                      "reexecuted", "rereplicated", "recopied",
                                      "overhead", "retries", "failures",
                                      "makespan", "spread", "wait",
-                                     "rejected")):
+                                     "rejected",
+                                     "wire_bytes", "bytes_shuffled",
+                                     "evictions")):
         return True
     return leaf.endswith(("_s", "_ms", "_us"))
 
