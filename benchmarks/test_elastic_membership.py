@@ -1,0 +1,183 @@
+"""Elastic membership bench: handoff throughput and join disruption.
+
+Measures the two costs of changing cluster size while it runs, against
+real worker processes on localhost:
+
+* **handoff throughput**: a 3-worker cluster holding an uploaded file
+  admits a fourth worker, then drains it back out.  Each direction is
+  timed end to end -- arc computation, LAF repartition, and the batched
+  ``call_many`` block stream -- and reported as MB handed off, handoff
+  MB/s, and batching shape.  The headline claim at bench scale: the
+  handoff uses strictly fewer wire rounds than block copies;
+* **join disruption**: a stream of identical wordcount jobs with a
+  non-blocking ``join_worker(wait=False)`` requested mid-stream.  The
+  join waits at the quiesce barrier, so one job absorbs the handoff in
+  its latency; the p99 of the stream against a join-free baseline is
+  the price of growing the cluster under load.
+
+Results land in ``BENCH_elastic_membership.json`` at the repo root;
+``tools/bench_diff.py`` diffs them across commits (handoff volumes and
+disruption are direction-annotated lower-is-better, handoff MB/s
+higher).  ``BENCH_QUICK=1`` shrinks the workload for CI smoke runs.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_elastic_membership.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import record_report
+from repro.apps.wordcount import wordcount_job
+from repro.apps.workloads import pack_records, text_corpus
+from repro.cluster.runtime import ClusterRuntime
+from repro.common.config import ClusterConfig, DFSConfig, NetConfig
+from repro.common.units import MB
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_elastic_membership.json"
+
+N_WORKERS = 3
+BLOCK_SIZE = 128 * 1024
+UPLOAD_BYTES = (2 if QUICK else 8) * MB
+WC_BLOCK_SIZE = 8 * 1024
+STREAM_JOBS = 5 if QUICK else 10
+JOIN_AFTER = 2  # jobs completed before the join is requested
+
+
+def _cluster_config(block_size: int) -> ClusterConfig:
+    return ClusterConfig(
+        dfs=DFSConfig(block_size=block_size),
+        net=NetConfig(heartbeat_interval=0.5, heartbeat_miss_threshold=8),
+    )
+
+
+def _percentile(values: list[float], pct: float) -> float:
+    """Nearest-rank percentile (streams are small; p99 ~= max)."""
+    ranked = sorted(values)
+    idx = min(len(ranked) - 1, round(pct / 100 * (len(ranked) - 1)))
+    return ranked[idx]
+
+
+def _bench_handoff() -> dict:
+    """Time a live join and the drain back out over an uploaded file."""
+    data = os.urandom(UPLOAD_BYTES)
+    with ClusterRuntime(N_WORKERS, _cluster_config(BLOCK_SIZE)) as rt:
+        rt.upload("elastic.bin", data)
+        m = rt.metrics
+
+        started = time.perf_counter()
+        joined = rt.join_worker()
+        join_s = time.perf_counter() - started
+        join_blocks = m.counter("membership.blocks_handed_off").value
+        join_bytes = m.counter("membership.bytes_handed_off").value
+        join_batches = m.counter("membership.handoff_batches").value
+        assert join_blocks > 0 and join_bytes > 0
+        # The joiner now holds its arc's share of the file.
+        assert any(joined in holders
+                   for holders in rt.coordinator.holders.values())
+
+        # Drain a founding member: its blocks must flow to the joiner,
+        # the only survivor whose arc share is still partial.  (Draining
+        # the joiner itself would move nothing -- the founders still
+        # hold every block from the 3-way replicated upload.)
+        started = time.perf_counter()
+        rt.drain_worker(rt.worker_ids[0])
+        drain_s = time.perf_counter() - started
+        drain_blocks = m.counter("membership.blocks_handed_off").value - join_blocks
+        drain_bytes = m.counter("membership.bytes_handed_off").value - join_bytes
+        assert drain_blocks > 0
+        # Graceful exits spend none of the failover budget.
+        assert m.counter("cluster.failovers").value == 0
+        assert m.counter("membership.joins").value == 1
+        assert m.counter("membership.drains").value == 1
+    return {
+        "upload_mb": UPLOAD_BYTES / MB,
+        "block_kb": BLOCK_SIZE / 1024,
+        "join": {
+            "wall_clock_s": round(join_s, 4),
+            "mb_handed_off": round(join_bytes / MB, 2),
+            "handoff_mb_s": round(join_bytes / MB / join_s, 1),
+            "blocks_handed_off": join_blocks,
+            "handoff_batches": join_batches,
+            "copies_per_batch": round(join_blocks / join_batches, 1),
+        },
+        "drain": {
+            "wall_clock_s": round(drain_s, 4),
+            "mb_handed_off": round(drain_bytes / MB, 2),
+            "handoff_mb_s": round(drain_bytes / MB / drain_s, 1),
+            "blocks_handed_off": drain_blocks,
+        },
+    }
+
+
+def _run_stream(join_after: int | None) -> tuple[list[float], dict]:
+    """Latency of each job in a stream, optionally joining mid-stream."""
+    corpus = pack_records(
+        text_corpus(19, num_words=2400, vocab_size=60), WC_BLOCK_SIZE
+    )
+    latencies: list[float] = []
+    with ClusterRuntime(N_WORKERS, _cluster_config(WC_BLOCK_SIZE)) as rt:
+        rt.upload("stream.txt", corpus)
+        join_future = None
+        reference = None
+        for i in range(STREAM_JOBS):
+            started = time.perf_counter()
+            result = rt.run(wordcount_job("stream.txt", app_id=f"stream-{i}"))
+            latencies.append(time.perf_counter() - started)
+            if reference is None:
+                reference = result.output
+            assert result.output == reference  # bit-equal across the join
+            if join_after is not None and i + 1 == join_after:
+                # Queued at the quiesce barrier; the next job's latency
+                # absorbs the admission wait plus the block handoff.
+                join_future = rt.join_worker(wait=False)
+        if join_future is not None:
+            timeout = (rt.config.membership.barrier_timeout
+                       + rt.config.membership.join_register_timeout)
+            joined = join_future.result(timeout=timeout)
+            assert joined in rt.coordinator.worker_ids
+        counters = {
+            "joins": rt.metrics.counter("membership.joins").value,
+            "failovers": rt.metrics.counter("cluster.failovers").value,
+        }
+    return latencies, counters
+
+
+def _bench_join_disruption() -> dict:
+    baseline, base_counters = _run_stream(join_after=None)
+    assert base_counters["joins"] == 0
+    disrupted, counters = _run_stream(join_after=JOIN_AFTER)
+    assert counters["joins"] == 1 and counters["failovers"] == 0
+    return {
+        "stream_jobs": STREAM_JOBS,
+        "join_after_jobs": JOIN_AFTER,
+        "baseline_p50_ms": round(_percentile(baseline, 50) * 1000, 1),
+        "baseline_p99_ms": round(_percentile(baseline, 99) * 1000, 1),
+        "disruption_p50_ms": round(_percentile(disrupted, 50) * 1000, 1),
+        "disruption_p99_ms": round(_percentile(disrupted, 99) * 1000, 1),
+    }
+
+
+def test_elastic_membership(benchmark):
+    def run() -> dict:
+        return {
+            "quick": QUICK,
+            "workers": N_WORKERS,
+            "handoff": _bench_handoff(),
+            "join_disruption": _bench_join_disruption(),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    record_report("Elastic membership", json.dumps(results, indent=2))
+
+    # The batching claim: strictly fewer wire rounds than block copies
+    # (one call_many batch per handoff source, not one RPC per copy).
+    join = results["handoff"]["join"]
+    assert join["handoff_batches"] < join["blocks_handed_off"]

@@ -61,6 +61,15 @@ class DistributedCache:
         self.servers.remove(server)
         self.partition = SpacePartition.uniform(self.space, self.servers)
 
+    def add_server(self, server: Hashable) -> None:
+        """Admit a joiner with an empty cache; ranges re-cover the key
+        space uniformly until the scheduler pushes a fresh partition."""
+        if server in self.workers:
+            raise SchedulingError(f"server {server!r} already present")
+        self.workers[server] = WorkerCache(server, self.config)
+        self.servers.append(server)
+        self.partition = SpacePartition.uniform(self.space, self.servers)
+
     def home_of(self, hash_key: int) -> Hashable:
         """The server whose current range covers ``hash_key``."""
         return self.partition.owner_of(hash_key)

@@ -161,9 +161,26 @@ def _cluster(args) -> int:
     )
     print(f"starting {args.workers} worker processes on localhost ...")
     t0 = time.time()
+    membership_notes = []
     with ClusterRuntime(args.workers, cfg) as rt:
         rt.upload("corpus.txt", data)
         res = rt.run(wordcount_job("corpus.txt", app_id="cli-wordcount"))
+        if args.join_after is not None:
+            joined = rt.join_worker()
+            res = rt.run(wordcount_job("corpus.txt", app_id="cli-wordcount-post-join"))
+            blocks = int(rt.metrics.counter("membership.blocks_handed_off").value)
+            mb = rt.metrics.counter("membership.bytes_handed_off").value / 1e6
+            membership_notes.append(
+                f"live-joined {joined} ({blocks} blocks / {mb:.2f} MB handed off), "
+                f"re-ran wordcount on {len(rt.coordinator.worker_ids)} workers"
+            )
+        if args.drain:
+            rt.drain_worker(args.drain)
+            failovers = int(rt.metrics.counter("cluster.failovers").value)
+            membership_notes.append(
+                f"drained {args.drain!r} gracefully "
+                f"({failovers} failover-budget units spent)"
+            )
         stats = rt.worker_stats()
         rpc_calls = rt.metrics.counter("rpc.calls").value
         rpc_retries = rt.metrics.counter("rpc.retries").value
@@ -188,6 +205,8 @@ def _cluster(args) -> int:
         f"{int(rpc_calls)} RPCs ({int(rpc_retries)} retried), "
         f"{int(beats)} heartbeats (max observed silence {max_age:.2f}s)"
     )
+    for note in membership_notes:
+        result.note(note)
     print(render(result, style=args.style, unit=""))
     print(f"\n(cluster job finished in {elapsed:.1f}s)")
     return 0
@@ -212,14 +231,33 @@ def _cluster_jobs(args) -> int:
     print(f"starting {args.workers} worker processes on localhost, "
           f"submitting {args.jobs} jobs under the {args.policy!r} policy ...")
     t0 = time.time()
+    membership_note = ""
     with ClusterSession(workers=args.workers, config=cfg) as session:
         session.upload("corpus.txt", data)
         handles = session.submit_many(
             [wordcount_job("corpus.txt", app_id=f"cli-wc-{i}")
              for i in range(args.jobs)]
         )
-        results = [h.result() for h in handles]
         rt = session.runtime
+        join_future = None
+        results = []
+        for i, h in enumerate(handles):
+            results.append(h.result())
+            if (args.join_after is not None and join_future is None
+                    and i + 1 >= args.join_after):
+                # Queued now, applied at the scheduler's quiesce barrier.
+                join_future = rt.join_worker(wait=False)
+        if join_future is not None:
+            joined = join_future.result(
+                timeout=cfg.membership.barrier_timeout
+                + cfg.membership.join_register_timeout
+            )
+            membership_note = (
+                f", {joined} live-joined after job {args.join_after}"
+            )
+        if args.drain:
+            rt.drain_worker(args.drain)
+            membership_note += f", {args.drain!r} drained gracefully"
         completed = rt.metrics.counter("sched.jobs_completed").value
         dispatched = rt.metrics.counter("sched.tasks_dispatched").value
     makespan = time.time() - t0
@@ -237,6 +275,7 @@ def _cluster_jobs(args) -> int:
     result.note(
         f"{int(completed)} jobs completed, {int(dispatched)} tasks dispatched, "
         f"{'identical outputs' if len(outputs) == 1 else 'OUTPUTS DIVERGE'}"
+        f"{membership_note}"
     )
     print(render(result, style=args.style, unit="s"))
     print(f"\n(all {args.jobs} jobs finished in {makespan:.1f}s)")
@@ -264,6 +303,14 @@ def build_parser() -> argparse.ArgumentParser:
                         default="fifo",
                         help="inter-job policy for 'cluster --jobs N' "
                              "(default: fifo)")
+    parser.add_argument("--join-after", type=int, default=None, metavar="N",
+                        dest="join_after",
+                        help="for 'cluster': live-join one extra worker "
+                             "after N jobs have completed (elastic "
+                             "membership demo)")
+    parser.add_argument("--drain", default=None, metavar="WORKER_ID",
+                        help="for 'cluster': gracefully drain WORKER_ID "
+                             "(e.g. worker-0) before printing stats")
     return parser
 
 

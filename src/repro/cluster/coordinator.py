@@ -94,6 +94,10 @@ class Coordinator:
         )
         self.pool = ConnectionPool(self.config.net, metrics=self.metrics)
         self._registered = threading.Event()
+        # Per-worker registration events for workers expected *after*
+        # startup (elastic joins): the monitored set follows live
+        # membership instead of the list captured at construction.
+        self._register_events: dict[str, threading.Event] = {}
         self._lock = threading.Lock()
         self.server = RpcServer(
             {"register": self._handle_register, "heartbeat": self._handle_heartbeat},
@@ -120,11 +124,17 @@ class Coordinator:
                 raise ClusterError(f"unexpected worker {worker_id!r} tried to register")
             self.addresses[worker_id] = WorkerAddress(worker_id, host, port)
             complete = len(self.addresses) == len(self.worker_ids)
+            joined = self._register_events.get(worker_id)
         self.fault.bind(worker_id, (host, port))
+        # Registration enters the worker into the liveness tracker, so the
+        # heartbeat sweep monitors joiners exactly like startup workers --
+        # a joiner that goes silent is detected, not silently untracked.
         self.liveness.register(worker_id)
         self.metrics.counter("cluster.registrations").inc()
         if complete:
             self._registered.set()
+        if joined is not None:
+            joined.set()
         return True
 
     def _handle_heartbeat(self, worker_id: str, seq: int) -> bool:
@@ -212,8 +222,15 @@ class Coordinator:
             self.epoch += 1
         self.liveness.remove(worker_id)
         self.pool.close_address(gone.addr)
-        self.ring.remove_node(worker_id)
-        self.scheduler.remove_server(worker_id)
+        # A worker can die half-way through a membership op that already
+        # took it off the ring (a drain's handoff, an aborted join), so
+        # ring/scheduler removal must tolerate it being gone already.
+        if worker_id in self.ring:
+            self.ring.remove_node(worker_id)
+        try:
+            self.scheduler.remove_server(worker_id)
+        except SchedulingError:
+            pass
         self.metrics.counter("cluster.failovers").inc()
         self._update_live_gauge()
         lost = [bid for bid, hs in self.holders.items() if worker_id in hs]
@@ -226,7 +243,199 @@ class Coordinator:
         self._restore_replication(lost)
         self.broadcast_ring()
 
-    def _restore_replication(self, block_ids: list[tuple[str, int]]) -> None:
+    # -- elastic membership (live join / graceful drain) ----------------------------
+
+    def expect_worker(self, worker_id: str) -> None:
+        """Announce a joiner: admit its registration before it spawns.
+
+        Appends the id to the mutable member list (so ``_handle_register``
+        accepts it and enters it into the liveness tracker) and arms a
+        per-worker registration event for :meth:`wait_for_worker`.
+        """
+        worker_id = str(worker_id)
+        with self._lock:
+            if worker_id in self.addresses:
+                raise ClusterError(f"worker {worker_id!r} is already a live member")
+            if worker_id not in self.worker_ids:
+                self.worker_ids.append(worker_id)
+            self._register_events[worker_id] = threading.Event()
+
+    def wait_for_worker(self, worker_id: str, timeout: float) -> None:
+        """Block until an expected joiner registers (or declare it lost)."""
+        with self._lock:
+            event = self._register_events.get(worker_id)
+        if event is None:
+            raise ClusterError(f"worker {worker_id!r} was never expected")
+        if not event.wait(timeout):
+            raise WorkerLost(
+                worker_id, f"joiner did not register within {timeout:.1f}s"
+            )
+
+    def admit_worker(self, worker_id: str) -> None:
+        """Admit a registered joiner into the ring and hand its arc over.
+
+        The joiner takes the arc between its ring predecessor and its own
+        position; every block whose (post-join) replica set includes the
+        joiner is streamed to it through the batched ``call_many``
+        re-replication path, under ``membership.*`` metrics.  The
+        scheduler re-cuts its hash key table over the enlarged set (a
+        pristine LAF table re-seeds from the new ring, keeping an
+        idle-cluster join bit-equal to a fresh cluster of the resulting
+        size), and the bumped-epoch ring is broadcast to every member.
+        A joiner dying mid-handoff surfaces as :class:`WorkerLost`; the
+        caller rolls back with :meth:`abort_join`.
+        """
+        with self._lock:
+            if worker_id not in self.addresses:
+                raise WorkerLost(worker_id, "joiner never registered")
+            self.epoch += 1
+        # Guarded for retry: a concurrent death mid-admit fails over and
+        # the caller re-enters with the ring/scheduler already updated.
+        if worker_id not in self.ring:
+            self.ring.add_node(worker_id)
+        if worker_id not in self.scheduler.servers:
+            self.scheduler.add_server(worker_id, ring=self.ring)
+        self._update_live_gauge()
+        self._restore_replication(list(self.holders),
+                                  metric_names=self._MEMBERSHIP_METRICS)
+        self.broadcast_ring()
+        with self._lock:
+            self._register_events.pop(worker_id, None)
+        self.metrics.counter("membership.joins").inc()
+
+    def abort_join(self, worker_id: str, reason: str = "") -> None:
+        """Roll back a failed join: the cluster returns to its prior state.
+
+        Safe at any point of the join -- ring/scheduler/address/liveness
+        state is undone only where it was applied.  The ring (with a
+        bumped epoch) is re-broadcast so any member that saw the joiner's
+        arc forgets it.
+        """
+        with self._lock:
+            gone = self.addresses.pop(worker_id, None)
+            self._register_events.pop(worker_id, None)
+            if worker_id in self.worker_ids:
+                self.worker_ids.remove(worker_id)
+            self.epoch += 1
+        self.liveness.remove(worker_id)
+        if gone is not None:
+            self.pool.close_address(gone.addr)
+        if worker_id in self.ring:
+            self.ring.remove_node(worker_id)
+        try:
+            self.scheduler.remove_server(worker_id)
+        except SchedulingError:
+            pass  # never admitted to the scheduler
+        for bid, hs in self.holders.items():
+            if worker_id in hs:
+                self.holders[bid] = [h for h in hs if h != worker_id]
+        self._update_live_gauge()
+        self.metrics.counter("membership.joins_aborted").inc()
+        self.broadcast_ring()
+
+    def drain_worker(self, worker_id: str) -> None:
+        """Gracefully retire a live worker: push state out, leave clean.
+
+        The inverse of a join, and unlike :meth:`mark_dead` it spends no
+        failover budget and loses nothing: the drainee's arc merges into
+        its ring successor *while the drainee still serves reads*, every
+        block it held is re-replicated onto the post-drain replica set
+        (the drainee itself is the preferred source), its persisted spill
+        objects are pushed worker-to-worker to the successor, and
+        completion markers naming it as a spill destination are rewritten
+        to the successor so oCache replay keeps working.  Only then does
+        the drainee leave the address book and the ring broadcast go out.
+        """
+        with self._lock:
+            if worker_id not in self.addresses:
+                raise ClusterError(f"cannot drain {worker_id!r}: not a live member")
+            if len(self.addresses) == 1:
+                raise ClusterError("cannot drain the last worker")
+            self.epoch += 1
+        # Guarded for retry: a concurrent death mid-drain fails over and
+        # the caller re-enters with the drainee already off the ring; its
+        # successor is then whoever owns the drainee's old position.
+        if worker_id in self.ring:
+            successor = self.ring.successor(worker_id)
+            self.ring.remove_node(worker_id)
+        else:
+            successor = self.ring.owner_of(self.space.key_of(str(worker_id)))
+        if worker_id in self.scheduler.servers:
+            self.scheduler.drain_server(worker_id, ring=self.ring)
+        # Hand off block state.  The drainee is still addressable and
+        # still a recorded holder, so it ranks as a fetch source; the
+        # post-drain ring never targets it.
+        held = [bid for bid, hs in self.holders.items() if worker_id in hs]
+        self._restore_replication(held, metric_names=self._MEMBERSHIP_METRICS)
+        # Hand off spill objects worker-to-worker (the coordinator stays
+        # off the data path): the drainee batches its persisted spill
+        # objects to the successor over one pipelined connection.
+        succ_addr = self.address_of(successor)
+        try:
+            report = self.pool.call(
+                self.address_of(worker_id).addr, "handoff_spills",
+                {"host": succ_addr.host, "port": succ_addr.port},
+                timeout=self.config.membership.drain_timeout,
+            )
+        except NetworkError as exc:
+            raise WorkerLost(worker_id, f"drain handoff failed: {exc}") from exc
+        self.metrics.counter("membership.spill_objects_handed_off").inc(
+            int(report.get("objects", 0))
+        )
+        self.metrics.counter("membership.spill_bytes_handed_off").inc(
+            int(report.get("bytes", 0))
+        )
+        with self._lock:
+            # Replay markers follow the spill objects to the successor.
+            for key, marker in list(self.markers.items()):
+                if worker_id in marker.dests():
+                    self.markers[key] = CompletionMarker(
+                        app_id=marker.app_id,
+                        input_file=marker.input_file,
+                        block_index=marker.block_index,
+                        entries=tuple(
+                            (successor if dest == worker_id else dest, sid, nbytes)
+                            for dest, sid, nbytes in marker.entries
+                        ),
+                    )
+        for bid in held:
+            self.holders[bid] = [h for h in self.holders[bid] if h != worker_id]
+        with self._lock:
+            gone = self.addresses.pop(worker_id)
+        self.liveness.remove(worker_id)
+        self._update_live_gauge()
+        self.broadcast_ring()
+        # Best-effort shutdown: the drainee is out of the ring either way.
+        policy = RetryPolicy(attempts=1, base_delay=0.01)
+        try:
+            self.pool.call(gone.addr, "shutdown", timeout=2.0, policy=policy)
+        except NetworkError:
+            pass
+        self.pool.close_address(gone.addr)
+        self.metrics.counter("membership.drains").inc()
+
+    # Metric-name quads for the batched copy path: (blocks, bytes,
+    # batches, batch-bytes histogram).  Failover and elastic membership
+    # share the mechanism but report under their own names so a graceful
+    # drain never shows up as recovery traffic.
+    _FAILOVER_METRICS = (
+        "failover.blocks_rereplicated",
+        "failover.bytes_rereplicated",
+        "failover.rereplication_batches",
+        "failover.rereplication_batch_bytes",
+    )
+    _MEMBERSHIP_METRICS = (
+        "membership.blocks_handed_off",
+        "membership.bytes_handed_off",
+        "membership.handoff_batches",
+        "membership.handoff_batch_bytes",
+    )
+
+    def _restore_replication(
+        self,
+        block_ids: list[tuple[str, int]],
+        metric_names: tuple[str, str, str, str] | None = None,
+    ) -> None:
         """Copy under-replicated blocks to their new replica holders, batched.
 
         Adaptive re-replication (ROADMAP item): each block is fetched
@@ -236,8 +445,13 @@ class Coordinator:
         ``restore_block`` calls with out-of-band payloads -- one wire
         round per target instead of one blocking RPC per block copy.  A
         target dying mid-batch surfaces as :class:`WorkerLost` so the
-        failover loop can cascade onto it.
+        failover loop can cascade onto it.  Elastic membership reuses the
+        same path for join/drain handoff under ``metric_names`` of its
+        own (:data:`_MEMBERSHIP_METRICS`).
         """
+        blocks_name, bytes_name, batches_name, hist_name = (
+            metric_names or self._FAILOVER_METRICS
+        )
         batches: dict[str, list[tuple[tuple[str, int], bytes, bool]]] = {}
         for bid in block_ids:
             key = self.block_keys[bid]
@@ -266,10 +480,10 @@ class Coordinator:
             for bid, data, _ in entries:
                 self.holders[bid].append(target)
                 batch_bytes += len(data)
-                self.metrics.counter("failover.blocks_rereplicated").inc()
-            self.metrics.counter("failover.bytes_rereplicated").inc(batch_bytes)
-            self.metrics.counter("failover.rereplication_batches").inc()
-            self.metrics.histogram("failover.rereplication_batch_bytes").record(batch_bytes)
+                self.metrics.counter(blocks_name).inc()
+            self.metrics.counter(bytes_name).inc(batch_bytes)
+            self.metrics.counter(batches_name).inc()
+            self.metrics.histogram(hist_name).record(batch_bytes)
 
     def ensure_replication(self) -> None:
         """Bring *every* block back to its replica target (post-cascade).

@@ -120,6 +120,11 @@ class ClusterRuntime:
     # -- process management ---------------------------------------------------------
 
     def _start_workers(self) -> None:
+        for wid in self.coordinator.worker_ids:
+            self._spawn(wid)
+
+    def _spawn(self, wid: str) -> None:
+        """Start one worker process (initial fleet and elastic joiners)."""
         ctx = multiprocessing.get_context(self.config.net.mp_start_method)
         manifest = config_to_dict(self.config)
         # Spawned children re-import ``repro``; make sure they can even when
@@ -132,22 +137,21 @@ class ClusterRuntime:
         src_root = os.path.dirname(os.path.dirname(os.path.abspath(_repro_pkg.__file__)))
         if src_root not in sys.path:
             sys.path.insert(0, src_root)
-        for wid in self.coordinator.worker_ids:
-            proc = ctx.Process(
-                target=worker_main,
-                args=(
-                    wid,
-                    self.coordinator.server.host,
-                    self.coordinator.server.port,
-                    manifest,
-                    self.space.size,
-                    (src_root,),
-                ),
-                name=f"eclipsemr-{wid}",
-                daemon=True,
-            )
-            proc.start()
-            self._processes[wid] = proc
+        proc = ctx.Process(
+            target=worker_main,
+            args=(
+                wid,
+                self.coordinator.server.host,
+                self.coordinator.server.port,
+                manifest,
+                self.space.size,
+                (src_root,),
+            ),
+            name=f"eclipsemr-{wid}",
+            daemon=True,
+        )
+        proc.start()
+        self._processes[wid] = proc
 
     def kill_worker(self, worker_id: str) -> None:
         """SIGKILL a worker process *without* telling the coordinator.
@@ -183,6 +187,96 @@ class ClusterRuntime:
     def check_liveness(self) -> list[str]:
         """Heartbeat-dead workers (detected, not yet failed over)."""
         return self.coordinator.check_heartbeats()
+
+    # -- elastic membership -----------------------------------------------------------
+
+    def join_worker(self, worker_id: str | None = None, wait: bool = True):
+        """Admit a new worker process into the running cluster.
+
+        The request queues on the job scheduler and is applied at its
+        quiesce barrier (no tasks in flight, no live jobs): in-flight
+        jobs finish under the old membership, then the joiner spawns,
+        registers, takes over its hash arc, and receives its block
+        handoff.  With ``wait=False`` the join :class:`Future` is
+        returned instead of blocked on -- required when calling from a
+        chaos hook that runs on the scheduler thread itself.
+        """
+        if worker_id is None:
+            n = 0
+            while f"worker-{n}" in self.coordinator.worker_ids:
+                n += 1
+            worker_id = f"worker-{n}"
+        future = self.jobs.request_join(str(worker_id))
+        if not wait:
+            return future
+        timeout = (self.config.membership.barrier_timeout
+                   + self.config.membership.join_register_timeout)
+        return future.result(timeout=timeout)
+
+    def drain_worker(self, worker_id: str, wait: bool = True):
+        """Gracefully retire a live worker from the running cluster.
+
+        Queued like :meth:`join_worker` and applied at the same quiesce
+        barrier; the drainee participates in in-flight jobs to completion,
+        then hands its state to its ring successor and leaves cleanly --
+        no failover budget is spent.  ``wait=False`` returns the Future.
+        """
+        future = self.jobs.request_drain(str(worker_id))
+        if not wait:
+            return future
+        timeout = (self.config.membership.barrier_timeout
+                   + self.config.membership.drain_timeout)
+        return future.result(timeout=timeout)
+
+    def _do_join(self, wid: str) -> str:
+        """Perform a join at the scheduler's quiesce barrier (its thread)."""
+        coord = self.coordinator
+        coord.expect_worker(wid)
+        try:
+            self._spawn(wid)
+            coord.wait_for_worker(
+                wid, self.config.membership.join_register_timeout
+            )
+            while True:
+                try:
+                    coord.admit_worker(wid)
+                    break
+                except WorkerLost as lost:
+                    if lost.worker_id == wid:
+                        raise
+                    # A *different* worker died mid-join: fail it over and
+                    # finish admitting the (still healthy) joiner.
+                    self._failover(lost.worker_id)
+        except WorkerLost as lost:
+            if lost.worker_id != wid:
+                raise
+            coord.abort_join(wid)
+            self._reap(wid)
+            raise ClusterError(f"join of {wid!r} aborted: {lost}") from lost
+        except BaseException:
+            coord.abort_join(wid)
+            self._reap(wid)
+            raise
+        self.metrics.counter("cluster.workers_joined").inc()
+        return wid
+
+    def _do_drain(self, wid: str) -> str:
+        """Perform a drain at the scheduler's quiesce barrier (its thread)."""
+        while True:
+            try:
+                self.coordinator.drain_worker(wid)
+                break
+            except WorkerLost as lost:
+                if lost.worker_id == wid:
+                    # The drainee died mid-handoff: this is a failover now.
+                    self._failover(wid)
+                    raise ClusterError(
+                        f"drain of {wid!r} became a failover: {lost}"
+                    ) from lost
+                self._failover(lost.worker_id)
+        self._reap(wid)
+        self.metrics.counter("cluster.workers_drained").inc()
+        return wid
 
     # -- data -----------------------------------------------------------------------
 

@@ -436,6 +436,42 @@ class WorkerNode:
             self.spill_object_bytes += len(payload)
         self.metrics.counter("worker.spill_objects_stored").inc()
 
+    def import_spill_object(self, app_id: str, spill_id: str, payload) -> int:
+        """Accept another worker's persisted spill object (drain handoff).
+
+        The payload lands in the local persisted store only -- the oCache
+        refills lazily from it on the first replay read, like any other
+        store hit.
+        """
+        payload = bytes(payload)  # snapshot the out-of-band frame view
+        self._persist_spill_object(app_id, spill_id, payload)
+        self.metrics.counter("worker.spill_objects_imported").inc()
+        return len(payload)
+
+    def handoff_spills(self, host: str, port: int) -> dict[str, Any]:
+        """Push every persisted spill object to a successor (drain path).
+
+        Worker-to-worker: the draining node batches its whole persisted
+        store to ``(host, port)`` as one pipelined ``call_many`` of
+        ``import_spill_object`` calls with out-of-band payloads, keeping
+        the coordinator off the data path.  Returns the handoff tally.
+        """
+        with self._lock:
+            objects = list(self.spill_objects.items())
+        if not objects:
+            return {"objects": 0, "bytes": 0}
+        calls = [
+            ("import_spill_object",
+             {"app_id": app_id, "spill_id": spill_id},
+             payload, "payload")
+            for (app_id, spill_id), payload in objects
+        ]
+        self.pool.call_many((host, int(port)), calls)
+        total = sum(len(payload) for _, payload in objects)
+        self.metrics.counter("worker.spill_objects_handed_off").inc(len(objects))
+        self.metrics.counter("worker.spill_bytes_handed_off").inc(total)
+        return {"objects": len(objects), "bytes": total}
+
     def replay_intermediates(self, app_id: str, spills: list[tuple[str, int]],
                              ttl: float | None = None,
                              job_uid: str | None = None) -> dict[str, Any]:
@@ -534,6 +570,8 @@ class WorkerNode:
             "run_map": self.run_map,
             "push_spill": self.push_spill,
             "replay_intermediates": self.replay_intermediates,
+            "import_spill_object": self.import_spill_object,
+            "handoff_spills": self.handoff_spills,
             "discard_spills": self.discard_spills,
             "run_reduce": self.run_reduce,
             "get_stats": self.get_stats,

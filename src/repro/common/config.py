@@ -382,6 +382,33 @@ class ChaosConfig:
 
 
 @dataclass(frozen=True)
+class MembershipConfig:
+    """Elastic membership parameters (live join / graceful drain).
+
+    Only the cluster plane's coordinator and job scheduler read these;
+    a cluster that never joins or drains a worker never consults them.
+    """
+
+    join_register_timeout: float = 30.0
+    """Seconds the coordinator waits for a freshly spawned joiner to
+    register before the join is aborted and rolled back."""
+
+    drain_timeout: float = 30.0
+    """Seconds allowed for a drain's state handoff (block re-replication
+    plus spill-object push) before the drain fails."""
+
+    barrier_timeout: float = 60.0
+    """Seconds a ``join_worker``/``drain_worker`` caller waits for the
+    job scheduler to reach the quiesce barrier (no tasks in flight, no
+    live jobs) where membership ops are applied."""
+
+    def __post_init__(self) -> None:
+        for name in ("join_register_timeout", "drain_timeout", "barrier_timeout"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """The simulated hardware platform (paper §III testbed)."""
 
@@ -417,6 +444,7 @@ class ClusterConfig:
     net: NetConfig = field(default_factory=NetConfig)
     jobs: JobsConfig = field(default_factory=JobsConfig)
     chaos: ChaosConfig = field(default_factory=ChaosConfig)
+    membership: MembershipConfig = field(default_factory=MembershipConfig)
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:

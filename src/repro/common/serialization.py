@@ -22,6 +22,7 @@ from repro.common.config import (
     DFSConfig,
     FaultRule,
     JobsConfig,
+    MembershipConfig,
     NetConfig,
     SchedulerConfig,
 )
@@ -29,10 +30,10 @@ from repro.common.errors import ConfigError
 
 __all__ = ["config_to_dict", "config_from_dict", "diff_configs"]
 
-# ``net`` (and later ``chaos`` and ``jobs``) joined the schema after the
-# first manifests shipped; manifests written without them keep loading
-# (the fields fall back to their defaults), so the schema string stays
-# at /1.
+# ``net`` (and later ``chaos``, ``jobs``, and ``membership``) joined the
+# schema after the first manifests shipped; manifests written without
+# them keep loading (the fields fall back to their defaults), so the
+# schema string stays at /1.
 _NESTED = {
     "dfs": DFSConfig,
     "cache": CacheConfig,
@@ -40,6 +41,7 @@ _NESTED = {
     "net": NetConfig,
     "jobs": JobsConfig,
     "chaos": ChaosConfig,
+    "membership": MembershipConfig,
 }
 
 

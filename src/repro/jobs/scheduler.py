@@ -44,6 +44,7 @@ import queue
 import threading
 import time
 from collections import deque
+from concurrent.futures import Future
 from typing import Any, Callable, Optional, Sequence
 
 from repro.common.errors import (
@@ -222,6 +223,7 @@ class JobScheduler:
         self._active: list[_JobRun] = []
         self._deaths: deque[WorkerLost] = deque()
         self._dead_noted: set[str] = set()
+        self._membership: deque[tuple[str, str, Future]] = deque()
         self._inflight_total = 0
         self._wid_inflight: dict[str, int] = {}
         self._submit_seq = itertools.count()
@@ -275,6 +277,37 @@ class JobScheduler:
                     weight: float = 1.0) -> list[JobHandle]:
         return [self.submit(job, weight=weight) for job in jobs]
 
+    def request_join(self, worker_id: str) -> Future:
+        """Queue a live join; resolves once the joiner is serving its arc.
+
+        Membership ops run at a **quiesce barrier**: the loop waits until
+        no deaths are pending, nothing is in flight, and no admitted job
+        is still live (a join *splits* a hash arc, which would strand a
+        running job's intermediates on two owners).  While an op is
+        queued, admission is held so a steady job stream cannot starve
+        it; already-active jobs run to completion first.
+        """
+        return self._request_membership("join", worker_id)
+
+    def request_drain(self, worker_id: str) -> Future:
+        """Queue a graceful drain; resolves once the worker has left.
+
+        Same quiesce barrier as :meth:`request_join`; the drain pushes
+        the worker's blocks and spill objects to its arc successor and
+        leaves the ring without spending any job's failover budget.
+        """
+        return self._request_membership("drain", worker_id)
+
+    def _request_membership(self, op: str, worker_id: str) -> Future:
+        fut: Future = Future()
+        with self._lock:
+            if self._stopping:
+                raise ClusterError("job scheduler is shut down")
+            self._membership.append((op, str(worker_id), fut))
+        self.metrics.counter(f"sched.membership_{op}s_requested").inc()
+        self._events.put(("wake",))
+        return fut
+
     def _request_cancel(self, handle: JobHandle) -> bool:
         jr = getattr(handle, "_jr", None)
         if jr is None or handle.done():
@@ -314,7 +347,13 @@ class JobScheduler:
                 if self._deaths and self._inflight_total == 0:
                     self._process_deaths()
                 if not self._deaths:
-                    self._admit()
+                    self._process_membership()
+                if not self._deaths:
+                    if not self._membership:
+                        # Admission is held while membership ops wait at
+                        # the barrier (anti-starvation); active jobs keep
+                        # dispatching so the barrier can open.
+                        self._admit()
                     self._dispatch()
                 self._reap_finished()
             except Exception as exc:  # keep the loop alive; fail the jobs
@@ -334,7 +373,7 @@ class JobScheduler:
         candidates = []
         if self._timers:
             candidates.append(self._timers[0][0] - now)
-        if self._active or self._queued or self._deaths:
+        if self._active or self._queued or self._deaths or self._membership:
             candidates.append(self.config.jobs.tick_interval)
         if not candidates:
             return None  # fully idle: sleep until a submission wakes us
@@ -390,6 +429,35 @@ class JobScheduler:
         self._next_heartbeat = now + self.config.net.heartbeat_interval
         for wid in self.coordinator.check_heartbeats():
             self._note_death(WorkerLost(wid, "missed heartbeats"))
+
+    # -- elastic membership -----------------------------------------------------------
+
+    def _process_membership(self) -> None:
+        """Run queued join/drain ops once the cluster has quiesced.
+
+        Each op runs with the loop's full attention: nothing in flight,
+        no death evidence pending, no live job.  The op itself may fail
+        over concurrently-dead workers (the runtime retries around them),
+        so the barrier is re-checked between ops; a failure resolves only
+        that op's future and leaves the loop healthy.
+        """
+        while self._membership:
+            if (self._inflight_total != 0 or self._deaths
+                    or any(jr.live for jr in self._active)):
+                return
+            with self._lock:
+                op, wid, fut = self._membership.popleft()
+            if not fut.set_running_or_notify_cancel():
+                continue
+            try:
+                if op == "join":
+                    self.rt._do_join(wid)
+                else:
+                    self.rt._do_drain(wid)
+            except BaseException as exc:
+                fut.set_exception(exc)
+            else:
+                fut.set_result(wid)
 
     # -- admission & activation -------------------------------------------------------
 
@@ -984,7 +1052,12 @@ class JobScheduler:
             self._stopping = True
             stranded = list(self._queued)
             self._queued.clear()
+            pending_ops = list(self._membership)
+            self._membership.clear()
             self.metrics.gauge("sched.queue_depth").set(0)
+        for _, _, fut in pending_ops:
+            if fut.set_running_or_notify_cancel():
+                fut.set_exception(exc)
         for jr in stranded:
             jr.handle._resolve(exception=exc)
         for jr in list(self._active):

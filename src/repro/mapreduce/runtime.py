@@ -131,6 +131,54 @@ class EclipseMRRuntime:
         self.scheduler.remove_server(worker_id)
         return report
 
+    def join_worker(self, worker_id: Hashable | None = None):
+        """Admit a new worker between jobs (elastic join).
+
+        The joiner takes over its hash arc in the DHT file system, block
+        placement is rebalanced onto it, and the schedulers re-cut their
+        tables over the enlarged set.  On a cluster that has not yet run a
+        job, the post-join state is bit-equal to a fresh cluster of the
+        resulting size.  Returns the joiner's worker id.
+        """
+        from repro.dfs.fault import rebalance
+
+        if worker_id is None:
+            n = 0
+            while f"worker-{n}" in self.workers:
+                n += 1
+            worker_id = f"worker-{n}"
+        if worker_id in self.workers:
+            raise SchedulingError(f"worker {worker_id!r} already present")
+        self.dfs.add_server(worker_id)
+        rebalance(self.dfs)
+        self.worker_ids.append(worker_id)
+        self.workers[worker_id] = Worker(worker_id)
+        self.dcache.add_server(worker_id)
+        self.scheduler.add_server(worker_id, ring=self.dfs.ring)
+        return worker_id
+
+    def drain_worker(self, worker_id: Hashable):
+        """Gracefully retire a worker between jobs (elastic drain).
+
+        The inverse of :meth:`join_worker`: the drainee's arc merges into
+        its ring successor, its blocks are restored from the surviving
+        replicas, and the schedulers re-cut over the shrunken set.  Unlike
+        :meth:`fail_worker`, nothing is lost -- every block still has live
+        replicas when the drainee leaves.  Returns the DFS repair report.
+        """
+        from repro.dfs.fault import recover_from_failure
+
+        if worker_id not in self.workers:
+            raise SchedulingError(f"unknown worker {worker_id!r}")
+        if len(self.worker_ids) == 1:
+            raise SchedulingError("cannot drain the last worker")
+        report = recover_from_failure(self.dfs, worker_id)
+        self.worker_ids.remove(worker_id)
+        del self.workers[worker_id]
+        self.dcache.remove_server(worker_id)
+        self.scheduler.drain_server(worker_id, ring=self.dfs.ring)
+        return report
+
     # -- data -----------------------------------------------------------------
 
     def upload(self, name: str, data: bytes, **kwargs: Any) -> None:

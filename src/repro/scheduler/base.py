@@ -94,8 +94,31 @@ class Scheduler(abc.ABC):
         self.assigned_counts.pop(server, None)
         self._on_membership_change()
 
+    def add_server(self, server: Hashable, ring=None) -> None:
+        """Admit a new server into scheduling at zero load (elastic join).
+
+        ``ring`` is the DHT ring *after* the join, for schedulers whose
+        tables align to ring arcs; the base class ignores it.  Subclasses
+        re-cut their hash key tables over the enlarged set.
+        """
+        if server in self._load:
+            raise SchedulingError(f"server {server!r} already present")
+        self.servers.append(server)
+        self._load[server] = 0
+        self.assigned_counts[server] = 0
+        self._on_membership_change()
+
+    def drain_server(self, server: Hashable, ring=None) -> None:
+        """Gracefully retire a server (elastic drain).
+
+        Identical to :meth:`remove_server` for schedulers with no
+        ring-derived state; ``ring`` is the post-drain DHT ring for
+        subclasses that align their tables to it.
+        """
+        self.remove_server(server)
+
     def _on_membership_change(self) -> None:
-        """Hook: recompute any server-derived state after a removal."""
+        """Hook: recompute any server-derived state after a membership change."""
 
     def load_of(self, server: Hashable) -> int:
         self._check(server)

@@ -101,6 +101,65 @@ class LAFScheduler(Scheduler):
         self._partition_order = [s for s in self._partition_order if s in self._load]
         self.partition = self.ma.partition(self._partition_order)
 
+    # -- elastic membership -------------------------------------------------------
+
+    def _pristine(self) -> bool:
+        """True while no access has ever been recorded: the table is still
+        exactly the seeded (ring-aligned or uniform) starting state."""
+        return self.histogram.size == 0 and self.repartition_count == 0
+
+    def add_server(self, server: Hashable, ring=None) -> None:
+        """Admit a joiner and re-cut the hash key table.
+
+        On a *pristine* scheduler (no accesses recorded yet) with a ring
+        covering exactly the enlarged server set, the table is re-seeded
+        from the ring precisely as ``__init__`` would -- an idle-cluster
+        join followed by a job is then bit-equal to a fresh cluster of the
+        resulting size.  Otherwise the learned moving-average PDF is kept
+        and only the number of quantiles grows.
+        """
+        if server in self._load:
+            raise SchedulingError(f"server {server!r} already present")
+        pristine = self._pristine()
+        self.servers.append(server)
+        self._load[server] = 0
+        self.assigned_counts[server] = 0
+        self._rebuild_membership(ring, pristine)
+
+    def drain_server(self, server: Hashable, ring=None) -> None:
+        """Gracefully retire a server; the inverse of :meth:`add_server`.
+
+        Same pristine-reseed rule, so an idle-cluster drain followed by a
+        job is bit-equal to a fresh cluster of the shrunken size.  Unlike
+        :meth:`remove_server` (failover), the caller supplies the
+        post-drain ring so the table can stay arc-aligned.
+        """
+        self._check(server)
+        if len(self.servers) == 1:
+            raise SchedulingError("cannot drain the last server")
+        pristine = self._pristine()
+        self.servers.remove(server)
+        del self._load[server]
+        self.assigned_counts.pop(server, None)
+        self._rebuild_membership(ring, pristine)
+
+    def _rebuild_membership(self, ring, pristine: bool) -> None:
+        if ring is not None and set(ring.nodes) == set(self.servers):
+            if pristine:
+                self.partition = SpacePartition.from_ring(ring)
+                self._partition_order = list(ring.nodes)
+                self.ma.seed_from_boundaries(
+                    [0] + ring.positions[:-1] + [self.space.size]
+                )
+                return
+            self._partition_order = list(ring.nodes)
+        else:
+            self._partition_order = [s for s in self._partition_order if s in self._load]
+            self._partition_order += [
+                s for s in self.servers if s not in self._partition_order
+            ]
+        self.partition = self.ma.partition(self._partition_order)
+
     def range_table(self) -> list[tuple[Hashable, int, int]]:
         """The current hash key table (server, start, end)."""
         return self.partition.as_table()

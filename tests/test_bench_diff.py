@@ -72,6 +72,16 @@ class TestDirection:
                   "eviction.cost.hit_ratio", "compression.mb_s_vs_raw"):
             assert not bench_diff.lower_is_better(m)
 
+    def test_elastic_membership_metrics(self):
+        # A join should move (and disrupt) as little as possible; the
+        # handoff stream itself should be fast.
+        for m in ("membership.blocks_handed_off", "membership.bytes_handed_off",
+                  "membership.handoff_batches", "join.disruption_p99_ms",
+                  "join.disruption_pct"):
+            assert bench_diff.lower_is_better(m)
+        for m in ("join.handoff_mb_s", "drain.handoff_mb_s"):
+            assert not bench_diff.lower_is_better(m)
+
 
 class TestDiff:
     def test_verdicts(self):

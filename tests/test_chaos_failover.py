@@ -22,6 +22,7 @@ scenario; any seed must pass -- determinism is asserted *within* a seed.
 
 import json
 import os
+import time
 
 import pytest
 
@@ -36,7 +37,12 @@ from repro.common.config import (
     FaultRule,
     NetConfig,
 )
-from repro.common.errors import ConfigError, RpcConnectionError, RpcTimeout
+from repro.common.errors import (
+    ClusterError,
+    ConfigError,
+    RpcConnectionError,
+    RpcTimeout,
+)
 from repro.common.hashing import DEFAULT_SPACE
 from repro.common.serialization import config_from_dict, config_to_dict
 from repro.dht.ring import ConsistentHashRing
@@ -492,6 +498,169 @@ class TestCascadedFailover:
             # survivors hold every block.
             for bid, holders in rt.coordinator.holders.items():
                 assert sorted(holders) == survivors, bid
+
+
+# -- elastic membership under chaos ------------------------------------------------
+
+
+class TestElasticMembershipChaos:
+    """Join/drain racing jobs, failovers, and a SIGKILLed joiner.
+
+    Membership ops queue at the job scheduler's quiesce barrier, so a
+    request landing mid-job must not perturb that job at all -- its
+    output and task placement stay bit-equal to a run with no request.
+    """
+
+    def test_join_during_job_waits_for_quiesce(self):
+        data = corpus()
+        seq = EclipseMRRuntime(4, config=CFG)
+        seq.upload("joinjob.txt", data)
+        ref = seq.run(wordcount_job("joinjob.txt", app_id="wc-joinjob"))
+
+        with ClusterRuntime(4, CFG) as rt:
+            rt.upload("joinjob.txt", data)
+            futs = []
+
+            def chaos(done_maps):
+                if done_maps == 3 and not futs:
+                    futs.append(rt.join_worker(wait=False))
+
+            rt.on_map_complete = chaos
+            res = rt.run(wordcount_job("joinjob.txt", app_id="wc-joinjob"))
+            assert futs, "chaos hook never fired"
+            assert futs[0].result(timeout=90) == "worker-4"
+            m = rt.metrics
+
+            # The in-flight job never saw the joiner: bit-equal to the
+            # sequential 4-worker run, joiner absent from its placement.
+            assert res.output == ref.output
+            assert res.stats.tasks_per_server == ref.stats.tasks_per_server
+            assert "worker-4" not in res.stats.tasks_per_server
+
+            assert "worker-4" in rt.worker_ids
+            assert m.counter("membership.joins").value == 1
+            assert m.counter("membership.blocks_handed_off").value > 0
+            assert m.counter("cluster.failovers").value == 0
+            # The grown cluster still answers correctly.
+            res2 = rt.run(wordcount_job("joinjob.txt", app_id="wc-joinjob-2"))
+            assert res2.output == ref.output
+
+    def test_join_queued_during_failover_applies_after_recovery(self):
+        data = corpus()
+        with ClusterRuntime(4, CFG) as rt:
+            rt.upload("joinfail.txt", data)
+            futs = []
+
+            def chaos(done_maps):
+                if done_maps == 3 and not futs:
+                    rt.kill_worker(rt.worker_ids[-1])
+                    futs.append(rt.join_worker(wait=False))
+
+            rt.on_map_complete = chaos
+            res = rt.run(wordcount_job("joinfail.txt", app_id="wc-joinfail"))
+            assert futs, "chaos hook never fired"
+            joined = futs[0].result(timeout=90)
+            m = rt.metrics
+
+            # Failover first (death evidence preempts the barrier), join
+            # after: 3 survivors plus the joiner.
+            assert sum(res.output.values()) == 3000
+            assert m.counter("cluster.failovers").value == 1
+            assert m.counter("membership.joins").value == 1
+            assert joined in rt.worker_ids
+            assert len(rt.worker_ids) == 4
+            res2 = rt.run(wordcount_job("joinfail.txt", app_id="wc-joinfail-2"))
+            assert res2.output == res.output
+
+    def test_drain_during_job_finishes_first_without_failover(self):
+        data = corpus()
+        drainee = "worker-1"
+        seq = EclipseMRRuntime(4, config=CFG)
+        seq.upload("drainjob.txt", data)
+        ref = seq.run(wordcount_job("drainjob.txt", app_id="wc-drainjob"))
+
+        with ClusterRuntime(4, CFG) as rt:
+            rt.upload("drainjob.txt", data)
+            futs = []
+
+            def chaos(done_maps):
+                if done_maps == 3 and not futs:
+                    futs.append(rt.drain_worker(drainee, wait=False))
+
+            rt.on_map_complete = chaos
+            res = rt.run(wordcount_job("drainjob.txt", app_id="wc-drainjob"))
+            assert futs, "chaos hook never fired"
+            assert futs[0].result(timeout=90) == drainee
+            m = rt.metrics
+
+            # The drainee participated in the whole job (bit-equal to the
+            # no-drain run), then left cleanly: no failover budget spent.
+            assert res.output == ref.output
+            assert res.stats.tasks_per_server == ref.stats.tasks_per_server
+            assert drainee not in rt.worker_ids
+            assert m.counter("membership.drains").value == 1
+            assert m.counter("membership.blocks_handed_off").value > 0
+            assert m.counter("cluster.failovers").value == 0
+            res2 = rt.run(wordcount_job("drainjob.txt", app_id="wc-drainjob-2"))
+            assert res2.output == ref.output
+
+    def test_joiner_killed_mid_handoff_aborts_the_join(self):
+        """The joiner crashes serving its first ``restore_block``: the
+        join aborts, rolls back completely, and the old cluster keeps
+        working with zero failover spend."""
+        joiner = "worker-4"
+        data = corpus()
+        nblocks = len(data) // BLOCK
+        # Deterministic placement: the joiner's arc really does take over
+        # block targets, so the handoff (and therefore the crash) happens.
+        ring5 = _ring(WORKERS + [joiner])
+        takes = [i for i in range(nblocks)
+                 if joiner in ring5.replica_set(
+                     DEFAULT_SPACE.block_key("joincrash.txt", i),
+                     extra=CFG.dfs.replication)]
+        assert takes, "test corpus never targets the joiner; grow it"
+
+        cfg = ClusterConfig(dfs=DFSConfig(block_size=BLOCK),
+                            chaos=ChaosConfig(seed=SEED, rules=(
+                                FaultRule(op="crash", site="serve", dst=joiner,
+                                          method="restore_block", count=1),
+                            )))
+        with ClusterRuntime(4, cfg) as rt:
+            rt.upload("joincrash.txt", data)
+            with pytest.raises(ClusterError, match="aborted"):
+                rt.join_worker()
+            m = rt.metrics
+
+            assert m.counter("membership.joins_aborted").value == 1
+            assert m.counter("membership.joins").value == 0
+            assert m.counter("cluster.failovers").value == 0
+            assert sorted(rt.worker_ids) == WORKERS
+            res = rt.run(wordcount_job("joincrash.txt", app_id="wc-joincrash"))
+            assert sum(res.output.values()) == 3000
+
+    def test_joiner_missing_heartbeats_is_detected(self):
+        """Regression: the heartbeat monitored set must follow live
+        membership.  A joiner that goes silent after admission has to be
+        detected by the liveness tracker and failed over exactly like a
+        startup worker -- before the fix, only the startup roster was
+        ever tracked."""
+        data = corpus()
+        with ClusterRuntime(3, CFG) as rt:
+            rt.upload("hbjoin.txt", data)
+            joined = rt.join_worker()
+            # The joiner entered the monitored set at registration.
+            assert joined in rt.coordinator.liveness.tracked()
+
+            rt.kill_worker(joined)
+            time.sleep(rt.coordinator.liveness.deadline
+                       + 3 * rt.config.net.heartbeat_interval)
+            # Silence crossed the miss threshold: detected...
+            assert joined in rt.check_liveness()
+            # ...and the next activation sweep fails it over.
+            res = rt.run(wordcount_job("hbjoin.txt", app_id="wc-hbjoin"))
+            assert joined not in rt.worker_ids
+            assert rt.metrics.counter("cluster.failovers").value == 1
+            assert sum(res.output.values()) == 3000
 
 
 # -- multi-job failover ------------------------------------------------------------

@@ -165,6 +165,124 @@ class TestThreePlaneIntermediateReuse:
         assert cl_second.stats.tasks_per_server == seq_second.stats.tasks_per_server
 
 
+class TestThreePlaneElasticMembership:
+    """Elastic membership must be invisible to results on every plane.
+
+    A job, a live join, then the identical job again: the second run has
+    to be bit-equal across the sequential, thread-parallel, and
+    multi-process planes.  And an *idle* join or drain followed by a job
+    must be bit-equal to a fresh cluster of the resulting size -- the
+    pristine hash key table re-seeds from the post-change ring exactly as
+    a fresh construction would.
+    """
+
+    CFG = ClusterConfig(dfs=DFSConfig(block_size=2048))
+
+    @staticmethod
+    def corpus() -> bytes:
+        from repro.apps.workloads import pack_records, text_corpus
+
+        return pack_records(text_corpus(23, num_words=2400, vocab_size=50), 2048)
+
+    @staticmethod
+    def job(app_id: str) -> MapReduceJob:
+        def wc_map(block):
+            for token in bytes(block).decode().split():
+                yield token, 1
+
+        def wc_reduce(key, values):
+            return sum(values)
+
+        return MapReduceJob(app_id=app_id, input_file="elastic.txt",
+                            map_fn=wc_map, reduce_fn=wc_reduce)
+
+    def test_join_then_rerun_agrees_across_planes(self):
+        data = self.corpus()
+
+        seq = EclipseMRRuntime(3, config=self.CFG)
+        seq.upload("elastic.txt", data)
+        seq_first = seq.run(self.job("elastic-seq"))
+        assert seq.join_worker() == "worker-3"
+        seq_second = seq.run(self.job("elastic-seq-2"))
+
+        par = ParallelEclipseMRRuntime(3, config=self.CFG, max_workers=4)
+        par.upload("elastic.txt", data)
+        par_first = par.run(self.job("elastic-par"))
+        assert par.join_worker() == "worker-3"
+        par_second = par.run(self.job("elastic-par-2"))
+
+        with ClusterRuntime(3, self.CFG) as rt:
+            rt.upload("elastic.txt", data)
+            cl_first = rt.run(self.job("elastic-cl"))
+            assert rt.join_worker() == "worker-3"
+            handed = rt.metrics.counter("membership.blocks_handed_off").value
+            cl_second = rt.run(self.job("elastic-cl-2"))
+
+        assert handed > 0  # the cluster join really streamed blocks
+        for first in (par_first, cl_first):
+            assert first.output == seq_first.output
+            assert first.stats.tasks_per_server == seq_first.stats.tasks_per_server
+        # The post-join re-run is bit-equal plane to plane: same outputs,
+        # same placement over the *grown* worker set, same shuffle volume.
+        assert seq_second.output == seq_first.output
+        for second in (par_second, cl_second):
+            assert second.output == seq_second.output
+            assert second.stats.tasks_per_server == \
+                seq_second.stats.tasks_per_server
+            assert second.stats.spills == seq_second.stats.spills
+            assert second.stats.bytes_shuffled == seq_second.stats.bytes_shuffled
+        assert "worker-3" in seq_second.stats.tasks_per_server
+
+    def test_idle_join_matches_a_fresh_cluster(self):
+        """Join before any data exists: placement, hash key table, and
+        therefore the whole job must be byte-identical to a fresh
+        4-worker cluster."""
+        data = self.corpus()
+
+        fresh = EclipseMRRuntime(4, config=self.CFG)
+        fresh.upload("elastic.txt", data)
+        ref = fresh.run(self.job("elastic-fresh4"))
+
+        grown = EclipseMRRuntime(3, config=self.CFG)
+        assert grown.join_worker() == "worker-3"
+        grown.upload("elastic.txt", data)
+        res = grown.run(self.job("elastic-grown4"))
+        assert res.output == ref.output
+        assert res.stats == ref.stats
+
+        with ClusterRuntime(3, self.CFG) as rt:
+            assert rt.join_worker() == "worker-3"
+            rt.upload("elastic.txt", data)
+            cl = rt.run(self.job("elastic-cl-grown4"))
+        assert cl.output == ref.output
+        assert cl.stats == ref.stats
+
+    def test_idle_drain_matches_a_fresh_cluster(self):
+        """Drain on an idle (but loaded) cluster, then run: bit-equal to a
+        fresh cluster built from the surviving ids.  The drain handoff
+        restored full replication first, so even block reads match."""
+        data = self.corpus()
+
+        fresh = EclipseMRRuntime(["worker-0", "worker-2"], config=self.CFG)
+        fresh.upload("elastic.txt", data)
+        ref = fresh.run(self.job("elastic-fresh2"))
+
+        shrunk = EclipseMRRuntime(3, config=self.CFG)
+        shrunk.upload("elastic.txt", data)
+        shrunk.drain_worker("worker-1")
+        res = shrunk.run(self.job("elastic-shrunk2"))
+        assert res.output == ref.output
+        assert res.stats == ref.stats
+
+        with ClusterRuntime(3, self.CFG) as rt:
+            rt.upload("elastic.txt", data)
+            rt.drain_worker("worker-1")
+            assert rt.metrics.counter("cluster.failovers").value == 0
+            cl = rt.run(self.job("elastic-cl-shrunk2"))
+        assert cl.output == ref.output
+        assert cl.stats == ref.stats
+
+
 class TestThreePlaneCompressedShuffle:
     """Wordcount with every new knob on: wire compression, cross-spill
     combining, and cost-aware eviction.

@@ -1,0 +1,188 @@
+"""Stateful model of elastic membership: join / drain / kill, forever.
+
+Hypothesis drives long random sequences of membership operations against
+the *real* ring + LAF scheduler + a simulated block-holder table that
+applies the coordinator's re-replication rule after every change.  The
+invariants pin exactly what the elastic-membership tentpole promises:
+
+* the ring's arcs always partition the full key space (every key owned,
+  no key owned twice);
+* the LAF hash key table always covers the space once and agrees with
+  the live server set -- and, while *pristine* (no access recorded), it
+  stays perfectly arc-aligned with the ring, which is what makes an
+  idle-cluster join/drain bit-equal to a fresh cluster;
+* after every membership change, every block's replica set is restored:
+  each of the ring's placement targets holds a copy, and no copy was
+  ever lost (drains hand off before leaving; kills leave a survivor
+  because replication was restored after the previous step).
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.common.hashing import HashSpace
+from repro.dht.ring import ConsistentHashRing
+from repro.scheduler.laf import LAFScheduler
+
+REPLICATION = 2  # owner + predecessor + successor, like the DFS default
+NUM_BLOCKS = 12
+MAX_WORKERS = 8
+SIZE = 1 << 20  # small enough for len(arc); the properties are size-free
+
+
+class MembershipModel(RuleBasedStateMachine):
+    """Random join/drain/kill/access sequences with quiesce between ops."""
+
+    def __init__(self):
+        super().__init__()
+        self.space = HashSpace(SIZE)
+        self.ring = ConsistentHashRing(self.space)
+        self.sched: LAFScheduler | None = None
+        self.counter = 0
+        self.blocks: dict[int, set[str]] = {}
+        # True while every membership change since seeding was ring-aware
+        # (join/drain).  A kill rides the failover path, which re-cuts from
+        # the moving average instead of the ring (pinned PR-5 behavior),
+        # so arc alignment is only promised while this holds.
+        self.aligned = True
+
+    def _fresh_node(self) -> str:
+        """The next worker id whose default ring position is free."""
+        while True:
+            wid = f"worker-{self.counter}"
+            self.counter += 1
+            if self.space.key_of(wid) not in self.ring.positions:
+                return wid
+
+    @initialize(n=st.integers(2, 4))
+    def boot(self, n):
+        ids = [self._fresh_node() for _ in range(n)]
+        for wid in ids:
+            self.ring.add_node(wid)
+        self.sched = LAFScheduler(self.space, ids, ring=self.ring)
+        for i in range(NUM_BLOCKS):
+            key = self.space.key_of(f"stateful-blk-{i}")
+            self.blocks[key] = set(self.ring.replica_set(key, extra=REPLICATION))
+
+    def _restore_replication(self):
+        """The coordinator's post-change rule: copy every block to each
+        placement target that misses it, sourcing from any current holder."""
+        for key, holders in self.blocks.items():
+            targets = set(self.ring.replica_set(key, extra=REPLICATION))
+            missing = targets - holders
+            if missing:
+                assert holders, f"block {key} lost its last copy"
+                holders |= missing
+
+    @precondition(lambda self: len(self.ring) < MAX_WORKERS)
+    @rule()
+    def join(self):
+        wid = self._fresh_node()
+        pristine = self.sched._pristine()
+        self.ring.add_node(wid)
+        self.sched.add_server(wid, ring=self.ring)
+        if pristine:
+            self.aligned = True  # re-seeded from the post-join ring
+        self._restore_replication()
+
+    @precondition(lambda self: len(self.ring) > 2)
+    @rule(data=st.data())
+    def drain(self, data):
+        wid = data.draw(st.sampled_from(sorted(self.ring.nodes)))
+        # Graceful: hand every copy the drainee holds to its arc successor
+        # *before* it leaves (the coordinator's handoff), so nothing is lost
+        # even when the drainee was a block's only holder.
+        successor = self.ring.successor(wid)
+        pristine = self.sched._pristine()
+        for holders in self.blocks.values():
+            if wid in holders:
+                holders.discard(wid)
+                holders.add(successor)
+        self.ring.remove_node(wid)
+        self.sched.drain_server(wid, ring=self.ring)
+        if pristine:
+            self.aligned = True  # re-seeded from the post-drain ring
+        self._restore_replication()
+
+    @precondition(lambda self: len(self.ring) > 2)
+    @rule(data=st.data())
+    def kill(self, data):
+        wid = data.draw(st.sampled_from(sorted(self.ring.nodes)))
+        # Abrupt: the victim's copies are gone; failover re-cuts over the
+        # survivors and re-replication must restore every block from them.
+        for holders in self.blocks.values():
+            holders.discard(wid)
+        self.ring.remove_node(wid)
+        self.sched.remove_server(wid)
+        self.aligned = False
+        self._restore_replication()
+
+    @rule(seed=st.integers(0, 2**32 - 1))
+    def access(self, seed):
+        """Record real accesses so the table can go non-pristine and re-cut."""
+        key = self.space.key_of(f"access-{seed}")
+        assignment = self.sched.assign(hash_key=key)
+        self.sched.notify_start(assignment.server)
+        self.sched.notify_finish(assignment.server)
+
+    # -- invariants --------------------------------------------------------------
+
+    @invariant()
+    def ring_arcs_partition_the_space(self):
+        if self.sched is None:
+            return
+        assert sum(len(self.ring.range_of(n)) for n in self.ring.nodes) == \
+            self.space.size
+
+    @invariant()
+    def laf_table_matches_membership(self):
+        if self.sched is None:
+            return
+        assert set(self.sched.servers) == set(self.ring.nodes)
+        part = self.sched.partition
+        assert set(part.servers) == set(self.ring.nodes)
+        assert part.boundaries[0] == 0 and part.boundaries[-1] == self.space.size
+        assert sum(part.width_of(s) for s in part.servers) == self.space.size
+
+    @invariant()
+    def no_key_owned_twice(self):
+        if self.sched is None:
+            return
+        part = self.sched.partition
+        for probe in range(0, self.space.size, self.space.size // 16):
+            owners = [s for s, (a, b) in zip(part.servers, part._segments())
+                      if a <= part._rotate(probe) < b]
+            assert len(owners) == 1, (probe, owners)
+
+    @invariant()
+    def pristine_table_is_arc_aligned(self):
+        if self.sched is None or not self.sched._pristine() or not self.aligned:
+            return
+        for key in self.blocks:
+            assert self.sched.partition.owner_of(key) == self.ring.owner_of(key)
+
+    @invariant()
+    def replica_sets_restored(self):
+        if self.sched is None:
+            return
+        want = min(len(self.ring), 1 + REPLICATION)
+        for key, holders in self.blocks.items():
+            targets = set(self.ring.replica_set(key, extra=REPLICATION))
+            assert targets <= holders, (key, targets, holders)
+            assert len(targets) == want
+            # Kills and drains scrub their copies eagerly, so a holder no
+            # longer on the ring would be a leaked replica.
+            assert holders <= set(self.ring.nodes), (key, holders)
+
+
+TestMembershipModel = MembershipModel.TestCase
+TestMembershipModel.settings = settings(
+    max_examples=200, stateful_step_count=30, deadline=None
+)

@@ -60,8 +60,9 @@ def lower_is_better(metric: str) -> bool:
     and achieved reductions are better higher; latencies, percentiles,
     durations (``*_s``/``*_ms``/``*_us``), shuffle/wire byte volumes,
     and recovery costs (work redone or recopied after a failure, retry
-    and failure counts, overhead ratios) are better lower.  Anything
-    else defaults to higher-is-better."""
+    and failure counts, overhead ratios) are better lower, as are
+    membership handoff volumes and join disruption.  Anything else
+    defaults to higher-is-better."""
     leaf = metric.rsplit(".", 1)[-1]
     if ("per_s" in leaf or leaf.endswith("_mb_s") or "speedup" in leaf
             or "_vs_" in leaf or "hit_rate" in leaf or "hit_ratio" in leaf
@@ -74,7 +75,9 @@ def lower_is_better(metric: str) -> bool:
                                      "makespan", "spread", "wait",
                                      "rejected",
                                      "wire_bytes", "bytes_shuffled",
-                                     "evictions")):
+                                     "evictions",
+                                     "handed_off", "handoff_batches",
+                                     "disruption")):
         return True
     return leaf.endswith(("_s", "_ms", "_us"))
 
