@@ -141,6 +141,21 @@ FIGURES: dict[str, tuple[Callable, str]] = {
 }
 
 
+def _observe_config(args):
+    """The observe block for the cluster demos (off unless --observe)."""
+    from repro.common.config import ObserveConfig
+
+    if args.observe is None:
+        return ObserveConfig()
+    return ObserveConfig(enabled=True, port=args.observe)
+
+
+def _announce_observer(rt) -> None:
+    if rt.observer is not None:
+        print(f"observability endpoint live at {rt.observer.url}/ "
+              f"(Prometheus text: curl {rt.observer.url}/metrics)")
+
+
 def _cluster(args) -> int:
     """Stand up a real N-process cluster, run wordcount, print stats."""
     from repro.apps.wordcount import wordcount_job
@@ -155,14 +170,18 @@ def _cluster(args) -> int:
     if args.jobs > 1:
         return _cluster_jobs(args)
     num_words = 5000 if args.fast else 20000
-    cfg = ClusterConfig(dfs=DFSConfig(block_size=16 * 1024))
+    cfg = ClusterConfig(dfs=DFSConfig(block_size=16 * 1024),
+                        observe=_observe_config(args))
     data = pack_records(
         text_corpus(7, num_words=num_words, vocab_size=500), cfg.dfs.block_size
     )
     print(f"starting {args.workers} worker processes on localhost ...")
-    t0 = time.time()
+    # monotonic, not wall-clock: an NTP step mid-run must not produce
+    # negative or skewed elapsed/makespan numbers.
+    t0 = time.monotonic()
     membership_notes = []
     with ClusterRuntime(args.workers, cfg) as rt:
+        _announce_observer(rt)
         rt.upload("corpus.txt", data)
         res = rt.run(wordcount_job("corpus.txt", app_id="cli-wordcount"))
         if args.join_after is not None:
@@ -186,7 +205,7 @@ def _cluster(args) -> int:
         rpc_retries = rt.metrics.counter("rpc.retries").value
         beats = rt.metrics.counter("heartbeat.received").value
         max_age = rt.metrics.gauge("heartbeat.max_age_s").max_seen
-    elapsed = time.time() - t0
+    elapsed = time.monotonic() - t0
 
     workers = list(stats)
     result = ExperimentResult(
@@ -224,15 +243,17 @@ def _cluster_jobs(args) -> int:
     cfg = ClusterConfig(
         dfs=DFSConfig(block_size=16 * 1024),
         jobs=JobsConfig(policy=args.policy, max_active_jobs=max(4, args.jobs)),
+        observe=_observe_config(args),
     )
     data = pack_records(
         text_corpus(7, num_words=num_words, vocab_size=500), cfg.dfs.block_size
     )
     print(f"starting {args.workers} worker processes on localhost, "
           f"submitting {args.jobs} jobs under the {args.policy!r} policy ...")
-    t0 = time.time()
+    t0 = time.monotonic()
     membership_note = ""
     with ClusterSession(workers=args.workers, config=cfg) as session:
+        _announce_observer(session.runtime)
         session.upload("corpus.txt", data)
         handles = session.submit_many(
             [wordcount_job("corpus.txt", app_id=f"cli-wc-{i}")
@@ -260,7 +281,7 @@ def _cluster_jobs(args) -> int:
             membership_note += f", {args.drain!r} drained gracefully"
         completed = rt.metrics.counter("sched.jobs_completed").value
         dispatched = rt.metrics.counter("sched.tasks_dispatched").value
-    makespan = time.time() - t0
+    makespan = time.monotonic() - t0
 
     outputs = {len(r.output) for r in results}
     result = ExperimentResult(
@@ -311,6 +332,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--drain", default=None, metavar="WORKER_ID",
                         help="for 'cluster': gracefully drain WORKER_ID "
                              "(e.g. worker-0) before printing stats")
+    parser.add_argument("--observe", type=int, default=None, metavar="PORT",
+                        help="for 'cluster': serve live metrics on PORT "
+                             "(Prometheus text at /metrics, HTML dashboard "
+                             "at /; 0 picks a free port)")
     return parser
 
 
@@ -327,11 +352,11 @@ def main(argv: list[str] | None = None) -> int:
     for name in targets:
         fn, desc = FIGURES[name]
         print(f"\n=== {name}: {desc} ===")
-        t0 = time.time()
+        t0 = time.monotonic()
         for result, unit in fn(args):
             print(render(result, style=args.style, unit=unit))
             print()
-        print(f"({name} regenerated in {time.time() - t0:.1f}s)")
+        print(f"({name} regenerated in {time.monotonic() - t0:.1f}s)")
     return 0
 
 

@@ -131,6 +131,10 @@ class Coordinator:
         # a joiner that goes silent is detected, not silently untracked.
         self.liveness.register(worker_id)
         self.metrics.counter("cluster.registrations").inc()
+        # Keep the live-membership gauge truthful from startup on: it was
+        # only written by membership *events*, so a cluster that never
+        # joined/drained/failed scraped as "0 live workers" forever.
+        self._update_live_gauge()
         if complete:
             self._registered.set()
         if joined is not None:
@@ -195,15 +199,25 @@ class Coordinator:
         dead = self.liveness.dead_workers()
         if dead:
             self.metrics.counter("heartbeat.missed_deadlines").inc(len(dead))
-        ages = []
+        ages = self.heartbeat_ages()
+        if ages:
+            self.metrics.gauge("heartbeat.max_age_s").set(max(ages.values()))
+        return dead
+
+    def heartbeat_ages(self) -> dict[str, float]:
+        """Seconds since each tracked worker's last heartbeat (observability).
+
+        A passive read of the liveness tracker: no deadline judgment, no
+        metric writes -- the observe endpoint samples this next to
+        ``get_stats`` so the dashboard can show per-worker silence.
+        """
+        ages: dict[str, float] = {}
         for wid in self.liveness.tracked():
             try:
-                ages.append(self.liveness.age(wid))
+                ages[wid] = self.liveness.age(wid)
             except ClusterError:
                 continue  # removed between tracked() and age()
-        if ages:
-            self.metrics.gauge("heartbeat.max_age_s").set(max(ages))
-        return dead
+        return ages
 
     def mark_dead(self, worker_id: str) -> None:
         """Fail a worker over: merge its arc, restore replication, re-ring.

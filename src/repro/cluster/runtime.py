@@ -104,10 +104,20 @@ class ClusterRuntime:
         #: sender here exercises mid-stream failover).
         self.on_stream_page: Optional[Callable[[tuple[str, int], int], None]] = None
         self.coordinator.set_stream_page_hook(self._stream_page)
+        #: The live observability endpoint (``None`` unless
+        #: ``config.observe.enabled``): Prometheus text at ``/metrics``,
+        #: JSON at ``/metrics.json``, HTML dashboard at ``/``.
+        self.observer = None
         try:
             self._start_workers()
             self.coordinator.wait_for_workers(self.config.net.start_timeout)
             self._with_failover(self.coordinator.broadcast_ring)
+            if self.config.observe.enabled:
+                from repro.observe import ObserveServer
+
+                self.observer = ObserveServer(
+                    self.metrics, self._observe_poll, self.config.observe
+                ).start()
         except BaseException:
             self.shutdown()
             raise
@@ -430,10 +440,47 @@ class ClusterRuntime:
                        for wid in alive]
             return {wid: fut.result() for wid, fut in futures}
 
+    def _observe_poll(self) -> dict[str, dict]:
+        """One sampling round for the observe endpoint: full per-worker
+        registry exports plus heartbeat ages, best-effort.
+
+        Rides the same ``get_stats`` RPC as :meth:`worker_stats` (with
+        ``full=True``) over the shared multiplexed pool, so a scrape
+        coexists with a running job.  Unlike :meth:`worker_stats` it
+        must never raise: a worker that dies or partitions mid-sample is
+        simply absent from this round (the heartbeat/failover machinery
+        owns declaring it dead, not the scraper).
+        """
+        alive = self.coordinator.alive_ids()
+        ages = self.coordinator.heartbeat_ages()
+        if not alive:
+            return {}
+
+        def poll_one(wid: str) -> Optional[dict]:
+            try:
+                stats = self._call_worker(wid, "get_stats", {"full": True})
+            except Exception:
+                return None
+            if wid in ages:
+                stats["heartbeat_age_s"] = ages[wid]
+            return stats
+
+        with ThreadPoolExecutor(max_workers=len(alive),
+                                thread_name_prefix="observe") as pool:
+            futures = [(wid, pool.submit(poll_one, wid)) for wid in alive]
+            polled = {wid: fut.result() for wid, fut in futures}
+        return {wid: stats for wid, stats in polled.items() if stats is not None}
+
     def shutdown(self) -> None:
         if self._closed:
             return
         self._closed = True
+        observer = getattr(self, "observer", None)
+        if observer is not None:
+            try:
+                observer.close()
+            except Exception:
+                pass
         sched = getattr(self, "_job_scheduler", None)
         if sched is not None:
             try:

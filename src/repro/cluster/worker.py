@@ -193,7 +193,17 @@ class WorkerNode:
     def ping(self) -> str:
         return "pong"
 
-    def get_stats(self) -> dict[str, Any]:
+    def get_stats(self, full: bool = False) -> dict[str, Any]:
+        """Per-worker statistics; the single stats RPC of the control plane.
+
+        The default (flat counters + cache/shard scalars) is what
+        ``ClusterRuntime.worker_stats`` has always returned -- reports and
+        cross-plane equality tests depend on that exact shape.  The
+        observability endpoint passes ``full=True`` to additionally get
+        the worker's whole registry export (gauges such as
+        ``rpc.in_flight`` and histogram summaries included) under a
+        ``registry`` key, over the very same RPC.
+        """
         cache = self.cache.stats()
         with self._lock:
             stored = len(self.blocks)
@@ -218,6 +228,8 @@ class WorkerNode:
             spill_objects=spill_objects,
             spill_object_bytes=spill_object_bytes,
         )
+        if full:
+            out["registry"] = self.metrics.export()
         return out
 
     # -- map path -----------------------------------------------------------------

@@ -409,6 +409,37 @@ class MembershipConfig:
 
 
 @dataclass(frozen=True)
+class ObserveConfig:
+    """Live observability endpoint (Prometheus + dashboard), off by default.
+
+    Only the cluster plane's :class:`~repro.cluster.runtime.ClusterRuntime`
+    reads these; with ``enabled=False`` (the default) no server thread,
+    socket, or sampling RPC exists at all -- the data plane is untouched.
+    """
+
+    enabled: bool = False
+    """Start the coordinator-embedded HTTP endpoint with the runtime."""
+
+    host: str = "127.0.0.1"
+    """Interface the observability HTTP server binds."""
+
+    port: int = 0
+    """TCP port for the endpoint; ``0`` picks an ephemeral port
+    (read it back from ``runtime.observer.port``)."""
+
+    sample_interval: float = 1.0
+    """Minimum seconds between per-worker ``get_stats`` sampling rounds.
+    Scrapes arriving faster than this are served from the last sample,
+    so an aggressive scraper cannot amplify RPC load on the workers."""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ConfigError(f"port must be 0..65535, got {self.port}")
+        if self.sample_interval <= 0:
+            raise ConfigError("sample_interval must be positive")
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """The simulated hardware platform (paper §III testbed)."""
 
@@ -445,6 +476,7 @@ class ClusterConfig:
     jobs: JobsConfig = field(default_factory=JobsConfig)
     chaos: ChaosConfig = field(default_factory=ChaosConfig)
     membership: MembershipConfig = field(default_factory=MembershipConfig)
+    observe: ObserveConfig = field(default_factory=ObserveConfig)
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:

@@ -24,16 +24,17 @@ from repro.common.config import (
     JobsConfig,
     MembershipConfig,
     NetConfig,
+    ObserveConfig,
     SchedulerConfig,
 )
 from repro.common.errors import ConfigError
 
 __all__ = ["config_to_dict", "config_from_dict", "diff_configs"]
 
-# ``net`` (and later ``chaos``, ``jobs``, and ``membership``) joined the
-# schema after the first manifests shipped; manifests written without
-# them keep loading (the fields fall back to their defaults), so the
-# schema string stays at /1.
+# ``net`` (and later ``chaos``, ``jobs``, ``membership``, and
+# ``observe``) joined the schema after the first manifests shipped;
+# manifests written without them keep loading (the fields fall back to
+# their defaults), so the schema string stays at /1.
 _NESTED = {
     "dfs": DFSConfig,
     "cache": CacheConfig,
@@ -42,6 +43,7 @@ _NESTED = {
     "jobs": JobsConfig,
     "chaos": ChaosConfig,
     "membership": MembershipConfig,
+    "observe": ObserveConfig,
 }
 
 

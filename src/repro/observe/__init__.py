@@ -1,0 +1,20 @@
+"""Live observability plane: Prometheus endpoint + HTML dashboard.
+
+Enabled via ``ClusterConfig(observe=ObserveConfig(enabled=True, port=...))``
+or ``eclipsemr-repro cluster --observe PORT``; off by default, in which
+case nothing in this package is even imported by the runtime.
+"""
+
+from repro.observe.prometheus import (
+    escape_label_value,
+    render_exposition,
+    sanitize_metric_name,
+)
+from repro.observe.server import ObserveServer
+
+__all__ = [
+    "ObserveServer",
+    "escape_label_value",
+    "render_exposition",
+    "sanitize_metric_name",
+]

@@ -1,0 +1,144 @@
+"""The self-contained HTML dashboard served at ``/``.
+
+One static page, no external assets: inline CSS plus a small script
+polling ``/metrics.json`` and re-rendering a per-worker table (task
+counts, cache hit rates, in-flight RPC, shuffle rate, heartbeat age)
+and a coordinator summary row.  Rates (shuffle MB/s) are computed
+client-side from consecutive samples, so the server stays stateless
+about scrapers.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML"]
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>EclipseMR cluster</title>
+<style>
+  body { font-family: -apple-system, "Segoe UI", Roboto, sans-serif;
+         margin: 1.5rem; background: #fafafa; color: #1a1a1a; }
+  h1 { font-size: 1.2rem; margin: 0 0 0.25rem 0; }
+  .sub { color: #666; font-size: 0.8rem; margin-bottom: 1rem; }
+  .tiles { display: flex; flex-wrap: wrap; gap: 0.75rem; margin-bottom: 1.25rem; }
+  .tile { background: #fff; border: 1px solid #e2e2e2; border-radius: 6px;
+          padding: 0.6rem 0.9rem; min-width: 8.5rem; }
+  .tile .v { font-size: 1.3rem; font-weight: 600; }
+  .tile .k { font-size: 0.72rem; color: #666; text-transform: uppercase;
+             letter-spacing: 0.04em; }
+  table { border-collapse: collapse; width: 100%; background: #fff;
+          border: 1px solid #e2e2e2; border-radius: 6px; overflow: hidden; }
+  th, td { padding: 0.45rem 0.8rem; text-align: right;
+           font-variant-numeric: tabular-nums; font-size: 0.85rem; }
+  th { background: #f0f0f0; font-size: 0.72rem; text-transform: uppercase;
+       letter-spacing: 0.04em; color: #555; }
+  th:first-child, td:first-child { text-align: left; }
+  tr + tr td { border-top: 1px solid #eee; }
+  td.warn { color: #b00020; font-weight: 600; }
+  #err { color: #b00020; font-size: 0.8rem; min-height: 1rem; }
+  a { color: inherit; }
+</style>
+</head>
+<body>
+<h1>EclipseMR cluster</h1>
+<div class="sub">live metrics &mdash; raw exposition at <a href="/metrics">/metrics</a>,
+JSON at <a href="/metrics.json">/metrics.json</a></div>
+<div class="tiles" id="tiles"></div>
+<table>
+  <thead><tr>
+    <th>worker</th><th>maps</th><th>reduces</th>
+    <th>iCache hit</th><th>oCache hit</th>
+    <th>in-flight RPC</th><th>shuffle out</th><th>heartbeat age</th>
+  </tr></thead>
+  <tbody id="workers"></tbody>
+</table>
+<div id="err"></div>
+<script>
+"use strict";
+let prev = null, prevAt = null;
+
+function num(x) { return typeof x === "number" && isFinite(x) ? x : 0; }
+
+function hitRate(hits, misses) {
+  const total = num(hits) + num(misses);
+  return total ? (100 * num(hits) / total).toFixed(1) + "%" : "\\u2013";
+}
+
+function mb(bytes) { return (num(bytes) / 1e6).toFixed(2); }
+
+function tile(value, label) {
+  return '<div class="tile"><div class="v">' + value +
+         '</div><div class="k">' + label + "</div></div>";
+}
+
+function counterOf(reg, name) {
+  return num(((reg || {}).counters || {})[name]);
+}
+
+function gaugeOf(reg, name) {
+  const g = ((reg || {}).gauges || {})[name];
+  return g ? num(g.value) : 0;
+}
+
+function render(data) {
+  const coord = data.coordinator || {};
+  const workers = data.workers || {};
+  const ids = Object.keys(workers).sort();
+  const now = Date.now() / 1000;
+  const dt = prevAt ? now - prevAt : 0;
+
+  document.getElementById("tiles").innerHTML =
+    tile(gaugeOf(coord, "cluster.live_workers") || ids.length, "live workers") +
+    tile(counterOf(coord, "rpc.calls"), "coordinator RPCs") +
+    tile(counterOf(coord, "sched.jobs_completed"), "jobs completed") +
+    tile(counterOf(coord, "cluster.failovers"), "failovers") +
+    tile(gaugeOf(coord, "sched.queue_depth"), "queued jobs") +
+    tile(num(data.sample_age_s).toFixed(1) + "s", "sample age");
+
+  const rows = ids.map(function (wid) {
+    const s = workers[wid] || {};
+    const reg = s.registry || {};
+    let rate = "\\u2013";
+    if (prev && prev[wid] && dt > 0) {
+      const d = counterOf(reg, "worker.bytes_shuffled_out") -
+                counterOf((prev[wid] || {}).registry, "worker.bytes_shuffled_out");
+      rate = mb(d / dt) + " MB/s";
+    }
+    const age = num(s.heartbeat_age_s);
+    const ageCls = age > 1.5 ? ' class="warn"' : "";
+    return "<tr><td>" + wid + "</td>" +
+      "<td>" + counterOf(reg, "worker.maps_run") + "</td>" +
+      "<td>" + counterOf(reg, "worker.reduces_run") + "</td>" +
+      "<td>" + hitRate(s.icache_hits, s.icache_misses) + "</td>" +
+      "<td>" + hitRate(s.ocache_hits, s.ocache_misses) + "</td>" +
+      "<td>" + gaugeOf(reg, "rpc.in_flight") + "</td>" +
+      "<td>" + rate + "</td>" +
+      "<td" + ageCls + ">" + age.toFixed(2) + "s</td></tr>";
+  });
+  document.getElementById("workers").innerHTML =
+    rows.join("") || '<tr><td colspan="8">no workers sampled yet</td></tr>';
+  prev = workers;
+  prevAt = now;
+}
+
+function poll() {
+  fetch("/metrics.json").then(function (r) {
+    if (!r.ok) throw new Error("HTTP " + r.status);
+    return r.json();
+  }).then(function (data) {
+    document.getElementById("err").textContent = "";
+    render(data);
+  }).catch(function (e) {
+    document.getElementById("err").textContent =
+      "scrape failed: " + e + " (cluster gone?)";
+  });
+}
+
+poll();
+setInterval(poll, 2000);
+</script>
+</body>
+</html>
+"""

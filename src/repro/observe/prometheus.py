@@ -1,0 +1,170 @@
+"""Prometheus text exposition (version 0.0.4) for metric exports.
+
+Translates the structured :meth:`MetricsRegistry.export` shape -- the
+coordinator's registry plus the sampled per-worker registries -- into
+the plain-text format Prometheus scrapes:
+
+* counters become ``<name>_total`` families of ``# TYPE ... counter``;
+* gauges keep their name as ``# TYPE ... gauge`` families;
+* histograms become summaries: ``{quantile="..."}`` sample lines plus
+  exact ``_count`` and ``_sum`` series (the registry keeps count/total
+  exact even past its bounded reservoir, so these two are always
+  truthful; the quantiles are as good as the reservoir);
+* worker-side series carry a ``worker_id`` label, coordinator series
+  carry none, and one ``# TYPE`` header per family covers every labeled
+  sample in it (required by the exposition format).
+
+Everything is pure string building over plain dicts -- no sockets, no
+registry access -- so it unit-tests without a cluster.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "METRIC_PREFIX",
+    "escape_label_value",
+    "render_exposition",
+    "sanitize_metric_name",
+]
+
+METRIC_PREFIX = "eclipsemr"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+# Summary quantiles exported per histogram, mapped to registry stats.
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A dotted registry name as a legal, prefixed Prometheus name.
+
+    ``rpc.in_flight`` -> ``eclipsemr_rpc_in_flight``.  Any character
+    outside ``[a-zA-Z0-9_:]`` becomes ``_``; the fixed prefix also makes
+    a leading digit impossible.
+    """
+    return f"{METRIC_PREFIX}_{_INVALID_CHARS.sub('_', name)}"
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format (\\\\, \\n, \\")."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(val)}"' for key, val in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class _FamilyTable:
+    """Samples grouped into families so each gets exactly one TYPE header."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, tuple[str, list[tuple[str, dict, float]]]] = {}
+
+    def add(
+        self,
+        family: str,
+        mtype: str,
+        value: float,
+        labels: Mapping[str, str] | None = None,
+        suffix: str = "",
+    ) -> None:
+        entry = self._families.setdefault(family, (mtype, []))
+        entry[1].append((suffix, dict(labels or {}), float(value)))
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for family in sorted(self._families):
+            mtype, samples = self._families[family]
+            lines.append(f"# TYPE {family} {mtype}")
+            for suffix, labels, value in samples:
+                lines.append(
+                    f"{family}{suffix}{_labels_text(labels)} {_format_value(value)}"
+                )
+        return "\n".join(lines) + "\n" if lines else "\n"
+
+
+def _counter_family(name: str) -> str:
+    base = sanitize_metric_name(name)
+    return base if base.endswith("_total") else base + "_total"
+
+
+def _add_registry(
+    table: _FamilyTable,
+    export: Mapping[str, Any],
+    labels: Mapping[str, str],
+) -> None:
+    """One registry export's counters/gauges/histograms into the table."""
+    for name, value in (export.get("counters") or {}).items():
+        table.add(_counter_family(name), "counter", value, labels)
+    for name, gauge in (export.get("gauges") or {}).items():
+        value = gauge.get("value", 0.0) if isinstance(gauge, Mapping) else gauge
+        table.add(sanitize_metric_name(name), "gauge", value, labels)
+    for name, summary in (export.get("histograms") or {}).items():
+        family = sanitize_metric_name(name)
+        count = float(summary.get("count", 0.0))
+        for quantile, stat in _QUANTILES:
+            table.add(family, "summary", summary.get(stat, 0.0),
+                      {**labels, "quantile": quantile})
+        table.add(family, "summary", count, labels, suffix="_count")
+        # count * mean reconstructs the exact recorded total: the
+        # registry keeps both exact regardless of reservoir eviction.
+        table.add(family, "summary", count * float(summary.get("mean", 0.0)),
+                  labels, suffix="_sum")
+        table.add(family + "_max", "gauge", summary.get("max", 0.0), labels)
+
+
+def render_exposition(
+    coordinator: Mapping[str, Any],
+    workers: Mapping[str, Mapping[str, Any]] | None = None,
+    synthetic: Iterable[tuple[str, str, float]] = (),
+) -> str:
+    """The full ``/metrics`` payload.
+
+    ``coordinator`` is the coordinator registry's :meth:`export`;
+    ``workers`` maps worker id to the sampled per-worker payload (the
+    ``get_stats(full=True)`` dict: flat legacy scalars plus a
+    ``registry`` export); ``synthetic`` appends extra pre-named
+    ``(family, type, value)`` series (the endpoint's own scrape
+    counters), already prefixed/sanitized by the caller.
+    """
+    table = _FamilyTable()
+    _add_registry(table, coordinator, {})
+    for worker_id, stats in (workers or {}).items():
+        labels = {"worker_id": str(worker_id)}
+        registry = stats.get("registry") or {}
+        _add_registry(table, registry, labels)
+        counters = registry.get("counters") or {}
+        for key, value in stats.items():
+            if key == "registry" or key in counters:
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue  # worker_id and other non-numeric fields
+            table.add(sanitize_metric_name(key), "gauge", value, labels)
+    for family, mtype, value in synthetic:
+        table.add(family, mtype, value)
+    return table.render()

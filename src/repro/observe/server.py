@@ -1,0 +1,204 @@
+"""The coordinator-embedded observability HTTP server.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` on a daemon thread,
+serving three routes:
+
+* ``/metrics`` -- Prometheus text exposition: the coordinator registry
+  plus the last sampled per-worker registries;
+* ``/metrics.json`` -- the same data as JSON for the dashboard (and for
+  tests, which prefer structure over text parsing);
+* ``/`` -- the self-contained HTML dashboard.
+
+**Isolation from the data plane.**  Reading the coordinator registry is
+lock-free-ish (per-metric locks only, never a registry-wide pause), and
+worker registries are *pulled on a sampled interval*: a scrape first
+checks the cached sample's age and only issues ``get_stats`` RPCs when
+it is older than ``observe.sample_interval`` -- an aggressive scraper
+cannot amplify RPC load, and with no scraper at all the server performs
+no work beyond holding an idle listening socket.  A sampling round that
+fails (worker died mid-scrape, pool contention) serves the previous
+sample and counts ``observe_sample_errors_total``; a scrape never
+raises into the caller and never mutates the registries it reads.
+
+The endpoint's own bookkeeping (scrape counts, sample errors) lives on
+the server object, NOT in the shared registry -- enabling observation
+must not change the observed metric key set.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+
+from repro.common.config import ObserveConfig
+from repro.observe.dashboard import DASHBOARD_HTML
+from repro.observe.prometheus import METRIC_PREFIX, render_exposition
+from repro.sim.metrics import MetricsRegistry
+
+__all__ = ["ObserveServer"]
+
+_CONTENT_TYPE_TEXT = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ObserveServer:
+    """Serve live cluster metrics over HTTP from a daemon thread."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        worker_poll: Callable[[], Mapping[str, Mapping[str, Any]]],
+        config: ObserveConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.registry = registry
+        self.worker_poll = worker_poll
+        self.config = config or ObserveConfig()
+        self.clock = clock
+        self._sample_lock = threading.Lock()
+        self._sample: dict[str, Any] = {}
+        self._sample_at: float | None = None
+        self._scrapes = 0
+        self._sample_errors = 0
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> "ObserveServer":
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+                server._route(self)
+
+            def log_message(self, fmt: str, *args: Any) -> None:
+                pass  # stay off stderr; scrape counts live on the server
+
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), Handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"observe:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("observe server is not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def close(self) -> None:
+        httpd, self._httpd = self._httpd, None
+        if httpd is None:
+            return
+        httpd.shutdown()
+        httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ObserveServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- sampling ------------------------------------------------------------------
+
+    def _workers(self) -> tuple[dict[str, Any], float]:
+        """The per-worker sample, refreshed at most once per interval."""
+        now = self.clock()
+        with self._sample_lock:
+            age = None if self._sample_at is None else now - self._sample_at
+            if age is not None and age < self.config.sample_interval:
+                return self._sample, age
+            try:
+                fresh = dict(self.worker_poll())
+            except Exception:
+                # Serve the stale sample; the poll closure already
+                # tolerates per-worker failures, so reaching this means
+                # the cluster is mid-teardown or mid-failover.
+                self._sample_errors += 1
+                return self._sample, age if age is not None else 0.0
+            self._sample = fresh
+            self._sample_at = self.clock()
+            return self._sample, 0.0
+
+    def _payload(self) -> dict[str, Any]:
+        workers, sample_age = self._workers()
+        return {
+            "coordinator": self.registry.export(),
+            "workers": workers,
+            "sample_age_s": sample_age,
+            "scrapes": self._scrapes,
+            "sample_errors": self._sample_errors,
+        }
+
+    def render_metrics(self) -> str:
+        """The Prometheus text body (exposed for tests and artifacts)."""
+        payload = self._payload()
+        synthetic = (
+            (f"{METRIC_PREFIX}_observe_scrapes_total", "counter",
+             float(payload["scrapes"])),
+            (f"{METRIC_PREFIX}_observe_sample_errors_total", "counter",
+             float(payload["sample_errors"])),
+            (f"{METRIC_PREFIX}_observe_sample_age_seconds", "gauge",
+             float(payload["sample_age_s"])),
+        )
+        return render_exposition(
+            payload["coordinator"], payload["workers"], synthetic
+        )
+
+    # -- routing -------------------------------------------------------------------
+
+    def _route(self, handler: BaseHTTPRequestHandler) -> None:
+        path = handler.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                with self._sample_lock:
+                    self._scrapes += 1
+                self._respond(handler, 200, _CONTENT_TYPE_TEXT,
+                              self.render_metrics().encode())
+            elif path == "/metrics.json":
+                with self._sample_lock:
+                    self._scrapes += 1
+                body = json.dumps(self._payload()).encode()
+                self._respond(handler, 200, "application/json", body)
+            elif path == "/":
+                self._respond(handler, 200, "text/html; charset=utf-8",
+                              DASHBOARD_HTML.encode())
+            else:
+                self._respond(handler, 404, "text/plain; charset=utf-8",
+                              b"not found\n")
+        except BrokenPipeError:
+            pass  # scraper went away mid-response; nothing to clean up
+        except Exception as exc:
+            # A scrape must never take the endpoint down: report the
+            # failure to the scraper and keep serving.
+            try:
+                self._respond(handler, 500, "text/plain; charset=utf-8",
+                              f"scrape failed: {exc}\n".encode())
+            except Exception:
+                pass
+
+    @staticmethod
+    def _respond(
+        handler: BaseHTTPRequestHandler, status: int, ctype: str, body: bytes
+    ) -> None:
+        handler.send_response(status)
+        handler.send_header("Content-Type", ctype)
+        handler.send_header("Content-Length", str(len(body)))
+        handler.end_headers()
+        handler.wfile.write(body)

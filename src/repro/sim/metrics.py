@@ -1,12 +1,26 @@
-"""Lightweight metrics for simulation experiments.
+"""Lightweight metrics for simulation experiments and the live cluster.
 
 Experiments read these to produce the figure series: cache hit ratios,
-bytes moved, tasks per slot, per-phase times.
+bytes moved, tasks per slot, per-phase times.  The cluster plane writes
+the same registry from many threads while the observability endpoint
+(:mod:`repro.observe`) reads it, so every primitive here is safe to
+*read at any time* and safe to *write concurrently*:
+
+* :class:`Counter` increments are a single attribute update (atomic
+  enough under the GIL for monotonic accumulation);
+* :class:`Gauge` updates take a per-gauge lock so ``add`` and the
+  set-then-extremes sequence are never a lost-update race;
+* :class:`Histogram` holds a *bounded* reservoir -- a long-running
+  coordinator records millions of RPC latencies without growing memory,
+  while ``count``/``total``/``min``/``max`` stay exact forever;
+* :class:`MetricsRegistry` read paths (``peak``, ``ratio``,
+  ``snapshot``, ``export``) never materialize entries, so a scrape
+  observes the registry without changing it.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -32,12 +46,21 @@ class Gauge:
 
     A gauge that was never set reports ``0.0`` extremes (not ``±inf``),
     so report tables stay readable for metrics that never fired.
+
+    Updates are serialized by a per-gauge lock: ``add`` is a
+    read-modify-write and ``set`` must update the value and both
+    extremes together, so concurrent writers (the scheduler thread, RPC
+    reader threads, the heartbeat sweep) would otherwise lose deltas or
+    record a ``max_seen`` no single writer ever set.  Reads are plain
+    attribute loads -- lock-free on purpose, since a torn read cannot
+    occur for a single reference under CPython.
     """
 
     def __init__(self, value: float = 0.0) -> None:
         self.value = value
         self._max: float | None = None
         self._min: float | None = None
+        self._lock = threading.Lock()
 
     @property
     def max_seen(self) -> float:
@@ -48,12 +71,17 @@ class Gauge:
         return 0.0 if self._min is None else self._min
 
     def set(self, value: float) -> None:
-        self.value = value
-        self._max = value if self._max is None else max(self._max, value)
-        self._min = value if self._min is None else min(self._min, value)
+        with self._lock:
+            self.value = value
+            self._max = value if self._max is None else max(self._max, value)
+            self._min = value if self._min is None else min(self._min, value)
 
     def add(self, delta: float) -> None:
-        self.set(self.value + delta)
+        with self._lock:
+            value = self.value + delta
+            self.value = value
+            self._max = value if self._max is None else max(self._max, value)
+            self._min = value if self._min is None else min(self._min, value)
 
     def __repr__(self) -> str:
         return f"Gauge(value={self.value!r})"
@@ -95,34 +123,99 @@ class Histogram:
     """Unordered value samples with percentile summaries (RPC latencies).
 
     Unlike :class:`TimeSeries` there is no time axis -- concurrent RPC
-    completions land in any order -- so recording is thread-safe-enough
-    for CPython (a single ``list.append``) and summaries are computed on
-    demand with NumPy.
+    completions land in any order.  Recording takes a per-histogram lock
+    (append plus occasional compaction must be atomic against readers).
+
+    **Bounded memory.**  The histogram keeps at most ``max_samples``
+    retained values; ``count``/``total``/``min``/``max`` (and therefore
+    ``mean``) stay *exact* no matter how many values were recorded.
+    Past the cap, retention degrades deterministically: the reservoir
+    keeps every ``stride``-th recorded value and, whenever it fills,
+    drops every other retained value and doubles the stride.  No RNG is
+    involved, so two runs recording the same sequence retain the same
+    reservoir -- percentiles beyond the cap are approximate (a uniform
+    systematic sample of the record stream) but reproducible.  The
+    default cap is high enough that every in-repo test and bench records
+    fewer values than the cap and sees exact percentiles.
     """
 
-    def __init__(self) -> None:
-        self.samples: list[float] = []
+    DEFAULT_MAX_SAMPLES = 65536
+
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self.max_samples = int(max_samples)
+        self._samples: list[float] = []
+        self._stride = 1
+        self._count = 0
+        self._total = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = threading.Lock()
 
     def record(self, value: float) -> None:
-        self.samples.append(float(value))
+        value = float(value)
+        with self._lock:
+            position = self._count
+            self._count += 1
+            self._total += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            if position % self._stride:
+                return
+            self._samples.append(value)
+            if len(self._samples) >= self.max_samples:
+                # Keep positions 0, 2*stride, 4*stride, ... -- exactly the
+                # multiples of the doubled stride -- so the invariant
+                # "retained = every stride-th recorded value" survives.
+                del self._samples[1::2]
+                self._stride *= 2
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        """Exact number of recorded values (not the retained subset size)."""
+        return self._count
+
+    @property
+    def samples(self) -> list[float]:
+        """The retained reservoir (a copy; at most ``max_samples`` long)."""
+        with self._lock:
+            return list(self._samples)
+
+    @property
+    def retained(self) -> int:
+        """How many values the reservoir currently holds (<= ``max_samples``)."""
+        return len(self._samples)
 
     def mean(self) -> float:
-        return float(np.mean(self.samples)) if self.samples else 0.0
+        """Exact mean of everything recorded (total/count, not reservoir)."""
+        return self._total / self._count if self._count else 0.0
 
     def total(self) -> float:
-        """Sum of every recorded sample (e.g. bytes across re-replication
-        batches -- must equal the matching byte counter)."""
-        return float(np.sum(self.samples)) if self.samples else 0.0
+        """Exact sum of every recorded sample (e.g. bytes across
+        re-replication batches -- must equal the matching byte counter)."""
+        return self._total
 
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0-100) of everything recorded; 0 when empty."""
-        if not self.samples:
+        """The ``q``-th percentile (0-100) of everything recorded; 0 when empty.
+
+        ``q=0`` and ``q=100`` are exact (tracked min/max); interior
+        percentiles are exact below the reservoir cap and a deterministic
+        approximation past it.
+        """
+        with self._lock:
+            if not self._count:
+                return 0.0
+            if q <= 0:
+                return float(self._min)  # type: ignore[arg-type]
+            if q >= 100:
+                return float(self._max)  # type: ignore[arg-type]
+            retained = list(self._samples)
+        if not retained:  # unreachable in practice (count > 0 retains >= 1)
             return 0.0
-        return float(np.percentile(np.asarray(self.samples, dtype=float), q))
+        return float(np.percentile(np.asarray(retained, dtype=float), q))
 
     def summary(self) -> dict[str, float]:
         return {
@@ -144,45 +237,100 @@ class MetricsRegistry:
     buffered toward streamed responses under reassembly).  ``peak(name)``
     reads a gauge's historical maximum -- the number the backpressure
     and bounded-memory assertions check.
+
+    Writer accessors (:meth:`counter`, :meth:`gauge`, ...) get-or-create
+    under a registry lock, so two threads first-touching the same name
+    always share one object.  Read paths (:meth:`peak`, :meth:`ratio`,
+    :meth:`snapshot`, :meth:`export`) are strictly non-creating: a
+    scrape or report never changes the registry's key set, and iterating
+    over a point-in-time copy of the key lists keeps a snapshot safe
+    while writers register new metrics concurrently.
     """
 
     def __init__(self) -> None:
-        self.counters: dict[str, Counter] = defaultdict(Counter)
-        self.gauges: dict[str, Gauge] = defaultdict(Gauge)
-        self.series: dict[str, TimeSeries] = defaultdict(TimeSeries)
-        self.histograms: dict[str, Histogram] = defaultdict(Histogram)
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.series: dict[str, TimeSeries] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
-        return self.counters[name]
+        c = self.counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self.counters.setdefault(name, Counter())
+        return c
 
     def gauge(self, name: str) -> Gauge:
-        return self.gauges[name]
+        g = self.gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self.gauges.setdefault(name, Gauge())
+        return g
 
     def peak(self, name: str) -> float:
         """Highest value the named gauge ever held (0.0 if never set)."""
-        return self.gauges[name].max_seen
+        g = self.gauges.get(name)
+        return 0.0 if g is None else g.max_seen
 
     def timeseries(self, name: str) -> TimeSeries:
-        return self.series[name]
+        ts = self.series.get(name)
+        if ts is None:
+            with self._lock:
+                ts = self.series.setdefault(name, TimeSeries())
+        return ts
 
     def histogram(self, name: str) -> Histogram:
-        return self.histograms[name]
+        h = self.histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self.histograms.setdefault(name, Histogram())
+        return h
 
     def ratio(self, hits: str, total: str) -> float:
-        """``counters[hits] / counters[total]`` (0 when the denominator is 0)."""
-        denom = self.counters[total].value
-        return self.counters[hits].value / denom if denom else 0.0
+        """``counters[hits] / counters[total]`` (0 when the denominator is 0,
+        without creating either entry)."""
+        denom_c = self.counters.get(total)
+        denom = denom_c.value if denom_c is not None else 0.0
+        if not denom:
+            return 0.0
+        hits_c = self.counters.get(hits)
+        return (hits_c.value if hits_c is not None else 0.0) / denom
 
     def snapshot(self) -> dict[str, float]:
-        """Flat dict of all counter and gauge values (for reports)."""
+        """Flat dict of all counter/gauge values and histogram summaries.
+
+        Purely observational: reading it never creates entries, and
+        histograms export their full ``summary()`` (count/mean/p50/p90/
+        p99/max), not just a median.
+        """
         out: dict[str, float] = {}
-        for name, c in self.counters.items():
+        for name, c in list(self.counters.items()):
             out[name] = c.value
-        for name, g in self.gauges.items():
+        for name, g in list(self.gauges.items()):
             out[f"{name} (gauge)"] = g.value
-        for name, h in self.histograms.items():
-            out[f"{name} (p50)"] = h.percentile(50.0)
+        for name, h in list(self.histograms.items()):
+            for stat, value in h.summary().items():
+                out[f"{name} ({stat})"] = value
         return out
+
+    def export(self) -> dict[str, dict]:
+        """Structured, non-creating snapshot for the observability plane.
+
+        ``{"counters": {name: value}, "gauges": {name: {value,max,min}},
+        "histograms": {name: summary}}`` -- everything JSON-encodable, no
+        live objects leak out.
+        """
+        return {
+            "counters": {name: c.value for name, c in list(self.counters.items())},
+            "gauges": {
+                name: {"value": g.value, "max": g.max_seen, "min": g.min_seen}
+                for name, g in list(self.gauges.items())
+            },
+            "histograms": {
+                name: h.summary() for name, h in list(self.histograms.items())
+            },
+        }
 
     @staticmethod
     def stddev(samples: Iterable[float]) -> float:

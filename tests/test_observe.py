@@ -1,0 +1,363 @@
+"""Observability plane: exposition correctness, live scrapes, inertness.
+
+Three layers of coverage:
+
+* pure encoder tests (names, label escaping, counter/gauge/summary
+  types) against hand-built registry exports;
+* a standalone :class:`ObserveServer` over a fake worker poll (sampling
+  rate limit, stale-on-error, routing, registry non-mutation);
+* a real cluster with ``observe.enabled=true`` scraped *while a job
+  runs*, plus the three-plane equality check proving the endpoint
+  changes no job output, stats, or assignment sequence.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster import ClusterRuntime
+from repro.common.config import ClusterConfig, DFSConfig, ObserveConfig
+from repro.common.errors import ConfigError
+from repro.common.serialization import config_from_dict, config_to_dict
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.parallel import ParallelEclipseMRRuntime
+from repro.mapreduce.runtime import EclipseMRRuntime
+from repro.observe import (
+    ObserveServer,
+    escape_label_value,
+    render_exposition,
+    sanitize_metric_name,
+)
+from repro.sim.metrics import MetricsRegistry
+
+_TYPE_LINE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)$"
+)
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]Inf|-?[0-9][0-9eE+.-]*)$"
+)
+
+
+def assert_valid_exposition(text: str) -> None:
+    """Every line is a legal 0.0.4 TYPE header or sample line."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            assert _TYPE_LINE.match(line), f"bad TYPE line: {line!r}"
+        else:
+            assert _SAMPLE_LINE.match(line), f"bad sample line: {line!r}"
+
+
+def _registry_export(counters=None, gauges=None, histograms=None) -> dict:
+    return {
+        "counters": counters or {},
+        "gauges": {n: {"value": v, "max": v, "min": v}
+                   for n, v in (gauges or {}).items()},
+        "histograms": histograms or {},
+    }
+
+
+class TestPrometheusEncoding:
+    def test_sanitize_names(self):
+        assert sanitize_metric_name("rpc.in_flight") == "eclipsemr_rpc_in_flight"
+        assert sanitize_metric_name("a-b c.d") == "eclipsemr_a_b_c_d"
+        assert sanitize_metric_name("9lives") == "eclipsemr_9lives"
+
+    def test_escape_label_values(self):
+        assert escape_label_value('pa"th') == 'pa\\"th'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("two\nlines") == "two\\nlines"
+
+    def test_counter_vs_gauge_types(self):
+        text = render_exposition(
+            _registry_export(counters={"rpc.calls": 7.0},
+                             gauges={"rpc.in_flight": 3.0})
+        )
+        assert "# TYPE eclipsemr_rpc_calls_total counter\n" in text
+        assert "eclipsemr_rpc_calls_total 7\n" in text
+        assert "# TYPE eclipsemr_rpc_in_flight gauge\n" in text
+        assert "eclipsemr_rpc_in_flight 3\n" in text
+        assert_valid_exposition(text)
+
+    def test_histogram_becomes_summary_with_exact_count_and_sum(self):
+        summary = {"count": 4.0, "mean": 2.5, "p50": 2.0, "p90": 4.0,
+                   "p99": 4.0, "max": 4.0}
+        text = render_exposition(
+            _registry_export(histograms={"rpc.latency_s": summary})
+        )
+        assert "# TYPE eclipsemr_rpc_latency_s summary\n" in text
+        assert 'eclipsemr_rpc_latency_s{quantile="0.5"} 2\n' in text
+        assert 'eclipsemr_rpc_latency_s{quantile="0.9"} 4\n' in text
+        assert 'eclipsemr_rpc_latency_s{quantile="0.99"} 4\n' in text
+        assert "eclipsemr_rpc_latency_s_count 4\n" in text
+        assert "eclipsemr_rpc_latency_s_sum 10\n" in text  # count * mean
+        assert "# TYPE eclipsemr_rpc_latency_s_max gauge\n" in text
+        assert_valid_exposition(text)
+
+    def test_worker_series_carry_worker_id_labels(self):
+        workers = {
+            "worker-0": {
+                "blocks_stored": 2,
+                "worker_id": "worker-0",  # non-numeric: must be skipped
+                "registry": _registry_export(
+                    counters={"worker.maps_run": 5.0}),
+            },
+        }
+        text = render_exposition(_registry_export(), workers)
+        assert ('eclipsemr_worker_maps_run_total{worker_id="worker-0"} 5\n'
+                in text)
+        assert 'eclipsemr_blocks_stored{worker_id="worker-0"} 2\n' in text
+        assert "worker-0\"} worker-0" not in text
+        assert_valid_exposition(text)
+
+    def test_label_escaping_survives_hostile_worker_ids(self):
+        hostile = 'w"eird\\id\nx'
+        workers = {hostile: {"blocks_stored": 1, "registry": {}}}
+        text = render_exposition(_registry_export(), workers)
+        assert '{worker_id="w\\"eird\\\\id\\nx"}' in text
+        assert_valid_exposition(text)
+
+    def test_one_type_header_per_family(self):
+        workers = {
+            f"worker-{i}": {"registry": _registry_export(
+                counters={"worker.maps_run": float(i)})}
+            for i in range(3)
+        }
+        text = render_exposition(_registry_export(), workers)
+        headers = [l for l in text.splitlines()
+                   if l.startswith("# TYPE eclipsemr_worker_maps_run_total ")]
+        assert len(headers) == 1
+        samples = [l for l in text.splitlines()
+                   if l.startswith("eclipsemr_worker_maps_run_total{")]
+        assert len(samples) == 3
+
+    def test_flat_duplicates_of_registry_counters_not_double_emitted(self):
+        # get_stats(full=True) carries flat counter copies next to the
+        # registry; only the registry (typed) series may be emitted.
+        workers = {
+            "worker-0": {
+                "worker.maps_run": 5.0,  # flat duplicate
+                "registry": _registry_export(
+                    counters={"worker.maps_run": 5.0}),
+            },
+        }
+        text = render_exposition(_registry_export(), workers)
+        assert text.count("worker_maps_run") == 2  # one TYPE + one sample
+
+    def test_special_float_values(self):
+        text = render_exposition(
+            _registry_export(gauges={"weird": float("inf")})
+        )
+        assert "eclipsemr_weird +Inf\n" in text
+        assert_valid_exposition(text)
+
+
+class TestObserveConfig:
+    def test_disabled_by_default(self):
+        cfg = ClusterConfig()
+        assert cfg.observe.enabled is False
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ObserveConfig(port=-1)
+        with pytest.raises(ConfigError):
+            ObserveConfig(port=70000)
+        with pytest.raises(ConfigError):
+            ObserveConfig(sample_interval=0.0)
+
+    def test_manifest_round_trip(self):
+        cfg = ClusterConfig(
+            observe=ObserveConfig(enabled=True, port=9900, sample_interval=0.5)
+        )
+        rebuilt = config_from_dict(config_to_dict(cfg))
+        assert rebuilt.observe == cfg.observe
+
+    def test_old_manifests_without_observe_still_load(self):
+        manifest = config_to_dict(ClusterConfig())
+        manifest.pop("observe")
+        assert config_from_dict(manifest).observe == ObserveConfig()
+
+
+def _get(url: str, timeout: float = 10.0) -> bytes:
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.read()
+
+
+class TestObserveServerStandalone:
+    """The HTTP server over a fake worker poll -- no cluster processes."""
+
+    def _server(self, poll, interval=60.0, registry=None):
+        registry = registry or MetricsRegistry()
+        cfg = ObserveConfig(enabled=True, port=0, sample_interval=interval)
+        return ObserveServer(registry, poll, cfg).start()
+
+    def test_sampling_is_rate_limited(self):
+        calls = []
+
+        def poll():
+            calls.append(1)
+            return {"worker-0": {"blocks_stored": 1, "registry": {}}}
+
+        with self._server(poll, interval=60.0) as srv:
+            for _ in range(4):
+                assert_valid_exposition(_get(srv.url + "/metrics").decode())
+        # One cold sample; every later scrape inside the interval reuses it.
+        assert len(calls) == 1
+
+    def test_failing_poll_serves_stale_sample(self):
+        state = {"fail": False}
+
+        def poll():
+            if state["fail"]:
+                raise RuntimeError("worker died mid-sample")
+            return {"worker-0": {"blocks_stored": 7, "registry": {}}}
+
+        with self._server(poll, interval=0.0001) as srv:
+            first = json.loads(_get(srv.url + "/metrics.json"))
+            assert first["workers"]["worker-0"]["blocks_stored"] == 7
+            state["fail"] = True
+            second = json.loads(_get(srv.url + "/metrics.json"))
+            assert second["workers"]["worker-0"]["blocks_stored"] == 7
+            assert second["sample_errors"] >= 1
+
+    def test_scrape_does_not_mutate_the_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("rpc.calls").inc(3)
+        registry.gauge("rpc.in_flight").set(1)
+        before_sets = (set(registry.counters), set(registry.gauges),
+                       set(registry.histograms), set(registry.series))
+        with self._server(lambda: {}, registry=registry) as srv:
+            _get(srv.url + "/metrics")
+            _get(srv.url + "/metrics.json")
+            _get(srv.url + "/")
+        assert (set(registry.counters), set(registry.gauges),
+                set(registry.histograms), set(registry.series)) == before_sets
+
+    def test_routes(self):
+        with self._server(lambda: {}) as srv:
+            html = _get(srv.url + "/").decode()
+            assert "EclipseMR" in html and "/metrics.json" in html
+            assert json.loads(_get(srv.url + "/metrics.json"))["workers"] == {}
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(srv.url + "/nope")
+            assert err.value.code == 404
+
+    def test_close_is_idempotent(self):
+        srv = self._server(lambda: {})
+        url = srv.url
+        srv.close()
+        srv.close()
+        with pytest.raises(Exception):
+            _get(url + "/metrics", timeout=0.5)
+
+
+class TestObserveCluster:
+    """A real 3-process cluster scraped while a wordcount job runs."""
+
+    CFG = ClusterConfig(
+        dfs=DFSConfig(block_size=2048),
+        observe=ObserveConfig(enabled=True, port=0, sample_interval=0.05),
+    )
+
+    @staticmethod
+    def corpus() -> bytes:
+        words = [f"obsword-{i:03d}" for i in range(120)]
+        return " ".join(words[i % len(words)] for i in range(8000)).encode()
+
+    @staticmethod
+    def job(app_id: str) -> MapReduceJob:
+        def wc_map(block):
+            for token in bytes(block).decode().split():
+                yield token, 1
+
+        def wc_reduce(key, values):
+            return sum(values)
+
+        return MapReduceJob(app_id=app_id, input_file="obs.txt",
+                            map_fn=wc_map, reduce_fn=wc_reduce)
+
+    def test_observe_enabled_changes_nothing_and_scrapes_never_fail(self):
+        data = self.corpus()
+
+        seq = EclipseMRRuntime(3, config=self.CFG)
+        seq.upload("obs.txt", data)
+        ref = seq.run(self.job("obs-seq"))
+
+        par = ParallelEclipseMRRuntime(3, config=self.CFG, max_workers=4)
+        par.upload("obs.txt", data)
+        threaded = par.run(self.job("obs-par"))
+
+        stop = threading.Event()
+        errors: list[Exception] = []
+        bodies: list[str] = []
+
+        def hammer(url: str) -> None:
+            while not stop.is_set():
+                try:
+                    bodies.append(_get(url + "/metrics").decode())
+                except Exception as exc:  # a scrape must never fail mid-job
+                    errors.append(exc)
+
+        with ClusterRuntime(3, self.CFG) as rt:
+            assert rt.observer is not None
+            scraper = threading.Thread(target=hammer, args=(rt.observer.url,),
+                                       daemon=True)
+            rt.upload("obs.txt", data)
+            scraper.start()
+            try:
+                clustered = rt.run(self.job("obs-cluster"))
+                clustered2 = rt.run(self.job("obs-cluster-2"))
+            finally:
+                stop.set()
+                scraper.join(timeout=10.0)
+            # One final scrape after the jobs, when every worker has run
+            # maps: the sampled per-worker series must be labeled.
+            final = _get(rt.observer.url + "/metrics").decode()
+
+        assert errors == []
+        assert len(bodies) >= 1
+        for body in bodies[:: max(1, len(bodies) // 20)]:
+            assert_valid_exposition(body)
+        assert_valid_exposition(final)
+        for wid in ("worker-0", "worker-1", "worker-2"):
+            assert f'worker_id="{wid}"' in final
+        assert "eclipsemr_worker_maps_run_total{" in final
+        assert "eclipsemr_heartbeat_age_s{" in final
+        assert "eclipsemr_observe_scrapes_total" in final
+
+        # Three-plane equality with the endpoint enabled and scraped
+        # under load: outputs, stats, and the assignment sequence are
+        # exactly the no-observe planes' results.
+        assert threaded.output == ref.output
+        assert clustered.output == ref.output
+        assert clustered2.output == ref.output
+        assert threaded.stats == ref.stats
+        assert clustered.stats == ref.stats
+        assert clustered.stats.tasks_per_server == ref.stats.tasks_per_server
+
+    def test_metrics_json_and_dashboard_served(self):
+        data = self.corpus()
+        with ClusterRuntime(3, self.CFG) as rt:
+            rt.upload("obs.txt", data)
+            rt.run(self.job("obs-json"))
+            payload = json.loads(_get(rt.observer.url + "/metrics.json"))
+            html = _get(rt.observer.url + "/").decode()
+        assert set(payload["workers"]) == {"worker-0", "worker-1", "worker-2"}
+        w0 = payload["workers"]["worker-0"]
+        assert "registry" in w0 and "counters" in w0["registry"]
+        assert w0["heartbeat_age_s"] >= 0.0
+        assert payload["coordinator"]["counters"]["rpc.calls"] > 0
+        assert "EclipseMR" in html and "fetch(" in html
+
+    def test_runtime_without_observe_starts_no_server(self):
+        cfg = ClusterConfig(dfs=DFSConfig(block_size=2048))
+        with ClusterRuntime(2, cfg) as rt:
+            assert rt.observer is None
