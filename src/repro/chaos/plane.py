@@ -53,11 +53,21 @@ def partition_rules(victim: str, *, heal_after: int | None = None) -> tuple[Faul
 class FaultInjector:
     """Evaluates one node's fault rules at the transport seam.
 
-    Rules are evaluated in script order; ``delay`` sleeps and keeps
-    scanning, ``crash`` exits the process on the spot, and the first
-    ``drop``/``blackhole`` ends evaluation and is returned as the action
-    for the RPC layer to apply.  ``exit_fn`` and ``sleep`` are injectable
-    so unit tests can observe crashes without dying.
+    Rules are evaluated in script order; ``crash`` exits the process on
+    the spot, and the first ``drop``/``blackhole`` ends evaluation and
+    is returned as the action for the RPC layer to apply.  ``delay``
+    keeps scanning, and its handling is site-dependent: at the *serve*
+    seam the injector sleeps in place (each request runs on its own
+    handler thread, so only the faulted request stalls), but at the
+    *send* seam sleeping would block the caller's thread -- the
+    scheduler's single event loop above all, freezing dispatch for every
+    unrelated job -- so matched delays are instead summed and returned
+    as a ``("delay", seconds)`` action for the transport to apply
+    asynchronously (defer the send, keep the caller moving).  A
+    drop/blackhole match subsumes any accumulated delay: the call fails
+    or vanishes either way, and both are logged.  ``exit_fn`` and
+    ``sleep`` are injectable so unit tests can observe crashes without
+    dying.
     """
 
     def __init__(
@@ -98,11 +108,13 @@ class FaultInjector:
 
     # -- the seams ---------------------------------------------------------------
 
-    def on_send(self, addr: Sequence, method: str) -> Optional[str]:
+    def on_send(self, addr: Sequence, method: str):
         """Client seam: runs before a request's bytes hit the wire.
 
         Returns ``"drop"`` (fail the call as a connection error),
-        ``"blackhole"`` (admit the call but never send it), or ``None``.
+        ``"blackhole"`` (admit the call but never send it), a
+        ``("delay", seconds)`` tuple (defer the send off the caller's
+        thread), or ``None``.
         """
         return self._fire("send", self.node_id, self.name_of(addr), method)
 
@@ -114,7 +126,8 @@ class FaultInjector:
         """
         return self._fire("serve", "*", self.node_id, method)
 
-    def _fire(self, site: str, src: str, dst: str, method: str) -> Optional[str]:
+    def _fire(self, site: str, src: str, dst: str, method: str):
+        deferred_delay = 0.0
         for i, rule in enumerate(self.rules):
             if rule.site != site:
                 continue
@@ -134,12 +147,17 @@ class FaultInjector:
                 self.log.append((site, src, dst, method, rule.op, n))
             self._record(rule.op)
             if rule.op == "delay":
-                self._sleep(rule.delay_s)
+                if site == "serve":
+                    self._sleep(rule.delay_s)  # handler thread: only this request stalls
+                else:
+                    deferred_delay += rule.delay_s  # send seam: never block the caller
                 continue
             if rule.op == "crash":
                 self._exit(137)
                 continue  # only reached with an injected (non-exiting) exit_fn
-            return rule.op  # drop | blackhole: first match ends evaluation
+            return rule.op  # drop | blackhole: first match ends evaluation (subsumes delay)
+        if deferred_delay > 0.0:
+            return ("delay", deferred_delay)
         return None
 
     # -- accounting ---------------------------------------------------------------

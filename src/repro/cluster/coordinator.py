@@ -32,6 +32,7 @@ from repro.common.errors import (
 from repro.common.hashing import DEFAULT_SPACE, HashSpace
 from repro.dfs.metadata import BlockDescriptor, FileMetadata
 from repro.dht.ring import ConsistentHashRing
+from repro.cluster.health import HealthMonitor
 from repro.cluster.heartbeat import LivenessTracker
 from repro.cluster.messages import CompletionMarker, RingTable, WorkerAddress
 from repro.net.retry import RetryPolicy
@@ -92,6 +93,10 @@ class Coordinator:
             self.config.net.heartbeat_interval,
             self.config.net.heartbeat_miss_threshold,
         )
+        # Gray-failure plane: heartbeat RTTs feed it here; the scheduler
+        # feeds slow-task/timeout signals and consults the quarantine
+        # judgment at dispatch.  Disabled configs make it inert.
+        self.health = HealthMonitor(self.config.health, metrics=self.metrics)
         self.pool = ConnectionPool(self.config.net, metrics=self.metrics)
         self._registered = threading.Event()
         # Per-worker registration events for workers expected *after*
@@ -141,8 +146,12 @@ class Coordinator:
             joined.set()
         return True
 
-    def _handle_heartbeat(self, worker_id: str, seq: int) -> bool:
-        self.liveness.beat(worker_id)
+    def _handle_heartbeat(
+        self, worker_id: str, seq: int, rtt_s: float | None = None
+    ) -> bool:
+        self.liveness.beat(worker_id, rtt_s=rtt_s)
+        if rtt_s is not None:
+            self.health.observe_rtt(worker_id, rtt_s)
         self.metrics.counter("heartbeat.received").inc()
         return True
 
@@ -219,6 +228,20 @@ class Coordinator:
                 continue  # removed between tracked() and age()
         return ages
 
+    def heartbeat_rtts(self) -> dict[str, float]:
+        """Latest worker-reported heartbeat round trips (observability).
+
+        Mirrors :meth:`heartbeat_ages`: a passive read for the observe
+        endpoint.  Workers that have not yet shipped a measured beat
+        (the RTT rides one beat late) are simply absent.
+        """
+        rtts: dict[str, float] = {}
+        for wid in self.liveness.tracked():
+            rtt = self.liveness.rtt_of(wid)
+            if rtt is not None:
+                rtts[wid] = rtt
+        return rtts
+
     def mark_dead(self, worker_id: str) -> None:
         """Fail a worker over: merge its arc, restore replication, re-ring.
 
@@ -235,6 +258,7 @@ class Coordinator:
             gone = self.addresses.pop(worker_id)
             self.epoch += 1
         self.liveness.remove(worker_id)
+        self.health.forget(worker_id)
         self.pool.close_address(gone.addr)
         # A worker can die half-way through a membership op that already
         # took it off the ring (a drain's handoff, an aborted join), so
@@ -332,6 +356,7 @@ class Coordinator:
                 self.worker_ids.remove(worker_id)
             self.epoch += 1
         self.liveness.remove(worker_id)
+        self.health.forget(worker_id)
         if gone is not None:
             self.pool.close_address(gone.addr)
         if worker_id in self.ring:
@@ -417,6 +442,7 @@ class Coordinator:
         with self._lock:
             gone = self.addresses.pop(worker_id)
         self.liveness.remove(worker_id)
+        self.health.forget(worker_id)
         self._update_live_gauge()
         self.broadcast_ring()
         # Best-effort shutdown: the drainee is out of the ring either way.

@@ -1,0 +1,182 @@
+"""Gray-failure detection: per-worker health scores with quarantine.
+
+A crashed worker stops heartbeating and the liveness plane fails it
+over.  A *gray-failing* worker is worse: it heartbeats on time but
+serves slowly -- a degraded disk, a saturated NIC, a noisy neighbor --
+so every task scheduled there becomes a straggler and the failure
+detector never fires.  The :class:`HealthMonitor` accumulates a
+per-worker suspicion score from three signals the cluster already
+produces:
+
+* heartbeat round-trip latency (shipped by the worker one beat late,
+  see :func:`repro.cluster.messages.heartbeat_args`) over
+  ``health.rtt_slow_s``;
+* task attempts that ran long enough to be speculated against
+  (``health.slow_task_penalty`` per event, fed by the scheduler);
+* RPC timeouts and transport retries (``health.timeout_penalty``).
+
+The score decays exponentially (half-life ``health.decay_halflife_s``)
+so old sins are forgiven; crossing ``health.quarantine_threshold``
+quarantines the worker -- the scheduler stops dispatching *new* tasks
+there, but the worker keeps serving block fetches, spill pushes, and
+heartbeats, and is **not** failed over (its data stays authoritative).
+Recovery uses hysteresis: the worker is eligible again only once the
+score has decayed to ``health.recover_threshold``, preventing flapping
+at the boundary.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from repro.common.config import HealthConfig
+from repro.sim.metrics import MetricsRegistry
+
+__all__ = ["HealthMonitor"]
+
+
+class HealthMonitor:
+    """Decaying per-worker suspicion scores plus the quarantine judgment.
+
+    Thread-safe; takes an injectable clock so decay and hysteresis are
+    unit-testable without sleeping.  All mutating entry points are
+    no-ops when ``config.enabled`` is false, so a disabled monitor can
+    stay wired into the coordinator at zero behavioral cost.
+    """
+
+    def __init__(
+        self,
+        config: HealthConfig,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.clock = clock
+        self._lock = threading.Lock()
+        # worker_id -> (score, stamped_at); score decays lazily on read
+        self._scores: dict[str, tuple[float, float]] = {}
+        self._quarantined: set[str] = set()
+
+    # -- scoring -----------------------------------------------------
+
+    def _decayed(self, worker_id: str, now: float) -> float:
+        entry = self._scores.get(worker_id)
+        if entry is None:
+            return 0.0
+        score, stamped = entry
+        if now <= stamped:
+            return score
+        return score * 0.5 ** ((now - stamped) / self.config.decay_halflife_s)
+
+    def _add(self, worker_id: str, amount: float) -> None:
+        now = self.clock()
+        score = self._decayed(worker_id, now) + amount
+        self._scores[worker_id] = (score, now)
+        if score >= self.config.quarantine_threshold and (
+            worker_id not in self._quarantined
+        ):
+            self._quarantined.add(worker_id)
+            self.metrics.counter("health.quarantines").inc()
+            self._publish()
+
+    def penalize(self, worker_id: str, amount: float) -> None:
+        """Add raw suspicion (generic entry point for new signals)."""
+        if not self.config.enabled or amount <= 0:
+            return
+        with self._lock:
+            self._add(worker_id, amount)
+
+    def observe_rtt(self, worker_id: str, rtt_s: float) -> None:
+        """Feed one heartbeat round trip; only over-budget beats add
+        suspicion, proportionally to how far over ``rtt_slow_s`` they
+        ran (capped so a single pathological beat cannot instantly
+        quarantine an otherwise healthy worker)."""
+        if not self.config.enabled or rtt_s <= self.config.rtt_slow_s:
+            return
+        excess = min(rtt_s / self.config.rtt_slow_s - 1.0, 2.0)
+        with self._lock:
+            self._add(worker_id, excess)
+
+    def observe_timeout(self, worker_id: str) -> None:
+        """An RPC against the worker timed out (or exhausted transport
+        retries) -- the strongest gray-failure signal."""
+        if not self.config.enabled:
+            return
+        with self._lock:
+            self._add(worker_id, self.config.timeout_penalty)
+
+    def observe_slow_task(self, worker_id: str) -> None:
+        """A task attempt on the worker ran long enough that the
+        scheduler launched (or would launch) a speculative copy."""
+        if not self.config.enabled:
+            return
+        with self._lock:
+            self._add(worker_id, self.config.slow_task_penalty)
+
+    # -- judgment ----------------------------------------------------
+
+    def score(self, worker_id: str) -> float:
+        """The worker's current (decayed) suspicion score."""
+        with self._lock:
+            return self._decayed(worker_id, self.clock())
+
+    def is_quarantined(self, worker_id: str) -> bool:
+        """True while the worker should receive no new task dispatches.
+
+        Reading is where recovery happens: once the decayed score falls
+        to ``recover_threshold`` the quarantine lifts (hysteresis -- the
+        lift bar sits below the trip bar, so a worker hovering at the
+        threshold cannot flap in and out)."""
+        with self._lock:
+            if worker_id not in self._quarantined:
+                return False
+            if self._decayed(worker_id, self.clock()) <= self.config.recover_threshold:
+                self._quarantined.discard(worker_id)
+                self.metrics.counter("health.recoveries").inc()
+                self._publish()
+                return False
+            return True
+
+    def quarantined(self) -> list[str]:
+        """Currently quarantined workers (recovery applied first)."""
+        with self._lock:
+            now = self.clock()
+            recovered = [
+                wid
+                for wid in self._quarantined
+                if self._decayed(wid, now) <= self.config.recover_threshold
+            ]
+            for wid in recovered:
+                self._quarantined.discard(wid)
+                self.metrics.counter("health.recoveries").inc()
+            if recovered:
+                self._publish()
+            return sorted(self._quarantined)
+
+    def forget(self, worker_id: str) -> None:
+        """Drop all state for a departed worker (failover or drain)."""
+        with self._lock:
+            self._scores.pop(worker_id, None)
+            if worker_id in self._quarantined:
+                self._quarantined.discard(worker_id)
+                self._publish()
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Per-worker ``{"score": float, "quarantined": bool}`` for the
+        observability plane (no recovery side effects)."""
+        with self._lock:
+            now = self.clock()
+            return {
+                wid: {
+                    "score": round(self._decayed(wid, now), 4),
+                    "quarantined": wid in self._quarantined,
+                }
+                for wid in self._scores
+            }
+
+    def _publish(self) -> None:
+        # callers hold the lock
+        self.metrics.gauge("health.quarantined").set(len(self._quarantined))

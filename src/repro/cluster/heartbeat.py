@@ -15,6 +15,7 @@ from typing import Callable, Optional
 
 from repro.common.config import NetConfig
 from repro.common.errors import ClusterError, NetworkError
+from repro.cluster.messages import heartbeat_args
 from repro.net.rpc import RpcClient
 
 __all__ = ["LivenessTracker", "HeartbeatSender"]
@@ -38,6 +39,7 @@ class LivenessTracker:
         self.clock = clock
         self._last_seen: dict[str, float] = {}
         self._beats: dict[str, int] = {}
+        self._rtts: dict[str, float] = {}
         self._lock = threading.Lock()
 
     @property
@@ -51,17 +53,20 @@ class LivenessTracker:
             self._last_seen[worker_id] = self.clock()
             self._beats.setdefault(worker_id, 0)
 
-    def beat(self, worker_id: str) -> None:
+    def beat(self, worker_id: str, rtt_s: Optional[float] = None) -> None:
         with self._lock:
             if worker_id not in self._last_seen:
                 return  # late heartbeat from a worker already declared dead
             self._last_seen[worker_id] = self.clock()
             self._beats[worker_id] += 1
+            if rtt_s is not None and rtt_s >= 0:
+                self._rtts[worker_id] = float(rtt_s)
 
     def remove(self, worker_id: str) -> None:
         with self._lock:
             self._last_seen.pop(worker_id, None)
             self._beats.pop(worker_id, None)
+            self._rtts.pop(worker_id, None)
 
     def age(self, worker_id: str) -> float:
         """Seconds since the worker's last heartbeat."""
@@ -86,6 +91,12 @@ class LivenessTracker:
     def beats_of(self, worker_id: str) -> int:
         with self._lock:
             return self._beats.get(worker_id, 0)
+
+    def rtt_of(self, worker_id: str) -> Optional[float]:
+        """Latest heartbeat round-trip latency a worker reported, or
+        ``None`` before its first measured beat arrives."""
+        with self._lock:
+            return self._rtts.get(worker_id)
 
     def tracked(self) -> list[str]:
         with self._lock:
@@ -119,6 +130,7 @@ class HeartbeatSender:
         self.fault_hook = fault_hook
         self.max_consecutive_failures = max(2, 2 * net.heartbeat_miss_threshold)
         self.sent = 0
+        self.last_rtt: float | None = None
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name=f"heartbeat:{worker_id}", daemon=True
@@ -131,20 +143,25 @@ class HeartbeatSender:
 
     def _run(self) -> None:
         failures = 0
+        rtt: float | None = None  # previous beat's round trip, shipped one late
         while not self._stop.wait(self.net.heartbeat_interval):
             try:
                 if self._client is None:
                     self._client = RpcClient(*self.coordinator, net=self.net)
                     self._client.fault_hook = self.fault_hook
+                started = time.monotonic()
                 self._client.call(
                     "heartbeat",
-                    {"worker_id": self.worker_id, "seq": self.sent},
+                    heartbeat_args(self.worker_id, self.sent, rtt),
                     timeout=max(self.net.heartbeat_interval, 1.0),
                 )
+                rtt = time.monotonic() - started
+                self.last_rtt = rtt
                 self.sent += 1
                 failures = 0
             except NetworkError:
                 failures += 1
+                rtt = None  # a reconnect's first beat carries no sample
                 if self._client is not None:
                     self._client.close()
                     self._client = None

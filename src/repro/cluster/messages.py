@@ -23,6 +23,7 @@ __all__ = [
     "WorkerAddress",
     "RingTable",
     "CompletionMarker",
+    "heartbeat_args",
     "encode_job",
     "DecodedJob",
     "decode_job",
@@ -148,6 +149,23 @@ class CompletionMarker:
             block_index=wire["block_index"],
             entries=tuple((str(d), str(s), int(n)) for d, s, n in wire["entries"]),
         )
+
+
+def heartbeat_args(
+    worker_id: str, seq: int, rtt_s: Optional[float] = None
+) -> dict[str, Any]:
+    """The wire shape of one heartbeat RPC's args.
+
+    ``rtt_s`` is the round-trip latency the *previous* beat measured on
+    the worker side -- the coordinator learns each worker's control-plane
+    latency one beat late, which is fine for health scoring.  ``None``
+    (first beat, or a beat after a reconnect) means "no sample"; the key
+    is omitted so old coordinators keep accepting the call.
+    """
+    args: dict[str, Any] = {"worker_id": worker_id, "seq": seq}
+    if rtt_s is not None:
+        args["rtt_s"] = float(rtt_s)
+    return args
 
 
 def encode_job(job: MapReduceJob, job_uid: str | None = None) -> dict[str, Any]:

@@ -453,6 +453,8 @@ class ClusterRuntime:
         """
         alive = self.coordinator.alive_ids()
         ages = self.coordinator.heartbeat_ages()
+        rtts = self.coordinator.heartbeat_rtts()
+        health = self.coordinator.health.snapshot()
         if not alive:
             return {}
 
@@ -463,6 +465,14 @@ class ClusterRuntime:
                 return None
             if wid in ages:
                 stats["heartbeat_age_s"] = ages[wid]
+            if wid in rtts:
+                stats["heartbeat_rtt_s"] = rtts[wid]
+            if wid in health:
+                stats["health_score"] = health[wid]["score"]
+                stats["quarantined"] = health[wid]["quarantined"]
+                # Bools are skipped by the /metrics exposition; ship the
+                # quarantine state as a 0/1 gauge alongside.
+                stats["health_quarantined"] = int(health[wid]["quarantined"])
             return stats
 
         with ThreadPoolExecutor(max_workers=len(alive),

@@ -212,6 +212,8 @@ class WorkerNode:
         with self._lock:
             spill_objects = len(self.spill_objects)
             spill_object_bytes = self.spill_object_bytes
+            spills_held = sum(self.intermediates.spill_count(uid)
+                              for uid in self.intermediates.job_ids())
         out.update(
             worker_id=self.worker_id,
             blocks_stored=stored,
@@ -225,6 +227,7 @@ class WorkerNode:
             icache_expirations=cache.icache_expirations,
             ocache_expirations=cache.ocache_expirations,
             bytes_received=self.intermediates.bytes_received,
+            spills_held=spills_held,
             spill_objects=spill_objects,
             spill_object_bytes=spill_object_bytes,
         )
@@ -249,6 +252,7 @@ class WorkerNode:
         name: str,
         index: int,
         holders: list[tuple[str, str, int]],
+        attempt: int = 0,
     ) -> dict[str, Any]:
         decoded = self._job(job)
         with self._lock:
@@ -276,11 +280,13 @@ class WorkerNode:
                 self.receive_spill(decoded.app_id, sid, pairs, nbytes,
                                    cache=decoded.cache_intermediates,
                                    ttl=decoded.intermediate_ttl,
-                                   job_uid=decoded.job_uid)
+                                   job_uid=decoded.job_uid,
+                                   attempt=attempt)
                 self.metrics.counter("worker.local_spills").inc()
             else:
                 pushes.append(self._spill_pool.submit(
-                    self._push_spill_remote, decoded, peers, dest, sid, pairs, nbytes
+                    self._push_spill_remote, decoded, peers, dest, sid, pairs,
+                    nbytes, attempt
                 ))
             return True
 
@@ -363,6 +369,7 @@ class WorkerNode:
         spill_id: str,
         pairs: list[tuple[Any, Any]],
         nbytes: int,
+        attempt: int = 0,
     ) -> None:
         """Ship one (already combined, non-empty) spill to its reduce-side
         owner over the wire."""
@@ -383,6 +390,7 @@ class WorkerNode:
                     "nbytes": nbytes,
                     "cache": job.cache_intermediates,
                     "ttl": job.intermediate_ttl,
+                    "attempt": attempt,
                 },
                 blob=encode_spill(pairs),
                 blob_arg="payload",
@@ -394,24 +402,34 @@ class WorkerNode:
 
     def push_spill(self, app_id: str, spill_id: str, pairs: list | None = None,
                    nbytes: int = 0, cache: bool = False, ttl: float | None = None,
-                   payload=None, job_uid: str | None = None) -> int:
+                   payload=None, job_uid: str | None = None,
+                   attempt: int = 0) -> int:
         if pairs is None:
             if cache:
                 payload = bytes(payload)  # snapshot the frame view: we keep it
             pairs = decode_spill(payload)
         return self.receive_spill(app_id, spill_id, pairs, nbytes, cache, ttl,
                                   payload=payload if cache else None,
-                                  job_uid=job_uid)
+                                  job_uid=job_uid, attempt=attempt)
 
     def receive_spill(self, app_id: str, spill_id: str, pairs: list,
                       nbytes: int, cache: bool = False, ttl: float | None = None,
                       payload: bytes | None = None,
-                      job_uid: str | None = None) -> int:
+                      job_uid: str | None = None, attempt: int = 0) -> int:
         # In-flight reduce inputs are keyed by submission uid; the durable
         # replay copies (oCache entry + persisted spill object) stay keyed
         # by app_id so a later run of the same app can replay them.
         with self._lock:
-            self.intermediates.receive(job_uid or app_id, spill_id, pairs, nbytes)
+            accepted = self.intermediates.receive(
+                job_uid or app_id, spill_id, pairs, nbytes, attempt=attempt
+            )
+        if not accepted:
+            # A stale delivery: the push of a map execution the scheduler
+            # already replaced arrived after its replacement.  Nothing is
+            # stored, cached, or persisted -- the durable replay copies
+            # must not regress to the superseded content either.
+            self.metrics.counter("worker.stale_spills_rejected").inc()
+            return 0
         if cache:
             if payload is None:
                 payload = pickle.dumps(pairs, protocol=pickle.HIGHEST_PROTOCOL)
@@ -486,7 +504,8 @@ class WorkerNode:
 
     def replay_intermediates(self, app_id: str, spills: list[tuple[str, int]],
                              ttl: float | None = None,
-                             job_uid: str | None = None) -> dict[str, Any]:
+                             job_uid: str | None = None,
+                             attempt: int = 0) -> dict[str, Any]:
         """Repopulate the local intermediate store from cached/persisted spills.
 
         ``spills`` is this worker's slice of a completion marker:
@@ -515,7 +534,8 @@ class WorkerNode:
         replayed_bytes = 0
         for spill_id, pairs, nbytes, payload in staged:
             with self._lock:
-                self.intermediates.receive(job_uid or app_id, spill_id, pairs, nbytes)
+                self.intermediates.receive(job_uid or app_id, spill_id, pairs,
+                                           nbytes, attempt=attempt)
             if payload is not None:  # refill the oCache on a store read
                 self.cache.put_output(app_id, spill_id, pairs,
                                       size=len(payload), ttl=ttl)
@@ -526,10 +546,13 @@ class WorkerNode:
                 "ocache_hits": ocache_hits, "ocache_misses": ocache_misses}
 
     def discard_spills(self, app_id: str, spill_ids: list[str],
-                       job_uid: str | None = None) -> int:
-        """Drop specific in-flight spills (fallback after a partial replay)."""
+                       job_uid: str | None = None,
+                       attempt: int | None = None) -> int:
+        """Drop specific in-flight spills (fallback after a partial replay,
+        or a speculative loser's retraction when ``attempt`` is given)."""
         with self._lock:
-            return self.intermediates.discard_spills(job_uid or app_id, spill_ids)
+            return self.intermediates.discard_spills(job_uid or app_id,
+                                                     spill_ids, attempt=attempt)
 
     def run_reduce(self, job: dict) -> Any:
         decoded = self._job(job)

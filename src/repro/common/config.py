@@ -440,6 +440,106 @@ class ObserveConfig:
 
 
 @dataclass(frozen=True)
+class SpecConfig:
+    """Speculative execution of straggling map attempts (off by default).
+
+    Only the cluster plane's :class:`repro.jobs.JobScheduler` reads
+    these.  With ``enabled=False`` (the default) no service-time
+    tracking, duplicate dispatch, or attempt-race bookkeeping runs and a
+    lone submitted job stays bit-equal to the sequential plane.
+    """
+
+    enabled: bool = False
+    """Launch duplicate attempts for map tasks that run far past the
+    job's median map service time (first finisher wins)."""
+
+    slow_factor: float = 2.0
+    """A running attempt is a straggler once its elapsed time exceeds
+    ``slow_factor x p50`` of the job's settled map attempts."""
+
+    min_samples: int = 3
+    """Settled map attempts required before the p50 is trusted; no
+    speculation fires earlier."""
+
+    min_runtime_s: float = 0.25
+    """Floor on the straggler threshold, seconds: tiny tasks never
+    speculate on scheduling jitter alone."""
+
+    max_copies: int = 2
+    """Total concurrent attempts per task, the original included."""
+
+    def __post_init__(self) -> None:
+        if self.slow_factor < 1.0:
+            raise ConfigError(
+                f"slow_factor must be >= 1, got {self.slow_factor}"
+            )
+        if self.min_samples < 1:
+            raise ConfigError("min_samples must be >= 1")
+        if self.min_runtime_s < 0:
+            raise ConfigError("min_runtime_s must be non-negative")
+        if self.max_copies < 2:
+            raise ConfigError(
+                f"max_copies must be >= 2 (the original plus at least one"
+                f" duplicate), got {self.max_copies}"
+            )
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Gray-failure detection and dispatch quarantine (off by default).
+
+    The coordinator keeps a leaky health score per worker, fed by
+    heartbeat round-trip latency, task service times, and RPC
+    timeout/retry evidence.  A worker whose score crosses
+    ``quarantine_threshold`` receives no *new* task dispatches -- it
+    still serves block fetches, spill pushes, and heartbeats, and is
+    never failed over -- and recovers once the score decays below
+    ``recover_threshold`` (hysteresis, so a borderline worker does not
+    flap in and out of the dispatch pool).
+    """
+
+    enabled: bool = False
+    """Track per-worker health scores and quarantine gray workers."""
+
+    quarantine_threshold: float = 2.0
+    """Score at or above which a worker stops receiving new dispatches."""
+
+    recover_threshold: float = 0.5
+    """Score a quarantined worker must decay to before dispatch resumes;
+    must be below ``quarantine_threshold``."""
+
+    decay_halflife_s: float = 5.0
+    """Half-life of the exponential score decay, seconds: how fast a
+    recovered worker earns its way back."""
+
+    rtt_slow_s: float = 0.25
+    """Heartbeat round trips above this are penalized in proportion to
+    how far they exceed it."""
+
+    timeout_penalty: float = 1.0
+    """Score added per RPC timeout or transport retry against a worker."""
+
+    slow_task_penalty: float = 0.5
+    """Score added per task that finishes beyond the straggler threshold
+    (``spec.slow_factor x p50``) on a worker."""
+
+    def __post_init__(self) -> None:
+        if self.quarantine_threshold <= 0:
+            raise ConfigError("quarantine_threshold must be positive")
+        if not 0 <= self.recover_threshold < self.quarantine_threshold:
+            raise ConfigError(
+                "recover_threshold must be in [0, quarantine_threshold); got "
+                f"{self.recover_threshold} vs {self.quarantine_threshold}"
+            )
+        if self.decay_halflife_s <= 0:
+            raise ConfigError("decay_halflife_s must be positive")
+        if self.rtt_slow_s <= 0:
+            raise ConfigError("rtt_slow_s must be positive")
+        if self.timeout_penalty < 0 or self.slow_task_penalty < 0:
+            raise ConfigError("health penalties must be non-negative")
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """The simulated hardware platform (paper §III testbed)."""
 
@@ -477,6 +577,8 @@ class ClusterConfig:
     chaos: ChaosConfig = field(default_factory=ChaosConfig)
     membership: MembershipConfig = field(default_factory=MembershipConfig)
     observe: ObserveConfig = field(default_factory=ObserveConfig)
+    spec: SpecConfig = field(default_factory=SpecConfig)
+    health: HealthConfig = field(default_factory=HealthConfig)
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:

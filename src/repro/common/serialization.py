@@ -21,20 +21,22 @@ from repro.common.config import (
     ClusterConfig,
     DFSConfig,
     FaultRule,
+    HealthConfig,
     JobsConfig,
     MembershipConfig,
     NetConfig,
     ObserveConfig,
     SchedulerConfig,
+    SpecConfig,
 )
 from repro.common.errors import ConfigError
 
 __all__ = ["config_to_dict", "config_from_dict", "diff_configs"]
 
-# ``net`` (and later ``chaos``, ``jobs``, ``membership``, and
-# ``observe``) joined the schema after the first manifests shipped;
-# manifests written without them keep loading (the fields fall back to
-# their defaults), so the schema string stays at /1.
+# ``net`` (and later ``chaos``, ``jobs``, ``membership``, ``observe``,
+# ``spec``, and ``health``) joined the schema after the first manifests
+# shipped; manifests written without them keep loading (the fields fall
+# back to their defaults), so the schema string stays at /1.
 _NESTED = {
     "dfs": DFSConfig,
     "cache": CacheConfig,
@@ -44,6 +46,8 @@ _NESTED = {
     "chaos": ChaosConfig,
     "membership": MembershipConfig,
     "observe": ObserveConfig,
+    "spec": SpecConfig,
+    "health": HealthConfig,
 }
 
 

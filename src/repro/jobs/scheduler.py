@@ -30,7 +30,19 @@ internally one scheduler thread runs an event loop:
   the legacy recovery (salvage / doom / re-draw);
 * one job's mapper raising, or the job being cancelled, resolves only
   that job's handle -- other in-flight jobs are untouched (failure
-  isolation).
+  isolation);
+* with ``spec.enabled``, map attempts running past ``spec.slow_factor``
+  times the job's median map service time get a **speculative backup
+  copy** on the least-loaded eligible worker (spare slots only); the
+  first finisher wins, the loser limps home as a *zombie* whose late
+  spill deliveries the attempt-numbered reduce-side stores reject or
+  retract -- and a straggler's timeout while another attempt lives is
+  *slowness* evidence for the health plane, never death evidence;
+* with ``health.enabled``, the coordinator's :class:`HealthMonitor`
+  quarantines gray-failing workers (slow heartbeat round trips, outrun
+  attempts, RPC timeouts): quarantined workers get no new map
+  dispatches but keep serving reads, pushes, and their reduce shard,
+  and recover by score decay with hysteresis.
 
 ``ClusterSession`` wraps a runtime + scheduler as a context manager for
 the common many-jobs-one-cluster client shape.
@@ -60,20 +72,24 @@ from repro.cluster.messages import CompletionMarker, encode_job, reassemble_redu
 from repro.jobs.handle import JobHandle, JobState
 from repro.jobs.policy import DispatchContext, InterJobPolicy, make_policy
 from repro.mapreduce.job import JobResult, JobStats, MapReduceJob
+from repro.sim.metrics import ServiceTimeTracker
 
 __all__ = ["JobScheduler", "ClusterSession"]
 
 
 class _MapOutcome:
     """One completed map task's final record: who ran it, what it
-    returned, and (the salvage criterion) which workers hold its spills."""
+    returned, which attempt produced it, and (the salvage criterion)
+    which workers hold its spills."""
 
-    __slots__ = ("desc", "server", "result", "manifest", "dests")
+    __slots__ = ("desc", "server", "result", "manifest", "dests", "attempt")
 
-    def __init__(self, desc: Any, server: str, result: dict) -> None:
+    def __init__(self, desc: Any, server: str, result: dict,
+                 attempt: int = 0) -> None:
         self.desc = desc
         self.server = server
         self.result = result
+        self.attempt = attempt
         self.manifest = tuple(tuple(e) for e in result.get("manifest") or ())
         self.dests = frozenset(dest for dest, _, _ in self.manifest)
 
@@ -96,9 +112,21 @@ class _MapTracker:
         self.maps_run = 0
         self.replays = 0
         self.reexecuted = 0
+        # block index -> next attempt number.  Every *execution* of a
+        # block (first run, post-failover re-execution, speculative
+        # copy) draws a fresh monotone number; spill deliveries carry
+        # it, so the reduce-side stores can tell a fresh result from a
+        # late duplicate of an abandoned one.
+        self._attempts: dict[int, int] = {}
 
-    def record(self, desc: Any, server: str, result: dict) -> None:
-        self.completed[desc.index] = _MapOutcome(desc, server, result)
+    def next_attempt(self, index: int) -> int:
+        n = self._attempts.get(index, 0)
+        self._attempts[index] = n + 1
+        return n
+
+    def record(self, desc: Any, server: str, result: dict,
+               attempt: int = 0) -> None:
+        self.completed[desc.index] = _MapOutcome(desc, server, result, attempt)
         if result.get("replayed"):
             self.replays += 1
         else:
@@ -132,7 +160,7 @@ class _Task:
 
     __slots__ = ("jr", "kind", "desc", "wid", "mode", "marker", "groups",
                  "dest_idx", "applied", "acc", "ready_since", "wait_limit",
-                 "reassign", "running")
+                 "reassign", "running", "won", "winner_sids")
 
     def __init__(self, jr: "_JobRun", kind: str, wid: str,
                  desc: Any = None, wait_limit: Optional[float] = None) -> None:
@@ -150,15 +178,27 @@ class _Task:
         self.wait_limit = wait_limit
         self.reassign = False
         self.running = False
+        self.won = False          # an attempt's result is recorded; the rest are zombies
+        self.winner_sids: Optional[frozenset] = None  # the winner's manifest spill ids
 
 
 class _Attempt:
-    """One RPC attempt of one task; timeouts/retries settle it exactly once."""
+    """One RPC attempt of one task; timeouts/retries settle it exactly once.
 
-    __slots__ = ("task", "target", "method", "args", "tries", "deadline", "settled")
+    ``spec`` marks a speculative backup copy: it holds its own dispatch
+    slot (``slot_held``, transferred across connection retries) instead
+    of the task-level one, and draws a fresh ``attempt_no`` so the
+    reduce-side stores can arbitrate its deliveries against the
+    original's.  ``zombie`` marks an attempt still in flight after
+    another attempt of the same task won; its settlement is quiet."""
+
+    __slots__ = ("task", "target", "method", "args", "tries", "deadline",
+                 "settled", "spec", "attempt_no", "started_at", "zombie",
+                 "slot_held")
 
     def __init__(self, task: _Task, target: str, method: str, args: dict,
-                 tries: int, deadline: float) -> None:
+                 tries: int, deadline: float, spec: bool = False,
+                 attempt_no: int = 0, slot_held: bool = False) -> None:
         self.task = task
         self.target = target
         self.method = method
@@ -166,6 +206,11 @@ class _Attempt:
         self.tries = tries
         self.deadline = deadline
         self.settled = False
+        self.spec = spec
+        self.attempt_no = attempt_no
+        self.started_at = time.monotonic()
+        self.zombie = False
+        self.slot_held = slot_held
 
 
 class _JobRun:
@@ -184,6 +229,14 @@ class _JobRun:
         self.tracker: Optional[_MapTracker] = None
         self.ready: list[_Task] = []
         self.outstanding = 0        # dispatched, not yet settled
+        # Outstanding attempts of already-won tasks: they hold dispatch
+        # slots (cleanup and membership barriers wait for them) but must
+        # not gate phase advancement -- the whole point of speculation is
+        # that the job moves on while the straggler limps home.
+        self.zombie_outstanding = 0
+        # Map service times (settled successes only) feeding the
+        # speculation threshold: EWMA + percentile over this job's phase.
+        self.map_times = ServiceTimeTracker()
         self.phase = "map"
         self.reduce_alive: list[str] = []
         self.reduce_results: dict[str, dict] = {}
@@ -226,6 +279,7 @@ class JobScheduler:
         self._membership: deque[tuple[str, str, Future]] = deque()
         self._inflight_total = 0
         self._wid_inflight: dict[str, int] = {}
+        self._inflight: set[_Attempt] = set()  # issued, not yet settled
         self._submit_seq = itertools.count()
         self._stopping = False
         self._next_heartbeat = 0.0
@@ -355,6 +409,7 @@ class JobScheduler:
                         # dispatching so the barrier can open.
                         self._admit()
                     self._dispatch()
+                    self._check_speculation()
                 self._reap_finished()
             except Exception as exc:  # keep the loop alive; fail the jobs
                 self.metrics.counter("sched.loop_errors").inc()
@@ -397,6 +452,8 @@ class JobScheduler:
             if kind == "deadline":
                 attempt = payload
                 if not attempt.settled:
+                    if self._absorb_failure(attempt):
+                        continue  # another attempt carries (or carried) the task
                     # Mirror of the blocking pool's RpcTimeout: no retry,
                     # the target is treated as lost.
                     self.metrics.counter("sched.task_timeouts").inc()
@@ -408,7 +465,9 @@ class JobScheduler:
                 if not attempt.settled:
                     attempt.settled = True  # superseded by the fresh attempt
                     self._issue(attempt.task, attempt.target, attempt.method,
-                                attempt.args, tries=attempt.tries + 1)
+                                attempt.args, tries=attempt.tries + 1,
+                                spec=attempt.spec, attempt_no=attempt.attempt_no,
+                                slot_held=attempt.slot_held)
 
     def _push_timer(self, when: float, kind: str, payload: Any) -> None:
         heapq.heappush(self._timers, (when, next(self._timer_seq), kind, payload))
@@ -571,6 +630,22 @@ class JobScheduler:
             task.wid = self.coordinator.scheduler.reassign().server
             task.reassign = False
             self.metrics.counter("sched.delay_reassignments").inc()
+        if task.kind == "map" and self.config.health.enabled:
+            # Gray-failure quarantine: no *new* maps on a suspect worker
+            # (it still serves block fetches, spill pushes, heartbeats,
+            # and its reduce shard -- its data stays authoritative).
+            # With every worker quarantined the assignment stands: a
+            # degraded cluster beats a deadlocked one.
+            health = self.coordinator.health
+            if health.is_quarantined(task.wid):
+                eligible = [w for w in self.coordinator.alive_ids()
+                            if not health.is_quarantined(w)]
+                if eligible:
+                    task.wid = min(
+                        eligible,
+                        key=lambda w: (self._wid_inflight.get(w, 0), w),
+                    )
+                    self.metrics.counter("sched.quarantine_reroutes").inc()
         self.coordinator.scheduler.notify_start(task.wid)
         task.running = True
         jr.outstanding += 1
@@ -618,9 +693,15 @@ class JobScheduler:
                 jr.wire["input_file"], task.desc.index
             )
         ]
+        # Every map execution is a numbered attempt; spill deliveries
+        # carry it so the reduce-side stores reject late duplicates from
+        # executions the scheduler already moved past.
+        n = jr.tracker.next_attempt(task.desc.index)
         self._issue(task, task.wid, "run_map",
                     {"job": jr.wire, "name": jr.wire["input_file"],
-                     "index": task.desc.index, "holders": holders})
+                     "index": task.desc.index, "holders": holders,
+                     "attempt": n},
+                    attempt_no=n)
 
     def _issue_replay_step(self, task: _Task) -> None:
         jr = task.jr
@@ -630,30 +711,132 @@ class JobScheduler:
                      "ttl": jr.job.intermediate_ttl, "job_uid": jr.job_uid})
 
     def _issue(self, task: _Task, target: str, method: str, args: dict,
-               tries: int = 1) -> None:
+               tries: int = 1, spec: bool = False, attempt_no: int = 0,
+               slot_held: bool = False) -> None:
         deadline = time.monotonic() + self.config.net.call_timeout
-        attempt = _Attempt(task, target, method, args, tries, deadline)
+        attempt = _Attempt(task, target, method, args, tries, deadline,
+                           spec=spec, attempt_no=attempt_no,
+                           slot_held=slot_held)
         try:
             addr = self.coordinator.address_of(target).addr
             fut = self.coordinator.pool.call_async(addr, method, args)
         except (WorkerLost, NetworkError, OSError) as exc:
             self._transport_failure(attempt, exc)
             return
+        self._inflight.add(attempt)
         self._push_timer(deadline, "deadline", attempt)
         fut.add_done_callback(
             lambda f, a=attempt: self._events.put(("done", a, f))
         )
 
+    # -- speculative execution ----------------------------------------------------------
+
+    def _check_speculation(self) -> None:
+        """Launch backup copies of straggling maps (spec.* knobs).
+
+        A map attempt that has run longer than ``slow_factor`` times the
+        job's median map service time (at least ``min_runtime_s``, and
+        only once ``min_samples`` maps have finished) gets a duplicate
+        attempt on the least-loaded eligible worker -- if a dispatch
+        slot is spare; speculation never displaces primary work.  First
+        finisher wins; the loser becomes a zombie whose late deliveries
+        the attempt-numbered stores arbitrate.
+        """
+        spec = self.config.spec
+        if not spec.enabled or not self._inflight:
+            return
+        cap = self.config.jobs.max_inflight_tasks
+        if self._inflight_total >= cap:
+            return
+        now = time.monotonic()
+        oldest: dict[_Task, _Attempt] = {}
+        copies: dict[_Task, int] = {}
+        for a in self._inflight:
+            if a.settled or a.method != "run_map":
+                continue
+            copies[a.task] = copies.get(a.task, 0) + 1
+            prior = oldest.get(a.task)
+            if prior is None or a.started_at < prior.started_at:
+                oldest[a.task] = a
+        for task, attempt in oldest.items():
+            if self._inflight_total >= cap or self._deaths:
+                return
+            jr = task.jr
+            if not jr.live or task.won or task.mode != "map":
+                continue
+            if copies[task] >= spec.max_copies:
+                continue
+            if jr.map_times.count < spec.min_samples:
+                continue
+            threshold = max(spec.slow_factor * jr.map_times.p50,
+                            spec.min_runtime_s)
+            if now - attempt.started_at <= threshold:
+                continue
+            running_on = {a.target for a in self._inflight
+                          if a.task is task and not a.settled}
+            wid = self._pick_backup_worker(running_on)
+            if wid is None:
+                continue
+            self.coordinator.health.observe_slow_task(attempt.target)
+            self._launch_speculative(task, wid)
+
+    def _pick_backup_worker(self, exclude: set) -> Optional[str]:
+        """Least-loaded live worker not already running this task;
+        quarantined workers are skipped while any clean one exists."""
+        health = self.coordinator.health
+        alive = [w for w in self.coordinator.alive_ids() if w not in exclude]
+        eligible = [w for w in alive if not health.is_quarantined(w)]
+        if not eligible:
+            eligible = alive
+        if not eligible:
+            return None
+        return min(eligible, key=lambda w: (self._wid_inflight.get(w, 0), w))
+
+    def _launch_speculative(self, task: _Task, wid: str) -> None:
+        """Dispatch a backup copy; it holds its own per-attempt slot."""
+        jr = task.jr
+        n = jr.tracker.next_attempt(task.desc.index)
+        self.coordinator.scheduler.notify_start(wid)
+        jr.outstanding += 1
+        self._inflight_total += 1
+        self._wid_inflight[wid] = self._wid_inflight.get(wid, 0) + 1
+        self.metrics.counter("sched.tasks_speculated").inc()
+        self.metrics.counter(f"sched.job.{jr.job_uid}.tasks_speculated").inc()
+        holders = [
+            (a.worker_id, a.host, a.port)
+            for a in self.coordinator.block_holders(
+                jr.wire["input_file"], task.desc.index
+            )
+        ]
+        self._issue(task, wid, "run_map",
+                    {"job": jr.wire, "name": jr.wire["input_file"],
+                     "index": task.desc.index, "holders": holders,
+                     "attempt": n},
+                    spec=True, attempt_no=n, slot_held=True)
+
     # -- completion plumbing ------------------------------------------------------------
 
     def _on_done(self, attempt: _Attempt, future) -> None:
         if attempt.settled:
-            return  # superseded by a timeout or a retry
+            # Superseded by a timeout or a retry.  The worker may still
+            # have run the map and delivered spills after the job's
+            # cleanup broadcast swept the stores -- an empty store
+            # accepts any attempt number -- so a successful late result
+            # is retracted rather than merely ignored.
+            if future.exception() is None:
+                value = future.result()
+                jr = attempt.task.jr
+                if (attempt.method == "run_map" and jr.cleaned
+                        and isinstance(value, dict)):
+                    self._retract_late_spills(jr, attempt, value)
+            return
         exc = future.exception()
         if exc is None:
             self._settle_success(attempt, future.result())
             return
         if isinstance(exc, RpcRemoteError):
+            if self._absorb_failure(attempt):
+                return  # another attempt carries (or carried) the task
             if exc.etype == "SpillDeliveryLost" and exc.data:
                 # The mapper is fine; its reduce-side *target* is gone.
                 self._settle_failure(
@@ -676,12 +859,18 @@ class JobScheduler:
         ``net.retry_attempts`` total tries; anything else (timeouts,
         framing) immediately becomes :class:`WorkerLost` evidence.
         """
+        if self._absorb_failure(attempt):
+            return  # another attempt carries (or carried) the task
         net = self.config.net
         if (isinstance(exc, RpcConnectionError)
                 and attempt.tries < net.retry_attempts):
             attempt.settled = True  # the retry timer owns it now
+            self._inflight.discard(attempt)
             retry = _Attempt(attempt.task, attempt.target, attempt.method,
-                             attempt.args, attempt.tries, attempt.deadline)
+                             attempt.args, attempt.tries, attempt.deadline,
+                             spec=attempt.spec, attempt_no=attempt.attempt_no,
+                             slot_held=attempt.slot_held)
+            attempt.slot_held = False  # the slot travels with the retry
             delay = min(net.retry_base_delay * (2 ** (attempt.tries - 1)),
                         net.retry_max_delay)
             self.metrics.counter("rpc.retries").inc()
@@ -699,11 +888,148 @@ class JobScheduler:
         self._inflight_total -= 1
         self._wid_inflight[task.wid] = max(0, self._wid_inflight.get(task.wid, 1) - 1)
 
-    def _settle_failure(self, attempt: _Attempt, exc: Exception) -> None:
+    def _release_any(self, attempt: _Attempt) -> None:
+        """Return whichever slot the attempt holds: a speculative copy's
+        own per-attempt slot, or the primary's task-level one."""
+        if attempt.spec:
+            if not attempt.slot_held:
+                return
+            attempt.slot_held = False
+            self.coordinator.scheduler.notify_finish(attempt.target)
+            attempt.task.jr.outstanding -= 1
+            self._inflight_total -= 1
+            self._wid_inflight[attempt.target] = max(
+                0, self._wid_inflight.get(attempt.target, 1) - 1
+            )
+        else:
+            self._release(attempt.task)
+
+    def _other_live(self, task: _Task, attempt: _Attempt) -> bool:
+        return any(a.task is task and a is not attempt and not a.settled
+                   for a in self._inflight)
+
+    def _absorb_failure(self, attempt: _Attempt) -> bool:
+        """Quietly settle a failed attempt whose task no longer depends
+        on it -- another attempt already won, or is still running.
+
+        This is the gray-failure stance: a straggling attempt's timeout
+        is *slowness* evidence (fed to the health plane), not death
+        evidence -- the worker is never failed over for losing a race.
+        Only ever true with speculation enabled; a lone attempt always
+        escalates exactly as before."""
+        task = attempt.task
+        if task.kind != "map" or not self.config.spec.enabled:
+            return False
+        if not (task.won or attempt.zombie or self._other_live(task, attempt)):
+            return False
+        self.metrics.counter("sched.attempt_failures_absorbed").inc()
+        self.coordinator.health.observe_timeout(attempt.target)
+        self._settle_quiet(attempt)
+        return True
+
+    def _settle_quiet(self, attempt: _Attempt) -> None:
+        """Settle without recording, escalating, or failing anything."""
         attempt.settled = True
+        self._inflight.discard(attempt)
+        jr = attempt.task.jr
+        if attempt.zombie:
+            jr.zombie_outstanding -= 1
+            attempt.zombie = False
+        self._release_any(attempt)
+        if jr.live:
+            self._advance(jr)
+        else:
+            self._maybe_cleanup(jr)
+
+    def _mark_won(self, task: _Task, winner: _Attempt, manifest) -> None:
+        """First finisher wins; every other live attempt becomes a zombie."""
+        task.won = True
+        task.winner_sids = frozenset(sid for _, sid, _ in manifest)
+        jr = task.jr
+        if winner.spec:
+            self.metrics.counter("sched.speculation_wins").inc()
+        for a in self._inflight:
+            if a.task is task and a is not winner and not a.settled:
+                a.zombie = True
+                jr.zombie_outstanding += 1
+                if a.spec:
+                    self.metrics.counter("sched.speculation_losses").inc()
+                self.coordinator.health.observe_slow_task(a.target)
+
+    def _finish_zombie(self, attempt: _Attempt, value: dict) -> None:
+        """A losing attempt completed after the task was already won.
+
+        Its slot returns, and any spill it delivered that the winner's
+        manifest does *not* cover is retracted at exactly its attempt
+        number -- deterministic re-execution makes the manifests
+        identical in the common case (the loser's deliveries merely
+        overwrote the winner's with identical content), so the diff is
+        usually empty and a winner's data can never be retracted."""
         task = attempt.task
         jr = task.jr
-        self._release(task)
+        if attempt.zombie:
+            jr.zombie_outstanding -= 1
+            attempt.zombie = False
+        self._release_any(attempt)
+        self.metrics.counter("sched.zombie_results").inc()
+        winner_sids = task.winner_sids or frozenset()
+        by_dest: dict[str, list[str]] = {}
+        for dest, sid, _ in value.get("manifest") or ():
+            if sid not in winner_sids:
+                by_dest.setdefault(dest, []).append(sid)
+        alive = set(self.coordinator.alive_ids())
+        for dest, sids in by_dest.items():
+            if dest not in alive:
+                continue
+            try:
+                self.rt._call_worker(dest, "discard_spills", {
+                    "app_id": jr.job.app_id, "spill_ids": sids,
+                    "job_uid": jr.job_uid, "attempt": attempt.attempt_no,
+                })
+            except (WorkerLost, ClusterError):
+                self.metrics.counter("sched.zombie_discard_failures").inc()
+        self._maybe_cleanup(jr)
+
+    def _retract_late_spills(self, jr: _JobRun, attempt: _Attempt,
+                             value: dict) -> None:
+        """Un-deliver a map result that landed after the job's cleanup.
+
+        The end-of-job ``discard_job`` broadcast is eager (the winner's
+        data is freed the moment the output leaves the cluster), so a
+        straggling attempt still *executing* at that point re-inserts
+        its spills into stores that are already empty.  Nothing can want
+        the data -- the job is terminal -- so the whole manifest is
+        retracted at exactly this attempt's number; a resubmission runs
+        under a fresh job uid and cannot be touched by it."""
+        by_dest: dict[str, list[str]] = {}
+        for dest, sid, _ in value.get("manifest") or ():
+            by_dest.setdefault(dest, []).append(sid)
+        if not by_dest:
+            return
+        alive = set(self.coordinator.alive_ids())
+        retracted = 0
+        for dest, sids in by_dest.items():
+            if dest not in alive:
+                continue
+            try:
+                retracted += self.rt._call_worker(dest, "discard_spills", {
+                    "app_id": jr.job.app_id, "spill_ids": sids,
+                    "job_uid": jr.job_uid, "attempt": attempt.attempt_no,
+                })
+            except (WorkerLost, ClusterError):
+                self.metrics.counter("sched.zombie_discard_failures").inc()
+        if retracted:
+            self.metrics.counter("sched.late_spills_retracted").inc(retracted)
+
+    def _settle_failure(self, attempt: _Attempt, exc: Exception) -> None:
+        attempt.settled = True
+        self._inflight.discard(attempt)
+        task = attempt.task
+        jr = task.jr
+        if attempt.zombie:
+            jr.zombie_outstanding -= 1
+            attempt.zombie = False
+        self._release_any(attempt)
         if isinstance(exc, WorkerLost):
             # Death evidence; the task itself is rebuilt by the re-plan.
             self._note_death(exc)
@@ -716,11 +1042,24 @@ class JobScheduler:
 
     def _settle_success(self, attempt: _Attempt, value: Any) -> None:
         attempt.settled = True
+        self._inflight.discard(attempt)
         task = attempt.task
         jr = task.jr
         if not jr.live:
-            # Cancelled/failed mid-flight: drop the result on the floor.
-            self._release(task)
+            # Cancelled, failed, or already finished: the value is not
+            # needed.  But a lost race settling after the end-of-job
+            # cleanup re-created its spills in stores the broadcast
+            # already swept (attempt-number arbitration cannot reject a
+            # push into an empty store), so the manifest is retracted
+            # outright instead of dropped on the floor.
+            if attempt.zombie:
+                jr.zombie_outstanding -= 1
+                attempt.zombie = False
+                self.metrics.counter("sched.zombie_results").inc()
+            self._release_any(attempt)
+            if (jr.cleaned and attempt.method == "run_map"
+                    and isinstance(value, dict)):
+                self._retract_late_spills(jr, attempt, value)
             self._maybe_cleanup(jr)
             return
         if task.kind == "reduce":
@@ -731,8 +1070,14 @@ class JobScheduler:
         if task.mode == "replay":
             self._replay_step_done(task, value)
             return
-        self._release(task)
-        self._record_map(task, value)
+        if task.won or attempt.zombie:
+            self._finish_zombie(attempt, value)
+            return
+        jr.map_times.observe(max(0.0, time.monotonic() - attempt.started_at))
+        self._mark_won(task, attempt, value.get("manifest") or ())
+        self._release_any(attempt)
+        self._record_map(task, value, server=attempt.target,
+                         attempt_no=attempt.attempt_no)
 
     def _replay_step_done(self, task: _Task, result: dict) -> None:
         jr = task.jr
@@ -782,9 +1127,11 @@ class JobScheduler:
                 self.metrics.counter("cluster.replay_discard_failures").inc()
         task.applied = []
 
-    def _record_map(self, task: _Task, result: dict) -> None:
+    def _record_map(self, task: _Task, result: dict, server: str | None = None,
+                    attempt_no: int = 0) -> None:
         jr = task.jr
-        jr.tracker.record(task.desc, task.wid, result)
+        jr.tracker.record(task.desc, server or task.wid, result,
+                          attempt=attempt_no)
         try:
             if result.get("replayed"):
                 hook = self.rt.on_replay_complete
@@ -811,9 +1158,12 @@ class JobScheduler:
         if not jr.live or self._deaths:
             return
         if jr.phase == "map":
+            # Zombies (lost races still limping home) hold slots but do
+            # not gate the phase: the job moves on, their late results
+            # are arbitrated by attempt number.
             if (len(jr.tracker.completed) == len(jr.tracker.blocks)
                     and not any(t.kind == "map" for t in jr.ready)
-                    and jr.outstanding == 0):
+                    and jr.outstanding - jr.zombie_outstanding == 0):
                 self._start_reduce(jr)
             return
         if (jr.phase == "reduce"
@@ -994,7 +1344,8 @@ class JobScheduler:
                 self.rt._call_worker(dest, "discard_spills",
                                      {"app_id": jr.job.app_id,
                                       "spill_ids": spill_ids,
-                                      "job_uid": jr.job_uid})
+                                      "job_uid": jr.job_uid,
+                                      "attempt": entry.attempt})
             except (WorkerLost, ClusterError):
                 self.metrics.counter("failover.discard_failures").inc()
 

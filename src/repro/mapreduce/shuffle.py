@@ -46,24 +46,52 @@ class IntermediateStore:
     """Reduce-side storage of pushed intermediate pairs, per job.
 
     Lives on each worker; what lands here is what that worker's reduce
-    task will consume.  ``pairs`` keeps arrival order so re-pushed (retried)
-    map output can be deduplicated by task id.
+    task will consume.  Each spill is stored under its deterministic
+    spill id together with the **attempt number** of the map execution
+    that pushed it, which is what makes duplicate results hygienic:
+
+    * re-delivery of the same spill id at the *same or a higher* attempt
+      (a retried, re-executed, or speculated map) overwrites rather than
+      duplicates, and ``bytes_received`` is adjusted so the replaced
+      spill no longer counts;
+    * a delivery at a *lower* attempt than the stored one is **stale** --
+      the push of a map the scheduler already gave up on, arriving after
+      its replacement -- and is rejected (``stale_rejected`` counts it),
+      closing the hole where a timed-out-then-retried map whose first
+      execution eventually completed delivered its spills twice;
+    * ``discard_spills(..., attempt=n)`` drops only spills still stored
+      at exactly attempt ``n``, so retracting a speculative loser can
+      never remove data the winning attempt delivered.
     """
 
     def __init__(self, server_id: Hashable) -> None:
         self.server_id = server_id
-        self._pairs: dict[str, dict[str, list[tuple[Any, Any]]]] = defaultdict(dict)
+        # job_id -> spill_id -> (attempt, nbytes, pairs)
+        self._pairs: dict[str, dict[str, tuple[int, int, list[tuple[Any, Any]]]]] = (
+            defaultdict(dict)
+        )
         self.bytes_received = 0
+        self.stale_rejected = 0
 
-    def receive(self, job_id: str, spill_id: str, pairs: list[tuple[Any, Any]], nbytes: int) -> None:
-        """Accept one spill.  Re-delivery of the same spill id (a retried
-        map task) overwrites rather than duplicates."""
-        self._pairs[job_id][spill_id] = pairs
+    def receive(self, job_id: str, spill_id: str, pairs: list[tuple[Any, Any]],
+                nbytes: int, attempt: int = 0) -> bool:
+        """Accept one spill; returns False when it is stale (superseded
+        by a higher-attempt delivery of the same spill id)."""
+        spills = self._pairs[job_id]
+        old = spills.get(spill_id)
+        if old is not None:
+            if attempt < old[0]:
+                self.stale_rejected += 1
+                return False
+            self.bytes_received -= old[1]
+        spills[spill_id] = (attempt, nbytes, pairs)
         self.bytes_received += nbytes
+        return True
 
     def spills_for(self, job_id: str) -> dict[str, list[tuple[Any, Any]]]:
         """A job's spills keyed by spill id (callers choose their order)."""
-        return dict(self._pairs.get(job_id, {}))
+        return {sid: entry[2]
+                for sid, entry in self._pairs.get(job_id, {}).items()}
 
     def job_ids(self) -> list[str]:
         """Every job id with spills in the store (cluster workers key
@@ -73,23 +101,33 @@ class IntermediateStore:
     def pairs_for(self, job_id: str) -> list[tuple[Any, Any]]:
         """All pairs pushed for a job, grouped later by the reduce task."""
         out: list[tuple[Any, Any]] = []
-        for spill in self._pairs.get(job_id, {}).values():
+        for _, _, spill in self._pairs.get(job_id, {}).values():
             out.extend(spill)
         return out
 
     def discard_job(self, job_id: str) -> None:
         self._pairs.pop(job_id, None)
 
-    def discard_spills(self, job_id: str, spill_ids: Iterable[str]) -> int:
+    def discard_spills(self, job_id: str, spill_ids: Iterable[str],
+                       attempt: int | None = None) -> int:
         """Drop specific spills of a job (a partially replayed map task
-        falling back to re-execution); returns how many were present."""
+        falling back to re-execution, or a speculative loser's retraction);
+        returns how many were dropped.  With ``attempt`` given, only
+        spills still stored at exactly that attempt are dropped -- a
+        winner's overwrite is never retracted away."""
         spills = self._pairs.get(job_id)
         if not spills:
             return 0
         dropped = 0
         for sid in spill_ids:
-            if spills.pop(sid, None) is not None:
-                dropped += 1
+            entry = spills.get(sid)
+            if entry is None:
+                continue
+            if attempt is not None and entry[0] != attempt:
+                continue
+            del spills[sid]
+            self.bytes_received -= entry[1]
+            dropped += 1
         return dropped
 
     def spill_count(self, job_id: str) -> int:

@@ -59,9 +59,13 @@ Both ends expose a **fault hook** for the deterministic chaos plane
 (:mod:`repro.chaos`): ``fault_hook`` on a client/pool runs before a
 request's bytes hit the wire and may *drop* the call (raises
 :class:`RpcConnectionError` -- a synthetic transport failure, retried
-like a real one) or *black-hole* it (the request is admitted and its
+like a real one), *black-hole* it (the request is admitted and its
 future registered, but nothing is sent, so the caller waits out its
-timeout); ``fault_hook`` on a server runs before dispatch and may
+timeout), or *delay* it (a ``("delay", seconds)`` action: the request
+is admitted and registered immediately, and its bytes hit the wire from
+a timer thread after the scripted latency -- the caller's thread never
+blocks, so a delayed send cannot stall an unrelated caller sharing it);
+``fault_hook`` on a server runs before dispatch and may
 swallow the request whole (no response -- what a one-way partition looks
 like).  With no hook installed, none of these paths execute.
 """
@@ -541,7 +545,8 @@ class RpcClient:
         window.  The slot is held until the call's future completes
         (response, cancellation, or transport death).
         """
-        action: Optional[str] = None
+        action: Any = None
+        delay_s = 0.0
         hook = self.fault_hook
         if hook is not None:
             action = hook(self.address, method)
@@ -550,6 +555,9 @@ class RpcClient:
                 raise RpcConnectionError(
                     f"{method} to {self.address} dropped by fault injection"
                 )
+            if isinstance(action, tuple) and action[0] == "delay":
+                delay_s = float(action[1])
+                action = None  # the send still happens, just later
         self._window_acquire()
         admitted = False
         try:
@@ -579,6 +587,15 @@ class RpcClient:
                     # request lost inside a partitioned network.
                     self._count("net.sends_blackholed", 1)
                     sent = 0
+                elif delay_s > 0.0:
+                    # Scripted latency: admitted and registered now, bytes
+                    # on the wire later from a timer thread.  The caller's
+                    # per-call deadline keeps running, so a delay longer
+                    # than the timeout looks exactly like a straggling
+                    # link; crucially, the *calling thread* never sleeps.
+                    self._count("net.sends_delayed", 1)
+                    self._defer_send(rid, future, envelope, blob, delay_s)
+                    sent = 0
                 else:
                     sent = self._channel.send_envelope(envelope, blob)
             except FramingError:
@@ -597,6 +614,36 @@ class RpcClient:
         future.add_done_callback(self._window_done)
         self._count("net.bytes_sent", sent)
         return future
+
+    def _defer_send(self, rid: int, future: Future, envelope: dict,
+                    blob, delay_s: float) -> None:
+        """Put a chaos-delayed request on the wire after ``delay_s``.
+
+        Runs on a daemon :class:`threading.Timer` thread;
+        ``_Channel.send_envelope`` takes the channel's own send lock, so
+        the late send interleaves safely with concurrent normal sends.
+        A connection torn down in the meantime surfaces as ``OSError``
+        and fails over exactly like a live send failure.
+        """
+        def fire() -> None:
+            try:
+                sent = self._channel.send_envelope(envelope, blob)
+            except FramingError as exc:
+                self._forget(rid)
+                self._count("net.frames_rejected", 1)
+                if not future.done():
+                    future.set_exception(exc)
+                return
+            except OSError as exc:
+                self._teardown(
+                    RpcConnectionError(f"send to {self.address} failed: {exc}")
+                )
+                return
+            self._count("net.bytes_sent", sent)
+
+        timer = threading.Timer(delay_s, fire)
+        timer.daemon = True
+        timer.start()
 
     # -- the in-flight window ---------------------------------------------------
 

@@ -2,10 +2,10 @@
 
 One static page, no external assets: inline CSS plus a small script
 polling ``/metrics.json`` and re-rendering a per-worker table (task
-counts, cache hit rates, in-flight RPC, shuffle rate, heartbeat age)
-and a coordinator summary row.  Rates (shuffle MB/s) are computed
-client-side from consecutive samples, so the server stays stateless
-about scrapers.
+counts, cache hit rates, in-flight RPC, shuffle rate, heartbeat age and
+round trip, gray-failure health) and a coordinator summary row.  Rates
+(shuffle MB/s) are computed client-side from consecutive samples, so
+the server stays stateless about scrapers.
 """
 
 from __future__ import annotations
@@ -51,6 +51,7 @@ JSON at <a href="/metrics.json">/metrics.json</a></div>
     <th>worker</th><th>maps</th><th>reduces</th>
     <th>iCache hit</th><th>oCache hit</th>
     <th>in-flight RPC</th><th>shuffle out</th><th>heartbeat age</th>
+    <th>heartbeat rtt</th><th>health</th>
   </tr></thead>
   <tbody id="workers"></tbody>
 </table>
@@ -108,6 +109,16 @@ function render(data) {
     }
     const age = num(s.heartbeat_age_s);
     const ageCls = age > 1.5 ? ' class="warn"' : "";
+    const rtt = typeof s.heartbeat_rtt_s === "number"
+      ? (s.heartbeat_rtt_s * 1000).toFixed(1) + "ms" : "\\u2013";
+    let health = "\\u2013";
+    let healthCls = "";
+    if (typeof s.health_score === "number") {
+      health = s.health_score.toFixed(2);
+      if (s.quarantined) { health += " \\u26d4"; healthCls = ' class="warn"'; }
+    } else if (s.quarantined) {
+      health = "\\u26d4"; healthCls = ' class="warn"';
+    }
     return "<tr><td>" + wid + "</td>" +
       "<td>" + counterOf(reg, "worker.maps_run") + "</td>" +
       "<td>" + counterOf(reg, "worker.reduces_run") + "</td>" +
@@ -115,10 +126,12 @@ function render(data) {
       "<td>" + hitRate(s.ocache_hits, s.ocache_misses) + "</td>" +
       "<td>" + gaugeOf(reg, "rpc.in_flight") + "</td>" +
       "<td>" + rate + "</td>" +
-      "<td" + ageCls + ">" + age.toFixed(2) + "s</td></tr>";
+      "<td" + ageCls + ">" + age.toFixed(2) + "s</td>" +
+      "<td>" + rtt + "</td>" +
+      "<td" + healthCls + ">" + health + "</td></tr>";
   });
   document.getElementById("workers").innerHTML =
-    rows.join("") || '<tr><td colspan="8">no workers sampled yet</td></tr>';
+    rows.join("") || '<tr><td colspan="10">no workers sampled yet</td></tr>';
   prev = workers;
   prevAt = now;
 }

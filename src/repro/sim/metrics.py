@@ -26,7 +26,8 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["Counter", "Gauge", "TimeSeries", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "TimeSeries", "Histogram", "MetricsRegistry",
+           "ServiceTimeTracker"]
 
 
 @dataclass
@@ -226,6 +227,55 @@ class Histogram:
             "p99": self.percentile(99.0),
             "max": self.percentile(100.0),
         }
+
+
+class ServiceTimeTracker:
+    """EWMA plus running percentiles over one phase's task service times.
+
+    The straggler detector needs two views of "how long do this job's
+    map attempts take": a smoothed recent average (the EWMA, for health
+    scoring) and a robust population mid-point (the p50, which a single
+    straggler cannot drag the way it drags a mean).  Both ride one
+    bounded :class:`Histogram` reservoir, so a job with millions of
+    tasks tracks service times in constant memory.
+
+    Only settled (successfully completed) attempts are observed -- a
+    straggler that never finishes must not raise the bar that would have
+    flagged it.
+    """
+
+    def __init__(self, alpha: float = 0.2,
+                 max_samples: int = Histogram.DEFAULT_MAX_SAMPLES) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._hist = Histogram(max_samples=max_samples)
+        self._ewma: float | None = None
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        if seconds < 0:
+            raise ValueError(f"service time must be non-negative, got {seconds}")
+        self._hist.record(seconds)
+        if self._ewma is None:
+            self._ewma = seconds
+        else:
+            self._ewma += self.alpha * (seconds - self._ewma)
+
+    @property
+    def count(self) -> int:
+        return self._hist.count
+
+    @property
+    def ewma(self) -> float:
+        return 0.0 if self._ewma is None else self._ewma
+
+    def percentile(self, q: float) -> float:
+        return self._hist.percentile(q)
+
+    @property
+    def p50(self) -> float:
+        return self._hist.percentile(50.0)
 
 
 class MetricsRegistry:

@@ -82,6 +82,17 @@ class TestDirection:
         for m in ("join.handoff_mb_s", "drain.handoff_mb_s"):
             assert not bench_diff.lower_is_better(m)
 
+    def test_straggler_defense_metrics(self):
+        # Backup copies, losing attempts, and quarantine churn are
+        # wasted work; a win (the copy beating the straggler) is the
+        # mechanism doing its job.  The straggler bench's makespan is a
+        # duration like any other.
+        for m in ("straggler.tasks_speculated", "straggler.speculation_losses",
+                  "health.quarantines", "sched.quarantine_reroutes",
+                  "straggler.spec_on.makespan_s"):
+            assert bench_diff.lower_is_better(m)
+        assert not bench_diff.lower_is_better("straggler.speculation_wins")
+
 
 class TestDiff:
     def test_verdicts(self):

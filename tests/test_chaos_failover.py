@@ -165,14 +165,38 @@ class TestFaultInjector:
         assert inj.on_send(("h", 1), "m") == "drop"
         assert sleeps == []  # the delay rule was never reached
 
-    def test_delay_sleeps_and_keeps_scanning(self):
+    def test_send_delay_is_returned_not_slept(self):
+        """Send-seam delays must never block the caller's thread (the
+        scheduler's single event loop runs there): they come back as a
+        ``("delay", seconds)`` action for the transport to defer, and
+        consecutive delay rules accumulate."""
+        sleeps = []
+        inj = FaultInjector("node", ChaosConfig(rules=(
+            FaultRule(op="delay", site="send", delay_s=0.75),
+            FaultRule(op="delay", site="send", delay_s=0.25),
+        )), sleep=sleeps.append)
+        assert inj.on_send(("h", 1), "m") == ("delay", pytest.approx(1.0))
+        assert sleeps == []  # the caller's thread never slept
+        assert [entry[4] for entry in inj.schedule()] == ["delay", "delay"]
+
+    def test_serve_delay_sleeps_in_place(self):
+        """Serve-seam delays stall only the faulted request's handler
+        thread, so sleeping in place is correct there."""
+        sleeps = []
+        inj = FaultInjector("node", ChaosConfig(rules=(
+            FaultRule(op="delay", site="serve", dst="node", delay_s=0.5),
+        )), sleep=sleeps.append)
+        assert inj.on_serve("m") is None
+        assert sleeps == [pytest.approx(0.5)]
+
+    def test_delay_keeps_scanning_and_drop_subsumes_it(self):
         sleeps = []
         inj = FaultInjector("node", ChaosConfig(rules=(
             FaultRule(op="delay", site="send", delay_s=0.75),
             FaultRule(op="blackhole", site="send", method="m"),
         )), sleep=sleeps.append)
         assert inj.on_send(("h", 1), "m") == "blackhole"
-        assert sleeps == [pytest.approx(0.75)]
+        assert sleeps == []  # the call dies anyway: no deferred delay survives
         assert [entry[4] for entry in inj.schedule()] == ["delay", "blackhole"]
 
     def test_crash_uses_the_injected_exit(self):

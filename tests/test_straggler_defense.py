@@ -1,0 +1,643 @@
+"""Straggler defense: speculation, gray-failure quarantine, result hygiene.
+
+Four layers, cheapest first:
+
+* unit tests for the new config knobs (``spec.*``/``health.*``), the
+  :class:`ServiceTimeTracker` the detector reads, the
+  :class:`HealthMonitor` judgment (decay, hysteresis, capped RTT
+  penalties -- all on an injected clock), and the attempt-versioned
+  :class:`IntermediateStore` semantics;
+* heartbeat RTT plumbing: the wire shape, the tracker, and the
+  ``/metrics`` exposition of the new per-worker health fields;
+* transport: a send-site chaos delay defers the frame off-thread --
+  the caller's future parks, the connection keeps serving;
+* cluster integration: a delayed dispatch must not freeze an unrelated
+  job; a serve-side straggler loses to its speculative copy with exact
+  winner-only accounting and the loser's late spills stale-rejected; a
+  timed-out attempt of an already-won task is absorbed (no failover);
+  a quarantined worker gets no new maps yet stays a cluster member.
+
+``CHAOS_SEED`` (CI's chaos-matrix runs 0/1/2) seeds every scripted
+scenario; the delay schedules here are deterministic windows, so any
+seed must pass identically.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.apps.wordcount import wordcount_job
+from repro.apps.workloads import pack_records, text_corpus
+from repro.chaos import FaultInjector
+from repro.cluster import ClusterRuntime
+from repro.cluster.health import HealthMonitor
+from repro.cluster.heartbeat import LivenessTracker
+from repro.cluster.messages import heartbeat_args
+from repro.common.config import (
+    ChaosConfig,
+    ClusterConfig,
+    DFSConfig,
+    FaultRule,
+    HealthConfig,
+    NetConfig,
+    SpecConfig,
+)
+from repro.common.errors import ConfigError
+from repro.common.serialization import config_from_dict, config_to_dict
+from repro.mapreduce.runtime import EclipseMRRuntime
+from repro.mapreduce.shuffle import IntermediateStore
+from repro.net.retry import RetryPolicy
+from repro.net.rpc import ConnectionPool, RpcServer
+from repro.observe.prometheus import render_exposition
+from repro.sim.metrics import MetricsRegistry, ServiceTimeTracker
+
+SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+BLOCK = 2048
+WORKERS = [f"worker-{i}" for i in range(4)]
+
+
+def corpus() -> bytes:
+    return pack_records(text_corpus(99, num_words=3000, vocab_size=60), BLOCK)
+
+
+def _cfg(**overrides) -> ClusterConfig:
+    return ClusterConfig(dfs=DFSConfig(block_size=BLOCK), **overrides)
+
+
+def _wait_for(predicate, timeout=10.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def _map_counts(rt: ClusterRuntime) -> dict[str, int]:
+    """Per-worker maps actually executed, straight from the workers."""
+    return {
+        wid: rt._call_worker(wid, "get_stats", {}).get("worker.maps_run", 0)
+        for wid in rt.worker_ids
+    }
+
+
+def _probe_placement(data: bytes, fname: str, app_id: str) -> dict[str, int]:
+    """Run the job once on a pristine cluster and report which workers
+    executed maps.  Placement is deterministic (same corpus, same worker
+    set, same LAF state), so a chaos run over the same inputs sends its
+    maps to exactly these workers."""
+    with ClusterRuntime(4, _cfg()) as rt:
+        rt.upload(fname, data)
+        rt.run(wordcount_job(fname, app_id=app_id))
+        return _map_counts(rt)
+
+
+# -- config plumbing ---------------------------------------------------------------
+
+
+class TestStragglerConfig:
+    def test_defaults_are_off(self):
+        cfg = ClusterConfig()
+        assert not cfg.spec.enabled
+        assert not cfg.health.enabled
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigError):
+            SpecConfig(slow_factor=0.5)  # a copy for every task
+        with pytest.raises(ConfigError):
+            SpecConfig(min_samples=0)
+        with pytest.raises(ConfigError):
+            SpecConfig(min_runtime_s=-1.0)
+        with pytest.raises(ConfigError):
+            SpecConfig(max_copies=1)  # the primary alone is not a copy
+
+    def test_health_validation(self):
+        with pytest.raises(ConfigError):
+            HealthConfig(quarantine_threshold=0.0)
+        with pytest.raises(ConfigError):
+            HealthConfig(recover_threshold=-0.1)
+        with pytest.raises(ConfigError):
+            # hysteresis requires the lift bar below the trip bar
+            HealthConfig(quarantine_threshold=1.0, recover_threshold=1.0)
+
+    def test_manifest_round_trip(self):
+        cfg = ClusterConfig(
+            spec=SpecConfig(enabled=True, slow_factor=3.0, min_samples=2,
+                            min_runtime_s=0.5, max_copies=3),
+            health=HealthConfig(enabled=True, quarantine_threshold=4.0,
+                                recover_threshold=1.0, decay_halflife_s=2.0,
+                                rtt_slow_s=0.1, timeout_penalty=2.0,
+                                slow_task_penalty=0.25),
+        )
+        wire = json.loads(json.dumps(config_to_dict(cfg)))
+        back = config_from_dict(wire)
+        assert back.spec == cfg.spec
+        assert back.health == cfg.health
+
+    def test_old_manifests_without_spec_health_still_load(self):
+        wire = config_to_dict(ClusterConfig())
+        wire.pop("spec")
+        wire.pop("health")
+        back = config_from_dict(wire)
+        assert back.spec == SpecConfig()
+        assert back.health == HealthConfig()
+
+
+# -- the detector's service-time view ----------------------------------------------
+
+
+class TestServiceTimeTracker:
+    def test_count_p50_and_ewma(self):
+        t = ServiceTimeTracker(alpha=0.5)
+        for s in (1.0, 2.0, 3.0):
+            t.observe(s)
+        assert t.count == 3
+        assert t.p50 == pytest.approx(2.0)
+        # 1.0 -> 1.5 -> 2.25 under alpha=0.5
+        assert t.ewma == pytest.approx(2.25)
+        assert t.percentile(100.0) == pytest.approx(3.0)
+
+    def test_empty_tracker_is_zero(self):
+        t = ServiceTimeTracker()
+        assert t.count == 0
+        assert t.ewma == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceTimeTracker(alpha=0.0)
+        with pytest.raises(ValueError):
+            ServiceTimeTracker().observe(-0.1)
+
+
+# -- the health monitor ------------------------------------------------------------
+
+
+def _monitor(metrics=None, **overrides):
+    now = [0.0]
+    cfg = HealthConfig(enabled=True, **overrides)
+    mon = HealthMonitor(cfg, metrics=metrics, clock=lambda: now[0])
+    return mon, now
+
+
+class TestHealthMonitor:
+    def test_disabled_monitor_is_inert(self):
+        mon = HealthMonitor(HealthConfig())  # enabled=False
+        mon.penalize("w", 100.0)
+        mon.observe_timeout("w")
+        mon.observe_rtt("w", 10.0)
+        mon.observe_slow_task("w")
+        assert mon.score("w") == 0.0
+        assert not mon.is_quarantined("w")
+        assert mon.snapshot() == {}
+
+    def test_timeouts_trip_the_quarantine(self):
+        metrics = MetricsRegistry()
+        mon, _now = _monitor(metrics)  # threshold 2.0, penalty 1.0
+        mon.observe_timeout("w")
+        assert not mon.is_quarantined("w")
+        mon.observe_timeout("w")
+        assert mon.is_quarantined("w")
+        assert mon.quarantined() == ["w"]
+        assert metrics.counter("health.quarantines").value == 1
+        assert metrics.gauge("health.quarantined").value == 1
+
+    def test_decay_recovers_with_hysteresis(self):
+        metrics = MetricsRegistry()
+        mon, now = _monitor(metrics, decay_halflife_s=5.0)
+        mon.penalize("w", 2.0)
+        assert mon.is_quarantined("w")
+        now[0] = 5.0  # one half-life: 1.0 -- under the trip bar (2.0)
+        # ...but still above the lift bar (0.5): no flapping.
+        assert mon.is_quarantined("w")
+        now[0] = 15.0  # three half-lives: 0.25 <= 0.5
+        assert not mon.is_quarantined("w")
+        assert mon.score("w") == pytest.approx(0.25)
+        assert metrics.counter("health.recoveries").value == 1
+        assert metrics.gauge("health.quarantined").value == 0
+
+    def test_rtt_penalty_is_proportional_and_capped(self):
+        mon, _now = _monitor(rtt_slow_s=0.25)
+        mon.observe_rtt("w", 0.2)  # under budget: no suspicion
+        assert mon.score("w") == 0.0
+        mon.observe_rtt("w", 0.5)  # 2x budget -> +1.0
+        assert mon.score("w") == pytest.approx(1.0)
+        mon.observe_rtt("w", 60.0)  # pathological beat: capped at +2.0
+        assert mon.score("w") == pytest.approx(3.0)
+
+    def test_slow_task_penalty(self):
+        mon, _now = _monitor(slow_task_penalty=0.5)
+        mon.observe_slow_task("w")
+        assert mon.score("w") == pytest.approx(0.5)
+
+    def test_snapshot_has_no_recovery_side_effects(self):
+        mon, now = _monitor(decay_halflife_s=1.0)
+        mon.penalize("w", 2.0)
+        now[0] = 10.0  # decayed far below the lift bar
+        snap = mon.snapshot()
+        assert snap["w"]["quarantined"] is True  # snapshot never lifts
+        assert snap["w"]["score"] < 0.01
+        assert not mon.is_quarantined("w")  # the read that lifts
+
+    def test_forget_drops_all_state(self):
+        metrics = MetricsRegistry()
+        mon, _now = _monitor(metrics)
+        mon.penalize("w", 5.0)
+        assert mon.is_quarantined("w")
+        mon.forget("w")
+        assert mon.score("w") == 0.0
+        assert not mon.is_quarantined("w")
+        assert mon.snapshot() == {}
+        assert metrics.gauge("health.quarantined").value == 0
+
+
+# -- attempt-versioned spill store -------------------------------------------------
+
+
+class TestStoreAttemptHygiene:
+    def test_higher_attempt_overwrites_and_adjusts_bytes(self):
+        store = IntermediateStore("w")
+        assert store.receive("j", "t/0/0", [("a", 1)], 10, attempt=0)
+        assert store.receive("j", "t/0/0", [("a", 2)], 14, attempt=1)
+        assert store.bytes_received == 14  # replaced, not double-counted
+        assert store.pairs_for("j") == [("a", 2)]
+
+    def test_lower_attempt_is_stale_rejected(self):
+        store = IntermediateStore("w")
+        store.receive("j", "t/0/0", [("a", 2)], 14, attempt=1)
+        assert not store.receive("j", "t/0/0", [("a", 1)], 10, attempt=0)
+        assert store.stale_rejected == 1
+        assert store.bytes_received == 14
+        assert store.pairs_for("j") == [("a", 2)]
+
+    def test_same_attempt_redelivery_overwrites(self):
+        store = IntermediateStore("w")
+        store.receive("j", "t/0/0", [("a", 1)], 10, attempt=2)
+        assert store.receive("j", "t/0/0", [("a", 1)], 10, attempt=2)
+        assert store.bytes_received == 10
+
+    def test_attempt_filtered_discard_spares_the_winner(self):
+        store = IntermediateStore("w")
+        store.receive("j", "t/0/0", [("a", 2)], 14, attempt=1)  # winner
+        store.receive("j", "t/1/0", [("b", 1)], 10, attempt=0)  # loser-only
+        # The loser's retraction names both sids at its attempt number:
+        # only the spill still stored at attempt 0 goes.
+        assert store.discard_spills("j", ["t/0/0", "t/1/0"], attempt=0) == 1
+        assert store.pairs_for("j") == [("a", 2)]
+        assert store.bytes_received == 14
+        # An unfiltered discard still removes anything.
+        assert store.discard_spills("j", ["t/0/0"]) == 1
+        assert store.bytes_received == 0
+
+
+# -- heartbeat RTT plumbing --------------------------------------------------------
+
+
+class TestHeartbeatRtt:
+    def test_wire_shape_omits_missing_sample(self):
+        assert heartbeat_args("w", 3) == {"worker_id": "w", "seq": 3}
+        args = heartbeat_args("w", 4, rtt_s=0.012)
+        assert args["rtt_s"] == pytest.approx(0.012)
+
+    def test_tracker_keeps_latest_rtt(self):
+        tracker = LivenessTracker(interval=0.25, miss_threshold=4)
+        tracker.register("w")
+        assert tracker.rtt_of("w") is None  # the RTT rides one beat late
+        tracker.beat("w", rtt_s=0.010)
+        tracker.beat("w")  # a reconnect beat keeps the last sample
+        assert tracker.rtt_of("w") == pytest.approx(0.010)
+        tracker.beat("w", rtt_s=0.020)
+        assert tracker.rtt_of("w") == pytest.approx(0.020)
+        tracker.remove("w")
+        assert tracker.rtt_of("w") is None
+
+    def test_cluster_workers_report_rtts(self):
+        with ClusterRuntime(2, _cfg()) as rt:
+            assert _wait_for(
+                lambda: set(rt.coordinator.heartbeat_rtts()) == set(rt.worker_ids)
+            ), "workers never shipped a measured heartbeat RTT"
+            for wid, rtt in rt.coordinator.heartbeat_rtts().items():
+                assert rtt >= 0.0, wid
+
+
+class TestHealthExposition:
+    def test_worker_health_fields_become_labeled_gauges(self):
+        coordinator = {"counters": {}, "gauges": {}, "histograms": {}}
+        workers = {
+            "worker-0": {
+                "worker_id": "worker-0",
+                "heartbeat_rtt_s": 0.012,
+                "health_score": 1.5,
+                "quarantined": True,  # bool: must NOT leak into the text
+                "health_quarantined": 1,  # ...this 0/1 gauge ships instead
+                "registry": {},
+            }
+        }
+        text = render_exposition(coordinator, workers)
+        assert 'eclipsemr_heartbeat_rtt_s{worker_id="worker-0"} 0.012' in text
+        assert 'eclipsemr_health_score{worker_id="worker-0"} 1.5' in text
+        assert 'eclipsemr_health_quarantined{worker_id="worker-0"} 1' in text
+        assert "eclipsemr_quarantined" not in text
+
+
+# -- transport: deferred send delays -----------------------------------------------
+
+
+class TestNonBlockingSendDelay:
+    def test_delayed_send_parks_the_future_not_the_caller(self):
+        metrics = MetricsRegistry()
+        srv = RpcServer({"echo": lambda value: value}, net=NetConfig(),
+                        metrics=MetricsRegistry()).start()
+        inj = FaultInjector("coordinator", ChaosConfig(seed=SEED, rules=(
+            FaultRule(op="delay", site="send", method="echo", count=1,
+                      delay_s=1.0),
+        )), metrics=metrics)
+        pool = ConnectionPool(NetConfig(), metrics=metrics,
+                              policy=RetryPolicy(attempts=1, base_delay=0.01,
+                                                 max_delay=0.02, jitter=0.0,
+                                                 sleep=lambda _s: None))
+        pool.fault_hook = inj.on_send
+        try:
+            t0 = time.monotonic()
+            fut = pool.call_async(srv.address, "echo", {"value": 1})
+            issue_took = time.monotonic() - t0
+            assert issue_took < 0.5, "call_async slept through the chaos delay"
+            # The connection keeps serving while the delayed frame pends.
+            assert pool.call(srv.address, "echo", {"value": 2}) == 2
+            assert not fut.done()
+            assert fut.result(timeout=5.0) == 1  # delivered after the delay
+            assert time.monotonic() - t0 >= 1.0
+            assert metrics.counter("net.sends_delayed").value == 1
+        finally:
+            pool.close_all()
+            srv.stop()
+
+
+# -- cluster integration -----------------------------------------------------------
+
+
+class TestSchedulerNotFrozenByDelay:
+    def test_unrelated_job_dispatches_during_a_delayed_send(self):
+        """A chaos delay on one job's dispatch RPC must not stall the
+        scheduler loop: a second job submitted while the delayed frame
+        pends runs to completion well inside the delay window."""
+        data = corpus()
+        seq = EclipseMRRuntime(4, config=_cfg())
+        seq.upload("frozen.txt", data)
+        ref = seq.run(wordcount_job("frozen.txt", app_id="fz-a")).output
+
+        delay = 3.0
+        cfg = _cfg(chaos=ChaosConfig(seed=SEED, rules=(
+            FaultRule(op="delay", site="send", src="coordinator",
+                      method="run_map", count=1, delay_s=delay),
+        )))
+        with ClusterRuntime(4, cfg) as rt:
+            rt.upload("frozen.txt", data)
+            m = rt.metrics
+            ha = rt.submit(wordcount_job("frozen.txt", app_id="fz-a"))
+            # Job A's first dispatch is the delayed frame; wait until the
+            # transport has parked it so B's whole life fits inside the
+            # delay window.
+            assert _wait_for(
+                lambda: m.counter("net.sends_delayed").value >= 1, timeout=15.0
+            ), "the chaos delay never fired"
+            t0 = time.monotonic()
+            hb = rt.submit(wordcount_job("frozen.txt", app_id="fz-b"))
+            rb = hb.result(timeout=60)
+            elapsed_b = time.monotonic() - t0
+            ra = ha.result(timeout=60)
+
+            assert rb.output == ref
+            assert ra.output == ref
+            assert elapsed_b < delay, (
+                f"job B took {elapsed_b:.2f}s: the delayed send froze dispatch"
+            )
+            assert m.counter("net.sends_delayed").value == 1
+            # The delay is latency, not loss: nobody was failed over.
+            assert m.counter("cluster.failovers").value == 0
+            assert ra.stats.task_retries == 0 and rb.stats.task_retries == 0
+
+
+class TestSpeculativeExecution:
+    DELAY = 4.0
+
+    def _spec_cfg(self, victim, **net_overrides):
+        return _cfg(
+            spec=SpecConfig(enabled=True),
+            health=HealthConfig(enabled=True),
+            net=NetConfig(**net_overrides) if net_overrides else NetConfig(),
+            chaos=ChaosConfig(seed=SEED, rules=(
+                FaultRule(op="delay", site="serve", dst=victim,
+                          method="run_map", count=1, delay_s=self.DELAY),
+            )),
+        )
+
+    def test_spec_off_lone_job_stays_bit_equal(self):
+        """The whole defense sits behind ``spec.*``/``health.*`` seams:
+        with both off (the default) a lone cluster job is bit-equal to
+        the sequential plane -- output, stats, and LAF placement."""
+        data = corpus()
+        seq = EclipseMRRuntime(4, config=_cfg())
+        seq.upload("seq.txt", data)
+        ref = seq.run(wordcount_job("seq.txt", app_id="sd-seq"))
+        with ClusterRuntime(4, _cfg()) as rt:
+            rt.upload("seq.txt", data)
+            res = rt.run(wordcount_job("seq.txt", app_id="sd-seq"))
+            assert res.output == ref.output
+            assert res.stats.tasks_per_server == ref.stats.tasks_per_server
+            assert res.stats.spills == ref.stats.spills
+            assert res.stats.bytes_shuffled == ref.stats.bytes_shuffled
+            assert res.stats.map_tasks == ref.stats.map_tasks
+            assert rt.metrics.counter("sched.tasks_speculated").value == 0
+
+    def test_copy_beats_the_straggler_and_loser_spills_are_retracted(self):
+        """One worker serves its first map 4s late: a speculative copy
+        wins on another worker, the job finishes without waiting out the
+        delay, the accounting stays exactly winner-only, and the loser's
+        late deliveries are retracted from the already-swept stores."""
+        data = corpus()
+        seq = EclipseMRRuntime(4, config=_cfg())
+        seq.upload("spec.txt", data)
+        ref = seq.run(wordcount_job("spec.txt", app_id="sd-spec"))
+
+        placement = _probe_placement(data, "spec.txt", "sd-spec")
+        victim = max(placement, key=placement.get)
+        assert placement[victim] >= 1
+
+        with ClusterRuntime(4, self._spec_cfg(victim)) as rt:
+            rt.upload("spec.txt", data)
+            t0 = time.monotonic()
+            res = rt.run(wordcount_job("spec.txt", app_id="sd-spec"))
+            elapsed = time.monotonic() - t0
+            m = rt.metrics
+
+            assert res.output == ref.output
+            assert elapsed < self.DELAY, (
+                f"job took {elapsed:.2f}s: it waited out the straggler"
+            )
+            # Winner-only accounting: exactly the sequential plane's
+            # volumes despite the extra copy having run.
+            assert res.stats.map_tasks == ref.stats.map_tasks
+            assert res.stats.spills == ref.stats.spills
+            assert res.stats.bytes_shuffled == ref.stats.bytes_shuffled
+            assert res.stats.task_retries == 0  # a race, not a retry
+
+            assert m.counter("sched.tasks_speculated").value >= 1
+            assert m.counter("sched.speculation_wins").value >= 1
+            # Slowness is not death: the victim is never failed over.
+            assert m.counter("cluster.failovers").value == 0
+            assert victim in rt.worker_ids
+            # The scheduler fed the slow-task signal to the health plane.
+            assert rt.coordinator.health.score(victim) > 0.0
+            assert m.counter("health.quarantines").value == 0
+
+            # The losing attempt was the *primary*, not the copy: losses
+            # count only speculative copies that lose their race.
+            assert m.counter("sched.speculation_losses").value == 0
+
+            # The loser finishes *after* the job completed and the eager
+            # end-of-job cleanup swept every store.  Its mid-flight
+            # deliveries re-created the spills -- an empty store accepts
+            # any attempt number -- so the scheduler retracts the late
+            # manifest outright: one zombie result, one spill pulled
+            # back per destination, and the stores end empty.
+            assert _wait_for(
+                lambda: m.counter("sched.zombie_results").value >= 1,
+                timeout=self.DELAY + 8.0,
+            ), "the losing attempt never settled"
+            assert _wait_for(
+                lambda: (m.counter("sched.late_spills_retracted").value
+                         == len(rt.worker_ids)),
+            ), "the loser's late spills were not retracted"
+
+            held = {
+                wid: rt._call_worker(wid, "get_stats", {}).get("spills_held", 0)
+                for wid in rt.worker_ids
+            }
+            assert held == {wid: 0 for wid in rt.worker_ids}, (
+                f"resurrected spills left behind: {held}"
+            )
+
+    def test_timed_out_attempt_of_a_won_task_is_absorbed(self):
+        """With a short RPC deadline the straggling attempt times out
+        *after* its task was already won: the failure is absorbed as
+        slowness evidence -- no WorkerLost, no failover, no retry."""
+        data = corpus()
+        seq = EclipseMRRuntime(4, config=_cfg())
+        seq.upload("absorb.txt", data)
+        ref = seq.run(wordcount_job("absorb.txt", app_id="sd-abs"))
+
+        placement = _probe_placement(data, "absorb.txt", "sd-abs")
+        victim = max(placement, key=placement.get)
+
+        with ClusterRuntime(4, self._spec_cfg(victim, call_timeout=2.0)) as rt:
+            rt.upload("absorb.txt", data)
+            res = rt.run(wordcount_job("absorb.txt", app_id="sd-abs"))
+            m = rt.metrics
+
+            assert res.output == ref.output
+            assert res.stats.spills == ref.stats.spills
+            assert res.stats.bytes_shuffled == ref.stats.bytes_shuffled
+            assert res.stats.task_retries == 0
+
+            assert _wait_for(
+                lambda: m.counter("sched.attempt_failures_absorbed").value >= 1,
+                timeout=self.DELAY + 8.0,
+            ), "the straggler's timeout was never absorbed"
+            assert m.counter("sched.task_timeouts").value == 0
+            assert m.counter("cluster.failovers").value == 0
+            assert victim in rt.worker_ids
+            # The absorbed timeout fed the health plane (1.0 < the 2.0
+            # trip bar: suspicion, not yet quarantine).
+            assert rt.coordinator.health.score(victim) > 0.0
+
+            # The victim still *ran* the map once the serve delay
+            # elapsed, delivering into stores the cleanup had already
+            # swept.  The settled attempt's late result is retracted,
+            # not merely ignored -- the timed-out-then-executed
+            # double-delivery hole stays closed.
+            assert _wait_for(
+                lambda: (m.counter("sched.late_spills_retracted").value
+                         >= len(rt.worker_ids)),
+                timeout=self.DELAY + 8.0,
+            ), "the timed-out attempt's late spills were never retracted"
+            held = sum(
+                rt._call_worker(wid, "get_stats", {}).get("spills_held", 0)
+                for wid in rt.worker_ids
+            )
+            assert held == 0
+
+
+class TestQuarantineDispatch:
+    def test_quarantined_worker_gets_no_new_maps_but_stays_a_member(self):
+        data = corpus()
+        seq = EclipseMRRuntime(4, config=_cfg())
+        seq.upload("quar.txt", data)
+        ref = seq.run(wordcount_job("quar.txt", app_id="sd-quar"))
+
+        placement = _probe_placement(data, "quar.txt", "sd-quar")
+        victim = max(placement, key=placement.get)
+        assert placement[victim] >= 1
+
+        # A long half-life keeps the quarantine up for the whole job.
+        cfg = _cfg(health=HealthConfig(enabled=True, decay_halflife_s=60.0))
+        with ClusterRuntime(4, cfg) as rt:
+            rt.upload("quar.txt", data)
+            rt.coordinator.health.penalize(victim, 10.0)
+            assert rt.coordinator.health.is_quarantined(victim)
+            assert rt.metrics.counter("health.quarantines").value == 1
+
+            res = rt.run(wordcount_job("quar.txt", app_id="sd-quar"))
+            m = rt.metrics
+
+            assert res.output == ref.output
+            # Every map the placement would have sent there rerouted.
+            assert m.counter("sched.quarantine_reroutes").value >= placement[victim]
+            counts = _map_counts(rt)
+            assert counts[victim] == 0, "a map was dispatched to quarantine"
+            assert sum(counts.values()) == ref.stats.map_tasks
+            # Quarantine is not failover: still a member, still serving.
+            assert victim in rt.worker_ids
+            assert m.counter("cluster.failovers").value == 0
+            snap = rt.coordinator.health.snapshot()
+            assert snap[victim]["quarantined"] is True
+
+
+class TestObserveHealthEndpoints:
+    def test_metrics_json_and_exposition_carry_health_fields(self):
+        from repro.common.config import ObserveConfig
+        from urllib.request import urlopen
+
+        def _get(url):
+            with urlopen(url) as resp:
+                return resp.read().decode("utf-8")
+
+        cfg = _cfg(health=HealthConfig(enabled=True, decay_halflife_s=60.0),
+                   observe=ObserveConfig(enabled=True, port=0,
+                                         sample_interval=0.05))
+        with ClusterRuntime(2, cfg) as rt:
+            wid = rt.worker_ids[0]
+            rt.coordinator.health.penalize(wid, 5.0)
+
+            def _sampled():
+                payload = json.loads(_get(rt.observer.url + "/metrics.json"))
+                stats = payload["workers"].get(wid) or {}
+                return ("health_score" in stats
+                        and "heartbeat_rtt_s" in stats)
+
+            assert _wait_for(_sampled, timeout=15.0), (
+                "observe sampler never picked up the health fields"
+            )
+            payload = json.loads(_get(rt.observer.url + "/metrics.json"))
+            stats = payload["workers"][wid]
+            assert stats["quarantined"] is True
+            assert stats["health_quarantined"] == 1
+            assert stats["health_score"] > 0.0
+            assert stats["heartbeat_rtt_s"] >= 0.0
+
+            text = _get(rt.observer.url + "/metrics")
+            assert f'eclipsemr_health_score{{worker_id="{wid}"}}' in text
+            assert f'eclipsemr_health_quarantined{{worker_id="{wid}"}} 1' in text
+            assert "eclipsemr_heartbeat_rtt_s{" in text

@@ -57,16 +57,18 @@ def lower_is_better(metric: str) -> bool:
     """Direction heuristic from the metric's leaf name.
 
     Rates (``*_per_s``, ``*_mb_s``, speedups, ratios), cache hit rates,
-    and achieved reductions are better higher; latencies, percentiles,
-    durations (``*_s``/``*_ms``/``*_us``), shuffle/wire byte volumes,
-    and recovery costs (work redone or recopied after a failure, retry
-    and failure counts, overhead ratios) are better lower, as are
-    membership handoff volumes and join disruption.  Anything else
-    defaults to higher-is-better."""
+    achieved reductions, and speculation wins (a backup copy beating the
+    straggler) are better higher; latencies, percentiles, durations
+    (``*_s``/``*_ms``/``*_us``), shuffle/wire byte volumes, and recovery
+    costs (work redone or recopied after a failure, retry and failure
+    counts, overhead ratios) are better lower, as are membership handoff
+    volumes, join disruption, and straggler-defense churn (copies
+    speculated, losing copies, quarantine trips and reroutes).  Anything
+    else defaults to higher-is-better."""
     leaf = metric.rsplit(".", 1)[-1]
     if ("per_s" in leaf or leaf.endswith("_mb_s") or "speedup" in leaf
             or "_vs_" in leaf or "hit_rate" in leaf or "hit_ratio" in leaf
-            or "reduction" in leaf):
+            or "reduction" in leaf or "speculation_wins" in leaf):
         return False
     if any(frag in leaf for frag in ("latency", "seek", "wall_clock",
                                      "p50", "p90", "p99",
@@ -77,7 +79,9 @@ def lower_is_better(metric: str) -> bool:
                                      "wire_bytes", "bytes_shuffled",
                                      "evictions",
                                      "handed_off", "handoff_batches",
-                                     "disruption")):
+                                     "disruption",
+                                     "speculated", "speculation_losses",
+                                     "quarantine")):
         return True
     return leaf.endswith(("_s", "_ms", "_us"))
 
